@@ -1,0 +1,73 @@
+"""Ablation: the batch size nb — MFBC's time/memory tradeoff (§4, §7.1).
+
+The paper: "nb constitutes a tradeoff between the time and the storage
+complexity: MFBC takes n/nb iterations but must maintain an n × nb matrix",
+and §7.1 reports the best rate over a range of batch sizes, "usually
+achieved by the largest batch-size that still fit in memory".
+
+This ablation sweeps nb on a fixed graph, measuring (a) wall-clock of the
+sequential engine, (b) the working-set memory of the T/Z matrices, and
+(c) the number of generalized products — reproducing the monotone
+products-vs-memory exchange.
+"""
+
+import time
+
+import numpy as np
+
+from repro.core import mfbc
+from repro.graphs import uniform_random_graph_nm
+
+BATCH_SIZES = [4, 16, 64, 256]
+N = 256
+
+
+def build_rows():
+    g = uniform_random_graph_nm(N, 12.0, seed=9)
+    rows = []
+    for nb in BATCH_SIZES:
+        t0 = time.perf_counter()
+        res = mfbc(g, batch_size=nb)
+        wall = time.perf_counter() - t0
+        matmuls = res.stats.total_multiplications
+        # working set: the T and Z matrices are nb × n with ~3 fields
+        working_words = 6 * nb * g.n
+        rows.append(
+            (
+                nb,
+                matmuls,
+                round(wall, 3),
+                working_words,
+                round(res.teps(g) / 1e6, 2),
+            )
+        )
+    return rows, g
+
+
+def test_ablation_batch_size(benchmark, save_table):
+    rows, g = benchmark.pedantic(build_rows, rounds=1, iterations=1)
+    save_table(
+        "ablation_batch_size",
+        f"Ablation: batch size nb on a uniform graph (n={N}); larger "
+        "batches trade memory for fewer products",
+        ["nb", "matmuls", "wall (s)", "working words", "MTEPS"],
+        rows,
+    )
+    matmuls = [r[1] for r in rows]
+    memory = [r[3] for r in rows]
+    # monotone exchange: more memory, fewer products
+    assert all(a >= b for a, b in zip(matmuls, matmuls[1:]))
+    assert all(a <= b for a, b in zip(memory, memory[1:]))
+
+
+def test_ablation_batch_correctness(benchmark):
+    """All batch sizes produce identical scores (Theorem 4.3 independence)."""
+
+    def run():
+        g = uniform_random_graph_nm(128, 8.0, seed=10)
+        ref = mfbc(g, batch_size=128).scores
+        for nb in (8, 32):
+            assert np.allclose(mfbc(g, batch_size=nb).scores, ref, atol=1e-8)
+        return True
+
+    assert benchmark.pedantic(run, rounds=1, iterations=1)

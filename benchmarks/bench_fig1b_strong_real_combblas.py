@@ -1,0 +1,83 @@
+"""Figure 1(b): strong scaling of CombBLAS-style BC on the real stand-ins.
+
+Paper series: MTEPS/node vs node count for Orkut, LiveJournal, Patents under
+CombBLAS (no Friendster — the paper could not run it with CombBLAS at all).
+Expected shape (§7.2):
+
+* CombBLAS is competitive on LiveJournal and Patents;
+* on the dense Orkut graph CTF-MFBC's advantage is largest (up to 7.6× in
+  the paper) — checked in this bench by comparing against the Figure 1(a)
+  pricing of the same graphs.
+"""
+
+from conftest import PAPER_NODE_COUNTS
+
+from repro.analysis import strong_scaling
+from repro.analysis.scaling import trace_combblas
+from repro.baselines import combblas_bc
+from repro.graphs import snap_standin
+from repro.spgemm import Square2DPolicy
+
+GRAPH_IDS = ["ork", "ljm", "cit"]
+OFFSETS = {"ork": -3, "ljm": -3, "cit": -3}
+BATCH_SIZE = 64
+
+#: CombBLAS requires square process grids: the nearest squares to the
+#: paper's node counts
+SQUARE_NODE_COUNTS = [4, 16, 64, 144]
+
+
+def build_rows():
+    rows = []
+    for gid in GRAPH_IDS:
+        g = snap_standin(gid, scale_offset=OFFSETS[gid], seed=0)
+        pts = strong_scaling(
+            g,
+            SQUARE_NODE_COUNTS,
+            batch_sizes=[BATCH_SIZE],
+            tracer=trace_combblas,
+            policy=Square2DPolicy(),
+            max_batches=2,
+        )
+        for pt in pts:
+            rows.append((gid, g.n, g.m, pt.p, round(pt.mteps_per_node, 2)))
+    return rows
+
+
+def test_fig1b_series(benchmark, save_table):
+    rows = benchmark.pedantic(build_rows, rounds=1, iterations=1)
+    save_table(
+        "fig1b_strong_real_combblas",
+        "Figure 1(b) reproduction: CombBLAS-style strong scaling on "
+        "real-graph stand-ins (MTEPS/node vs nodes)",
+        ["graph", "n", "m", "nodes", "MTEPS/node"],
+        rows,
+    )
+    by_graph = {}
+    for gid, _, _, p, rate in rows:
+        by_graph.setdefault(gid, {})[p] = rate
+    for gid in GRAPH_IDS:
+        assert by_graph[gid][4] > 0
+
+    # cross-figure check (the paper's headline): on the dense Orkut graph
+    # MFBC's model-searched execution beats the square-2D-restricted
+    # CombBLAS pricing of the same trace.
+    from repro.analysis import model_run
+    from repro.analysis.scaling import trace_mfbc
+
+    g = snap_standin("ork", scale_offset=OFFSETS["ork"], seed=0)
+    stats_m, _ = trace_mfbc(g, BATCH_SIZE, max_batches=2)
+    stats_c, _ = trace_combblas(g, BATCH_SIZE, max_batches=2)
+    t_mfbc = model_run(stats_m, g, 64).seconds
+    t_comb = model_run(stats_c, g, 64, policy=Square2DPolicy()).seconds
+    assert t_mfbc < t_comb
+
+
+def test_fig1b_kernel(benchmark):
+    """Timed kernel: one CombBLAS-style batch on the LiveJournal stand-in."""
+    g = snap_standin("ljm", scale_offset=-4, seed=0)
+    benchmark.pedantic(
+        lambda: combblas_bc(g, batch_size=32, max_batches=1),
+        rounds=3,
+        iterations=1,
+    )

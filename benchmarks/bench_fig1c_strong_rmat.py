@@ -1,0 +1,112 @@
+"""Figure 1(c): strong scaling on R-MAT graphs, weighted vs unweighted.
+
+Paper series (R-MAT S=22, average degree E ∈ {8, 128}):
+
+* CTF-MFBC vs CombBLAS on unweighted graphs — roughly tied at E=8,
+  CTF-MFBC clearly ahead at E=128 (dense graphs are MFBC's strength);
+* CTF-MFBC on weighted graphs (weights uniform in [1, 100]) — more matrix
+  products and denser frontiers cost more than a 2× slowdown vs unweighted.
+
+We run the same design at S = 11 (scaled 2048× down) and price node counts
+2→128 with the hybrid model.
+"""
+
+from conftest import PAPER_NODE_COUNTS
+
+from repro.analysis import model_run, strong_scaling
+from repro.analysis.scaling import trace_combblas, trace_mfbc
+from repro.graphs import rmat_graph, with_random_weights
+from repro.spgemm import Square2DPolicy
+
+SCALE = 11
+DEGREES = [8, 64]  # the paper's E=128 scaled to keep m manageable at S=11
+BATCH = 64
+MAX_BATCHES = 2
+
+
+def build_rows():
+    rows = []
+    for e in DEGREES:
+        g = rmat_graph(SCALE, e, seed=4, name=f"rmat_e{e}")
+        gw = with_random_weights(g, 1, 100, seed=4)
+
+        for label, pts in [
+            (
+                f"E={e} CTF-MFBC unweighted",
+                strong_scaling(
+                    g, PAPER_NODE_COUNTS, batch_sizes=[BATCH], max_batches=MAX_BATCHES
+                ),
+            ),
+            (
+                f"E={e} CombBLAS unweighted",
+                strong_scaling(
+                    g,
+                    [4, 16, 64, 144],
+                    batch_sizes=[BATCH],
+                    tracer=trace_combblas,
+                    policy=Square2DPolicy(),
+                    max_batches=MAX_BATCHES,
+                ),
+            ),
+            (
+                f"E={e} CTF-MFBC weighted",
+                strong_scaling(
+                    gw, PAPER_NODE_COUNTS, batch_sizes=[BATCH], max_batches=MAX_BATCHES
+                ),
+            ),
+        ]:
+            for pt in pts:
+                rows.append((label, pt.p, round(pt.mteps_per_node, 2)))
+    return rows
+
+
+def test_fig1c_series(benchmark, save_table):
+    rows = benchmark.pedantic(build_rows, rounds=1, iterations=1)
+    save_table(
+        "fig1c_strong_rmat",
+        f"Figure 1(c) reproduction: strong scaling on R-MAT S={SCALE} "
+        "graphs (MTEPS/node vs nodes)",
+        ["series", "nodes", "MTEPS/node"],
+        rows,
+    )
+    rates = {(label, p): r for label, p, r in rows}
+    e_lo, e_hi = DEGREES
+    # paper shape 1: the denser R-MAT graph achieves a higher rate
+    assert rates[(f"E={e_hi} CTF-MFBC unweighted", 8)] > rates[
+        (f"E={e_lo} CTF-MFBC unweighted", 8)
+    ]
+    # paper shape 2: weights cost around 2× or worse in rate (extra
+    # products + denser, recurring frontiers); the paper reports "more than
+    # a factor of two", we accept ≥1.8× on the scaled-down graphs
+    for e in DEGREES:
+        assert (
+            rates[(f"E={e} CTF-MFBC weighted", 8)]
+            < rates[(f"E={e} CTF-MFBC unweighted", 8)] / 1.8
+        )
+
+
+def test_fig1c_mfbc_beats_combblas_dense(benchmark, save_table):
+    """The E-dense headline at one node count, as a standalone check:
+    CTF-MFBC's modeled time beats the square-2D restriction at p=64."""
+    e = DEGREES[1]
+
+    def run():
+        g = rmat_graph(SCALE, e, seed=4)
+        stats_m, _ = trace_mfbc(g, BATCH, max_batches=1)
+        stats_c, _ = trace_combblas(g, BATCH, max_batches=1)
+        t_m = model_run(stats_m, g, 64).seconds
+        t_c = model_run(stats_c, g, 64, policy=Square2DPolicy()).seconds
+        return t_m, t_c
+
+    t_m, t_c = benchmark.pedantic(run, rounds=1, iterations=1)
+    save_table(
+        "fig1c_dense_headline",
+        f"Figure 1(c) headline: modeled seconds per batch at 64 nodes, "
+        f"R-MAT S={SCALE} E={e}",
+        ["algorithm", "modeled seconds", "speedup"],
+        [
+            ("CTF-MFBC", f"{t_m:.4e}", f"{t_c / t_m:.2f}x"),
+            ("CombBLAS-style", f"{t_c:.4e}", "1.00x"),
+        ],
+    )
+    assert t_m < t_c

@@ -1,0 +1,72 @@
+"""Table 2: structural properties of the real-world graphs.
+
+Regenerates the paper's graph-property table for the synthetic stand-ins and
+prints the original SNAP numbers alongside, so the preserved *relative*
+structure (directedness, density ordering, diameter regime) is auditable.
+"""
+
+from repro.graphs import snap_standin
+from repro.graphs.realworld import SNAP_STANDINS
+
+OFFSETS = {"frd": -5, "ork": -4, "ljm": -4, "cit": -3}
+
+
+def build_rows():
+    rows = []
+    for gid, spec in SNAP_STANDINS.items():
+        g = snap_standin(gid, scale_offset=OFFSETS[gid], seed=0)
+        d = g.diameter_hops()
+        deff = g.effective_diameter()
+        rows.append(
+            (
+                gid,
+                spec.title,
+                "directed" if g.directed else "undirected",
+                g.n,
+                g.m,
+                # density = adjacency nonzeros per vertex (counts both
+                # orientations for undirected graphs, like the paper's m)
+                round(g.nnz_adjacency / g.n, 1),
+                d,
+                round(deff, 1),
+                f"{spec.paper_n:.2g}",
+                f"{spec.paper_m:.2g}",
+                spec.paper_d,
+                spec.paper_deff,
+            )
+        )
+    return rows
+
+
+def test_table2(benchmark, save_table):
+    rows = benchmark.pedantic(build_rows, rounds=1, iterations=1)
+    save_table(
+        "table2_graph_stats",
+        "Table 2 reproduction: stand-in graph properties "
+        "(paper's originals on the right)",
+        [
+            "ID",
+            "name",
+            "directed?",
+            "n",
+            "m",
+            "nnz(A)/n",
+            "d",
+            "d90%",
+            "paper n",
+            "paper m",
+            "paper d",
+            "paper d90%",
+        ],
+        rows,
+    )
+    props = {r[0]: r for r in rows}
+    # directedness matches Table 2
+    assert props["frd"][2] == "undirected" and props["ork"][2] == "undirected"
+    assert props["ljm"][2] == "directed" and props["cit"][2] == "directed"
+    # density ordering: ork > ljm > cit by adjacency nonzeros per vertex
+    dens = {gid: props[gid][5] for gid in props}
+    assert dens["ork"] > dens["ljm"] > dens["cit"]
+    # diameter regime: patents largest, social nets small (as in Table 2)
+    assert props["cit"][6] > props["ork"][6]
+    assert props["cit"][6] > props["ljm"][6]

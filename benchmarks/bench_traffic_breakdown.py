@@ -1,0 +1,58 @@
+"""Supplementary: where do the words go? (per-category traffic volumes).
+
+The paper's §7.4 observes that communication "is dominated by collective
+communication routines" and speculates that "persistence of layout ...
+would further reduce communication costs".  The simulator tags every charge
+with its operation category, so we can decompose each code's total traffic
+into broadcast/reduce/redistribute/replicate/input/gather shares — showing
+(a) that collectives dominate for both codes, and (b) how much of MFBC's
+traffic is layout management (the paper's future-work target).
+"""
+
+from repro.baselines import combblas_bc
+from repro.core import mfbc
+from repro.dist import DistributedEngine
+from repro.graphs import snap_standin
+from repro.machine import Machine
+from repro.spgemm import Square2DPolicy
+
+P = 16
+BATCH = 64
+CATEGORIES = ["bcast", "reduce", "replicate", "redistribute", "input", "gather"]
+
+
+def build_rows():
+    g = snap_standin("ork", scale_offset=-4, seed=0)
+    rows = []
+    shares = {}
+    for code, policy, runner in [
+        ("CTF-MFBC", None, mfbc),
+        ("CombBLAS-style", Square2DPolicy(), combblas_bc),
+    ]:
+        machine = Machine(P)
+        eng = DistributedEngine(machine, policy)
+        runner(g, batch_size=BATCH, max_batches=1, engine=eng)
+        bd = machine.ledger.traffic_breakdown()
+        total = sum(bd.values())
+        shares[code] = {c: bd.get(c, 0.0) / total for c in CATEGORIES}
+        rows.append(
+            [code, f"{total * 8 / 1e6:.2f}"]
+            + [f"{shares[code][c] * 100:.1f}%" for c in CATEGORIES]
+        )
+    return rows, shares
+
+
+def test_traffic_breakdown(benchmark, save_table):
+    rows, shares = benchmark.pedantic(build_rows, rounds=1, iterations=1)
+    save_table(
+        "traffic_breakdown",
+        f"Supplementary §7.4: total traffic volume by operation category "
+        f"(ork stand-in, p={P}, one batch)",
+        ["code", "total MB"] + CATEGORIES,
+        rows,
+    )
+    for code, s in shares.items():
+        # §7.4: collective classes dominate over layout management
+        collective = s["bcast"] + s["reduce"] + s["replicate"]
+        assert collective + s["redistribute"] > 0.5, code
+        assert abs(sum(s.values()) - 1.0) < 0.05, code

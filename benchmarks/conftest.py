@@ -1,0 +1,49 @@
+"""Shared infrastructure for the figure/table reproduction benches.
+
+Every bench regenerates one artifact of the paper's evaluation (§7): it
+prints the reproduced rows/series to stdout and writes them under
+``benchmarks/results/`` so EXPERIMENTS.md can reference stable outputs.
+
+Scale note: the paper ran up to 128 Blue Waters nodes on graphs up to 1.8B
+edges; the benches run the same *experiment designs* on the scaled-down
+stand-ins (see DESIGN.md) with processor counts priced by the hybrid
+performance model (the Theorem-5.1 per-product cost aggregation) or, for
+Table 3, the full simulator ledger.
+"""
+
+from __future__ import annotations
+
+import os
+from pathlib import Path
+
+import pytest
+
+from repro.analysis.report import format_table
+
+RESULTS_DIR = Path(__file__).parent / "results"
+
+#: processor counts matching the paper's strong-scaling x-axis (Figures 1-2)
+PAPER_NODE_COUNTS = [2, 8, 32, 128]
+
+
+@pytest.fixture(scope="session")
+def results_dir() -> Path:
+    RESULTS_DIR.mkdir(exist_ok=True)
+    return RESULTS_DIR
+
+
+@pytest.fixture(scope="session")
+def save_table(results_dir):
+    """Print a reproduced table and persist it under benchmarks/results/."""
+
+    def _save(name: str, title: str, headers, rows) -> str:
+        text = f"{title}\n\n" + format_table(headers, rows) + "\n"
+        (results_dir / f"{name}.txt").write_text(text)
+        print(f"\n{text}")
+        return text
+
+    return _save
+
+
+def pytest_report_header(config):
+    return "MFBC paper-reproduction benches (results in benchmarks/results/)"

@@ -1,0 +1,50 @@
+#!/usr/bin/env python
+"""Quickstart: betweenness centrality with MFBC in a dozen lines.
+
+Generates an R-MAT social-network-like graph, computes exact betweenness
+centrality with the sequential MFBC engine, validates it against the
+classic Brandes algorithm, and prints the most central vertices.
+
+Run:  python examples/quickstart.py [--scale N]
+"""
+
+import argparse
+
+import numpy as np
+
+from repro import betweenness_centrality, brandes_bc, mfbc, rmat_graph
+
+
+def main() -> None:
+    parser = argparse.ArgumentParser(description=__doc__)
+    parser.add_argument("--scale", type=int, default=9, help="log2 vertex count")
+    parser.add_argument("--degree", type=int, default=8, help="average degree")
+    args = parser.parse_args()
+
+    g = rmat_graph(scale=args.scale, avg_degree=args.degree, seed=42)
+    print(f"graph: {g}")
+
+    result = mfbc(g)
+    print(
+        f"MFBC: {result.stats.summary()['matmuls']} generalized matmuls, "
+        f"{result.elapsed_seconds:.2f}s, "
+        f"{result.teps(g) / 1e6:.1f} MTEPS"
+    )
+
+    # the convenience API returns networkx-compatible normalized scores
+    normalized = betweenness_centrality(g, normalized=True)
+    top = np.argsort(result.scores)[::-1][:5]
+    print("top-5 central vertices (vertex: raw λ, normalized):")
+    for v in top:
+        print(f"  {v}: {result.scores[v]:.1f}, {normalized[v]:.5f}")
+
+    # sanity: agree with the textbook Brandes algorithm on a source sample
+    sample = np.arange(0, g.n, max(g.n // 64, 1))
+    ours = mfbc(g, sources=sample).scores
+    ref = brandes_bc(g, sources=sample)
+    assert np.allclose(ours, ref, atol=1e-6), "MFBC disagrees with Brandes!"
+    print(f"validated against Brandes on {len(sample)} sources ✓")
+
+
+if __name__ == "__main__":
+    main()

@@ -1,0 +1,91 @@
+#!/usr/bin/env python
+"""Weighted-graph centrality: a transportation-network contingency study.
+
+The paper's headline generality claim: MFBC handles *weighted* graphs, which
+BFS-based algebraic BC codes (CombBLAS) cannot.  This example builds a
+synthetic road network — a planar-ish grid with random travel times —
+computes weighted betweenness centrality, and runs a contingency analysis
+(remove the most central junction, recompute, measure how centrality
+redistributes), the power-grid/transportation use case the paper cites
+([24]: betweenness for power grid contingency analysis).
+
+Run:  python examples/weighted_transport_network.py [--side 14]
+"""
+
+import argparse
+
+import numpy as np
+
+from repro import Graph, mfbc
+from repro.analysis import format_table
+from repro.baselines import combblas_bc
+
+
+def grid_road_network(side: int, seed: int = 3) -> Graph:
+    """A side×side grid with a few diagonal shortcuts and travel-time weights."""
+    rng = np.random.default_rng(seed)
+    src, dst = [], []
+    vid = lambda r, c: r * side + c
+    for r in range(side):
+        for c in range(side):
+            if c + 1 < side:
+                src.append(vid(r, c)), dst.append(vid(r, c + 1))
+            if r + 1 < side:
+                src.append(vid(r, c)), dst.append(vid(r + 1, c))
+    # a handful of express shortcuts
+    for _ in range(side):
+        a, b = rng.integers(0, side * side, 2)
+        if a != b:
+            src.append(a), dst.append(b)
+    w = rng.integers(1, 10, len(src)).astype(float)
+    return Graph(side * side, np.array(src), np.array(dst), w, name="roads")
+
+
+def main() -> None:
+    parser = argparse.ArgumentParser(description=__doc__)
+    parser.add_argument("--side", type=int, default=12, help="grid side length")
+    args = parser.parse_args()
+
+    g = grid_road_network(args.side)
+    print(f"road network: {g}")
+
+    # CombBLAS-style BC refuses weighted graphs — MFBC's differentiator.
+    try:
+        combblas_bc(g)
+    except ValueError as exc:
+        print(f"CombBLAS-style baseline: rejected as expected ({exc})")
+
+    base = mfbc(g)
+    top = int(np.argmax(base.scores))
+    print(
+        f"\nmost critical junction: vertex {top} "
+        f"(λ = {base.scores[top]:.0f}, row {top // args.side}, col {top % args.side})"
+    )
+
+    # contingency: close that junction and recompute
+    keep = (g.src != top) & (g.dst != top)
+    g2 = Graph(g.n, g.src[keep], g.dst[keep], g.weight[keep], name="roads-closed")
+    after = mfbc(g2)
+
+    # where does the load move?
+    delta = after.scores - base.scores
+    gainers = np.argsort(delta)[::-1][:5]
+    rows = [
+        (int(v), f"{base.scores[v]:.0f}", f"{after.scores[v]:.0f}", f"{delta[v]:+.0f}")
+        for v in gainers
+    ]
+    print("\njunctions absorbing the diverted shortest paths:")
+    print(format_table(["vertex", "λ before", "λ after", "Δ"], rows))
+
+    unreachable = int(np.isinf(base.scores).sum())
+    print(
+        f"\nweighted MFBC iterations per batch reflect the weighted-frontier "
+        f"churn the paper discusses (§7.2): "
+        f"{base.stats.batches[0].mfbf_iterations} Bellman-Ford rounds vs "
+        f"hop diameter {g.diameter_hops()}"
+    )
+    assert unreachable == 0
+
+
+if __name__ == "__main__":
+    main()

@@ -1,0 +1,148 @@
+"""repro — Maximal Frontier Betweenness Centrality (MFBC).
+
+A production-quality reproduction of *"Scaling Betweenness Centrality using
+Communication-Efficient Sparse Matrix Multiplication"* (Solomonik, Besta,
+Vella, Hoefler — SC'17): the monoid-based MFBC algorithm, a mini-CTF
+distributed sparse-matrix substrate with the full §5.2 SpGEMM algorithm
+space and model-driven selection, a simulated α-β distributed machine, and
+the paper's baselines (Brandes, CombBLAS-style BC, APSP).
+
+Quickstart
+----------
+>>> from repro import rmat_graph, betweenness_centrality
+>>> g = rmat_graph(scale=10, avg_degree=8, seed=0)
+>>> scores = betweenness_centrality(g)
+
+Distributed (simulated) execution:
+
+>>> from repro import Machine, DistributedEngine, mfbc
+>>> machine = Machine(p=16)
+>>> result = mfbc(g, engine=DistributedEngine(machine))
+>>> machine.ledger.snapshot()          # critical-path words/messages/time
+"""
+
+from repro.algebra import (
+    CENTPATH,
+    MULTPATH,
+    REAL_PLUS_TIMES,
+    TROPICAL,
+    MatMulSpec,
+    Monoid,
+    Semiring,
+    bellman_ford_action,
+    brandes_action,
+)
+from repro.analysis import (
+    edge_weak_scaling,
+    model_run,
+    mteps,
+    mteps_per_node,
+    strong_scaling,
+    vertex_weak_scaling,
+)
+from repro.baselines import brandes_bc, combblas_bc
+from repro.apps import (
+    bfs_levels,
+    connected_components,
+    sssp_distances,
+    triangle_count,
+)
+from repro.core import (
+    MFBCResult,
+    SequentialEngine,
+    adaptive_vertex_bc,
+    approximate_bc,
+    betweenness_centrality,
+    ca_mfbc,
+    edge_betweenness_centrality,
+    mfbc,
+    mfbf,
+    mfbr,
+)
+from repro.dist import DistMat, DistributedEngine
+from repro.graphs import (
+    Graph,
+    read_edgelist,
+    rmat_graph,
+    snap_standin,
+    uniform_random_graph,
+    uniform_random_graph_nm,
+    with_random_weights,
+    write_edgelist,
+)
+from repro.machine import CostParams, Grid, Machine
+from repro.sparse import SpMat, spgemm
+from repro.tensor import SpTensor, contract
+from repro.spgemm import (
+    AutoPolicy,
+    PinnedPolicy,
+    Plan,
+    Square2DPolicy,
+)
+
+__version__ = "1.0.0"
+
+__all__ = [
+    # algebra
+    "Monoid",
+    "Semiring",
+    "MatMulSpec",
+    "MULTPATH",
+    "CENTPATH",
+    "TROPICAL",
+    "REAL_PLUS_TIMES",
+    "bellman_ford_action",
+    "brandes_action",
+    # sparse / tensor
+    "SpMat",
+    "spgemm",
+    "SpTensor",
+    "contract",
+    # core
+    "mfbc",
+    "mfbf",
+    "mfbr",
+    "betweenness_centrality",
+    "edge_betweenness_centrality",
+    "approximate_bc",
+    "adaptive_vertex_bc",
+    "ca_mfbc",
+    "MFBCResult",
+    "SequentialEngine",
+    # apps
+    "bfs_levels",
+    "sssp_distances",
+    "connected_components",
+    "triangle_count",
+    # machine / dist
+    "Machine",
+    "CostParams",
+    "Grid",
+    "DistMat",
+    "DistributedEngine",
+    # spgemm plans
+    "Plan",
+    "AutoPolicy",
+    "PinnedPolicy",
+    "Square2DPolicy",
+    # graphs
+    "Graph",
+    "rmat_graph",
+    "uniform_random_graph",
+    "uniform_random_graph_nm",
+    "snap_standin",
+    "with_random_weights",
+    "read_edgelist",
+    "write_edgelist",
+    # baselines
+    "brandes_bc",
+    "combblas_bc",
+    # analysis
+    "mteps",
+    "mteps_per_node",
+    "model_run",
+    "strong_scaling",
+    "edge_weak_scaling",
+    "vertex_weak_scaling",
+    "__version__",
+]

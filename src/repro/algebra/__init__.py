@@ -1,0 +1,68 @@
+"""Algebraic structures used by MFBC.
+
+The paper formulates MFBC via commutative *monoids* rather than semirings
+(§3): a generalized matrix multiplication ``C = A •⟨⊕,f⟩ B`` combines an
+arbitrary elementwise map ``f : D_A × D_B → D_C`` with a commutative monoid
+``(D_C, ⊕)``.  This package provides:
+
+* :class:`~repro.algebra.monoid.Monoid` — commutative monoid over
+  "field arrays" (dicts of named numpy columns), with a vectorized
+  reduce-by-key used by every sparse-matmul kernel;
+* the tropical / plus / min monoids used by baselines;
+* the **multpath** monoid (§4.1.1) carrying (weight, multiplicity);
+* the **centpath** monoid (§4.2.1) carrying (weight, partial centrality,
+  counter);
+* the Bellman-Ford and Brandes monoid *actions* (§4.1.2, §4.2.2);
+* :class:`~repro.algebra.matmul.MatMulSpec` — the ``•⟨⊕,f⟩`` operator
+  specification consumed by local and distributed SpGEMM kernels.
+"""
+
+from repro.algebra.fields import (
+    concat_fields,
+    empty_fields,
+    fields_length,
+    full_fields,
+    take_fields,
+)
+from repro.algebra.monoid import (
+    MinWeightTieSumMonoid,
+    Monoid,
+    PlusMonoid,
+    MinMonoid,
+    MaxMonoid,
+)
+from repro.algebra.multpath import MULTPATH, MultpathMonoid, bellman_ford_action
+from repro.algebra.centpath import CENTPATH, CentpathMonoid, brandes_action
+from repro.algebra.laws import (
+    MonoidLawError,
+    check_action_compatibility,
+    check_monoid_laws,
+)
+from repro.algebra.matmul import MatMulSpec
+from repro.algebra.semiring import Semiring, TROPICAL, REAL_PLUS_TIMES
+
+__all__ = [
+    "concat_fields",
+    "empty_fields",
+    "fields_length",
+    "full_fields",
+    "take_fields",
+    "Monoid",
+    "PlusMonoid",
+    "MinMonoid",
+    "MaxMonoid",
+    "MinWeightTieSumMonoid",
+    "MultpathMonoid",
+    "MULTPATH",
+    "bellman_ford_action",
+    "CentpathMonoid",
+    "CENTPATH",
+    "brandes_action",
+    "MatMulSpec",
+    "Semiring",
+    "TROPICAL",
+    "REAL_PLUS_TIMES",
+    "check_monoid_laws",
+    "check_action_compatibility",
+    "MonoidLawError",
+]

@@ -1,0 +1,69 @@
+"""The centpath monoid and the Brandes action (§4.2).
+
+A *centpath* ``x = (x.w, x.p, x.c)`` carries a path weight ``x.w``, a partial
+centrality factor ``x.p`` (the paper's ζ contributions), and a counter
+``x.c`` tracking how many shortest-path-DAG successors of a vertex have not
+yet propagated their finalized score.  The operator ``⊗`` keeps the
+*heavier* element and sums ``p`` and ``c`` on ties:
+
+    x ⊗ y = x                             if x.w > y.w
+          = y                             if x.w < y.w
+          = (x.w, x.p + y.p, x.c + y.c)   if x.w = y.w
+
+Max-weight selection is what discards invalid back-propagated contributions:
+a candidate reaching vertex ``v`` carries weight ``τ(s,u) − A(v,u)`` which by
+the triangle inequality is ≤ τ(s,v), with equality exactly when ``v`` lies on
+a shortest path to ``u``.
+
+The *monoid identity* is ``(−∞, 0, 0)`` (the element losing every max-weight
+comparison).  The paper writes the empty marker as ``(∞, 0, 0)``; under the
+published ``⊗`` table that element would be absorbing rather than neutral, so
+the sparse implementations here use ``(−∞, 0, 0)`` as the unstored value —
+the algorithms are unaffected because markers only ever denote "no entry".
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.algebra.fields import FieldArray
+from repro.algebra.monoid import MinWeightTieSumMonoid
+
+__all__ = ["CentpathMonoid", "CENTPATH", "brandes_action"]
+
+
+class CentpathMonoid(MinWeightTieSumMonoid):
+    """``(C, ⊗)`` with ``C = W × R × Z``: max-weight selection, tie-sum of p, c."""
+
+    def __init__(self) -> None:
+        super().__init__(
+            field_spec=[("w", np.float64), ("p", np.float64), ("c", np.int64)],
+            identity={"w": -np.inf, "p": 0.0, "c": 0},
+            weight_field="w",
+            select="max",
+        )
+
+    def make(self, w, p, c) -> FieldArray:
+        """Build a centpath field array from weight/score/counter columns."""
+        return {
+            "w": np.asarray(w, dtype=np.float64),
+            "p": np.asarray(p, dtype=np.float64),
+            "c": np.asarray(c, dtype=np.int64),
+        }
+
+
+#: Module-level singleton; the monoid is stateless.
+CENTPATH = CentpathMonoid()
+
+
+def brandes_action(a: FieldArray, b: FieldArray) -> FieldArray:
+    """The Brandes action ``g : C × W → C`` (§4.2.2).
+
+    ``g((w, p, c), e) = (w − e, p, c)`` — back-propagate a centrality
+    contribution across an edge of weight ``e``: a successor at distance
+    ``w`` reaches its predecessor candidates at distance ``w − e``.
+
+    ``a`` holds centpath columns (``w``, ``p``, ``c``); ``b`` the edge-weight
+    column (``w``).
+    """
+    return {"w": a["w"] - b["w"], "p": a["p"], "c": a["c"]}

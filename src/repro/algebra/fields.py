@@ -1,0 +1,80 @@
+"""Field arrays: columnar storage for algebraic matrix elements.
+
+A *field array* is a ``dict[str, numpy.ndarray]`` where every column has the
+same length.  Matrix elements drawn from a monoid's carrier set (multpaths,
+centpaths, plain weights) are stored this way instead of as numpy structured
+arrays because columnar layout lets the reduction kernels use contiguous
+vectorized primitives (``reduceat``, ``bincount``) that structured dtypes do
+not support.
+"""
+
+from __future__ import annotations
+
+from typing import Mapping, Sequence
+
+import numpy as np
+
+FieldArray = dict[str, np.ndarray]
+
+__all__ = [
+    "FieldArray",
+    "fields_length",
+    "empty_fields",
+    "full_fields",
+    "take_fields",
+    "concat_fields",
+    "validate_fields",
+]
+
+
+def fields_length(vals: Mapping[str, np.ndarray]) -> int:
+    """Common length of all columns in a field array (0 if no columns)."""
+    lengths = {len(col) for col in vals.values()}
+    if not lengths:
+        return 0
+    if len(lengths) != 1:
+        raise ValueError(f"ragged field array: column lengths {sorted(lengths)}")
+    return lengths.pop()
+
+
+def empty_fields(field_spec: Sequence[tuple[str, np.dtype]]) -> FieldArray:
+    """A zero-length field array matching ``field_spec``."""
+    return {name: np.empty(0, dtype=dtype) for name, dtype in field_spec}
+
+
+def full_fields(
+    field_spec: Sequence[tuple[str, np.dtype]],
+    length: int,
+    values: Mapping[str, object],
+) -> FieldArray:
+    """A field array of ``length`` copies of the scalar element ``values``."""
+    return {
+        name: np.full(length, values[name], dtype=dtype) for name, dtype in field_spec
+    }
+
+
+def take_fields(vals: Mapping[str, np.ndarray], index: np.ndarray) -> FieldArray:
+    """Gather rows ``index`` from every column."""
+    return {name: col[index] for name, col in vals.items()}
+
+
+def concat_fields(parts: Sequence[Mapping[str, np.ndarray]]) -> FieldArray:
+    """Concatenate field arrays row-wise.  All parts must share columns."""
+    parts = [p for p in parts if fields_length(p) > 0] or list(parts[:1])
+    if not parts:
+        raise ValueError("cannot concatenate zero field arrays with unknown schema")
+    names = list(parts[0].keys())
+    for p in parts[1:]:
+        if list(p.keys()) != names:
+            raise ValueError(f"schema mismatch: {list(p.keys())} vs {names}")
+    return {name: np.concatenate([p[name] for p in parts]) for name in names}
+
+
+def validate_fields(
+    vals: Mapping[str, np.ndarray], field_spec: Sequence[tuple[str, np.dtype]]
+) -> None:
+    """Check that ``vals`` has exactly the columns in ``field_spec``."""
+    expected = [name for name, _ in field_spec]
+    if sorted(vals.keys()) != sorted(expected):
+        raise ValueError(f"expected fields {expected}, got {sorted(vals.keys())}")
+    fields_length(vals)

@@ -1,0 +1,129 @@
+"""Algebraic-law checking for user-defined monoids and actions.
+
+Everything in this library assumes its monoids are lawful — commutative,
+associative, with a neutral identity — and that actions distribute over the
+monoid the way §4's proofs require.  When you define a *new* monoid for a
+new graph algorithm (the extensibility path the paper's conclusion invites),
+run it through :func:`check_monoid_laws` first: a silently unlawful ⊕ breaks
+reductions in data-dependent, hard-to-debug ways (results change with block
+sizes and processor counts because reduction *order* changes).
+"""
+
+from __future__ import annotations
+
+from typing import Callable, Sequence
+
+import numpy as np
+
+from repro.algebra.fields import FieldArray
+from repro.algebra.monoid import Monoid
+
+__all__ = ["MonoidLawError", "check_monoid_laws", "check_action_compatibility"]
+
+
+class MonoidLawError(AssertionError):
+    """A monoid law failed on a concrete counterexample."""
+
+
+def _scalar(sample: dict) -> FieldArray:
+    return {k: np.asarray([v]) for k, v in sample.items()}
+
+
+def _tup(vals: FieldArray) -> tuple:
+    return tuple(np.asarray(vals[k])[0] for k in sorted(vals))
+
+
+def check_monoid_laws(
+    monoid: Monoid,
+    samples: Sequence[dict],
+    *,
+    check_reduction: bool = True,
+) -> None:
+    """Verify identity, commutativity, and associativity on ``samples``.
+
+    Raises :class:`MonoidLawError` with the concrete counterexample.  With
+    ``check_reduction`` (default), also verifies that the monoid's
+    (possibly vectorized) ``reduce_by_key`` agrees with a left fold of
+    ``combine`` on random permutations of the samples.
+    """
+    if not samples:
+        raise ValueError("need at least one sample element")
+    ident = _scalar(dict(monoid.identity))
+    for a in samples:
+        av = _scalar(a)
+        if _tup(monoid.combine(av, ident)) != _tup(av):
+            raise MonoidLawError(f"identity law failed: {a} ⊕ e != {a}")
+        if _tup(monoid.combine(ident, av)) != _tup(av):
+            raise MonoidLawError(f"identity law failed: e ⊕ {a} != {a}")
+        for b in samples:
+            bv = _scalar(b)
+            ab = _tup(monoid.combine(av, bv))
+            ba = _tup(monoid.combine(bv, av))
+            if ab != ba:
+                raise MonoidLawError(
+                    f"commutativity failed: {a} ⊕ {b} = {ab} but "
+                    f"{b} ⊕ {a} = {ba}"
+                )
+            for c in samples:
+                cv = _scalar(c)
+                left = _tup(monoid.combine(monoid.combine(av, bv), cv))
+                right = _tup(monoid.combine(av, monoid.combine(bv, cv)))
+                if left != right:
+                    raise MonoidLawError(
+                        f"associativity failed on ({a}, {b}, {c}): "
+                        f"{left} != {right}"
+                    )
+
+    if check_reduction:
+        rng = np.random.default_rng(0)
+        for trial in range(5):
+            order = rng.permutation(len(samples))
+            keys = np.zeros(len(samples), dtype=np.int64)
+            vals = {
+                name: np.asarray(
+                    [samples[i][name] for i in order], dtype=dtype
+                )
+                for name, dtype in monoid.field_spec
+            }
+            _, reduced = monoid.reduce_by_key(
+                keys, {k: v.copy() for k, v in vals.items()}
+            )
+            acc = _scalar(samples[order[0]])
+            for i in order[1:]:
+                acc = monoid.combine(acc, _scalar(samples[i]))
+            got = _tup(reduced) if len(reduced[monoid.field_names[0]]) else _tup(
+                _scalar(dict(monoid.identity))
+            )
+            if got != _tup(acc):
+                raise MonoidLawError(
+                    f"reduce_by_key disagrees with sequential fold "
+                    f"(permutation trial {trial}): {got} != {_tup(acc)}"
+                )
+
+
+def check_action_compatibility(
+    action: Callable[[FieldArray, FieldArray], FieldArray],
+    monoid_samples: Sequence[dict],
+    weight_samples: Sequence[float],
+    *,
+    weight_field: str = "w",
+) -> None:
+    """Verify the (W, +) action law ``f(f(x, w1), w2) == f(x, w1 + w2)``.
+
+    This is the property that makes §4's edge relaxations composable (a
+    two-edge relaxation equals one relaxation by the combined weight).
+    """
+    for x in monoid_samples:
+        xv = _scalar(x)
+        for w1 in weight_samples:
+            for w2 in weight_samples:
+                lhs = action(
+                    action(xv, {weight_field: np.asarray([w1])}),
+                    {weight_field: np.asarray([w2])},
+                )
+                rhs = action(xv, {weight_field: np.asarray([w1 + w2])})
+                if _tup(lhs) != _tup(rhs):
+                    raise MonoidLawError(
+                        f"action law failed on x={x}, w1={w1}, w2={w2}: "
+                        f"{_tup(lhs)} != {_tup(rhs)}"
+                    )

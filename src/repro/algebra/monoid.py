@@ -1,0 +1,296 @@
+"""Commutative monoids over field arrays.
+
+A :class:`Monoid` supplies the ``⊕`` operator of the generalized matrix
+multiplication ``C = A •⟨⊕,f⟩ B`` (§3 of the paper).  Two operations are
+required of every monoid:
+
+* ``combine(a, b)`` — elementwise ``a ⊕ b`` on two equal-length field arrays
+  (used for the elementwise matrix accumulations ``T ⊕ T̃`` and ``Z ⊗ Z̃``);
+* ``reduce_by_key(keys, vals)`` — group the rows of ``vals`` by integer key
+  and fold each group with ``⊕`` (the inner reduction of a sparse matmul).
+
+The base class implements ``reduce_by_key`` by sorting and folding with
+``combine`` in vectorized halving rounds, so any monoid defined purely by
+``combine`` works out of the box.  Subclasses with more structure
+(:class:`PlusMonoid`, :class:`MinMonoid`, :class:`MinWeightTieSumMonoid`)
+override it with single-pass ``reduceat`` kernels.
+"""
+
+from __future__ import annotations
+
+from typing import Mapping, Sequence
+
+import numpy as np
+
+from repro.algebra.fields import FieldArray, empty_fields, take_fields
+
+__all__ = [
+    "Monoid",
+    "PlusMonoid",
+    "MinMonoid",
+    "MaxMonoid",
+    "MinWeightTieSumMonoid",
+]
+
+
+class Monoid:
+    """A commutative monoid ``(S, ⊕)`` over columnar elements.
+
+    Parameters
+    ----------
+    field_spec:
+        Sequence of ``(name, dtype)`` pairs describing the carrier set's
+        columnar representation.
+    identity:
+        Mapping of field name to the identity element's value for that field.
+        The identity doubles as the implicit value of unstored sparse-matrix
+        entries.
+    """
+
+    def __init__(
+        self,
+        field_spec: Sequence[tuple[str, object]],
+        identity: Mapping[str, object],
+    ) -> None:
+        self.field_spec: tuple[tuple[str, np.dtype], ...] = tuple(
+            (name, np.dtype(dt)) for name, dt in field_spec
+        )
+        names = [name for name, _ in self.field_spec]
+        if sorted(identity.keys()) != sorted(names):
+            raise ValueError(
+                f"identity must define exactly fields {names}, got {sorted(identity)}"
+            )
+        self.identity: dict[str, object] = dict(identity)
+
+    # -- required elementwise operator ------------------------------------
+
+    def combine(self, a: FieldArray, b: FieldArray) -> FieldArray:
+        """Elementwise ``a ⊕ b``.  Must be overridden."""
+        raise NotImplementedError
+
+    # -- helpers -----------------------------------------------------------
+
+    @property
+    def field_names(self) -> tuple[str, ...]:
+        return tuple(name for name, _ in self.field_spec)
+
+    def empty(self) -> FieldArray:
+        """A zero-length field array with this monoid's schema."""
+        return empty_fields(self.field_spec)
+
+    def identity_array(self, length: int) -> FieldArray:
+        """``length`` copies of the identity element."""
+        return {
+            name: np.full(length, self.identity[name], dtype=dtype)
+            for name, dtype in self.field_spec
+        }
+
+    def is_identity(self, vals: FieldArray) -> np.ndarray:
+        """Boolean mask of rows equal to the identity element.
+
+        Identity rows are the "zeros" of a sparse matrix over this monoid
+        and may be dropped from storage.  NaN-free fields compare with
+        ``==``; infinities compare correctly under IEEE semantics.
+        """
+        masks = [
+            vals[name] == np.asarray(self.identity[name], dtype=dtype)
+            for name, dtype in self.field_spec
+        ]
+        out = masks[0]
+        for m in masks[1:]:
+            out = out & m
+        return out
+
+    def equal(self, a: FieldArray, b: FieldArray) -> np.ndarray:
+        """Elementwise equality of two field arrays (all fields must match)."""
+        masks = [a[name] == b[name] for name, _ in self.field_spec]
+        out = masks[0]
+        for m in masks[1:]:
+            out = out & m
+        return out
+
+    # -- reduction ---------------------------------------------------------
+
+    def reduce_by_key(
+        self, keys: np.ndarray, vals: FieldArray
+    ) -> tuple[np.ndarray, FieldArray]:
+        """Fold rows sharing a key with ``⊕``.
+
+        Parameters
+        ----------
+        keys:
+            Integer array, one key per row of ``vals`` (need not be sorted).
+        vals:
+            Field array of elements to reduce.
+
+        Returns
+        -------
+        (unique_keys, reduced_vals):
+            ``unique_keys`` sorted ascending, ``reduced_vals`` aligned with it.
+        """
+        if len(keys) == 0:
+            return keys[:0], self.empty()
+        order = np.argsort(keys, kind="stable")
+        keys = keys[order]
+        vals = take_fields(vals, order)
+        return self._reduce_sorted(keys, vals)
+
+    def _reduce_sorted(
+        self, keys: np.ndarray, vals: FieldArray
+    ) -> tuple[np.ndarray, FieldArray]:
+        """Reduce presorted ``(keys, vals)``.  Generic log-depth pairwise fold.
+
+        Each round combines the element at an even position within its key
+        run with its right neighbour, halving every run; associativity and
+        commutativity make the pairing order irrelevant.  O(nnz) combines in
+        total, fully vectorized — correct for *any* monoid.
+        """
+        while len(keys):
+            _, starts = np.unique(keys, return_index=True)
+            if len(starts) == len(keys):
+                return keys, vals
+            seg_id = np.searchsorted(starts, np.arange(len(keys)), side="right") - 1
+            pos = np.arange(len(keys)) - starts[seg_id]
+            has_next = np.zeros(len(keys), dtype=bool)
+            has_next[:-1] = keys[1:] == keys[:-1]
+            left_idx = np.nonzero((pos % 2 == 0) & has_next)[0]
+            merged = self.combine(
+                take_fields(vals, left_idx), take_fields(vals, left_idx + 1)
+            )
+            vals = {name: np.asarray(col).copy() for name, col in vals.items()}
+            for name in self.field_names:
+                vals[name][left_idx] = merged[name]
+            keep = np.ones(len(keys), dtype=bool)
+            keep[left_idx + 1] = False
+            keys = keys[keep]
+            vals = take_fields(vals, keep.nonzero()[0])
+        return keys, vals
+
+    def __repr__(self) -> str:  # pragma: no cover - debugging aid
+        names = ",".join(self.field_names)
+        return f"{type(self).__name__}(fields=[{names}])"
+
+
+class PlusMonoid(Monoid):
+    """``(R, +)`` over a single numeric field (default field ``w``)."""
+
+    def __init__(self, field: str = "w", dtype: object = np.float64) -> None:
+        super().__init__([(field, dtype)], {field: 0})
+        self._field = field
+
+    def combine(self, a: FieldArray, b: FieldArray) -> FieldArray:
+        return {self._field: a[self._field] + b[self._field]}
+
+    def _reduce_sorted(self, keys, vals):
+        uniq, starts = np.unique(keys, return_index=True)
+        return uniq, {self._field: np.add.reduceat(vals[self._field], starts)}
+
+
+class MinMonoid(Monoid):
+    """``(W, min)`` over a single numeric field — the tropical additive monoid."""
+
+    def __init__(self, field: str = "w", dtype: object = np.float64) -> None:
+        super().__init__([(field, dtype)], {field: np.inf})
+        self._field = field
+
+    def combine(self, a: FieldArray, b: FieldArray) -> FieldArray:
+        return {self._field: np.minimum(a[self._field], b[self._field])}
+
+    def _reduce_sorted(self, keys, vals):
+        uniq, starts = np.unique(keys, return_index=True)
+        return uniq, {self._field: np.minimum.reduceat(vals[self._field], starts)}
+
+
+class MaxMonoid(Monoid):
+    """``(W ∪ {−∞}, max)`` over a single numeric field."""
+
+    def __init__(self, field: str = "w", dtype: object = np.float64) -> None:
+        super().__init__([(field, dtype)], {field: -np.inf})
+        self._field = field
+
+    def combine(self, a: FieldArray, b: FieldArray) -> FieldArray:
+        return {self._field: np.maximum(a[self._field], b[self._field])}
+
+    def _reduce_sorted(self, keys, vals):
+        uniq, starts = np.unique(keys, return_index=True)
+        return uniq, {self._field: np.maximum.reduceat(vals[self._field], starts)}
+
+
+class MinWeightTieSumMonoid(Monoid):
+    """The shared structure of the multpath and centpath monoids.
+
+    ``x ⊕ y`` keeps the element whose ``weight_field`` is better (smaller when
+    ``select="min"``, larger when ``select="max"``); on weight ties all
+    ``sum_fields`` are added.  Multpath (§4.1.1) is the ``select="min"``
+    instance over ``(w, m)``; centpath (§4.2.1) is the ``select="max"``
+    instance over ``(w, p, c)``.
+
+    The vectorized reduction sorts each key group by weight, finds the
+    best weight, and sums payload fields over the tied prefix — one pass,
+    no Python-level loops.
+    """
+
+    def __init__(
+        self,
+        field_spec: Sequence[tuple[str, object]],
+        identity: Mapping[str, object],
+        weight_field: str = "w",
+        select: str = "min",
+    ) -> None:
+        super().__init__(field_spec, identity)
+        if select not in ("min", "max"):
+            raise ValueError(f"select must be 'min' or 'max', got {select!r}")
+        if weight_field not in self.field_names:
+            raise ValueError(f"weight field {weight_field!r} not in {self.field_names}")
+        self.weight_field = weight_field
+        self.select = select
+        self.sum_fields = tuple(n for n in self.field_names if n != weight_field)
+
+    # -- elementwise -------------------------------------------------------
+
+    def combine(self, a: FieldArray, b: FieldArray) -> FieldArray:
+        wa, wb = a[self.weight_field], b[self.weight_field]
+        if self.select == "min":
+            a_wins = wa < wb
+            b_wins = wb < wa
+        else:
+            a_wins = wa > wb
+            b_wins = wb > wa
+        tie = ~(a_wins | b_wins)
+        out: FieldArray = {
+            self.weight_field: np.where(a_wins | tie, wa, wb),
+        }
+        for name in self.sum_fields:
+            # On ties both payloads are summed; ∞ ties between two identity
+            # elements sum identity payloads, preserving the identity law
+            # because identity payloads are zero.
+            merged = np.where(a_wins, a[name], b[name])
+            merged = np.where(tie, a[name] + b[name], merged)
+            dtype = dict(self.field_spec)[name]
+            out[name] = merged.astype(dtype, copy=False)
+        return out
+
+    # -- reduction ---------------------------------------------------------
+
+    def _reduce_sorted(self, keys, vals):
+        w = vals[self.weight_field]
+        # Re-sort within key groups by weight (best first).
+        w_order = w if self.select == "min" else -w
+        order = np.lexsort((w_order, keys))
+        keys = keys[order]
+        vals = take_fields(vals, order)
+        w = vals[self.weight_field]
+
+        uniq, starts = np.unique(keys, return_index=True)
+        best_w = w[starts]
+        # Broadcast each group's best weight to its members.
+        seg_id = np.searchsorted(starts, np.arange(len(keys)), side="right") - 1
+        tied = w == best_w[seg_id]
+
+        out: FieldArray = {self.weight_field: best_w}
+        for name in self.sum_fields:
+            col = np.where(tied, vals[name], 0)
+            out[name] = np.add.reduceat(col, starts).astype(
+                dict(self.field_spec)[name], copy=False
+            )
+        return uniq, out

@@ -1,0 +1,63 @@
+"""The multpath monoid and the Bellman-Ford action (§4.1).
+
+A *multpath* ``x = (x.w, x.m)`` models a weighted path with a multiplicity:
+``x.w`` is the path weight and ``x.m`` the number of distinct paths attaining
+that weight.  The monoid operator ``⊕`` keeps the lighter multpath and sums
+multiplicities on weight ties:
+
+    x ⊕ y = x                     if x.w < y.w
+          = y                     if x.w > y.w
+          = (x.w, x.m + y.m)      if x.w = y.w
+
+The identity (and the implicit value of unstored sparse entries) is
+``(∞, 0)`` — "no path".
+
+Multiplicities are stored as float64: shortest-path counts grow
+exponentially with graph size and would overflow int64 on graphs MFBC is
+meant for; float64 matches what production BC codes (including CombBLAS) do.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.algebra.fields import FieldArray
+from repro.algebra.monoid import MinWeightTieSumMonoid
+
+__all__ = ["MultpathMonoid", "MULTPATH", "bellman_ford_action"]
+
+
+class MultpathMonoid(MinWeightTieSumMonoid):
+    """``(M, ⊕)`` with ``M = W × N``: min-weight selection, tie-sum of counts."""
+
+    def __init__(self) -> None:
+        super().__init__(
+            field_spec=[("w", np.float64), ("m", np.float64)],
+            identity={"w": np.inf, "m": 0.0},
+            weight_field="w",
+            select="min",
+        )
+
+    def make(self, w, m) -> FieldArray:
+        """Build a multpath field array from weight/multiplicity columns."""
+        return {
+            "w": np.asarray(w, dtype=np.float64),
+            "m": np.asarray(m, dtype=np.float64),
+        }
+
+
+#: Module-level singleton; the monoid is stateless.
+MULTPATH = MultpathMonoid()
+
+
+def bellman_ford_action(a: FieldArray, b: FieldArray) -> FieldArray:
+    """The Bellman-Ford action ``f : M × W → M`` (§4.1.2).
+
+    ``f((w, m), e) = (w + e, m)`` — extend every path in the frontier entry
+    by one edge of weight ``e``; the number of such extended paths is
+    unchanged.  This is an action of the monoid ``(W, +)`` on the set ``M``.
+
+    ``a`` holds multpath columns (``w``, ``m``); ``b`` holds the edge-weight
+    column (``w``).
+    """
+    return {"w": a["w"] + b["w"], "m": a["m"]}

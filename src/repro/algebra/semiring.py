@@ -1,0 +1,55 @@
+"""Semirings, for the baseline algorithms expressed in classic GraphBLAS style.
+
+The paper's §2.2 defines a semiring ``(T, ⊕, ⊗)``; CombBLAS-style betweenness
+centrality and the textbook algebraic BFS/Bellman-Ford baselines use
+semirings where both operands share one carrier set.  A :class:`Semiring`
+here is a thin wrapper producing the equivalent :class:`MatMulSpec`, keeping
+one kernel implementation for everything.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Callable
+
+import numpy as np
+
+from repro.algebra.fields import FieldArray
+from repro.algebra.matmul import MatMulSpec
+from repro.algebra.monoid import MinMonoid, Monoid, PlusMonoid
+
+__all__ = ["Semiring", "TROPICAL", "REAL_PLUS_TIMES"]
+
+
+@dataclass(frozen=True)
+class Semiring:
+    """A semiring ``(T, ⊕, ⊗)`` over a single-field carrier set.
+
+    Attributes
+    ----------
+    add_monoid:
+        The commutative monoid ``(T, ⊕)``.
+    multiply:
+        Vectorized ``⊗`` on two equal-length columns.
+    name:
+        Label for diagnostics.
+    """
+
+    add_monoid: Monoid
+    multiply: Callable[[np.ndarray, np.ndarray], np.ndarray]
+    name: str = "semiring"
+
+    def matmul_spec(self, field: str = "w") -> MatMulSpec:
+        """The :class:`MatMulSpec` computing ``C = A •⟨⊕,⊗⟩ B``."""
+
+        def f(a: FieldArray, b: FieldArray) -> FieldArray:
+            return {field: self.multiply(a[field], b[field])}
+
+        return MatMulSpec(monoid=self.add_monoid, f=f, name=self.name)
+
+
+#: The tropical semiring (W, min, +): shortest-path relaxation (§2.3).
+TROPICAL = Semiring(add_monoid=MinMonoid(), multiply=np.add, name="tropical")
+
+#: The ordinary (R, +, ×) semiring: path counting / numeric SpGEMM.
+REAL_PLUS_TIMES = Semiring(add_monoid=PlusMonoid(), multiply=np.multiply, name="real")

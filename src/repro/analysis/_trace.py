@@ -1,0 +1,29 @@
+"""A recording engine: sequential execution that logs every product.
+
+Used to trace the CombBLAS-style baseline (whose result object only keeps
+aggregate counters) in the same per-product shape MFBC's stats use, so both
+algorithms can be priced by the same hybrid performance model.
+"""
+
+from __future__ import annotations
+
+from repro.core.engine import SequentialEngine
+from repro.core.stats import IterationStats
+
+__all__ = ["RecordingEngine"]
+
+
+class RecordingEngine(SequentialEngine):
+    """Sequential engine that appends an IterationStats per product."""
+
+    def __init__(self) -> None:
+        self.records: list[IterationStats] = []
+
+    def spgemm(self, a, b, spec):
+        mat, ops = super().spgemm(a, b, spec)
+        self.records.append(
+            IterationStats(
+                phase=spec.name, frontier_nnz=a.nnz, product_nnz=mat.nnz, ops=ops
+            )
+        )
+        return mat, ops

@@ -1,0 +1,53 @@
+"""Plain-text and markdown table rendering for benchmark reports."""
+
+from __future__ import annotations
+
+import os
+from typing import Sequence
+
+__all__ = ["format_table", "write_markdown_table"]
+
+
+def _fmt(v) -> str:
+    if isinstance(v, float):
+        if v == 0:
+            return "0"
+        if abs(v) >= 1e5 or abs(v) < 1e-3:
+            return f"{v:.3e}"
+        return f"{v:.4g}"
+    return str(v)
+
+
+def format_table(headers: Sequence[str], rows: Sequence[Sequence]) -> str:
+    """Aligned fixed-width table (the benches print these)."""
+    cells = [[_fmt(v) for v in row] for row in rows]
+    widths = [
+        max(len(h), *(len(r[i]) for r in cells)) if cells else len(h)
+        for i, h in enumerate(headers)
+    ]
+    def line(vals):
+        return "  ".join(v.rjust(w) for v, w in zip(vals, widths))
+
+    out = [line(headers), line(["-" * w for w in widths])]
+    out.extend(line(r) for r in cells)
+    return "\n".join(out)
+
+
+def write_markdown_table(
+    path: str | os.PathLike,
+    title: str,
+    headers: Sequence[str],
+    rows: Sequence[Sequence],
+    *,
+    append: bool = True,
+) -> None:
+    """Write a markdown table section (used to build EXPERIMENTS.md)."""
+    cells = [[_fmt(v) for v in row] for row in rows]
+    lines = [f"\n## {title}\n"]
+    lines.append("| " + " | ".join(headers) + " |")
+    lines.append("|" + "|".join("---" for _ in headers) + "|")
+    for r in cells:
+        lines.append("| " + " | ".join(r) + " |")
+    mode = "a" if append else "w"
+    with open(path, mode) as fh:
+        fh.write("\n".join(lines) + "\n")

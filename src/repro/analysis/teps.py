@@ -1,0 +1,37 @@
+"""TEPS: the paper's performance metric (§7.1).
+
+"The number of edge traversals scales with the size of the graph.  For
+betweenness centrality on a connected unweighted graph, each edge is
+traversed to consider shortest paths from every starting node" — so a BC run
+over ``n_sources`` sources on a graph with ``nnz(A)`` adjacency nonzeros
+performs ``n_sources · nnz(A)`` edge traversals.
+"""
+
+from __future__ import annotations
+
+from repro.graphs.graph import Graph
+
+__all__ = ["traversed_edges", "mteps", "mteps_per_node"]
+
+
+def traversed_edges(graph: Graph, n_sources: int | None = None) -> float:
+    """Edge traversals of a BC run over ``n_sources`` sources (default: all)."""
+    if n_sources is None:
+        n_sources = graph.n
+    return float(n_sources) * graph.nnz_adjacency
+
+
+def mteps(graph: Graph, seconds: float, n_sources: int | None = None) -> float:
+    """Millions of traversed edges per second."""
+    if seconds <= 0:
+        return 0.0
+    return traversed_edges(graph, n_sources) / seconds / 1e6
+
+
+def mteps_per_node(
+    graph: Graph, seconds: float, nodes: int, n_sources: int | None = None
+) -> float:
+    """MTEPS divided by node count — the y-axis of Figures 1 and 2."""
+    if nodes <= 0:
+        raise ValueError(f"nodes must be positive, got {nodes}")
+    return mteps(graph, seconds, n_sources) / nodes

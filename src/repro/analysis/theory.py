@@ -1,0 +1,84 @@
+"""Closed-form theory results from §5.3 — Theorem 5.1 and its discussion.
+
+These functions evaluate the paper's analytical claims so the theory bench
+can print the comparison tables (§5.3.2–§5.3.4): MFBC versus APSP bandwidth,
+the latency expression, memory footprints, and the strong-scaling range.
+All results are in model units (words, messages) — multiply by β/α to get
+seconds on a specific machine.
+"""
+
+from __future__ import annotations
+
+import math
+
+__all__ = [
+    "mfbc_bandwidth_words",
+    "mfbc_latency_messages",
+    "mfbc_memory_words",
+    "apsp_bandwidth_words",
+    "apsp_memory_words",
+    "strong_scaling_range",
+    "best_replication_factor",
+]
+
+
+def mfbc_bandwidth_words(n: float, m: float, p: float, c: float = 1.0) -> float:
+    """Theorem 5.1 bandwidth: ``W = O(n²/√(cp) + c·m/p)`` words.
+
+    (The ``n√m/p^{2/3}`` headline form is this expression at the optimal
+    ``c = p^{1/3}·n²/m``.)
+    """
+    return n * n / math.sqrt(c * p) + c * m / p
+
+
+def best_replication_factor(n: float, m: float, p: float) -> float:
+    """The c minimizing Theorem 5.1's bandwidth, clamped to [1, p].
+
+    Setting ``d/dc [n²/√(cp) + c·m/p] = 0`` gives
+    ``c* = (n²·√p / (2m))^{2/3}`` — the exact minimizer of the expression;
+    the paper quotes the asymptotically equivalent balance point
+    ``p^{1/3}·n²/m`` (equal up to constants when the two terms meet).
+    """
+    c = (n * n * math.sqrt(p) / (2.0 * m)) ** (2.0 / 3.0)
+    return min(max(c, 1.0), p)
+
+
+def mfbc_latency_messages(
+    n: float, m: float, p: float, c: float = 1.0, d: float | None = None
+) -> float:
+    """Theorem 5.1 latency: ``S = O(d·(n²/m)·√(p/c³)·log p)`` messages.
+
+    ``d`` is the graph diameter (defaults to the ``log n`` of low-diameter
+    graphs the paper targets).
+    """
+    if d is None:
+        d = max(math.log2(max(n, 2)), 1.0)
+    return d * (n * n / m) * math.sqrt(p / c**3) * max(math.log2(max(p, 2)), 1.0)
+
+
+def mfbc_memory_words(n: float, m: float, p: float, c: float = 1.0) -> float:
+    """MFBC per-processor memory: ``M = O(c·m/p)`` words (§5.3)."""
+    return c * m / p
+
+
+def apsp_bandwidth_words(n: float, p: float, c: float = 1.0) -> float:
+    """Best-known APSP bandwidth (Tiskin path doubling, §5.3.2):
+    ``O(n²/√(cp))`` words using ``O(c·n²/p)`` memory, c ∈ [1, p^{1/3}]."""
+    return n * n / math.sqrt(c * p)
+
+
+def apsp_memory_words(n: float, p: float, c: float = 1.0) -> float:
+    """APSP per-processor memory: ``Ω(c·n²/p)`` words (§5.3.2)."""
+    return c * n * n / p
+
+
+def strong_scaling_range(n: float, m: float, p0: float) -> tuple[float, float]:
+    """§5.3.4: from a base feasible ``p0`` (with ``M = O(m/p0)``), MFBC
+    strong-scales perfectly in *all* costs up to ``p0^{3/2}·n²/m``, and in
+    bandwidth alone up to ``p0^{3/2}·n³/m^{3/2}``.
+
+    Returns ``(all_costs_limit, bandwidth_limit)``.
+    """
+    all_costs = (p0 ** 1.5) * n * n / m
+    bandwidth = (p0 ** 1.5) * (n ** 3) / (m ** 1.5)
+    return all_costs, bandwidth

@@ -1,0 +1,34 @@
+"""Other graph algorithms on the MFBC machinery.
+
+The paper's conclusion: "The algebraic formalism we use for propagating
+information through graphs enables intuitive expression of frontiers and
+edge relaxations, making it extensible to other graph problems."  This
+package demonstrates that extensibility: each algorithm here is a few dozen
+lines over the same monoid + generalized-SpGEMM + engine stack, and runs
+unchanged on the sequential engine or the simulated distributed machine.
+
+* :func:`~repro.apps.bfs.bfs_levels` — the §2.3 introductory example:
+  level-synchronous BFS over the tropical monoid;
+* :func:`~repro.apps.sssp.sssp_distances` — frontier-driven Bellman-Ford
+  (MFBF without multiplicities);
+* :func:`~repro.apps.connected.connected_components` — min-label
+  propagation to a fixpoint;
+* :func:`~repro.apps.triangles.triangle_count` — masked A² over (+, ×);
+* :func:`~repro.apps.widest_path.widest_path_widths` — bottleneck/widest
+  paths over the max-min algebra (toward the max-flow extensions the
+  conclusion names).
+"""
+
+from repro.apps.bfs import bfs_levels
+from repro.apps.connected import connected_components
+from repro.apps.sssp import sssp_distances
+from repro.apps.triangles import triangle_count
+from repro.apps.widest_path import widest_path_widths
+
+__all__ = [
+    "bfs_levels",
+    "sssp_distances",
+    "connected_components",
+    "triangle_count",
+    "widest_path_widths",
+]

@@ -1,0 +1,63 @@
+"""Algebraic single-source shortest paths: MFBF without multiplicities.
+
+Frontier-driven Bellman-Ford over the tropical monoid — the distance half
+of Algorithm 1, usable on its own when path counts are not needed (e.g. as
+the relaxation core for routing or max-flow style applications).
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.algebra.matmul import MatMulSpec
+from repro.algebra.monoid import MinMonoid
+from repro.core.engine import Engine, SequentialEngine
+from repro.graphs.graph import Graph
+
+__all__ = ["sssp_distances"]
+
+_MIN = MinMonoid()
+_SPEC = MatMulSpec(_MIN, lambda a, b: {"w": a["w"] + b["w"]}, name="sssp")
+
+
+def sssp_distances(
+    graph: Graph,
+    sources: np.ndarray | list[int],
+    *,
+    engine: Engine | None = None,
+    max_iterations: int | None = None,
+) -> np.ndarray:
+    """Shortest-path distances from each source (weighted; positive weights).
+
+    Returns a dense ``len(sources) × n`` float array with ``inf`` for
+    unreachable vertices.
+    """
+    engine = engine or SequentialEngine()
+    sources = np.asarray(sources, dtype=np.int64)
+    if len(sources) == 0:
+        raise ValueError("empty source list")
+    adj = engine.adjacency(graph)
+    n = graph.n
+    nb = len(sources)
+    if max_iterations is None:
+        max_iterations = n + 1
+
+    dist = engine.matrix(
+        nb,
+        n,
+        np.arange(nb, dtype=np.int64),
+        sources,
+        {"w": np.zeros(nb)},
+        _MIN,
+    )
+    frontier = dist
+    for _ in range(max_iterations):
+        if frontier.nnz == 0:
+            return engine.gather(dist).to_dense("w")
+        product, _ = engine.spgemm(frontier, adj, _SPEC)
+        # relaxations that strictly improve the tentative distance
+        frontier = product.zip_filter(dist, lambda pv, dv: pv["w"] < dv["w"])
+        dist = dist.combine(frontier)
+    raise RuntimeError(
+        "Bellman-Ford did not converge: non-positive-weight cycle?"
+    )

@@ -1,0 +1,73 @@
+"""All-pairs shortest paths baselines (§5.3.2 comparison targets).
+
+The paper contrasts MFBC's memory footprint and bandwidth cost with APSP
+algorithms that materialize the full n² distance matrix: Floyd-Warshall and
+min-plus path doubling (Tiskin's BSP APSP).  Both are provided as dense
+kernels — they exist to (a) serve as independent distance oracles in tests
+and (b) give the §5.3.2 analytical comparison concrete measured work/memory
+numbers at small scale.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.graphs.graph import Graph
+
+__all__ = ["floyd_warshall", "path_doubling_apsp", "dense_distance_matrix"]
+
+
+def dense_distance_matrix(graph: Graph) -> np.ndarray:
+    """The initial dense distance matrix: weights on edges, 0 diagonal, ∞ else."""
+    n = graph.n
+    dist = np.full((n, n), np.inf)
+    r, c, w = graph._both_directions()
+    # parallel duplicates were already reduced to min in Graph, but be safe
+    np.minimum.at(dist, (r, c), w)
+    np.fill_diagonal(dist, 0.0)
+    return dist
+
+
+def floyd_warshall(graph: Graph) -> np.ndarray:
+    """Classic O(n³) Floyd-Warshall (vectorized over the inner two loops).
+
+    Requires Θ(n²) memory — the cost the paper's Theorem 5.1 discussion
+    contrasts with MFBC's O(c·m/p) per-processor footprint.
+    """
+    dist = dense_distance_matrix(graph)
+    n = graph.n
+    for k in range(n):
+        # dist[i, j] = min(dist[i, j], dist[i, k] + dist[k, j])
+        via = dist[:, k : k + 1] + dist[k : k + 1, :]
+        np.minimum(dist, via, out=dist)
+    return dist
+
+
+def path_doubling_apsp(graph: Graph) -> tuple[np.ndarray, int]:
+    """Min-plus path doubling: ⌈log₂ n⌉ squarings of the distance matrix.
+
+    Returns the distance matrix and the number of min-plus multiplications
+    performed (the latency-cost comparison point of §5.3.3: O(log) rounds
+    versus Floyd-Warshall's n).
+    """
+    dist = dense_distance_matrix(graph)
+    n = graph.n
+    rounds = 0
+    reach = 1
+    while reach < max(n - 1, 1):
+        dist = _minplus_square(dist)
+        reach *= 2
+        rounds += 1
+    return dist, rounds
+
+
+def _minplus_square(dist: np.ndarray) -> np.ndarray:
+    """One min-plus matrix squaring, blocked to bound peak memory."""
+    n = dist.shape[0]
+    out = np.empty_like(dist)
+    block = max(1, min(n, int(2**22 // max(n, 1)) or 1))
+    for lo in range(0, n, block):
+        hi = min(lo + block, n)
+        # (hi-lo, n, n) broadcast reduced over the middle axis
+        out[lo:hi] = np.min(dist[lo:hi, :, None] + dist[None, :, :], axis=1)
+    return out

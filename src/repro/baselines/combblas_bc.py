@@ -1,0 +1,165 @@
+"""CombBLAS-style algebraic betweenness centrality.
+
+This is the comparison target of §7: the Combinatorial BLAS library's BC
+(Buluç & Gilbert) computes batched Brandes over *unweighted* graphs using
+classical ``(+, ×)`` semiring SpGEMM:
+
+* forward phase — level-synchronous batch BFS: the fringe is multiplied by
+  the adjacency matrix and masked to unvisited vertices, accumulating the
+  shortest-path counts ``σ̄`` level by level;
+* backward phase — for each BFS level from deepest to shallowest, two
+  elementwise products and one SpGEMM with ``Aᵀ`` push the Brandes
+  dependency update ``δ(s,v) += σ̄(s,v)/σ̄(s,w) · (1 + δ(s,w))`` one level up.
+
+Differences from MFBC that the paper's evaluation exercises:
+
+* unweighted graphs only (weighted input raises);
+* one frontier per BFS *level* — vertices enter exactly one fringe, so there
+  is no counter machinery;
+* the backward phase replays stored levels (requiring all levels to be kept,
+  where MFBr recomputes structure on the fly — the §7.4 discussion of the
+  patents graph);
+* when run distributed, CombBLAS only supports square 2D process grids —
+  pass an engine configured with a square-2D algorithm policy to reproduce
+  its communication profile.
+"""
+
+from __future__ import annotations
+
+import time
+from dataclasses import dataclass, field
+
+import numpy as np
+
+from repro.algebra.semiring import REAL_PLUS_TIMES
+from repro.core.engine import Engine, SequentialEngine
+from repro.graphs.graph import Graph
+
+__all__ = ["combblas_bc", "CombBLASResult"]
+
+_SPEC = REAL_PLUS_TIMES.matmul_spec()
+
+
+@dataclass
+class CombBLASResult:
+    """Scores plus the counters the benchmarks report."""
+
+    scores: np.ndarray
+    batch_size: int
+    elapsed_seconds: float
+    matmuls: int = 0
+    ops: int = 0
+    levels_per_batch: list[int] = field(default_factory=list)
+
+    def teps(self, graph: Graph) -> float:
+        """Edge traversals per second, same convention as MFBC (§7.1)."""
+        traversals = len(self.scores) and self._sources * graph.nnz_adjacency
+        return traversals / self.elapsed_seconds if self.elapsed_seconds > 0 else 0.0
+
+    _sources: int = 0
+
+
+def combblas_bc(
+    graph: Graph,
+    batch_size: int | None = None,
+    *,
+    engine: Engine | None = None,
+    sources: np.ndarray | None = None,
+    max_batches: int | None = None,
+) -> CombBLASResult:
+    """Betweenness centrality via CombBLAS-style batched algebraic Brandes.
+
+    Raises :class:`ValueError` on weighted graphs — CombBLAS BC is a BFS
+    algorithm (this restriction is itself one of the paper's points: MFBC
+    generalizes to weights, CombBLAS does not).
+    """
+    if graph.weighted:
+        raise ValueError(
+            "CombBLAS-style BC supports unweighted graphs only; "
+            "use repro.core.mfbc for weighted graphs"
+        )
+    engine = engine or SequentialEngine()
+    if sources is None:
+        sources = np.arange(graph.n, dtype=np.int64)
+    else:
+        sources = np.asarray(sources, dtype=np.int64)
+    if batch_size is None:
+        batch_size = min(max(graph.n // 8, 1), 512)
+    adj = engine.adjacency(graph)
+    adj_t = adj.transpose()
+    n = graph.n
+    scores = np.zeros(n)
+    result = CombBLASResult(
+        scores=scores, batch_size=batch_size, elapsed_seconds=0.0
+    )
+    t0 = time.perf_counter()
+
+    nbatches = 0
+    for lo in range(0, len(sources), batch_size):
+        batch = sources[lo : lo + batch_size]
+        _one_batch(engine, adj, adj_t, batch, n, scores, result)
+        nbatches += 1
+        result._sources += len(batch)
+        if max_batches is not None and nbatches >= max_batches:
+            break
+    result.elapsed_seconds = time.perf_counter() - t0
+    return result
+
+
+def _one_batch(engine, adj, adj_t, batch, n, scores, result) -> None:
+    nb = len(batch)
+    plus = _SPEC.monoid
+
+    # nsp(s, s) = 1: one empty path from each source to itself.
+    nsp = engine.matrix(
+        nb,
+        n,
+        np.arange(nb, dtype=np.int64),
+        np.asarray(batch, dtype=np.int64),
+        {"w": np.ones(nb)},
+        plus,
+    )
+    # The depth-0 "level" is the sources themselves.
+    levels = [nsp]
+    fringe = nsp
+
+    # ---- forward: batched BFS accumulating path counts per level.
+    while True:
+        product, ops = engine.spgemm(fringe, adj, _SPEC)
+        result.matmuls += 1
+        result.ops += ops
+        # Mask: only unvisited vertices stay in the fringe (their nsp entry
+        # is still the identity 0).
+        fringe = product.zip_filter(nsp, lambda pv, sv: sv["w"] == 0.0)
+        if fringe.nnz == 0:
+            break
+        nsp = nsp.combine(fringe)
+        levels.append(fringe)
+    result.levels_per_batch.append(len(levels) - 1)
+
+    # ---- backward: replay levels from deepest to depth 1.
+    # bcu(s, w) carries (1 + δ(s, w)); implicitly 1 where unstored, so we
+    # store only the δ part and add the 1 when forming the update.
+    delta = None  # lazily created sparse accumulator
+    for d in range(len(levels) - 1, 0, -1):
+        lvl = levels[d]
+        # w1(s, w) = (1 + δ(s, w)) / σ̄(s, w) on level-d support.
+        if delta is None:
+            w1 = lvl.map(lambda lv: {"w": 1.0 / lv["w"]})
+        else:
+            w1 = lvl.zip_map(
+                delta, lambda lv, dv: {"w": (1.0 + dv["w"]) / lv["w"]}
+            )
+        back, ops = engine.spgemm(w1, adj_t, _SPEC)
+        result.matmuls += 1
+        result.ops += ops
+        # Keep contributions landing on the previous level, scale by σ̄(s,v).
+        upd = levels[d - 1].zip_map(back, lambda lv, bv: {"w": lv["w"] * bv["w"]})
+        delta = upd if delta is None else delta.combine(upd)
+
+    if delta is not None:
+        local = engine.gather(delta)
+        keep = local.cols != np.asarray(batch)[local.rows]
+        scores += np.bincount(
+            local.cols[keep], weights=local.vals["w"][keep], minlength=n
+        )

@@ -1,0 +1,245 @@
+"""Command-line interface: ``python -m repro <command> ...``.
+
+Commands
+--------
+``bc``        exact or sampled betweenness centrality of an edge-list graph
+``generate``  write a synthetic graph (R-MAT / uniform / SNAP stand-in)
+``simulate``  run distributed MFBC on a simulated machine, print the ledger
+``info``      structural statistics of a graph file
+
+Examples
+--------
+    python -m repro generate rmat --scale 10 --degree 8 -o g.txt
+    python -m repro bc g.txt --top 10
+    python -m repro bc g.txt --samples 128 --seed 0
+    python -m repro simulate g.txt --p 16 --policy auto --batch 64
+    python -m repro info g.txt
+"""
+
+from __future__ import annotations
+
+import argparse
+import sys
+
+import numpy as np
+
+__all__ = ["main", "build_parser"]
+
+
+def build_parser() -> argparse.ArgumentParser:
+    parser = argparse.ArgumentParser(
+        prog="repro",
+        description="MFBC betweenness centrality (SC'17 reproduction)",
+    )
+    sub = parser.add_subparsers(dest="command", required=True)
+
+    p_bc = sub.add_parser("bc", help="compute betweenness centrality")
+    p_bc.add_argument("graph", help="edge-list file (src dst [weight])")
+    p_bc.add_argument("--directed", action="store_true")
+    p_bc.add_argument("--batch", type=int, default=None, help="batch size nb")
+    p_bc.add_argument(
+        "--samples", type=int, default=None, help="sampled sources (approximate BC)"
+    )
+    p_bc.add_argument("--seed", type=int, default=0)
+    p_bc.add_argument("--top", type=int, default=10, help="print this many vertices")
+    p_bc.add_argument("--normalized", action="store_true")
+    p_bc.add_argument("-o", "--output", default=None, help="write all scores here")
+
+    p_gen = sub.add_parser("generate", help="generate a synthetic graph")
+    p_gen.add_argument(
+        "family", choices=["rmat", "uniform", "frd", "ork", "ljm", "cit"]
+    )
+    p_gen.add_argument("--scale", type=int, default=10, help="log2 vertices (rmat)")
+    p_gen.add_argument("--n", type=int, default=1024, help="vertices (uniform)")
+    p_gen.add_argument("--degree", type=float, default=8.0)
+    p_gen.add_argument("--directed", action="store_true")
+    p_gen.add_argument("--weights", nargs=2, type=int, metavar=("LOW", "HIGH"))
+    p_gen.add_argument("--seed", type=int, default=0)
+    p_gen.add_argument("-o", "--output", required=True)
+
+    p_sim = sub.add_parser(
+        "simulate", help="distributed MFBC on the simulated machine"
+    )
+    p_sim.add_argument("graph")
+    p_sim.add_argument("--directed", action="store_true")
+    p_sim.add_argument("--p", type=int, default=16, help="simulated ranks")
+    p_sim.add_argument(
+        "--policy", choices=["auto", "ca", "square2d"], default="auto"
+    )
+    p_sim.add_argument("--c", type=int, default=1, help="replication (ca policy)")
+    p_sim.add_argument("--batch", type=int, default=64)
+    p_sim.add_argument("--batches", type=int, default=1, help="batches to run")
+
+    p_info = sub.add_parser("info", help="graph statistics")
+    p_info.add_argument("graph")
+    p_info.add_argument("--directed", action="store_true")
+
+    p_ver = sub.add_parser(
+        "verify",
+        help="self-check: MFBC vs Brandes vs CombBLAS on sampled sources",
+    )
+    p_ver.add_argument("graph")
+    p_ver.add_argument("--directed", action="store_true")
+    p_ver.add_argument("--samples", type=int, default=8)
+    p_ver.add_argument("--seed", type=int, default=0)
+    p_ver.add_argument(
+        "--p", type=int, default=4, help="also verify on a simulated machine"
+    )
+
+    return parser
+
+
+def _load(path: str, directed: bool):
+    from repro.graphs import read_edgelist
+
+    return read_edgelist(path, directed=directed)
+
+
+def _cmd_bc(args) -> int:
+    from repro.core import approximate_bc, mfbc
+
+    g = _load(args.graph, args.directed)
+    if args.samples is not None:
+        scores = approximate_bc(
+            g, args.samples, seed=args.seed, batch_size=args.batch
+        )
+        print(f"approximate BC from {args.samples} sampled sources")
+    else:
+        res = mfbc(g, batch_size=args.batch)
+        scores = res.scores
+        print(
+            f"exact BC: {res.stats.total_multiplications} matmuls in "
+            f"{res.elapsed_seconds:.2f}s"
+        )
+    if args.normalized:
+        denom = (g.n - 1) * (g.n - 2)
+        if denom > 0:
+            scores = scores / denom
+    top = np.argsort(scores)[::-1][: args.top]
+    for v in top:
+        print(f"{int(v)}\t{scores[v]:.6g}")
+    if args.output:
+        np.savetxt(args.output, scores)
+        print(f"wrote {len(scores)} scores to {args.output}")
+    return 0
+
+
+def _cmd_generate(args) -> int:
+    from repro.graphs import (
+        rmat_graph,
+        snap_standin,
+        uniform_random_graph_nm,
+        with_random_weights,
+        write_edgelist,
+    )
+
+    if args.family == "rmat":
+        g = rmat_graph(
+            args.scale, int(args.degree), directed=args.directed, seed=args.seed
+        )
+    elif args.family == "uniform":
+        g = uniform_random_graph_nm(
+            args.n, args.degree, directed=args.directed, seed=args.seed
+        )
+    else:
+        g = snap_standin(args.family, seed=args.seed)
+    if args.weights:
+        g = with_random_weights(g, args.weights[0], args.weights[1], seed=args.seed)
+    write_edgelist(g, args.output)
+    print(f"wrote {g} to {args.output}")
+    return 0
+
+
+def _cmd_simulate(args) -> int:
+    from repro.core import mfbc
+    from repro.dist import DistributedEngine
+    from repro.machine import Machine
+    from repro.spgemm import PinnedPolicy, Square2DPolicy
+
+    g = _load(args.graph, args.directed)
+    machine = Machine(args.p)
+    policy = None
+    if args.policy == "ca":
+        policy = PinnedPolicy.ca_mfbc(args.p, args.c)
+    elif args.policy == "square2d":
+        policy = Square2DPolicy()
+    engine = DistributedEngine(machine, policy)
+    res = mfbc(
+        g, batch_size=args.batch, engine=engine, max_batches=args.batches
+    )
+    led = machine.ledger.snapshot()
+    print(f"graph: {g}; p={args.p}; policy={args.policy}")
+    print(f"sources processed : {res.stats.sources_processed}")
+    print(f"matmuls           : {res.stats.total_multiplications}")
+    print(f"critical words    : {led['words']:.0f}")
+    print(f"critical messages : {led['msgs']:.0f}")
+    print(f"modeled comm time : {led['comm_time'] * 1e3:.3f} ms")
+    print(f"modeled total time: {led['time'] * 1e3:.3f} ms")
+    return 0
+
+
+def _cmd_info(args) -> int:
+    g = _load(args.graph, args.directed)
+    print(f"name      : {g.name or '(unnamed)'}")
+    print(f"vertices  : {g.n}")
+    print(f"edges     : {g.m}")
+    print(f"directed  : {g.directed}")
+    print(f"weighted  : {g.weighted}")
+    print(f"avg degree: {g.average_degree():.2f}")
+    print(f"max degree: {g.max_degree()}")
+    print(f"diameter  : {g.diameter_hops()} hops")
+    return 0
+
+
+def _cmd_verify(args) -> int:
+    import numpy as np
+
+    from repro.baselines import brandes_bc, combblas_bc
+    from repro.core import mfbc
+    from repro.dist import DistributedEngine
+    from repro.machine import Machine
+    from repro.utils.rng import as_rng
+
+    g = _load(args.graph, args.directed)
+    rng = as_rng(args.seed)
+    sources = rng.choice(g.n, size=min(args.samples, g.n), replace=False)
+    checks: list[tuple[str, bool]] = []
+
+    ref = brandes_bc(g, sources=sources)
+    seq = mfbc(g, sources=sources).scores
+    checks.append(("MFBC (sequential) == Brandes", np.allclose(seq, ref, atol=1e-6)))
+
+    if not g.weighted:
+        cb = combblas_bc(g, sources=sources).scores
+        checks.append(("CombBLAS-style == Brandes", np.allclose(cb, ref, atol=1e-6)))
+
+    if args.p > 1:
+        eng = DistributedEngine(Machine(args.p))
+        dist = mfbc(g, sources=sources, engine=eng).scores
+        checks.append(
+            (f"MFBC (simulated p={args.p}) == sequential",
+             np.allclose(dist, seq, atol=1e-6))
+        )
+
+    ok = True
+    for label, passed in checks:
+        print(f"{'PASS' if passed else 'FAIL'}  {label}")
+        ok &= passed
+    print("verification", "PASSED" if ok else "FAILED")
+    return 0 if ok else 1
+
+
+def main(argv: list[str] | None = None) -> int:
+    args = build_parser().parse_args(argv)
+    handler = {
+        "bc": _cmd_bc,
+        "generate": _cmd_generate,
+        "simulate": _cmd_simulate,
+        "info": _cmd_info,
+        "verify": _cmd_verify,
+    }[args.command]
+    return handler(args)
+
+
+if __name__ == "__main__":  # pragma: no cover - exercised via __main__
+    sys.exit(main())

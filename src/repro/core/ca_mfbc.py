@@ -1,0 +1,56 @@
+"""CA-MFBC: the communication-avoiding configuration of §6.
+
+The paper implements two parallel versions: *CTF-MFBC* (CTF's dynamic
+mapping search — our ``DistributedEngine`` with the default
+:class:`~repro.spgemm.selector.AutoPolicy`) and *CA-MFBC*, which predefines
+the 3D processor-grid layout used to minimize the theoretical communication
+cost in the proof of Theorem 5.1 (``√(p/c) × √(p/c) × c`` with the adjacency
+matrix replicated ``c``-fold).  This module is the convenience constructor
+for the latter.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.core.mfbc import MFBCResult, mfbc
+from repro.dist.engine import DistributedEngine
+from repro.graphs.graph import Graph
+from repro.machine.machine import Machine
+from repro.spgemm.selector import PinnedPolicy
+
+__all__ = ["ca_mfbc", "ca_engine"]
+
+
+def ca_engine(machine: Machine, c: int = 1) -> DistributedEngine:
+    """A distributed engine pinned to the Theorem-5.1 grid.
+
+    ``p/c`` must be a perfect square; the replication factor ``c`` must
+    divide ``p``.
+    """
+    return DistributedEngine(machine, PinnedPolicy.ca_mfbc(machine.p, c))
+
+
+def ca_mfbc(
+    graph: Graph,
+    machine: Machine,
+    *,
+    c: int = 1,
+    batch_size: int | None = None,
+    sources: np.ndarray | None = None,
+    max_batches: int | None = None,
+) -> MFBCResult:
+    """Run CA-MFBC on the simulated machine.
+
+    The memory-optimal batch size of §5.3 (``nb = c·m/n``) is used when
+    ``batch_size`` is not given.
+    """
+    if batch_size is None:
+        batch_size = max(1, min(graph.n, c * graph.nnz_adjacency // max(graph.n, 1)))
+    return mfbc(
+        graph,
+        batch_size=batch_size,
+        engine=ca_engine(machine, c),
+        sources=sources,
+        max_batches=max_batches,
+    )

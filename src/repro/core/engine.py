@@ -1,0 +1,73 @@
+"""Execution engines: where the generalized matrix products actually run.
+
+MFBF/MFBr are written against a minimal engine protocol so the *same*
+algorithm code drives both execution modes:
+
+* :class:`SequentialEngine` — products run on node-local
+  :class:`~repro.sparse.SpMat` via the vectorized kernel;
+* :class:`repro.dist.engine.DistributedEngine` — products run on the
+  simulated p-rank machine through the CTF-style algorithm selector,
+  charging α-β communication costs.
+
+Both matrix types share the elementwise method surface (``combine``,
+``filter``, ``map``, ``zip_filter``, ``zip_map``, ``column_sums``), so the
+engine protocol only needs to abstract construction and multiplication.
+"""
+
+from __future__ import annotations
+
+from typing import Protocol
+
+import numpy as np
+
+from repro.algebra.matmul import MatMulSpec
+from repro.algebra.monoid import Monoid
+from repro.sparse.spgemm import spgemm_with_ops
+from repro.sparse.spmatrix import SpMat
+
+__all__ = ["Engine", "SequentialEngine"]
+
+
+class Engine(Protocol):
+    """The seam between MFBC's algorithm code and its execution substrate."""
+
+    def matrix(
+        self,
+        nrows: int,
+        ncols: int,
+        rows: np.ndarray,
+        cols: np.ndarray,
+        vals: dict[str, np.ndarray],
+        monoid: Monoid,
+    ):
+        """Build a matrix in this engine's representation."""
+        ...
+
+    def adjacency(self, graph) -> object:
+        """This engine's representation of ``graph``'s adjacency matrix."""
+        ...
+
+    def spgemm(self, a, b, spec: MatMulSpec):
+        """``(a •⟨⊕,f⟩ b, elementary product count)``."""
+        ...
+
+    def gather(self, mat) -> SpMat:
+        """Materialize an engine matrix as a node-local :class:`SpMat`."""
+        ...
+
+
+class SequentialEngine:
+    """Single-node engine: matrices are plain :class:`SpMat`."""
+
+    def matrix(self, nrows, ncols, rows, cols, vals, monoid) -> SpMat:
+        return SpMat(nrows, ncols, rows, cols, vals, monoid)
+
+    def adjacency(self, graph) -> SpMat:
+        return graph.adjacency()
+
+    def spgemm(self, a: SpMat, b: SpMat, spec: MatMulSpec) -> tuple[SpMat, int]:
+        result = spgemm_with_ops(a, b, spec)
+        return result.matrix, result.ops
+
+    def gather(self, mat: SpMat) -> SpMat:
+        return mat

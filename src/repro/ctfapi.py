@@ -1,0 +1,317 @@
+"""A CTF-style index-notation front end (§6.1 of the paper).
+
+The paper programs MFBC through CTF's einsum-like API:
+
+.. code-block:: c++
+
+    Kernel<W,M,M,u,f> BF;
+    Z["ij"] = BF(A["ik"], Z["kj"]);
+
+This module reproduces that surface in Python over the same engine stack:
+
+>>> from repro.ctfapi import Matrix, Kernel, Function
+>>> from repro.algebra import MULTPATH, bellman_ford_action
+>>> BF = Kernel(MULTPATH, bellman_ford_action)
+>>> Z["ij"] = BF(T["ik"], A["kj"])           # generalized matmul
+>>> B["ij"] = Function(lambda v: {"w": 1.0 / v["w"]})(A["ij"])  # Transform
+>>> C["ij"] = A["ij"] + B["ij"]              # elementwise monoid sum
+>>> D["ij"] = A["ji"]                        # transpose
+
+Index strings are two distinct characters per matrix; a contraction is
+recognized when the two operands share exactly one index (the contracted
+mode), matching how CTF parses ``"ik", "kj" → "ij"``.  Everything lowers to
+the same :class:`~repro.sparse.SpMat`/:class:`~repro.dist.DistMat`
+operations MFBC uses, so expressions run sequentially or distributed
+depending on the wrapped matrix.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Callable
+
+import numpy as np
+
+from repro.algebra.fields import FieldArray
+from repro.algebra.matmul import MatMulSpec
+from repro.algebra.monoid import Monoid
+from repro.core.engine import Engine, SequentialEngine
+from repro.sparse.spmatrix import SpMat
+
+__all__ = [
+    "Matrix",
+    "Kernel",
+    "Function",
+    "Transform",
+    "Tensor",
+    "TensorKernel",
+]
+
+
+def _check_indices(idx: str) -> str:
+    if len(idx) != 2 or idx[0] == idx[1]:
+        raise ValueError(
+            f"matrix indices must be two distinct characters, got {idx!r}"
+        )
+    return idx
+
+
+@dataclass(frozen=True)
+class IndexedMatrix:
+    """A matrix tagged with mode labels — the value of ``M["ij"]``."""
+
+    matrix: "Matrix"
+    indices: str
+
+    def _oriented(self, out_indices: str):
+        """The underlying data, transposed if labels are reversed."""
+        if self.indices == out_indices:
+            return self.matrix.data
+        if self.indices == out_indices[::-1]:
+            return self.matrix.data.transpose()
+        raise ValueError(
+            f"cannot reconcile indices {self.indices!r} with {out_indices!r}"
+        )
+
+    def __add__(self, other: "IndexedMatrix") -> "_Expr":
+        return _Expr(lambda out: self._oriented(out).combine(other._oriented(out)))
+
+
+@dataclass(frozen=True)
+class _Expr:
+    """A lazy right-hand side, evaluated against the target's indices."""
+
+    evaluate: Callable[[str], object]
+
+
+class Matrix:
+    """An algebra-carrying matrix programmable with index notation.
+
+    Parameters
+    ----------
+    nrows, ncols:
+        Dimensions.
+    monoid:
+        Element monoid (defines the sparsity "zero").
+    engine:
+        Execution engine; matrices in one expression must share it.
+    data:
+        Optional initial contents (engine representation or ``SpMat``).
+    """
+
+    def __init__(
+        self,
+        nrows: int,
+        ncols: int,
+        monoid: Monoid,
+        *,
+        engine: Engine | None = None,
+        data=None,
+    ) -> None:
+        self.engine = engine or SequentialEngine()
+        self.monoid = monoid
+        if data is None:
+            empty = SpMat.empty(nrows, ncols, monoid)
+            if isinstance(self.engine, SequentialEngine):
+                data = empty
+            else:
+                z = np.empty(0, dtype=np.int64)
+                data = self.engine.matrix(nrows, ncols, z, z, monoid.empty(), monoid)
+        self.data = data
+
+    # -- construction helpers ----------------------------------------------
+
+    @classmethod
+    def from_spmat(cls, mat: SpMat, *, engine: Engine | None = None) -> "Matrix":
+        engine = engine or SequentialEngine()
+        if isinstance(engine, SequentialEngine):
+            data = mat
+        else:
+            data = engine.matrix(
+                mat.nrows, mat.ncols, mat.rows, mat.cols, mat.vals, mat.monoid
+            )
+        return cls(mat.nrows, mat.ncols, mat.monoid, engine=engine, data=data)
+
+    @property
+    def shape(self) -> tuple[int, int]:
+        return (self.data.nrows, self.data.ncols)
+
+    @property
+    def nnz(self) -> int:
+        return self.data.nnz
+
+    def read(self) -> SpMat:
+        """Materialize node-locally (CTF ``Tensor::read``)."""
+        return self.engine.gather(self.data)
+
+    # -- index notation ------------------------------------------------------
+
+    def __getitem__(self, indices: str) -> IndexedMatrix:
+        return IndexedMatrix(self, _check_indices(indices))
+
+    def __setitem__(self, indices: str, rhs) -> None:
+        _check_indices(indices)
+        if isinstance(rhs, IndexedMatrix):
+            result = rhs._oriented(indices)
+        elif isinstance(rhs, _Expr):
+            result = rhs.evaluate(indices)
+        else:
+            raise TypeError(
+                f"cannot assign {type(rhs).__name__} to an indexed matrix"
+            )
+        if (result.nrows, result.ncols) != self.shape:
+            raise ValueError(
+                f"assignment shape {(result.nrows, result.ncols)} does not "
+                f"match target {self.shape}"
+            )
+        self.data = result
+
+
+class Kernel:
+    """A contraction kernel ``C["ij"] = K(A["ik"], B["kj"])`` (§6.1).
+
+    Bundles the output monoid ``⊕`` and the elementwise map ``f`` exactly
+    like CTF's ``Kernel<W,M,M,u,f>`` template.
+    """
+
+    def __init__(self, monoid: Monoid, f, name: str = "kernel") -> None:
+        self.spec = MatMulSpec(monoid, f, name=name)
+
+    def __call__(self, a: IndexedMatrix, b: IndexedMatrix) -> _Expr:
+        ia, ib = a.indices, b.indices
+        shared = set(ia) & set(ib)
+        if len(shared) != 1:
+            raise ValueError(
+                f"contraction requires exactly one shared index, got "
+                f"{ia!r} × {ib!r}"
+            )
+        k = shared.pop()
+        free = set(ia + ib) - {k}
+
+        def evaluate(target: str):
+            if set(target) != free:
+                raise ValueError(
+                    f"target indices {target!r} do not match the "
+                    f"contraction's free indices {sorted(free)}"
+                )
+            # orient operands so the contracted index is inner:
+            # lhs carries (target_row, k), rhs carries (k, target_col)
+            lhs, rhs = (a, b) if target[0] in ia else (b, a)
+            lmat = lhs._oriented(target[0] + k)
+            rmat = rhs._oriented(k + target[1])
+            result, _ = lhs.matrix.engine.spgemm(lmat, rmat, self.spec)
+            return result
+
+        return _Expr(evaluate)
+
+
+class Function:
+    """An elementwise function applied through index notation (§6.1's
+    ``Function<int,float>`` example)."""
+
+    def __init__(self, fn: Callable[[FieldArray], FieldArray], monoid: Monoid | None = None):
+        self.fn = fn
+        self.monoid = monoid
+
+    def __call__(self, a: IndexedMatrix) -> _Expr:
+        def evaluate(target: str):
+            oriented = a._oriented(target)
+            return oriented.map(self.fn, monoid=self.monoid)
+
+        return _Expr(evaluate)
+
+
+def Transform(matrix: Matrix, fn: Callable[[FieldArray], FieldArray]) -> None:
+    """In-place elementwise modification (CTF ``Transform``)."""
+    matrix.data = matrix.data.map(fn)
+
+
+# ---------------------------------------------------------------------------
+# order-3 tensors: the same notation over SpTensor
+# ---------------------------------------------------------------------------
+
+
+@dataclass(frozen=True)
+class IndexedTensor:
+    """A tensor tagged with mode labels — the value of ``T["ijk"]``."""
+
+    tensor: "Tensor"
+    indices: str
+
+
+class Tensor:
+    """An order-1..3 tensor programmable with index notation.
+
+    The tensor extension of :class:`Matrix`: ``C["ijl"] = K(A["ijk"],
+    B["kl"])`` contracts over the shared index through
+    :func:`repro.tensor.contract.contract` (node-local; distribute the
+    matricized form through :class:`Matrix` when machine execution is
+    needed).
+    """
+
+    def __init__(self, shape, monoid: Monoid, *, data=None) -> None:
+        from repro.tensor.sptensor import SpTensor
+
+        self.monoid = monoid
+        self.data = data if data is not None else SpTensor.empty(shape, monoid)
+
+    @classmethod
+    def from_sptensor(cls, t) -> "Tensor":
+        return cls(t.shape, t.monoid, data=t)
+
+    @property
+    def shape(self):
+        return self.data.shape
+
+    @property
+    def nnz(self) -> int:
+        return self.data.nnz
+
+    def __getitem__(self, indices: str) -> IndexedTensor:
+        if len(indices) != self.data.order or len(set(indices)) != len(indices):
+            raise ValueError(
+                f"need {self.data.order} distinct indices, got {indices!r}"
+            )
+        return IndexedTensor(self, indices)
+
+    def __setitem__(self, indices: str, rhs) -> None:
+        if isinstance(rhs, IndexedTensor):
+            # pure mode permutation
+            src = rhs.tensor.data
+            perm = [rhs.indices.index(c) for c in indices]
+            result = src.permute(perm)
+        elif isinstance(rhs, _TensorExpr):
+            result = rhs.evaluate(indices)
+        else:
+            raise TypeError(
+                f"cannot assign {type(rhs).__name__} to an indexed tensor"
+            )
+        if result.shape != self.shape:
+            raise ValueError(
+                f"assignment shape {result.shape} does not match target "
+                f"{self.shape}"
+            )
+        self.data = result
+
+
+@dataclass(frozen=True)
+class _TensorExpr:
+    evaluate: Callable[[str], object]
+
+
+class TensorKernel:
+    """Contraction kernel over tensors: ``C["ijl"] = K(A["ijk"], B["kl"])``."""
+
+    def __init__(self, monoid: Monoid, f, name: str = "tensor-kernel") -> None:
+        self.spec = MatMulSpec(monoid, f, name=name)
+
+    def __call__(self, a: IndexedTensor, b: IndexedTensor) -> _TensorExpr:
+        from repro.tensor.contract import contract
+
+        def evaluate(target: str):
+            return contract(
+                a.tensor.data, a.indices, b.tensor.data, b.indices, target,
+                self.spec,
+            )
+
+        return _TensorExpr(evaluate)

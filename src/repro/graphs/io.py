@@ -1,0 +1,70 @@
+"""Edge-list I/O in the SNAP text format.
+
+Files are whitespace-separated ``src dst [weight]`` lines; ``#`` lines are
+comments.  Vertex IDs need not be contiguous — they are compacted on read,
+matching how SNAP datasets are customarily loaded.
+"""
+
+from __future__ import annotations
+
+import os
+
+import numpy as np
+
+from repro.graphs.graph import Graph
+
+__all__ = ["read_edgelist", "write_edgelist"]
+
+
+def write_edgelist(g: Graph, path: str | os.PathLike) -> None:
+    """Write ``g`` as a SNAP-style edge list (weights included if present)."""
+    with open(path, "w") as fh:
+        fh.write(f"# Nodes: {g.n} Edges: {g.m} Directed: {int(g.directed)}\n")
+        if g.weight is None:
+            for s, d in zip(g.src.tolist(), g.dst.tolist()):
+                fh.write(f"{s}\t{d}\n")
+        else:
+            for s, d, w in zip(g.src.tolist(), g.dst.tolist(), g.weight.tolist()):
+                fh.write(f"{s}\t{d}\t{w:g}\n")
+
+
+def read_edgelist(
+    path: str | os.PathLike,
+    *,
+    directed: bool = False,
+    name: str = "",
+) -> Graph:
+    """Read a SNAP-style edge list.
+
+    Vertex IDs are compacted to ``0..n-1`` preserving order of first
+    appearance by sorted ID.  A third column, when present, is parsed as the
+    edge weight.
+    """
+    srcs: list[int] = []
+    dsts: list[int] = []
+    wts: list[float] = []
+    have_weights = False
+    with open(path) as fh:
+        for line in fh:
+            line = line.strip()
+            if not line or line.startswith("#"):
+                continue
+            parts = line.split()
+            if len(parts) < 2:
+                raise ValueError(f"malformed edge line: {line!r}")
+            srcs.append(int(parts[0]))
+            dsts.append(int(parts[1]))
+            if len(parts) >= 3:
+                have_weights = True
+                wts.append(float(parts[2]))
+            elif have_weights:
+                raise ValueError("mixed weighted/unweighted lines")
+    src = np.asarray(srcs, dtype=np.int64)
+    dst = np.asarray(dsts, dtype=np.int64)
+    ids = np.unique(np.concatenate([src, dst])) if len(src) else np.empty(0, np.int64)
+    lookup = {int(v): i for i, v in enumerate(ids)}
+    src = np.asarray([lookup[int(v)] for v in src], dtype=np.int64)
+    dst = np.asarray([lookup[int(v)] for v in dst], dtype=np.int64)
+    n = max(len(ids), 1)
+    weight = np.asarray(wts, dtype=np.float64) if have_weights else None
+    return Graph(n, src, dst, weight, directed=directed, name=name)

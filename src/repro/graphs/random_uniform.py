@@ -1,0 +1,88 @@
+"""Erdős–Rényi / uniform random graph generators.
+
+The paper's weak-scaling experiments (§7.3, Fig. 2) use uniform random
+graphs where every vertex has the same expected degree and every edge exists
+with uniform probability.  Two parameterizations are provided, matching the
+two weak-scaling modes:
+
+* :func:`uniform_random_graph` — ``G(n, f)``: edge *fraction* ``f`` of the
+  n² possible entries (edge weak scaling holds n²/p and f constant);
+* :func:`uniform_random_graph_nm` — ``G(n, k)``: average *degree* ``k``
+  (vertex weak scaling holds n/p and k constant).
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.graphs.graph import Graph
+from repro.utils.rng import as_rng
+from repro.utils.validation import check_positive_int, check_probability
+
+__all__ = ["uniform_random_graph", "uniform_random_graph_nm"]
+
+
+def _sample_edges(
+    n: int, nedges: int, rng: np.random.Generator
+) -> tuple[np.ndarray, np.ndarray]:
+    """Sample ``nedges`` endpoint pairs uniformly (with replacement).
+
+    Duplicates/self-loops are pruned by :class:`Graph`; for the sparse
+    regimes used here the loss is a vanishing fraction, mirroring how
+    G(n, m) samplers are used in practice.
+    """
+    src = rng.integers(0, n, size=nedges, dtype=np.int64)
+    dst = rng.integers(0, n, size=nedges, dtype=np.int64)
+    return src, dst
+
+
+def uniform_random_graph(
+    n: int,
+    edge_fraction: float,
+    *,
+    directed: bool = False,
+    seed: int | np.random.Generator | None = None,
+    name: str | None = None,
+) -> Graph:
+    """``G(n, f)``: adjacency density ``f = m / n²`` (the paper's
+    ``f = 100·m/n²`` percentage, here as a fraction)."""
+    check_positive_int(n, "n")
+    check_probability(edge_fraction, "edge_fraction")
+    rng = as_rng(seed)
+    target_nnz = edge_fraction * float(n) * float(n)
+    nedges = int(round(target_nnz if directed else target_nnz / 2.0))
+    src, dst = _sample_edges(n, nedges, rng)
+    return Graph(
+        n,
+        src,
+        dst,
+        None,
+        directed=directed,
+        name=name if name is not None else f"uniform_n{n}_f{edge_fraction:g}",
+    )
+
+
+def uniform_random_graph_nm(
+    n: int,
+    avg_degree: float,
+    *,
+    directed: bool = False,
+    seed: int | np.random.Generator | None = None,
+    name: str | None = None,
+) -> Graph:
+    """``G(n, k)``: average degree ``k = m / n`` (vertex weak scaling)."""
+    check_positive_int(n, "n")
+    if avg_degree <= 0:
+        raise ValueError(f"avg_degree must be positive, got {avg_degree}")
+    rng = as_rng(seed)
+    total_endpoint_slots = avg_degree * n
+    nedges = int(round(total_endpoint_slots if directed else total_endpoint_slots / 2.0))
+    src, dst = _sample_edges(n, nedges, rng)
+    return Graph(
+        n,
+        src,
+        dst,
+        None,
+        directed=directed,
+        name=name if name is not None else f"uniform_n{n}_k{avg_degree:g}",
+    )

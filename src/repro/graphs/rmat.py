@@ -1,0 +1,89 @@
+"""R-MAT recursive-matrix graph generator (Chakrabarti et al., SDM'04).
+
+The paper's synthetic power-law workloads (§7, Fig. 1c) are R-MAT graphs
+parameterized by a scale ``S`` (``n ≈ 2^S`` vertices) and an average degree
+``E``; we use the Graph500-style partition probabilities (a, b, c, d) =
+(0.57, 0.19, 0.19, 0.05) by default, which produce the skewed degree
+distributions characteristic of social networks.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.graphs.graph import Graph
+from repro.utils.rng import as_rng
+from repro.utils.validation import check_positive_int, require
+
+__all__ = ["rmat_graph"]
+
+
+def rmat_graph(
+    scale: int,
+    avg_degree: int,
+    *,
+    a: float = 0.57,
+    b: float = 0.19,
+    c: float = 0.19,
+    directed: bool = False,
+    seed: int | np.random.Generator | None = None,
+    name: str | None = None,
+) -> Graph:
+    """Generate an R-MAT graph with ``2**scale`` vertices.
+
+    Parameters
+    ----------
+    scale:
+        log2 of the vertex count (the paper's ``S``).
+    avg_degree:
+        Target average degree (the paper's ``E``); ``avg_degree * 2**scale / 2``
+        undirected edge slots are sampled (half that many stored edges per
+        endpoint, so the realized average degree ≈ ``avg_degree`` before
+        dedup).  Duplicates and self-loops are removed by :class:`Graph`, so
+        the realized degree is slightly below the target, as with any R-MAT
+        sampler.
+    a, b, c:
+        Quadrant probabilities; ``d = 1 - a - b - c``.
+    directed:
+        Generate a directed graph (each sample is one arc).
+    seed:
+        RNG seed or generator.
+    name:
+        Label; defaults to ``rmat_s{scale}_e{avg_degree}``.
+    """
+    check_positive_int(scale, "scale")
+    check_positive_int(avg_degree, "avg_degree")
+    d = 1.0 - a - b - c
+    require(min(a, b, c, d) >= 0.0, "quadrant probabilities must be non-negative")
+    rng = as_rng(seed)
+    n = 1 << scale
+    nsamples = (avg_degree * n) if directed else (avg_degree * n) // 2
+    src = np.zeros(nsamples, dtype=np.int64)
+    dst = np.zeros(nsamples, dtype=np.int64)
+
+    # Vectorized recursive descent: one random draw per bit level.
+    p_src1 = c + d  # probability the source bit is 1 (lower half of matrix)
+    for level in range(scale):
+        u = rng.random(nsamples)
+        bit_src = u >= (a + b)
+        # conditional probability the dst bit is 1 given the src bit
+        p_dst1_given = np.where(bit_src, d / max(c + d, 1e-300), b / max(a + b, 1e-300))
+        v = rng.random(nsamples)
+        bit_dst = v < p_dst1_given
+        src = (src << 1) | bit_src
+        dst = (dst << 1) | bit_dst
+    _ = p_src1
+
+    # Randomize vertex labels so block distributions are load balanced
+    # (the paper's balls-into-bins assumption, §5.2).
+    perm = rng.permutation(n)
+    src = perm[src]
+    dst = perm[dst]
+    return Graph(
+        n,
+        src,
+        dst,
+        None,
+        directed=directed,
+        name=name if name is not None else f"rmat_s{scale}_e{avg_degree}",
+    )

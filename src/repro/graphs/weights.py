@@ -1,0 +1,30 @@
+"""Edge-weight assignment.
+
+The paper's weighted experiments (Fig. 1c) draw integer weights uniformly
+from [1, 100]; :func:`with_random_weights` reproduces that and generalizes
+the range.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.graphs.graph import Graph
+from repro.utils.rng import as_rng
+
+__all__ = ["with_random_weights"]
+
+
+def with_random_weights(
+    g: Graph,
+    low: int = 1,
+    high: int = 100,
+    *,
+    seed: int | np.random.Generator | None = None,
+) -> Graph:
+    """Return ``g`` with integer edge weights drawn uniformly from [low, high]."""
+    if not (0 < low <= high):
+        raise ValueError(f"need 0 < low <= high, got [{low}, {high}]")
+    rng = as_rng(seed)
+    w = rng.integers(low, high + 1, size=g.m).astype(np.float64)
+    return Graph(g.n, g.src, g.dst, w, directed=g.directed, name=g.name)

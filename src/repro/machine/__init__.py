@@ -1,0 +1,31 @@
+"""The simulated distributed-memory machine.
+
+The paper ran on Blue Waters with MPI; this package substitutes a simulated
+bulk-synchronous p-rank machine (see DESIGN.md).  It provides:
+
+* :class:`~repro.machine.machine.Machine` — p ranks, an α-β communication
+  cost model (§5.1), per-rank memory accounting, and a critical-path ledger
+  that reproduces §7.4's methodology: for each collective over a set of
+  processors, the critical-path costs are max-merged over the participants
+  before the collective's cost is added;
+* :class:`~repro.machine.collectives.Group` — broadcast / reduce /
+  allreduce / scatter / gather / allgather / sparse-reduce operations that
+  both *move real payloads* between rank-local stores and charge the model
+  costs, so distribution logic is genuinely exercised;
+* :class:`~repro.machine.grid.Grid` — 1/2/3-dimensional processor grids
+  with axis subgroup enumeration, the substrate of the SpGEMM variants.
+"""
+
+from repro.machine.machine import CostParams, Ledger, Machine, MemoryLimitExceeded
+from repro.machine.collectives import Group, payload_words
+from repro.machine.grid import Grid
+
+__all__ = [
+    "Machine",
+    "CostParams",
+    "Ledger",
+    "MemoryLimitExceeded",
+    "Group",
+    "payload_words",
+    "Grid",
+]

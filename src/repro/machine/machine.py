@@ -1,0 +1,269 @@
+"""The simulated machine: ranks, the α-β cost model, and the cost ledger.
+
+Cost model (§5.1 of the paper): sending a message of ``x`` words costs
+``α + β·x``; a collective (scatter, gather, broadcast, reduction,
+allreduction) over ``q`` processors where each processor owns at most ``x``
+words costs ``O(β·x + α·log q)``.  The concrete constants follow the
+paper's §7.4 profiling methodology: broadcast and reduce of ``x`` words over
+``q`` processors cost ``2x·β + 2⌈log₂ q⌉·α`` — twice scatter/allgather.
+
+Critical-path accounting also follows §7.4: every rank carries running
+critical-path totals (modeled time, words, messages); a collective first
+max-merges each total over its participants, then adds its own cost to all
+of them.  At the end of a run, the maximum over ranks is "the greatest
+amount of data communicated along any dependent sequence of collectives".
+"""
+
+from __future__ import annotations
+
+import math
+from dataclasses import dataclass, field
+
+import numpy as np
+
+__all__ = ["CostParams", "Ledger", "Machine", "MemoryLimitExceeded"]
+
+
+class MemoryLimitExceeded(RuntimeError):
+    """A rank's tracked allocation exceeded the machine's memory budget."""
+
+
+@dataclass(frozen=True)
+class CostParams:
+    """Machine constants.
+
+    Defaults model a Cray-class interconnect in rough orders of magnitude:
+    ~1 µs latency, ~1 ns/word effective inverse bandwidth (8 GB/s per rank),
+    and 10⁹ elementary sparse-kernel operations/second per rank.  The
+    absolute values only set the α/β/compute balance — the paper's claims
+    are about relative costs, which these ratios (α ≫ β, per §5.1) preserve.
+    """
+
+    alpha: float = 1.0e-6  # seconds per message
+    beta: float = 1.25e-9  # seconds per 8-byte word
+    compute_rate: float = 1.0e9  # elementary kernel ops per second per rank
+    #: fixed per-generalized-matmul overhead per rank (kernel setup, sparse
+    #: format conversion, mapping decisions — §6.2's redistribution/setup
+    #: machinery).  This is what makes high-diameter graphs (many small
+    #: products) slower per edge even at low processor counts, as the paper
+    #: observes for the patent citation graph (§7.2).
+    product_overhead: float = 5.0e-5
+
+    def __post_init__(self) -> None:
+        if self.alpha < self.beta:
+            raise ValueError(
+                f"cost model requires alpha >= beta (§5.1), got "
+                f"alpha={self.alpha}, beta={self.beta}"
+            )
+
+
+@dataclass
+class Ledger:
+    """Per-rank running totals and critical-path accumulators."""
+
+    p: int
+    # critical-path accumulators (max-merged at collectives)
+    time: np.ndarray = field(default=None)  # modeled seconds, comm + compute
+    comm_time: np.ndarray = field(default=None)  # modeled seconds, comm only
+    words: np.ndarray = field(default=None)  # words along dependent chains
+    msgs: np.ndarray = field(default=None)  # messages along dependent chains
+    # flat totals (not path-maxed): useful for traffic volume reports
+    total_words: float = 0.0
+    total_msgs: float = 0.0
+    compute_ops: float = 0.0
+    #: traffic volume per operation category ("bcast", "reduce",
+    #: "redistribute", "input", ...) — answers "where do the words go?"
+    category_words: dict = None
+
+    #: per-rank elementary-operation totals (set in __post_init__)
+    compute_per_rank: np.ndarray = None
+
+    def __post_init__(self) -> None:
+        self.time = np.zeros(self.p)
+        self.comm_time = np.zeros(self.p)
+        self.words = np.zeros(self.p)
+        self.msgs = np.zeros(self.p)
+        self.category_words = {}
+        self.compute_per_rank = np.zeros(self.p)
+
+    # -- critical-path reads ------------------------------------------------
+
+    def critical_time(self) -> float:
+        """Modeled end-to-end execution time (max over ranks)."""
+        return float(self.time.max()) if self.p else 0.0
+
+    def critical_comm_time(self) -> float:
+        return float(self.comm_time.max()) if self.p else 0.0
+
+    def critical_words(self) -> float:
+        """Paper's ``W``: words along the heaviest dependent chain."""
+        return float(self.words.max()) if self.p else 0.0
+
+    def critical_msgs(self) -> float:
+        """Paper's ``S``: messages along the longest dependent chain."""
+        return float(self.msgs.max()) if self.p else 0.0
+
+    def snapshot(self) -> dict[str, float]:
+        return {
+            "time": self.critical_time(),
+            "comm_time": self.critical_comm_time(),
+            "words": self.critical_words(),
+            "msgs": self.critical_msgs(),
+            "total_words": self.total_words,
+            "total_msgs": self.total_msgs,
+            "compute_ops": self.compute_ops,
+        }
+
+    def load_imbalance(self) -> float:
+        """Max/mean ratio of per-rank elementary operations (1.0 = perfect).
+
+        The quantity behind §5.2's balls-into-bins load-balance assumption:
+        after random vertex relabeling, oblivious blocks receive work
+        proportional to their area, so this ratio stays near 1.
+        """
+        mean = self.compute_per_rank.mean()
+        if mean <= 0:
+            return 1.0
+        return float(self.compute_per_rank.max() / mean)
+
+    def traffic_breakdown(self) -> dict[str, float]:
+        """Word volume per operation category, sorted descending —
+        'where do the words go?' (cf. the §7.4 profiling discussion)."""
+        return dict(
+            sorted(self.category_words.items(), key=lambda kv: -kv[1])
+        )
+
+
+class Machine:
+    """A simulated p-rank distributed-memory machine.
+
+    Parameters
+    ----------
+    p:
+        Number of ranks (the paper benchmarks powers of four, but any
+        positive count works).
+    cost:
+        α-β model constants.
+    memory_words:
+        Optional per-rank memory budget ``M`` in 8-byte words; tracked
+        allocations beyond it raise :class:`MemoryLimitExceeded`, modeling
+        the paper's ``M = Ω(c·m/p)`` feasibility constraints.
+    """
+
+    def __init__(
+        self,
+        p: int,
+        cost: CostParams | None = None,
+        memory_words: int | None = None,
+    ) -> None:
+        if p <= 0:
+            raise ValueError(f"p must be positive, got {p}")
+        self.p = int(p)
+        self.cost = cost or CostParams()
+        self.memory_words = memory_words
+        self.ledger = Ledger(self.p)
+        self._mem_used = np.zeros(self.p, dtype=np.int64)
+
+    # -- memory tracking -----------------------------------------------------
+
+    def allocate(self, rank: int, words: int) -> None:
+        """Track ``words`` of new allocation on ``rank``."""
+        self._mem_used[rank] += int(words)
+        if self.memory_words is not None and self._mem_used[rank] > self.memory_words:
+            raise MemoryLimitExceeded(
+                f"rank {rank} needs {int(self._mem_used[rank])} words "
+                f"but the budget is {self.memory_words}"
+            )
+
+    def free(self, rank: int, words: int) -> None:
+        self._mem_used[rank] = max(0, self._mem_used[rank] - int(words))
+
+    def memory_used(self, rank: int | None = None) -> int:
+        if rank is None:
+            return int(self._mem_used.max()) if self.p else 0
+        return int(self._mem_used[rank])
+
+    def reset_memory(self) -> None:
+        self._mem_used[:] = 0
+
+    # -- cost charging ---------------------------------------------------------
+
+    def charge_collective(
+        self,
+        ranks: np.ndarray | list[int],
+        words_per_rank: float,
+        weight: float = 2.0,
+        category: str = "collective",
+    ) -> None:
+        """Charge one collective over ``ranks``.
+
+        ``words_per_rank`` is the maximum words any participant owns at the
+        start or end (the paper's ``x``); ``weight`` is 2 for
+        broadcast/reduce-class collectives and 1 for scatter/gather-class
+        ones (§7.4's constants).  ``category`` tags the traffic for the
+        per-category volume breakdown.
+        """
+        ranks = np.asarray(ranks, dtype=np.int64)
+        q = len(ranks)
+        if q <= 1:
+            return  # single-rank collectives are free (no communication)
+        lg = math.ceil(math.log2(q))
+        t = weight * (words_per_rank * self.cost.beta + lg * self.cost.alpha)
+        msgs = weight * lg
+        led = self.ledger
+        # §7.4: max-merge each critical-path accumulator over participants,
+        # then add the collective's cost.
+        led.time[ranks] = led.time[ranks].max() + t
+        led.comm_time[ranks] = led.comm_time[ranks].max() + t
+        led.words[ranks] = led.words[ranks].max() + weight * words_per_rank
+        led.msgs[ranks] = led.msgs[ranks].max() + msgs
+        led.total_words += weight * words_per_rank * q
+        led.total_msgs += msgs * q
+        led.category_words[category] = (
+            led.category_words.get(category, 0.0) + weight * words_per_rank * q
+        )
+
+    def charge_pointtopoint(self, src: int, dst: int, words: float) -> None:
+        """Charge one point-to-point message (used by redistribution)."""
+        t = self.cost.alpha + words * self.cost.beta
+        led = self.ledger
+        start = max(led.time[src], led.time[dst])
+        led.time[[src, dst]] = start + t
+        cstart = max(led.comm_time[src], led.comm_time[dst])
+        led.comm_time[[src, dst]] = cstart + t
+        wstart = max(led.words[src], led.words[dst])
+        led.words[[src, dst]] = wstart + words
+        mstart = max(led.msgs[src], led.msgs[dst])
+        led.msgs[[src, dst]] = mstart + 1
+        led.total_words += words
+        led.total_msgs += 1
+
+    def charge_compute(self, ranks: np.ndarray | list[int], ops_per_rank: float) -> None:
+        """Charge local computation (modeled time only; no traffic)."""
+        ranks = np.asarray(ranks, dtype=np.int64)
+        self.ledger.time[ranks] += ops_per_rank / self.cost.compute_rate
+        self.ledger.compute_ops += ops_per_rank * len(ranks)
+        self.ledger.compute_per_rank[ranks] += ops_per_rank
+
+    def charge_overhead(self, seconds: float) -> None:
+        """Charge a fixed per-operation overhead on every rank (bulk
+        synchronous: all ranks pay it together)."""
+        self.ledger.time += seconds
+
+    def barrier(self) -> None:
+        """Synchronize all ranks' modeled clocks (bulk-synchronous step)."""
+        led = self.ledger
+        led.time[:] = led.time.max()
+
+    # -- groups -------------------------------------------------------------
+
+    def group(self, ranks) -> "Group":
+        from repro.machine.collectives import Group
+
+        return Group(self, np.asarray(ranks, dtype=np.int64))
+
+    def world(self) -> "Group":
+        return self.group(np.arange(self.p))
+
+    def __repr__(self) -> str:  # pragma: no cover - debugging aid
+        return f"Machine(p={self.p}, M={self.memory_words})"

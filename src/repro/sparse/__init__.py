@@ -1,0 +1,14 @@
+"""Single-node sparse matrices over arbitrary monoids.
+
+:class:`~repro.sparse.spmatrix.SpMat` is a canonical COO matrix whose values
+are columnar field arrays drawn from a monoid's carrier set — the node-local
+building block that both the sequential MFBC engine and the per-rank blocks
+of the distributed engine are made of.  The generalized SpGEMM kernel in
+:mod:`repro.sparse.spgemm` implements ``C = A •⟨⊕,f⟩ B`` for any
+:class:`~repro.algebra.matmul.MatMulSpec` with vectorized join + reduce.
+"""
+
+from repro.sparse.spmatrix import SpMat
+from repro.sparse.spgemm import SpGemmResult, spgemm, spgemm_with_ops
+
+__all__ = ["SpMat", "spgemm", "spgemm_with_ops", "SpGemmResult"]

@@ -1,0 +1,162 @@
+"""Closed-form α-β cost models for the SpGEMM algorithm space (§5.2).
+
+These are the expressions the paper derives, with the same structure CTF's
+mapping search evaluates: per-variant message counts and word volumes as
+functions of the operand/output nonzero counts and the grid factorization.
+The selector uses them a priori (with model-estimated ``nnz(C)``); the
+theory benches print them directly.
+
+All functions return a :class:`CostEstimate` with separate latency-message
+and bandwidth-word tallies so callers can apply any machine's α and β.
+"""
+
+from __future__ import annotations
+
+import math
+from dataclasses import dataclass
+
+__all__ = [
+    "CostEstimate",
+    "estimate_ops",
+    "estimate_nnz_c",
+    "model_1d",
+    "model_2d",
+    "model_3d",
+    "model_plan",
+]
+
+
+@dataclass(frozen=True)
+class CostEstimate:
+    """Messages, words, local flops, and per-rank memory words of a plan."""
+
+    msgs: float
+    words: float
+    flops: float
+    memory_words: float
+
+    def time(self, alpha: float, beta: float, compute_rate: float) -> float:
+        """Modeled execution time under given machine constants."""
+        return self.msgs * alpha + self.words * beta + self.flops / compute_rate
+
+
+def estimate_ops(m: int, k: int, n: int, nnz_a: int, nnz_b: int) -> float:
+    """``ops(A, B) ≈ nnz(A)·nnz(B)/k`` — the uniform-sparsity estimate (§5.2)."""
+    if k == 0:
+        return 0.0
+    return nnz_a * (nnz_b / k)
+
+
+def estimate_nnz_c(m: int, k: int, n: int, nnz_a: int, nnz_b: int) -> float:
+    """``nnz(C) ≈ min(m·n, ops(A, B))`` (§5.2)."""
+    return min(float(m) * float(n), estimate_ops(m, k, n, nnz_a, nnz_b))
+
+
+def _lg(q: float) -> float:
+    return math.ceil(math.log2(q)) if q > 1 else 0.0
+
+
+def model_1d(
+    variant: str, p: int, nnz_a: float, nnz_b: float, nnz_c: float, ops: float
+) -> CostEstimate:
+    """The 1D algorithms (§5.2.1): ``W_X = O(α·log p + β·nnz(X))``.
+
+    Variant A broadcasts A (everyone ends up holding all of A), B broadcasts
+    B, and C forms full partial outputs reduced with a sparse reduction.
+    """
+    nnz = {"A": nnz_a, "B": nnz_b, "C": nnz_c}[variant]
+    # bcast/reduce-class collective: weight-2 constants as in §7.4
+    msgs = 2.0 * _lg(p)
+    words = 2.0 * nnz
+    # replicated operand (or full partial output) is held entirely per rank
+    others = {"A": nnz_b + nnz_c, "B": nnz_a + nnz_c, "C": nnz_a + nnz_b}[variant]
+    memory = nnz + others / p
+    return CostEstimate(msgs, words, ops / p, memory)
+
+
+def model_2d(
+    variant: str,
+    pr: int,
+    pc: int,
+    nnz_a: float,
+    nnz_b: float,
+    nnz_c: float,
+    ops: float,
+) -> CostEstimate:
+    """The 2D algorithms (§5.2.2).
+
+    ``W_YZ = O(α·max(pr,pc)·log p + β·(nnz(Y)/pr + nnz(Z)/pc))`` — CTF runs
+    ``lcm(pr, pc)`` broadcast/reduction steps and prefers grids where
+    ``lcm ≈ max``.
+    """
+    p = pr * pc
+    steps = math.lcm(pr, pc)
+    nnz = {"A": nnz_a, "B": nnz_b, "C": nnz_c}
+    y, z = variant[0], variant[1]
+    msgs = 2.0 * steps * _lg(p)
+    words = 2.0 * (nnz[y] / pr + nnz[z] / pc)
+    memory = (nnz_a + nnz_b + nnz_c) / p + nnz[y] / pr + nnz[z] / pc
+    return CostEstimate(msgs, words, ops / p, memory)
+
+
+def model_3d(
+    x: str,
+    yz: str,
+    p1: int,
+    p2: int,
+    p3: int,
+    nnz_a: float,
+    nnz_b: float,
+    nnz_c: float,
+    ops: float,
+) -> CostEstimate:
+    """The nine 3D nestings (§5.2.3).
+
+    ``W_{X,YZ} = W_X(X[p2,p3]) + W_YZ(...)`` where the 1D variant handles
+    blocks of X from a ``p2 × p3`` distribution and the 2D algorithm sees
+    the other matrices shrunk by ``p1`` in the dimension the 1D split cuts.
+    Memory grows by the replication factor: ``nnz(X)·p1/p`` per rank.
+    """
+    p = p1 * p2 * p3
+    nnz = {"A": nnz_a, "B": nnz_b, "C": nnz_c}
+    # -- 1D part over p1 on X blocks from the p2 × p3 layer distribution.
+    msgs = 2.0 * _lg(p1)
+    words = 2.0 * nnz[x] / (p2 * p3)
+
+    # -- 2D part per layer; matrices ≠ X are split by p1 along one dimension.
+    def layer_nnz(name: str) -> float:
+        return nnz[name] if name == x else nnz[name] / p1
+
+    steps = math.lcm(p2, p3)
+    y, z = yz[0], yz[1]
+    msgs += 2.0 * steps * _lg(max(p2 * p3, 1))
+    words += 2.0 * (layer_nnz(y) / p2 + layer_nnz(z) / p3)
+    memory = (nnz_a + nnz_b + nnz_c) / p + nnz[x] * p1 / p
+    memory += layer_nnz(y) / p2 + layer_nnz(z) / p3
+    return CostEstimate(msgs, words, ops / p, memory)
+
+
+def model_plan(
+    plan,
+    m: int,
+    k: int,
+    n: int,
+    nnz_a: float,
+    nnz_b: float,
+    nnz_c: float | None = None,
+    ops: float | None = None,
+) -> CostEstimate:
+    """Evaluate any :class:`~repro.spgemm.plan.Plan` under the §5.2 models."""
+    if ops is None:
+        ops = estimate_ops(m, k, n, int(nnz_a), int(nnz_b))
+    if nnz_c is None:
+        nnz_c = estimate_nnz_c(m, k, n, int(nnz_a), int(nnz_b))
+    kind = plan.kind
+    if kind == "1d":
+        q = plan.p1 if plan.p1 > 1 else plan.p2 * plan.p3
+        return model_1d(plan.x, max(q, 1), nnz_a, nnz_b, nnz_c, ops)
+    if kind == "2d":
+        return model_2d(plan.yz, plan.p2, plan.p3, nnz_a, nnz_b, nnz_c, ops)
+    return model_3d(
+        plan.x, plan.yz, plan.p1, plan.p2, plan.p3, nnz_a, nnz_b, nnz_c, ops
+    )

@@ -1,0 +1,203 @@
+"""Cost-model-driven algorithm selection (CTF's mapping search, §6.2).
+
+For every product, :class:`AutoPolicy` enumerates the full §5.2 space —
+three 1D variants, three 2D variants over every ``pr × pc`` factorization,
+nine 3D variants over every ``p1 × p2 × p3`` factorization — evaluates the
+closed-form α-β model with the operands' *actual* nonzero counts (output
+nonzeros estimated by the uniform-sparsity model), filters by the machine's
+memory budget, and picks the cheapest plan.
+
+Two pinned policies reproduce the paper's named configurations:
+
+* :class:`PinnedPolicy` — CA-MFBC (§6): the fixed Theorem-5.1 grid
+  ``√(p/c) × √(p/c) × c`` with the adjacency matrix replicated;
+* :class:`Square2DPolicy` — the CombBLAS restriction: square 2D process
+  grids only (the reason the paper benchmarks powers of four).
+"""
+
+from __future__ import annotations
+
+import math
+from dataclasses import dataclass, field
+
+from repro.machine.grid import factorizations
+from repro.machine.machine import Machine, MemoryLimitExceeded
+from repro.spgemm.costmodel import estimate_nnz_c, estimate_ops, model_plan
+from repro.spgemm.plan import Plan
+
+__all__ = [
+    "SelectionPolicy",
+    "AutoPolicy",
+    "PinnedPolicy",
+    "Square2DPolicy",
+    "select_plan",
+    "enumerate_plans",
+    "amortized_model_plan",
+]
+
+
+def enumerate_plans(p: int) -> list[Plan]:
+    """Every (grid, variant) point of §5.2 for ``p`` ranks."""
+    plans: list[Plan] = []
+    for x in "ABC":
+        plans.append(Plan(p, 1, 1, x, "AB"))
+    for pr, pc in factorizations(p, 2):
+        if pr == 1 or pc == 1:
+            # 1 × q and q × 1 "2D" grids degenerate to the 1D variants
+            # already enumerated, with worse step counts.
+            continue
+        for yz in ("AB", "AC", "BC"):
+            plans.append(Plan(1, pr, pc, "A", yz))
+    for p1, p2, p3 in factorizations(p, 3):
+        if p1 == 1 or p2 * p3 == 1:
+            continue
+        for x in "ABC":
+            for yz in ("AB", "AC", "BC"):
+                plans.append(Plan(p1, p2, p3, x, yz))
+    return plans
+
+
+def amortized_model_plan(
+    plan: Plan, m, k, n, nnz_a, nnz_b, amortized: frozenset[str], **kwargs
+):
+    """Model cost with the replication of loop-invariant operands discounted.
+
+    MFBC replicates the adjacency matrix once and reuses it across all
+    ``O(d · n/nb)`` products (the amortization in Theorem 5.1's proof); the
+    selector must see that discount or it would never choose replication.
+    Extra ``kwargs`` (``nnz_c``, ``ops``) pass through to
+    :func:`~repro.spgemm.costmodel.model_plan`.
+    """
+    est = model_plan(plan, m, k, n, nnz_a, nnz_b, **kwargs)
+    if plan.kind == "3d" and plan.x in amortized:
+        nnz = {"A": nnz_a, "B": nnz_b}.get(plan.x)
+        if nnz is not None:
+            lg = math.ceil(math.log2(plan.p1)) if plan.p1 > 1 else 0
+            est = type(est)(
+                msgs=est.msgs - 2.0 * lg,
+                words=est.words - 2.0 * nnz / (plan.p2 * plan.p3),
+                flops=est.flops,
+                memory_words=est.memory_words,
+            )
+    elif plan.kind == "1d" and plan.x in amortized:
+        nnz = {"A": nnz_a, "B": nnz_b}.get(plan.x)
+        if nnz is not None:
+            q = plan.p1 if plan.p1 > 1 else plan.p2 * plan.p3
+            lg = math.ceil(math.log2(q)) if q > 1 else 0
+            est = type(est)(
+                msgs=est.msgs - 2.0 * lg,
+                words=est.words - 2.0 * nnz,
+                flops=est.flops,
+                memory_words=est.memory_words,
+            )
+    return est
+
+
+class SelectionPolicy:
+    """Base policy interface."""
+
+    def select(
+        self,
+        machine: Machine,
+        m: int,
+        k: int,
+        n: int,
+        nnz_a: int,
+        nnz_b: int,
+        amortized: frozenset[str] = frozenset(),
+    ) -> Plan:
+        raise NotImplementedError
+
+
+@dataclass
+class AutoPolicy(SelectionPolicy):
+    """Full model-driven search over grids × variants (CTF behaviour)."""
+
+    #: record of (plan, modeled time) choices, newest last — for diagnostics.
+    history: list[tuple[Plan, float]] = field(default_factory=list)
+
+    def select(self, machine, m, k, n, nnz_a, nnz_b, amortized=frozenset()):
+        cost = machine.cost
+        best: Plan | None = None
+        best_time = math.inf
+        ops = estimate_ops(m, k, n, nnz_a, nnz_b)
+        nnz_c = estimate_nnz_c(m, k, n, nnz_a, nnz_b)
+        for plan in enumerate_plans(machine.p):
+            est = amortized_model_plan(plan, m, k, n, nnz_a, nnz_b, amortized)
+            if (
+                machine.memory_words is not None
+                and est.memory_words > machine.memory_words
+            ):
+                continue
+            t = est.time(cost.alpha, cost.beta, cost.compute_rate)
+            if t < best_time - 1e-18 or (
+                abs(t - best_time) <= 1e-18 and best is not None and plan.p1 < best.p1
+            ):
+                best, best_time = plan, t
+        if best is None:
+            raise MemoryLimitExceeded(
+                f"no SpGEMM plan fits the per-rank memory budget "
+                f"{machine.memory_words} words for nnz(A)={nnz_a}, nnz(B)={nnz_b}"
+            )
+        _ = (ops, nnz_c)
+        self.history.append((best, best_time))
+        return best
+
+
+@dataclass
+class PinnedPolicy(SelectionPolicy):
+    """Always run one fixed plan (CA-MFBC's Theorem-5.1 configuration)."""
+
+    plan: Plan
+
+    @classmethod
+    def ca_mfbc(cls, p: int, c: int = 1) -> "PinnedPolicy":
+        """The communication-avoiding grid of Theorem 5.1.
+
+        ``p1 = p2 = √(p/c)``, ``p3 = c``; the adjacency matrix (our second
+        operand) is replicated over the ``p3 = c`` layers via the 1D variant
+        and the 2D part broadcasts the frontier and reduces the output.
+        """
+        if c < 1 or p % c != 0:
+            raise ValueError(f"replication factor c={c} must divide p={p}")
+        s = math.isqrt(p // c)
+        if s * s != p // c:
+            raise ValueError(f"p/c = {p // c} must be a perfect square")
+        if c == 1:
+            return cls(Plan(1, s, s, "A", "AC"))
+        return cls(Plan(c, s, s, "B", "AC"))
+
+    def select(self, machine, m, k, n, nnz_a, nnz_b, amortized=frozenset()):
+        if self.plan.p != machine.p:
+            raise ValueError(
+                f"pinned plan covers {self.plan.p} ranks, machine has {machine.p}"
+            )
+        return self.plan
+
+
+@dataclass
+class Square2DPolicy(SelectionPolicy):
+    """CombBLAS's restriction: a square 2D grid running plain SUMMA (AB)."""
+
+    def select(self, machine, m, k, n, nnz_a, nnz_b, amortized=frozenset()):
+        s = math.isqrt(machine.p)
+        if s * s != machine.p:
+            raise ValueError(
+                f"CombBLAS requires a square process grid; p={machine.p} "
+                "is not a perfect square"
+            )
+        return Plan(1, s, s, "A", "AB")
+
+
+def select_plan(
+    policy: SelectionPolicy,
+    machine: Machine,
+    m: int,
+    k: int,
+    n: int,
+    nnz_a: int,
+    nnz_b: int,
+    amortized: frozenset[str] = frozenset(),
+) -> Plan:
+    """Convenience dispatcher."""
+    return policy.select(machine, m, k, n, nnz_a, nnz_b, amortized)

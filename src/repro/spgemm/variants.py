@@ -1,0 +1,539 @@
+"""Executable distributed SpGEMM algorithms on the simulated machine.
+
+Every variant of §5.2 is implemented with *real block movement* — operands
+are redistributed into the variant's native layouts, panels/pieces are
+extracted, local products run through the vectorized kernel, and outputs are
+reassembled — while every communication phase charges the machine's ledger
+with the measured payload sizes through the same collective constants the
+analysis uses (broadcast/reduce weight 2, scatter/all-to-all weight 1).
+
+Layout conventions (C = A •⟨⊕,f⟩ B, A is m×k, B is k×n):
+
+* 2D variants run on a ``pr × pc`` rank grid with ``L = lcm(pr, pc)``
+  broadcast/reduction steps (CTF's step count):
+  - **AB**: A blocked (m~pr, k~pc), B blocked (k~pr, n~pc), C stationary;
+    per step the A piece broadcasts along its grid row and the B piece
+    along its grid column.
+  - **AC**: B stationary (k~pr, n~pc); A lives transposed-blocked
+    (m~pc, k~pr) so each piece broadcast runs along a grid row; partial C
+    chunks are sparse-reduced along grid columns.
+  - **BC**: A stationary (m~pr, k~pc); B lives transposed-blocked
+    (k~pc, n~pr); B pieces broadcast along grid columns; partial C chunks
+    are sparse-reduced along grid rows.
+* 1D variants degenerate: **A**/**B** replicate one operand with a single
+  broadcast-class collective and block the others 1-dimensionally; **C**
+  forms full-size local partials and sparse-reduces them.
+* 3D variants nest: the 1D variant ``X`` runs over ``p1`` layers (replicating
+  X or splitting/reducing), each layer running the 2D variant on its
+  ``p2 × p3`` sub-grid.  Replication of a loop-invariant operand (MFBC's
+  adjacency matrix) is cached and charged once — the amortization the proof
+  of Theorem 5.1 relies on.
+"""
+
+from __future__ import annotations
+
+import math
+
+import numpy as np
+
+from repro.algebra.matmul import MatMulSpec
+from repro.dist.distmat import DistMat, even_splits
+from repro.machine.machine import Machine
+from repro.sparse.spgemm import spgemm_with_ops
+from repro.sparse.spmatrix import SpMat
+from repro.spgemm.plan import Plan
+
+__all__ = ["execute_plan"]
+
+
+def execute_plan(
+    plan: Plan,
+    a: DistMat,
+    b: DistMat,
+    spec: MatMulSpec,
+    home_ranks2d: np.ndarray,
+    *,
+    replication_cache: dict | None = None,
+) -> tuple[DistMat, int]:
+    """Run ``C = A •⟨⊕,f⟩ B`` under ``plan``; return C on the home grid.
+
+    ``home_ranks2d`` is the machine-wide 2D rank grid that inputs live on
+    and the output is returned on (the engine's resting layout).
+    """
+    machine = a.machine
+    if plan.p != machine.p:
+        raise ValueError(f"plan {plan} does not cover machine p={machine.p}")
+    if a.ncols != b.nrows:
+        raise ValueError(f"inner dimension mismatch: {a.shape} × {b.shape}")
+    kind = plan.kind
+    if kind == "1d":
+        c, ops = _exec_1d(plan.x, machine, a, b, spec, replication_cache)
+    elif kind == "2d":
+        ranks2d = np.arange(machine.p).reshape(plan.p2, plan.p3)
+        c, ops = _exec_2d(plan.yz, ranks2d, machine, a, b, spec)
+    else:
+        ranks3d = np.arange(machine.p).reshape(plan.p1, plan.p2, plan.p3)
+        c, ops = _exec_3d(
+            plan.x, plan.yz, ranks3d, machine, a, b, spec, replication_cache
+        )
+    if not (
+        np.array_equal(c.ranks2d, home_ranks2d)
+        and np.array_equal(c.row_splits, even_splits(c.nrows, home_ranks2d.shape[0]))
+        and np.array_equal(c.col_splits, even_splits(c.ncols, home_ranks2d.shape[1]))
+    ):
+        c = c.redistribute(home_ranks2d)
+    return c, ops
+
+
+# ---------------------------------------------------------------------------
+# local helpers
+# ---------------------------------------------------------------------------
+
+
+def _local_mul(machine: Machine, rank: int, x: SpMat, y: SpMat, spec) -> tuple[SpMat, int]:
+    res = spgemm_with_ops(x, y, spec)
+    machine.charge_compute([rank], float(res.ops))
+    return res.matrix, res.ops
+
+
+def _embed(piece: SpMat, nrows: int, ncols: int, roff: int, coff: int) -> SpMat:
+    """Place ``piece`` into an ``nrows × ncols`` frame at offset (roff, coff)."""
+    return SpMat(
+        nrows,
+        ncols,
+        piece.rows + roff,
+        piece.cols + coff,
+        piece.vals,
+        piece.monoid,
+        canonical=True,
+    )
+
+
+def _replicate_cached(
+    cache: dict | None,
+    key,
+    build,
+):
+    """Fetch a replicated operand from the cache or build-and-charge it."""
+    if cache is not None and key in cache:
+        return cache[key], True
+    value = build()
+    if cache is not None:
+        cache[key] = value
+    return value, False
+
+
+# ---------------------------------------------------------------------------
+# 1D algorithms (§5.2.1)
+# ---------------------------------------------------------------------------
+
+
+def _exec_1d(
+    x: str,
+    machine: Machine,
+    a: DistMat,
+    b: DistMat,
+    spec,
+    cache: dict | None,
+) -> tuple[DistMat, int]:
+    p = machine.p
+    all_ranks = np.arange(p)
+    row1 = all_ranks.reshape(1, p)
+    col1 = all_ranks.reshape(p, 1)
+    monoid = spec.monoid
+    m, k, n = a.nrows, a.ncols, b.ncols
+    total_ops = 0
+
+    if x == "A":
+        # replicate A (broadcast), block B and C by columns.
+        def build():
+            full = a.gather(charge=False)
+            machine.charge_collective(
+                all_ranks, full.words(), weight=2.0, category="replicate"
+            )
+            return full
+
+        a_full, _ = _replicate_cached(cache, ("1dA", id(a)), build)
+        b1 = b.redistribute(row1)
+        c_blocks = []
+        for j in range(p):
+            blk, ops = _local_mul(machine, j, a_full, b1.blocks[0][j], spec)
+            total_ops += ops
+            c_blocks.append(blk)
+        c = DistMat(
+            machine, row1, even_splits(m, 1), b1.col_splits, [c_blocks], monoid
+        )
+        return c, total_ops
+
+    if x == "B":
+        # replicate B, block A and C by rows.
+        def build():
+            full = b.gather(charge=False)
+            machine.charge_collective(
+                all_ranks, full.words(), weight=2.0, category="replicate"
+            )
+            return full
+
+        b_full, _ = _replicate_cached(cache, ("1dB", id(b)), build)
+        a1 = a.redistribute(col1)
+        c_blocks = []
+        for i in range(p):
+            blk, ops = _local_mul(machine, i, a1.blocks[i][0], b_full, spec)
+            total_ops += ops
+            c_blocks.append([blk])
+        c = DistMat(
+            machine, col1, a1.row_splits, even_splits(n, 1), c_blocks, monoid
+        )
+        return c, total_ops
+
+    # x == "C": block A by columns and B by rows; sparse-reduce full partials.
+    a1 = a.redistribute(row1)  # (m × k) split along k
+    b1 = b.redistribute(col1)  # (k × n) split along k
+    partial = None
+    for r in range(p):
+        blk, ops = _local_mul(machine, r, a1.blocks[0][r], b1.blocks[r][0], spec)
+        total_ops += ops
+        partial = blk if partial is None else partial.combine(blk)
+    if partial is None:
+        partial = SpMat.empty(m, n, monoid)
+    machine.charge_collective(
+        all_ranks, partial.words(), weight=2.0, category="reduce"
+    )
+    home = np.arange(p).reshape(1, p) if p > 1 else np.zeros((1, 1), dtype=np.int64)
+    c = DistMat.distribute(partial, machine, home, charge=True)
+    return c, total_ops
+
+
+# ---------------------------------------------------------------------------
+# 2D algorithms (§5.2.2)
+# ---------------------------------------------------------------------------
+
+
+def _chunk_of(splits: np.ndarray, t_lo: int, t_hi: int, block: int) -> tuple[int, int]:
+    """Local [lo, hi) range of global chunk [t_lo, t_hi) inside ``block``."""
+    base = int(splits[block])
+    return t_lo - base, t_hi - base
+
+
+def _exec_2d(
+    yz: str,
+    ranks2d: np.ndarray,
+    machine: Machine,
+    a: DistMat,
+    b: DistMat,
+    spec,
+) -> tuple[DistMat, int]:
+    pr, pc = ranks2d.shape
+    m, k, n = a.nrows, a.ncols, b.ncols
+    monoid = spec.monoid
+    lcm = math.lcm(pr, pc)
+    total_ops = 0
+
+    if yz == "AB":
+        a_n = a.redistribute(ranks2d, even_splits(m, pr), even_splits(k, pc))
+        b_n = b.redistribute(ranks2d, even_splits(k, pr), even_splits(n, pc))
+        ks = even_splits(k, lcm)
+        c_blocks = [
+            [SpMat.empty(
+                int(a_n.row_splits[i + 1] - a_n.row_splits[i]),
+                int(b_n.col_splits[j + 1] - b_n.col_splits[j]),
+                monoid,
+            ) for j in range(pc)]
+            for i in range(pr)
+        ]
+        for t in range(lcm):
+            t_lo, t_hi = int(ks[t]), int(ks[t + 1])
+            ja = t // (lcm // pc)
+            ib = t // (lcm // pr)
+            # A pieces broadcast along grid rows.
+            a_pieces = []
+            for i in range(pr):
+                lo, hi = _chunk_of(a_n.col_splits, t_lo, t_hi, ja)
+                piece = a_n.blocks[i][ja].block(0, a_n.blocks[i][ja].nrows, lo, hi)
+                a_pieces.append(piece)
+                if piece.nnz and pc > 1:
+                    machine.charge_collective(
+                        ranks2d[i, :], piece.words(), weight=2.0, category="bcast"
+                    )
+            # B pieces broadcast along grid columns.
+            b_pieces = []
+            for j in range(pc):
+                lo, hi = _chunk_of(b_n.row_splits, t_lo, t_hi, ib)
+                piece = b_n.blocks[ib][j].block(lo, hi, 0, b_n.blocks[ib][j].ncols)
+                b_pieces.append(piece)
+                if piece.nnz and pr > 1:
+                    machine.charge_collective(
+                        ranks2d[:, j], piece.words(), weight=2.0, category="bcast"
+                    )
+            for i in range(pr):
+                if a_pieces[i].nnz == 0:
+                    continue
+                for j in range(pc):
+                    if b_pieces[j].nnz == 0:
+                        continue
+                    prod, ops = _local_mul(
+                        machine, int(ranks2d[i, j]), a_pieces[i], b_pieces[j], spec
+                    )
+                    total_ops += ops
+                    if prod.nnz:
+                        c_blocks[i][j] = c_blocks[i][j].combine(prod)
+        c = DistMat(machine, ranks2d, a_n.row_splits, b_n.col_splits, c_blocks, monoid)
+        return c, total_ops
+
+    if yz == "BC":
+        # A stationary; B pieces broadcast along grid columns; C chunks
+        # sparse-reduced along grid rows.
+        a_n = a.redistribute(ranks2d, even_splits(m, pr), even_splits(k, pc))
+        b_n = b.redistribute(ranks2d.T, even_splits(k, pc), even_splits(n, pr))
+        ns = even_splits(n, lcm)
+        cs = even_splits(n, pc)
+        c_blocks = [
+            [SpMat.empty(
+                int(a_n.row_splits[i + 1] - a_n.row_splits[i]),
+                int(cs[j + 1] - cs[j]),
+                monoid,
+            ) for j in range(pc)]
+            for i in range(pr)
+        ]
+        for t in range(lcm):
+            t_lo, t_hi = int(ns[t]), int(ns[t + 1])
+            tb = t // (lcm // pr)
+            jc = t // (lcm // pc)
+            b_pieces = []
+            for j in range(pc):
+                lo, hi = _chunk_of(b_n.col_splits, t_lo, t_hi, tb)
+                piece = b_n.blocks[j][tb].block(0, b_n.blocks[j][tb].nrows, lo, hi)
+                b_pieces.append(piece)
+                if piece.nnz and pr > 1:
+                    machine.charge_collective(
+                        ranks2d[:, j], piece.words(), weight=2.0, category="bcast"
+                    )
+            for i in range(pr):
+                partial = None
+                for j in range(pc):
+                    if b_pieces[j].nnz == 0 or a_n.blocks[i][j].nnz == 0:
+                        continue
+                    prod, ops = _local_mul(
+                        machine, int(ranks2d[i, j]), a_n.blocks[i][j], b_pieces[j], spec
+                    )
+                    total_ops += ops
+                    partial = prod if partial is None else partial.combine(prod)
+                if partial is not None and partial.nnz:
+                    if pc > 1:
+                        machine.charge_collective(
+                            ranks2d[i, :],
+                            partial.words(),
+                            weight=2.0,
+                            category="reduce",
+                        )
+                    placed = _embed(
+                        partial,
+                        c_blocks[i][jc].nrows,
+                        c_blocks[i][jc].ncols,
+                        0,
+                        t_lo - int(cs[jc]),
+                    )
+                    c_blocks[i][jc] = c_blocks[i][jc].combine(placed)
+        c = DistMat(machine, ranks2d, a_n.row_splits, cs, c_blocks, monoid)
+        return c, total_ops
+
+    if yz == "AC":
+        # B stationary; A pieces broadcast along grid rows; C chunks
+        # sparse-reduced along grid columns.
+        b_n = b.redistribute(ranks2d, even_splits(k, pr), even_splits(n, pc))
+        a_n = a.redistribute(ranks2d.T, even_splits(m, pc), even_splits(k, pr))
+        ms = even_splits(m, lcm)
+        rs = even_splits(m, pr)
+        c_blocks = [
+            [SpMat.empty(
+                int(rs[i + 1] - rs[i]),
+                int(b_n.col_splits[j + 1] - b_n.col_splits[j]),
+                monoid,
+            ) for j in range(pc)]
+            for i in range(pr)
+        ]
+        for t in range(lcm):
+            t_lo, t_hi = int(ms[t]), int(ms[t + 1])
+            ta = t // (lcm // pc)
+            ic = t // (lcm // pr)
+            a_pieces = []
+            for i in range(pr):
+                lo, hi = _chunk_of(a_n.row_splits, t_lo, t_hi, ta)
+                piece = a_n.blocks[ta][i].block(lo, hi, 0, a_n.blocks[ta][i].ncols)
+                a_pieces.append(piece)
+                if piece.nnz and pc > 1:
+                    machine.charge_collective(
+                        ranks2d[i, :], piece.words(), weight=2.0, category="bcast"
+                    )
+            for j in range(pc):
+                partial = None
+                for i in range(pr):
+                    if a_pieces[i].nnz == 0 or b_n.blocks[i][j].nnz == 0:
+                        continue
+                    prod, ops = _local_mul(
+                        machine, int(ranks2d[i, j]), a_pieces[i], b_n.blocks[i][j], spec
+                    )
+                    total_ops += ops
+                    partial = prod if partial is None else partial.combine(prod)
+                if partial is not None and partial.nnz:
+                    if pr > 1:
+                        machine.charge_collective(
+                            ranks2d[:, j],
+                            partial.words(),
+                            weight=2.0,
+                            category="reduce",
+                        )
+                    placed = _embed(
+                        partial,
+                        c_blocks[ic][j].nrows,
+                        c_blocks[ic][j].ncols,
+                        t_lo - int(rs[ic]),
+                        0,
+                    )
+                    c_blocks[ic][j] = c_blocks[ic][j].combine(placed)
+        c = DistMat(machine, ranks2d, rs, b_n.col_splits, c_blocks, monoid)
+        return c, total_ops
+
+    raise ValueError(f"unknown 2D variant {yz!r}")
+
+
+# ---------------------------------------------------------------------------
+# 3D algorithms (§5.2.3): 1D variant X over p1 nesting 2D variant YZ
+# ---------------------------------------------------------------------------
+
+
+def _layer_home(layer_ranks: np.ndarray, nrows: int, ncols: int):
+    pr, pc = layer_ranks.shape
+    return even_splits(nrows, pr), even_splits(ncols, pc)
+
+
+def _exec_3d(
+    x: str,
+    yz: str,
+    ranks3d: np.ndarray,
+    machine: Machine,
+    a: DistMat,
+    b: DistMat,
+    spec,
+    cache: dict | None,
+) -> tuple[DistMat, int]:
+    p1, p2, p3 = ranks3d.shape
+    m, k, n = a.nrows, a.ncols, b.ncols
+    monoid = spec.monoid
+    layers = [ranks3d[l] for l in range(p1)]
+    total_ops = 0
+
+    def replicate(mat: DistMat, tag: str) -> list[DistMat]:
+        """One copy of ``mat`` per layer; broadcast charged once per fiber."""
+
+        def build():
+            copies = [mat.redistribute(layers[l], charge=(l == 0)) for l in range(p1)]
+            # fiber broadcasts: each (i, j) position's block travels to the
+            # p1 ranks {ranks3d[:, i, j]} — the W_X(X[p2, p3]) term.
+            ref = copies[0]
+            for i in range(p2):
+                for j in range(p3):
+                    w = ref.blocks[i][j].words()
+                    if w and p1 > 1:
+                        machine.charge_collective(
+                            ranks3d[:, i, j], w, weight=2.0, category="replicate"
+                        )
+            return copies
+
+        copies, _ = _replicate_cached(cache, ("3d" + tag, id(mat), p1, p2, p3), build)
+        return copies
+
+    if x == "A":
+        a_layers = replicate(a, "A")
+        bs = even_splits(n, p1)
+        pieces = []
+        for l in range(p1):
+            b_l = b.extract_col_range(int(bs[l]), int(bs[l + 1])).redistribute(layers[l])
+            c_l, ops = _exec_2d(yz, layers[l], machine, a_layers[l], b_l, spec)
+            total_ops += ops
+            pieces.append((c_l, 0, int(bs[l])))
+        return _reassemble(machine, pieces, m, n, monoid), total_ops
+
+    if x == "B":
+        b_layers = replicate(b, "B")
+        as_ = even_splits(m, p1)
+        pieces = []
+        for l in range(p1):
+            a_l = a.extract_row_range(int(as_[l]), int(as_[l + 1])).redistribute(layers[l])
+            c_l, ops = _exec_2d(yz, layers[l], machine, a_l, b_layers[l], spec)
+            total_ops += ops
+            pieces.append((c_l, int(as_[l]), 0))
+        return _reassemble(machine, pieces, m, n, monoid), total_ops
+
+    # x == "C": split the contraction dimension; sparse-reduce layer partials.
+    ks = even_splits(k, p1)
+    partials = []
+    for l in range(p1):
+        a_l = a.extract_col_range(int(ks[l]), int(ks[l + 1])).redistribute(layers[l])
+        b_l = b.extract_row_range(int(ks[l]), int(ks[l + 1])).redistribute(layers[l])
+        c_l, ops = _exec_2d(yz, layers[l], machine, a_l, b_l, spec)
+        total_ops += ops
+        partials.append(c_l)
+    # reduce across layers, block position by block position (fiber groups)
+    base = partials[0]
+    out_blocks = []
+    for i in range(p2):
+        row = []
+        for j in range(p3):
+            acc = base.blocks[i][j]
+            for l in range(1, p1):
+                acc = acc.combine(partials[l].blocks[i][j])
+            if acc.nnz and p1 > 1:
+                machine.charge_collective(
+                    ranks3d[:, i, j], acc.words(), weight=2.0, category="reduce"
+                )
+            row.append(acc)
+        out_blocks.append(row)
+    c = DistMat(
+        machine, layers[0], base.row_splits, base.col_splits, out_blocks, monoid
+    )
+    return c, total_ops
+
+
+def _reassemble(
+    machine: Machine,
+    pieces: list[tuple[DistMat, int, int]],
+    nrows: int,
+    ncols: int,
+    monoid,
+) -> DistMat:
+    """Concatenate disjoint layer outputs into one machine-wide matrix.
+
+    Pure reindexing: each layer's blocks keep their owners; the result lives
+    on the union grid described by stacked splits.  No data moves, so no
+    charge — the caller's final redistribution to the home layout pays the
+    real shuffle.
+    """
+    full_rows: list[np.ndarray] = []
+    full_cols: list[np.ndarray] = []
+    full_vals = []
+    for dm, roff, coff in pieces:
+        local = dm.gather(charge=False)
+        if local.nnz == 0:
+            continue
+        full_rows.append(local.rows + roff)
+        full_cols.append(local.cols + coff)
+        full_vals.append(local.vals)
+    if not full_rows:
+        full = SpMat.empty(nrows, ncols, monoid)
+    else:
+        from repro.algebra.fields import concat_fields
+
+        full = SpMat(
+            nrows,
+            ncols,
+            np.concatenate(full_rows),
+            np.concatenate(full_cols),
+            concat_fields(full_vals),
+            monoid,
+        )
+    p = machine.p
+    # provisional machine-wide 1 × p layout; caller redistributes to home
+    return DistMat.distribute(
+        full, machine, np.arange(p).reshape(1, p), charge=False
+    )

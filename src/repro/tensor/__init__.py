@@ -1,0 +1,22 @@
+"""Sparse tensors of order ≤ 3 with monoid-generalized contractions.
+
+CTF — the substrate the paper builds on — is a *tensor* framework: "tensors
+of order higher than two can represent hypergraphs" (§6.1), and "aside from
+the need for transposition (data-reordering), sparse tensor contractions are
+equivalent to sparse matrix multiplication" (§1).  This package implements
+exactly that reduction:
+
+* :class:`~repro.tensor.sptensor.SpTensor` — canonical sparse COO tensors
+  over any monoid, with mode permutation (the "data reordering");
+* :func:`~repro.tensor.contract.contract` — generalized contraction
+  ``C[out] = ⊕ f(A[ia], B[ib])`` over any single shared mode, lowered to
+  the same vectorized SpGEMM kernel MFBC uses by flattening free modes;
+* :class:`~repro.tensor.einsum.TensorExpr` — the einsum-style front end
+  extending :mod:`repro.ctfapi` to order-3 operands.
+"""
+
+from repro.tensor.sptensor import SpTensor
+from repro.tensor.contract import contract
+from repro.tensor.dist import DistTensor, contract_distributed
+
+__all__ = ["SpTensor", "contract", "DistTensor", "contract_distributed"]

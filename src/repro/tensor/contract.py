@@ -1,0 +1,116 @@
+"""Generalized tensor contraction by reduction to sparse matmul.
+
+``contract(a, ia, b, ib, out, spec)`` computes
+
+    C[out] = ⊕_{shared} f(A[ia], B[ib])
+
+for index strings in einsum style (e.g. ``"ijk", "kl" → "ijl"``), where
+exactly one index is shared (the contracted mode) and every other index
+appears in ``out``.  The implementation is the paper's §1 observation made
+executable: permute each operand so the contracted mode is innermost/
+outermost, *unfold* free modes into one matrix dimension, run the
+generalized SpGEMM kernel, and *fold* the result back.
+"""
+
+from __future__ import annotations
+
+from repro.algebra.matmul import MatMulSpec
+from repro.sparse.spgemm import spgemm_with_ops
+from repro.tensor.sptensor import SpTensor
+
+__all__ = ["contract", "contract_with_ops"]
+
+
+def _validate(a: SpTensor, ia: str, b: SpTensor, ib: str, out: str) -> str:
+    if len(ia) != a.order or len(ib) != b.order:
+        raise ValueError(
+            f"index strings {ia!r}/{ib!r} do not match tensor orders "
+            f"{a.order}/{b.order}"
+        )
+    if len(set(ia)) != len(ia) or len(set(ib)) != len(ib) or len(set(out)) != len(out):
+        raise ValueError("repeated index within one operand is not supported")
+    shared = set(ia) & set(ib)
+    if len(shared) != 1:
+        raise ValueError(
+            f"contraction requires exactly one shared index, got {sorted(shared)}"
+        )
+    k = shared.pop()
+    free = (set(ia) | set(ib)) - {k}
+    if set(out) != free:
+        raise ValueError(
+            f"output indices {out!r} must be exactly the free indices "
+            f"{sorted(free)}"
+        )
+    if k in out:
+        raise ValueError(f"contracted index {k!r} cannot appear in the output")
+    if not out:
+        raise ValueError("scalar (order-0) outputs are not supported")
+    if len(out) > 3:
+        raise ValueError(
+            f"output order {len(out)} exceeds the supported maximum of 3"
+        )
+    # extents of the shared mode must agree
+    if a.shape[ia.index(k)] != b.shape[ib.index(k)]:
+        raise ValueError(
+            f"contracted extents differ: {a.shape[ia.index(k)]} vs "
+            f"{b.shape[ib.index(k)]}"
+        )
+    return k
+
+
+def contract_with_ops(
+    a: SpTensor,
+    ia: str,
+    b: SpTensor,
+    ib: str,
+    out: str,
+    spec: MatMulSpec,
+) -> tuple[SpTensor, int]:
+    """Contract and also report the elementary-product count."""
+    k = _validate(a, ia, b, ib, out)
+
+    # output mode order: A's free indices (in 'out' order restricted to A)
+    # first, then B's — we build that then permute to the requested 'out'.
+    a_free = [c for c in out if c in ia]
+    b_free = [c for c in out if c in ib]
+
+    # unfold A to rows = (a_free..., in order) × cols = (k)
+    a_mat = a.unfold([ia.index(c) for c in a_free])
+    # unfold B to rows = (k) × cols = free modes; unfold packs column modes
+    # in ascending *mode* order, so permute B first when the desired b_free
+    # order differs (CTF's "data reordering before contraction").
+    if [ib.index(c) for c in b_free] != sorted(ib.index(c) for c in b_free):
+        b = b.permute([ib.index(k)] + [ib.index(c) for c in b_free])
+        ib = k + "".join(b_free)
+    b_mat = b.unfold([ib.index(k)])
+
+    res = spgemm_with_ops(a_mat, b_mat, spec)
+    a_free_shape = [a.shape[ia.index(c)] for c in a_free]
+    b_free_shape = [b.shape[ib.index(c)] for c in b_free]
+    folded = SpTensor.fold(res.matrix, a_free_shape or [1], b_free_shape or [1])
+    # drop padding modes introduced for scalar-side folds
+    natural = a_free + b_free
+    if not a_free:
+        folded = _drop_unit_mode(folded, 0)
+    if not b_free:
+        folded = _drop_unit_mode(folded, folded.order - 1)
+    # permute from natural (a_free + b_free) order to the requested 'out'
+    perm = [natural.index(c) for c in out]
+    if perm != list(range(len(perm))):
+        folded = folded.permute(perm)
+    return folded, res.ops
+
+
+def _drop_unit_mode(t: SpTensor, mode: int) -> SpTensor:
+    if t.shape[mode] != 1:
+        raise ValueError("can only drop a unit mode")
+    shape = tuple(s for i, s in enumerate(t.shape) if i != mode)
+    coords = tuple(c for i, c in enumerate(t.coords) if i != mode)
+    return SpTensor(shape, coords, t.vals, t.monoid, canonical=True)
+
+
+def contract(
+    a: SpTensor, ia: str, b: SpTensor, ib: str, out: str, spec: MatMulSpec
+) -> SpTensor:
+    """Convenience wrapper returning only the contracted tensor."""
+    return contract_with_ops(a, ia, b, ib, out, spec)[0]

@@ -1,0 +1,257 @@
+"""Canonical sparse COO tensors over monoids (order 1–3).
+
+The tensor analogue of :class:`~repro.sparse.SpMat`: coordinates are a tuple
+of index columns, values a columnar field array, canonical form is
+sorted-unique-pruned under the element monoid.  Mode permutation is CTF's
+"data reordering"; matricization (:meth:`SpTensor.unfold`) flattens a group
+of modes into one, which is how contractions reduce to sparse matmul.
+"""
+
+from __future__ import annotations
+
+import math
+from typing import Sequence
+
+import numpy as np
+
+from repro.algebra.fields import FieldArray, take_fields
+from repro.algebra.monoid import Monoid
+from repro.sparse.spmatrix import SpMat
+
+__all__ = ["SpTensor"]
+
+MAX_ORDER = 3
+
+
+class SpTensor:
+    """A sparse tensor of order 1–3 with monoid-valued entries.
+
+    Parameters
+    ----------
+    shape:
+        Mode extents (1 to 3 of them).
+    coords:
+        Sequence of index arrays, one per mode, equal lengths.
+    vals:
+        Field array of values aligned with the coordinates.
+    monoid:
+        Element monoid (identity = unstored value, duplicate folding = ⊕).
+    """
+
+    __slots__ = ("shape", "coords", "vals", "monoid")
+
+    def __init__(
+        self,
+        shape: Sequence[int],
+        coords: Sequence[np.ndarray],
+        vals: FieldArray,
+        monoid: Monoid,
+        *,
+        canonical: bool = False,
+    ) -> None:
+        shape = tuple(int(s) for s in shape)
+        if not 1 <= len(shape) <= MAX_ORDER:
+            raise ValueError(f"order must be 1..{MAX_ORDER}, got {len(shape)}")
+        if any(s < 0 for s in shape):
+            raise ValueError(f"negative extent in shape {shape}")
+        if len(coords) != len(shape):
+            raise ValueError(
+                f"{len(shape)} coordinate arrays required, got {len(coords)}"
+            )
+        coords = tuple(np.asarray(c, dtype=np.int64) for c in coords)
+        lengths = {len(c) for c in coords}
+        if len(lengths) != 1:
+            raise ValueError("ragged coordinate arrays")
+        for c, s in zip(coords, shape):
+            if len(c) and (c.min() < 0 or c.max() >= s):
+                raise ValueError("coordinate out of bounds")
+        vals = {
+            name: np.asarray(vals[name], dtype=dtype)
+            for name, dtype in monoid.field_spec
+        }
+        self.shape = shape
+        self.monoid = monoid
+        if canonical:
+            self.coords, self.vals = coords, vals
+        else:
+            self.coords, self.vals = self._canonicalize(coords, vals)
+
+    # -- canonical form -----------------------------------------------------
+
+    def _linearize(self, coords) -> np.ndarray:
+        key = coords[0].astype(np.int64)
+        for c, s in zip(coords[1:], self.shape[1:]):
+            key = key * s + c
+        return key
+
+    def _delinearize(self, keys: np.ndarray) -> tuple[np.ndarray, ...]:
+        out = []
+        for s in reversed(self.shape[1:]):
+            out.append(keys % s)
+            keys = keys // s
+        out.append(keys)
+        return tuple(reversed(out))
+
+    def _canonicalize(self, coords, vals):
+        keys = self._linearize(coords)
+        keys, vals = self.monoid.reduce_by_key(keys, vals)
+        keep = ~self.monoid.is_identity(vals)
+        if not keep.all():
+            keys = keys[keep]
+            vals = take_fields(vals, keep.nonzero()[0])
+        return self._delinearize(keys), vals
+
+    # -- constructors ---------------------------------------------------------
+
+    @classmethod
+    def empty(cls, shape: Sequence[int], monoid: Monoid) -> "SpTensor":
+        z = np.empty(0, dtype=np.int64)
+        return cls(shape, [z] * len(tuple(shape)), monoid.empty(), monoid,
+                   canonical=True)
+
+    @classmethod
+    def from_spmat(cls, mat: SpMat) -> "SpTensor":
+        return cls(
+            mat.shape, (mat.rows, mat.cols), mat.vals, mat.monoid, canonical=True
+        )
+
+    # -- properties -----------------------------------------------------------
+
+    @property
+    def order(self) -> int:
+        return len(self.shape)
+
+    @property
+    def nnz(self) -> int:
+        return len(self.coords[0]) if self.coords else 0
+
+    def size(self) -> int:
+        return math.prod(self.shape)
+
+    # -- mode operations ---------------------------------------------------------
+
+    def permute(self, perm: Sequence[int]) -> "SpTensor":
+        """Reorder modes (CTF's transposition / data reordering).
+
+        ``perm[i]`` names the source mode that becomes mode ``i``.
+        """
+        perm = tuple(int(p) for p in perm)
+        if sorted(perm) != list(range(self.order)):
+            raise ValueError(f"invalid permutation {perm} for order {self.order}")
+        return SpTensor(
+            tuple(self.shape[p] for p in perm),
+            tuple(self.coords[p] for p in perm),
+            self.vals,
+            self.monoid,
+        )
+
+    def unfold(self, row_modes: Sequence[int]) -> SpMat:
+        """Matricize: ``row_modes`` (in order) flatten to the matrix rows,
+        the remaining modes (in ascending order) to the columns."""
+        row_modes = tuple(int(m) for m in row_modes)
+        if len(set(row_modes)) != len(row_modes) or any(
+            not 0 <= m < self.order for m in row_modes
+        ):
+            raise ValueError(f"invalid row modes {row_modes}")
+        col_modes = tuple(m for m in range(self.order) if m not in row_modes)
+
+        def flatten(modes):
+            if not modes:
+                return np.zeros(self.nnz, dtype=np.int64), 1
+            idx = self.coords[modes[0]].astype(np.int64)
+            extent = self.shape[modes[0]]
+            for m in modes[1:]:
+                idx = idx * self.shape[m] + self.coords[m]
+                extent *= self.shape[m]
+            return idx, extent
+
+        rows, nrows = flatten(row_modes)
+        cols, ncols = flatten(col_modes)
+        return SpMat(nrows, ncols, rows, cols, self.vals, self.monoid)
+
+    @classmethod
+    def fold(
+        cls,
+        mat: SpMat,
+        row_modes_shape: Sequence[int],
+        col_modes_shape: Sequence[int],
+    ) -> "SpTensor":
+        """Inverse of :meth:`unfold`: split matrix rows/cols back into modes.
+
+        ``row_modes_shape``/``col_modes_shape`` give the extents of the modes
+        each matrix dimension packs (row-major).
+        """
+        shape = tuple(row_modes_shape) + tuple(col_modes_shape)
+
+        def split(idx, extents):
+            out = []
+            for e in reversed(extents[1:]):
+                out.append(idx % e)
+                idx = idx // e
+            out.append(idx)
+            return list(reversed(out))
+
+        coords = []
+        coords.extend(split(mat.rows.astype(np.int64), tuple(row_modes_shape)))
+        coords.extend(split(mat.cols.astype(np.int64), tuple(col_modes_shape)))
+        return cls(shape, coords, mat.vals, mat.monoid, canonical=False)
+
+    # -- elementwise ------------------------------------------------------------
+
+    def combine(self, other: "SpTensor") -> "SpTensor":
+        if self.shape != other.shape:
+            raise ValueError(f"shape mismatch: {self.shape} vs {other.shape}")
+        from repro.algebra.fields import concat_fields
+
+        coords = tuple(
+            np.concatenate([a, b]) for a, b in zip(self.coords, other.coords)
+        )
+        return SpTensor(
+            self.shape, coords, concat_fields([self.vals, other.vals]), self.monoid
+        )
+
+    def map(self, fn, monoid: Monoid | None = None) -> "SpTensor":
+        monoid = monoid or self.monoid
+        return SpTensor(
+            self.shape,
+            self.coords,
+            fn({k: v.copy() for k, v in self.vals.items()}),
+            monoid,
+        )
+
+    def filter(self, predicate) -> "SpTensor":
+        keep = np.asarray(predicate(self.vals), dtype=bool)
+        idx = keep.nonzero()[0]
+        return SpTensor(
+            self.shape,
+            tuple(c[idx] for c in self.coords),
+            take_fields(self.vals, idx),
+            self.monoid,
+            canonical=True,
+        )
+
+    def get(self, *index: int) -> dict[str, object]:
+        """One entry (identity if unstored); for tests and debugging."""
+        if len(index) != self.order:
+            raise ValueError(f"need {self.order} indices")
+        mask = np.ones(self.nnz, dtype=bool)
+        for c, i in zip(self.coords, index):
+            mask &= c == i
+        pos = mask.nonzero()[0]
+        if len(pos):
+            return {k: v[pos[0]] for k, v in self.vals.items()}
+        return dict(self.monoid.identity)
+
+    def equals(self, other: "SpTensor") -> bool:
+        if self.shape != other.shape or self.nnz != other.nnz:
+            return False
+        for a, b in zip(self.coords, other.coords):
+            if not np.array_equal(a, b):
+                return False
+        return bool(np.all(self.monoid.equal(self.vals, other.vals)))
+
+    def __repr__(self) -> str:  # pragma: no cover - debugging aid
+        return (
+            f"SpTensor(shape={self.shape}, nnz={self.nnz}, "
+            f"monoid={type(self.monoid).__name__})"
+        )

@@ -1,0 +1,38 @@
+"""Argument-validation helpers used across the library.
+
+These raise uniform, descriptive exceptions so user errors fail fast at the
+public API boundary rather than deep inside a kernel.
+"""
+
+from __future__ import annotations
+
+__all__ = ["require", "check_positive_int", "check_probability", "check_square"]
+
+
+def require(condition: bool, message: str) -> None:
+    """Raise :class:`ValueError` with ``message`` unless ``condition`` holds."""
+    if not condition:
+        raise ValueError(message)
+
+
+def check_positive_int(value: int, name: str) -> int:
+    """Validate that ``value`` is a positive integer and return it."""
+    if not isinstance(value, (int,)) or isinstance(value, bool):
+        raise TypeError(f"{name} must be an int, got {type(value).__name__}")
+    if value <= 0:
+        raise ValueError(f"{name} must be positive, got {value}")
+    return value
+
+
+def check_probability(value: float, name: str) -> float:
+    """Validate that ``value`` lies in [0, 1] and return it as a float."""
+    value = float(value)
+    if not 0.0 <= value <= 1.0:
+        raise ValueError(f"{name} must be in [0, 1], got {value}")
+    return value
+
+
+def check_square(nrows: int, ncols: int, what: str = "matrix") -> None:
+    """Raise unless the given shape is square."""
+    if nrows != ncols:
+        raise ValueError(f"{what} must be square, got shape ({nrows}, {ncols})")

@@ -1,0 +1,82 @@
+"""Shared fixtures and helpers for the test suite."""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro.algebra.monoid import MinMonoid
+from repro.graphs import (
+    Graph,
+    uniform_random_graph_nm,
+    with_random_weights,
+)
+from repro.sparse import SpMat
+
+WEIGHT = MinMonoid()
+
+
+def random_weight_spmat(
+    rng: np.random.Generator, m: int, n: int, density: float
+) -> SpMat:
+    """A random single-field (tropical weight) sparse matrix."""
+    mask = rng.random((m, n)) < density
+    r, c = mask.nonzero()
+    vals = rng.integers(1, 20, len(r)).astype(np.float64)
+    return SpMat(m, n, r, c, {"w": vals}, WEIGHT)
+
+
+@pytest.fixture
+def rng() -> np.random.Generator:
+    return np.random.default_rng(12345)
+
+
+@pytest.fixture
+def small_undirected() -> Graph:
+    return uniform_random_graph_nm(40, 4.0, seed=1)
+
+
+@pytest.fixture
+def small_directed() -> Graph:
+    return uniform_random_graph_nm(40, 4.0, directed=True, seed=2)
+
+
+@pytest.fixture
+def small_weighted() -> Graph:
+    g = uniform_random_graph_nm(40, 4.0, seed=3)
+    return with_random_weights(g, 1, 10, seed=3)
+
+
+@pytest.fixture
+def small_weighted_directed() -> Graph:
+    g = uniform_random_graph_nm(40, 4.0, directed=True, seed=4)
+    return with_random_weights(g, 1, 10, seed=4)
+
+
+@pytest.fixture
+def path_graph() -> Graph:
+    """0 - 1 - 2 - 3 - 4: every interior vertex has a known BC."""
+    src = np.array([0, 1, 2, 3])
+    dst = np.array([1, 2, 3, 4])
+    return Graph(5, src, dst)
+
+
+@pytest.fixture
+def diamond_graph() -> Graph:
+    """0 - {1, 2} - 3: two equal shortest paths, σ̄(0,3) = 2."""
+    src = np.array([0, 0, 1, 2])
+    dst = np.array([1, 2, 3, 3])
+    return Graph(4, src, dst)
+
+
+def nx_reference_bc(graph: Graph) -> np.ndarray:
+    """Ordered-pair betweenness centrality via networkx (the oracle)."""
+    import networkx as nx
+
+    ref = nx.betweenness_centrality(
+        graph.to_networkx(),
+        normalized=False,
+        weight="weight" if graph.weighted else None,
+    )
+    scores = np.array([ref[i] for i in range(graph.n)])
+    return scores if graph.directed else 2.0 * scores

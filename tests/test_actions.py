@@ -1,0 +1,80 @@
+"""The Bellman-Ford and Brandes monoid actions, MatMulSpec, and semirings."""
+
+import numpy as np
+import pytest
+
+from repro.algebra import (
+    CENTPATH,
+    MULTPATH,
+    REAL_PLUS_TIMES,
+    TROPICAL,
+    MatMulSpec,
+    bellman_ford_action,
+    brandes_action,
+)
+
+
+class TestBellmanFordAction:
+    def test_extends_weight_keeps_multiplicity(self):
+        a = MULTPATH.make([2.0, 5.0], [3.0, 1.0])
+        b = {"w": np.array([1.0, 4.0])}
+        out = bellman_ford_action(a, b)
+        assert list(out["w"]) == [3.0, 9.0]
+        assert list(out["m"]) == [3.0, 1.0]
+
+    def test_action_property(self):
+        """f(f(x, w1), w2) == f(x, w1 + w2): (W, +) acts on M."""
+        x = MULTPATH.make([2.0], [7.0])
+        w1 = {"w": np.array([3.0])}
+        w2 = {"w": np.array([4.0])}
+        w12 = {"w": np.array([7.0])}
+        lhs = bellman_ford_action(bellman_ford_action(x, w1), w2)
+        rhs = bellman_ford_action(x, w12)
+        assert lhs["w"][0] == rhs["w"][0] and lhs["m"][0] == rhs["m"][0]
+
+    def test_infinite_weight_propagates(self):
+        a = MULTPATH.make([np.inf], [0.0])
+        out = bellman_ford_action(a, {"w": np.array([1.0])})
+        assert np.isinf(out["w"][0])
+
+
+class TestBrandesAction:
+    def test_subtracts_weight_keeps_payload(self):
+        a = CENTPATH.make([5.0], [0.25], [2])
+        out = brandes_action(a, {"w": np.array([2.0])})
+        assert out["w"][0] == 3.0 and out["p"][0] == 0.25 and out["c"][0] == 2
+
+    def test_action_property(self):
+        x = CENTPATH.make([9.0], [1.0], [1])
+        w1 = {"w": np.array([2.0])}
+        w2 = {"w": np.array([3.0])}
+        w12 = {"w": np.array([5.0])}
+        lhs = brandes_action(brandes_action(x, w1), w2)
+        rhs = brandes_action(x, w12)
+        assert lhs["w"][0] == rhs["w"][0]
+
+
+class TestMatMulSpec:
+    def test_apply_f_validates_schema(self):
+        bad = MatMulSpec(MULTPATH, lambda a, b: {"w": a["w"]}, "bad")
+        with pytest.raises(ValueError, match="requires"):
+            bad.apply_f(MULTPATH.make([1.0], [1.0]), {"w": np.array([1.0])})
+
+    def test_apply_f_passthrough(self):
+        spec = MatMulSpec(MULTPATH, bellman_ford_action, "bf")
+        out = spec.apply_f(MULTPATH.make([1.0], [2.0]), {"w": np.array([3.0])})
+        assert out["w"][0] == 4.0
+
+
+class TestSemirings:
+    def test_tropical_spec(self):
+        spec = TROPICAL.matmul_spec()
+        out = spec.apply_f({"w": np.array([2.0])}, {"w": np.array([3.0])})
+        assert out["w"][0] == 5.0
+        assert spec.monoid.identity["w"] == np.inf
+
+    def test_real_spec(self):
+        spec = REAL_PLUS_TIMES.matmul_spec()
+        out = spec.apply_f({"w": np.array([2.0])}, {"w": np.array([3.0])})
+        assert out["w"][0] == 6.0
+        assert spec.monoid.identity["w"] == 0

@@ -1,0 +1,58 @@
+"""Report rendering and the TEPS metric helpers."""
+
+import numpy as np
+import pytest
+
+from repro.analysis import format_table, mteps, mteps_per_node, traversed_edges
+from repro.analysis.report import write_markdown_table
+from repro.graphs import Graph
+
+
+@pytest.fixture
+def tiny():
+    return Graph(4, np.array([0, 1, 2]), np.array([1, 2, 3]))
+
+
+class TestTeps:
+    def test_traversals_all_sources(self, tiny):
+        # undirected: nnz(A) = 2m, traversals = n · 2m
+        assert traversed_edges(tiny) == 4 * 6
+
+    def test_traversals_subset(self, tiny):
+        assert traversed_edges(tiny, 2) == 2 * 6
+
+    def test_mteps(self, tiny):
+        assert mteps(tiny, seconds=1.0) == pytest.approx(24 / 1e6)
+        assert mteps(tiny, seconds=0.0) == 0.0
+
+    def test_mteps_per_node(self, tiny):
+        assert mteps_per_node(tiny, 1.0, 4) == pytest.approx(24 / 4e6)
+        with pytest.raises(ValueError):
+            mteps_per_node(tiny, 1.0, 0)
+
+
+class TestFormatTable:
+    def test_alignment(self):
+        out = format_table(["a", "bbb"], [[1, 2.5], [100, 0.001]])
+        lines = out.splitlines()
+        assert len(lines) == 4
+        widths = {len(l) for l in lines}
+        assert len(widths) == 1  # all lines equal width
+
+    def test_float_formats(self):
+        out = format_table(["x"], [[1e-9], [0.5], [123456.0], [0]])
+        assert "1.000e-09" in out and "1.235e+05" in out and "0.5" in out
+
+    def test_empty_rows(self):
+        out = format_table(["a", "b"], [])
+        assert "a" in out and "b" in out
+
+
+class TestMarkdown:
+    def test_write_and_append(self, tmp_path):
+        p = tmp_path / "exp.md"
+        write_markdown_table(p, "T1", ["x"], [[1]], append=False)
+        write_markdown_table(p, "T2", ["y"], [[2]])
+        text = p.read_text()
+        assert "## T1" in text and "## T2" in text
+        assert "| x |" in text and "| 1 |" in text

@@ -1,0 +1,90 @@
+"""SSSP kernels and APSP baselines as independent cross-checks."""
+
+import numpy as np
+import pytest
+import scipy.sparse.csgraph
+
+from repro.baselines import (
+    bellman_ford_sssp,
+    dijkstra_sssp,
+    floyd_warshall,
+    path_doubling_apsp,
+)
+from repro.baselines.apsp import dense_distance_matrix
+from repro.baselines.brandes import brandes_bc, brandes_single_source
+from repro.baselines.sssp import bfs_sssp
+from repro.graphs import Graph, uniform_random_graph_nm, with_random_weights
+
+from conftest import nx_reference_bc
+
+
+def _cmp_dist(a, b):
+    return np.allclose(np.nan_to_num(a, posinf=-1), np.nan_to_num(b, posinf=-1))
+
+
+class TestSSSP:
+    @pytest.mark.parametrize("seed", range(3))
+    def test_bf_equals_dijkstra_weighted(self, seed):
+        g = with_random_weights(
+            uniform_random_graph_nm(40, 4.0, seed=seed), 1, 9, seed=seed
+        )
+        d1, s1 = bellman_ford_sssp(g, 0)
+        d2, s2 = dijkstra_sssp(g, 0)
+        assert _cmp_dist(d1, d2) and np.allclose(s1, s2)
+
+    def test_bf_equals_bfs_unweighted(self, small_undirected):
+        d1, s1 = bellman_ford_sssp(small_undirected, 3)
+        d2, s2 = bfs_sssp(small_undirected, 3)
+        assert _cmp_dist(d1, d2) and np.allclose(s1, s2)
+
+    def test_distances_match_scipy(self, small_directed):
+        d, _ = dijkstra_sssp(small_directed, 1)
+        ref = scipy.sparse.csgraph.dijkstra(
+            small_directed.adjacency_scipy(), indices=1, directed=True
+        )
+        assert _cmp_dist(d, ref)
+
+    def test_multiplicity_diamond(self, diamond_graph):
+        for fn in (bfs_sssp, dijkstra_sssp, bellman_ford_sssp):
+            d, s = fn(diamond_graph, 0)
+            assert d[3] == 2.0 and s[3] == 2.0, fn.__name__
+
+
+class TestAPSP:
+    def test_fw_matches_scipy(self, small_weighted):
+        fw = floyd_warshall(small_weighted)
+        ref = scipy.sparse.csgraph.shortest_path(small_weighted.adjacency_scipy())
+        assert _cmp_dist(fw, ref)
+
+    def test_path_doubling_matches_fw(self, small_weighted):
+        fw = floyd_warshall(small_weighted)
+        pd, rounds = path_doubling_apsp(small_weighted)
+        assert _cmp_dist(fw, pd)
+        # log-depth round count (§5.3.3's latency advantage)
+        assert rounds <= int(np.ceil(np.log2(small_weighted.n))) + 1
+
+    def test_dense_matrix_diagonal_zero(self, small_weighted):
+        d = dense_distance_matrix(small_weighted)
+        assert np.allclose(np.diag(d), 0.0)
+
+    def test_directed_apsp(self):
+        g = uniform_random_graph_nm(25, 3.0, directed=True, seed=2)
+        fw = floyd_warshall(g)
+        ref = scipy.sparse.csgraph.shortest_path(g.adjacency_scipy(), directed=True)
+        assert _cmp_dist(fw, ref)
+
+
+class TestBrandes:
+    def test_matches_networkx(self, small_weighted_directed):
+        got = brandes_bc(small_weighted_directed)
+        assert np.allclose(got, nx_reference_bc(small_weighted_directed), atol=1e-8)
+
+    def test_single_source_no_self_dependency(self, small_undirected):
+        delta = brandes_single_source(small_undirected, 4)
+        assert delta[4] == 0.0
+
+    def test_sources_subset_additivity(self, small_undirected):
+        a = brandes_bc(small_undirected, sources=np.array([0, 1]))
+        b = brandes_bc(small_undirected, sources=np.array([2]))
+        ab = brandes_bc(small_undirected, sources=np.array([0, 1, 2]))
+        assert np.allclose(a + b, ab, atol=1e-10)

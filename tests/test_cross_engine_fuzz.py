@@ -1,0 +1,109 @@
+"""Cross-engine fuzzing: random operation pipelines, both engines, equality.
+
+Hypothesis drives a random sequence of matrix operations — elementwise
+combines, filters, maps, and generalized products over random monoids — and
+executes it on the sequential engine and on simulated machines of various
+rank counts.  Every intermediate result must agree exactly.  This is the
+broadest equivalence net over the distribution logic: any divergence in
+redistribution, piece extraction, reduction order, or identity pruning
+shows up here.
+"""
+
+import numpy as np
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.algebra import MULTPATH, TROPICAL, MatMulSpec, bellman_ford_action
+from repro.algebra.monoid import MinMonoid
+from repro.core.engine import SequentialEngine
+from repro.dist import DistributedEngine
+from repro.machine import Machine
+
+W = MinMonoid()
+TROP = TROPICAL.matmul_spec()
+BF = MatMulSpec(MULTPATH, bellman_ford_action, "bf")
+
+
+@st.composite
+def pipelines(draw):
+    """(n, seed, p, ops) — a random program over n×n weight matrices."""
+    n = draw(st.integers(6, 18))
+    seed = draw(st.integers(0, 10_000))
+    p = draw(st.sampled_from([2, 3, 4, 6, 8]))
+    ops = draw(
+        st.lists(
+            st.sampled_from(["mul", "combine", "filter", "map", "transpose"]),
+            min_size=1,
+            max_size=5,
+        )
+    )
+    return n, seed, p, ops
+
+
+def _rand_mat(engine, rng, n):
+    mask = rng.random((n, n)) < 0.25
+    r, c = mask.nonzero()
+    vals = rng.integers(1, 9, len(r)).astype(float)
+    return engine.matrix(n, n, r.astype(np.int64), c.astype(np.int64), {"w": vals}, W)
+
+
+def _run(engine, n, seed, ops):
+    rng = np.random.default_rng(seed)
+    x = _rand_mat(engine, rng, n)
+    aux = _rand_mat(engine, rng, n)
+    for op in ops:
+        if op == "mul":
+            x, _ = engine.spgemm(x, aux, TROP)
+        elif op == "combine":
+            x = x.combine(aux)
+        elif op == "filter":
+            x = x.filter(lambda v: v["w"] > 3)
+        elif op == "map":
+            x = x.map(lambda v: {"w": v["w"] + 1.0})
+        elif op == "transpose":
+            x = x.transpose()
+            aux = aux.transpose()
+    return engine.gather(x)
+
+
+@given(pipelines())
+@settings(max_examples=40, deadline=None)
+def test_random_pipelines_agree(pipeline):
+    n, seed, p, ops = pipeline
+    ref = _run(SequentialEngine(), n, seed, ops)
+    got = _run(DistributedEngine(Machine(p)), n, seed, ops)
+    assert got.equals(ref), (n, seed, p, ops)
+
+
+@given(st.integers(0, 5000), st.sampled_from([2, 4, 9]))
+@settings(max_examples=20, deadline=None)
+def test_multpath_product_chain_agrees(seed, p):
+    """Chains of Bellman-Ford products (the MFBC inner loop shape)."""
+    n = 14
+    rng = np.random.default_rng(seed)
+
+    def run(engine):
+        mask = rng_local.random((n, n)) < 0.3
+        r, c = mask.nonzero()
+        adj = engine.matrix(
+            n, n, r.astype(np.int64), c.astype(np.int64),
+            {"w": np.ones(len(r))}, W,
+        )
+        f = engine.matrix(
+            2,
+            n,
+            np.array([0, 1], dtype=np.int64),
+            np.array([0, n - 1], dtype=np.int64),
+            MULTPATH.make([0.0, 0.0], [1.0, 1.0]),
+            MULTPATH,
+        )
+        for _ in range(3):
+            f, _ = engine.spgemm(f, adj, BF)
+        return engine.gather(f)
+
+    rng_local = np.random.default_rng(seed)
+    ref = run(SequentialEngine())
+    rng_local = np.random.default_rng(seed)
+    got = run(DistributedEngine(Machine(p)))
+    assert got.equals(ref)

@@ -1,0 +1,211 @@
+"""The CTF-style index-notation API (§6.1)."""
+
+import numpy as np
+import pytest
+
+from repro.algebra import MULTPATH, TROPICAL, bellman_ford_action
+from repro.algebra.monoid import MinMonoid, PlusMonoid
+from repro.ctfapi import Function, Kernel, Matrix, Transform
+from repro.dist import DistributedEngine
+from repro.machine import Machine
+from repro.sparse import SpMat, spgemm
+
+from conftest import random_weight_spmat
+
+W = MinMonoid()
+
+
+@pytest.fixture
+def ab(rng):
+    a = random_weight_spmat(rng, 12, 12, 0.3)
+    b = random_weight_spmat(rng, 12, 12, 0.3)
+    return a, b
+
+
+class TestIndexNotation:
+    def test_contraction_matches_spgemm(self, ab):
+        a, b = ab
+        A = Matrix.from_spmat(a)
+        B = Matrix.from_spmat(b)
+        C = Matrix(12, 12, W)
+        K = Kernel(W, TROPICAL.matmul_spec().f, "minplus")
+        C["ij"] = K(A["ik"], B["kj"])
+        assert C.read().equals(spgemm(a, b, TROPICAL.matmul_spec()))
+
+    def test_contraction_transposed_operand(self, ab):
+        """C["ij"] = K(A["ik"], B["jk"]) contracts against Bᵀ."""
+        a, b = ab
+        A = Matrix.from_spmat(a)
+        B = Matrix.from_spmat(b)
+        C = Matrix(12, 12, W)
+        K = Kernel(W, TROPICAL.matmul_spec().f)
+        C["ij"] = K(A["ik"], B["jk"])
+        ref = spgemm(a, b.transpose(), TROPICAL.matmul_spec())
+        assert C.read().equals(ref)
+
+    def test_contraction_swapped_order(self, ab):
+        """C["ij"] = K(B["kj"], A["ik"]) — operand order is irrelevant,
+        labels rule."""
+        a, b = ab
+        A = Matrix.from_spmat(a)
+        B = Matrix.from_spmat(b)
+        C = Matrix(12, 12, W)
+        K = Kernel(W, TROPICAL.matmul_spec().f)
+        C["ij"] = K(B["kj"], A["ik"])
+        assert C.read().equals(spgemm(a, b, TROPICAL.matmul_spec()))
+
+    def test_transpose_assignment(self, ab):
+        a, _ = ab
+        A = Matrix.from_spmat(a)
+        D = Matrix(12, 12, W)
+        D["ij"] = A["ji"]
+        assert D.read().equals(a.transpose())
+
+    def test_elementwise_sum(self, ab):
+        a, b = ab
+        A = Matrix.from_spmat(a)
+        B = Matrix.from_spmat(b)
+        C = Matrix(12, 12, W)
+        C["ij"] = A["ij"] + B["ij"]
+        assert C.read().equals(a.combine(b))
+
+    def test_function_inversion(self, ab):
+        """The paper's §6.1 example: B["ij"] = f(A["ij"]) with f = 1/x."""
+        a, _ = ab
+        A = Matrix.from_spmat(a)
+        B = Matrix(12, 12, W)
+        B["ij"] = Function(lambda v: {"w": 1.0 / v["w"]})(A["ij"])
+        got = B.read()
+        assert np.allclose(got.vals["w"], 1.0 / a.vals["w"])
+
+    def test_transform_in_place(self, ab):
+        a, _ = ab
+        A = Matrix.from_spmat(a)
+        Transform(A, lambda v: {"w": v["w"] * 2})
+        assert np.allclose(A.read().vals["w"], a.vals["w"] * 2)
+
+    def test_bellman_ford_kernel(self, ab):
+        """The paper's MFBC snippet: Z["ij"] = BF(Z["ik"], A["kj"])."""
+        _, adj = ab
+        z0 = SpMat(
+            2,
+            12,
+            np.array([0, 1]),
+            np.array([0, 5]),
+            MULTPATH.make([0.0, 0.0], [1.0, 1.0]),
+            MULTPATH,
+        )
+        Z = Matrix.from_spmat(z0)
+        A = Matrix.from_spmat(adj)
+        BF = Kernel(MULTPATH, bellman_ford_action, "BF")
+        Z["ij"] = BF(Z["ik"], A["kj"])
+        from repro.algebra import MatMulSpec
+
+        ref = spgemm(z0, adj, MatMulSpec(MULTPATH, bellman_ford_action))
+        assert Z.read().equals(ref)
+
+
+class TestValidation:
+    def test_bad_indices(self, ab):
+        a, _ = ab
+        A = Matrix.from_spmat(a)
+        with pytest.raises(ValueError, match="two distinct"):
+            A["iii"]
+        with pytest.raises(ValueError, match="two distinct"):
+            A["ii"]
+
+    def test_contraction_requires_one_shared(self, ab):
+        a, b = ab
+        A, B = Matrix.from_spmat(a), Matrix.from_spmat(b)
+        K = Kernel(W, TROPICAL.matmul_spec().f)
+        with pytest.raises(ValueError, match="shared"):
+            K(A["ij"], B["ij"])
+
+    def test_target_indices_must_match(self, ab):
+        a, b = ab
+        A, B = Matrix.from_spmat(a), Matrix.from_spmat(b)
+        C = Matrix(12, 12, W)
+        K = Kernel(W, TROPICAL.matmul_spec().f)
+        with pytest.raises(ValueError, match="free indices"):
+            C["xy"] = K(A["ik"], B["kj"])
+
+    def test_assign_wrong_type(self, ab):
+        a, _ = ab
+        A = Matrix.from_spmat(a)
+        with pytest.raises(TypeError):
+            A["ij"] = 42
+
+    def test_shape_mismatch(self, rng):
+        a = random_weight_spmat(rng, 4, 6, 0.5)
+        A = Matrix.from_spmat(a)
+        D = Matrix(4, 6, W)
+        with pytest.raises(ValueError, match="shape"):
+            D["ij"] = A["ji"]
+
+
+class TestTensorNotation:
+    def test_contraction(self, rng):
+        from repro.algebra import REAL_PLUS_TIMES
+        from repro.ctfapi import Tensor, TensorKernel
+        from repro.tensor import SpTensor
+
+        a = SpTensor(
+            (2, 3, 4),
+            (np.array([0, 1]), np.array([1, 2]), np.array([2, 3])),
+            {"w": np.array([2.0, 3.0])},
+            REAL_PLUS_TIMES.add_monoid,
+        )
+        b = SpTensor(
+            (4, 2),
+            (np.array([2, 3]), np.array([0, 1])),
+            {"w": np.array([5.0, 7.0])},
+            REAL_PLUS_TIMES.add_monoid,
+        )
+        A = Tensor.from_sptensor(a)
+        B = Tensor.from_sptensor(b)
+        C = Tensor((2, 3, 2), REAL_PLUS_TIMES.add_monoid)
+        K = TensorKernel(REAL_PLUS_TIMES.add_monoid, REAL_PLUS_TIMES.matmul_spec().f)
+        C["ijl"] = K(A["ijk"], B["kl"])
+        assert C.data.get(0, 1, 0)["w"] == 10.0
+        assert C.data.get(1, 2, 1)["w"] == 21.0
+
+    def test_permutation_assignment(self, rng):
+        from repro.algebra.monoid import PlusMonoid
+        from repro.ctfapi import Tensor
+        from repro.tensor import SpTensor
+
+        plus = PlusMonoid()
+        t = SpTensor(
+            (2, 3, 4),
+            (np.array([1]), np.array([2]), np.array([3])),
+            {"w": np.array([9.0])},
+            plus,
+        )
+        A = Tensor.from_sptensor(t)
+        B = Tensor((4, 2, 3), plus)
+        B["kij"] = A["ijk"]
+        assert B.data.get(3, 1, 2)["w"] == 9.0
+
+    def test_bad_indices(self):
+        from repro.algebra.monoid import PlusMonoid
+        from repro.ctfapi import Tensor
+
+        A = Tensor((2, 3), PlusMonoid())
+        with pytest.raises(ValueError, match="distinct"):
+            A["ii"]
+        with pytest.raises(TypeError):
+            A["ij"] = 3
+
+
+class TestDistributedBackend:
+    def test_contraction_on_machine(self, ab):
+        a, b = ab
+        engine = DistributedEngine(Machine(4))
+        A = Matrix.from_spmat(a, engine=engine)
+        B = Matrix.from_spmat(b, engine=engine)
+        C = Matrix(12, 12, W, engine=engine)
+        K = Kernel(W, TROPICAL.matmul_spec().f)
+        C["ij"] = K(A["ik"], B["kj"])
+        ref = spgemm(a, b, TROPICAL.matmul_spec())
+        assert C.read().equals(ref)
+        assert engine.machine.ledger.critical_words() > 0

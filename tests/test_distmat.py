@@ -1,0 +1,217 @@
+"""DistMat: distribution, gather, redistribution, elementwise parity."""
+
+import numpy as np
+import pytest
+
+from repro.algebra.monoid import MinMonoid
+from repro.dist import DistMat, even_splits
+from repro.dist.engine import near_square_shape
+from repro.machine import Machine
+
+from conftest import random_weight_spmat
+
+W = MinMonoid()
+
+
+def home_grid(p):
+    pr, pc = near_square_shape(p)
+    return np.arange(p).reshape(pr, pc)
+
+
+class TestEvenSplits:
+    def test_boundaries(self):
+        s = even_splits(10, 4)
+        assert s[0] == 0 and s[-1] == 10 and len(s) == 5
+        assert np.all(np.diff(s) >= 0)
+
+    def test_more_parts_than_items(self):
+        s = even_splits(2, 5)
+        assert s[0] == 0 and s[-1] == 2 and len(s) == 6
+
+    def test_invalid_parts(self):
+        with pytest.raises(ValueError):
+            even_splits(10, 0)
+
+
+class TestDistributeGather:
+    @pytest.mark.parametrize("p", [1, 2, 4, 6, 9])
+    def test_roundtrip(self, rng, p):
+        mat = random_weight_spmat(rng, 23, 17, 0.3)
+        machine = Machine(p)
+        d = DistMat.distribute(mat, machine, home_grid(p))
+        assert d.nnz == mat.nnz
+        assert d.gather(charge=False).equals(mat)
+
+    def test_distribution_charges(self, rng):
+        mat = random_weight_spmat(rng, 20, 20, 0.3)
+        machine = Machine(4)
+        DistMat.distribute(mat, machine, home_grid(4))
+        assert machine.ledger.critical_words() >= mat.words()
+
+    def test_block_shapes_validated(self, rng):
+        mat = random_weight_spmat(rng, 10, 10, 0.3)
+        machine = Machine(4)
+        d = DistMat.distribute(mat, machine, home_grid(4))
+        wrong = d.blocks[0][0].block(0, 2, 0, 2)  # too small for its slot
+        with pytest.raises(ValueError, match="shape"):
+            DistMat(
+                machine,
+                d.ranks2d,
+                d.row_splits,
+                d.col_splits,
+                [[wrong, d.blocks[0][1]], d.blocks[1]],
+                W,
+            )
+
+    def test_empty_like(self, rng):
+        mat = random_weight_spmat(rng, 10, 10, 0.3)
+        machine = Machine(4)
+        d = DistMat.distribute(mat, machine, home_grid(4))
+        e = DistMat.empty_like(d)
+        assert e.nnz == 0 and e.same_distribution(d)
+
+    def test_memory_accounting(self, rng):
+        mat = random_weight_spmat(rng, 20, 20, 0.5)
+        machine = Machine(4)
+        d = DistMat.distribute(mat, machine, home_grid(4))
+        per_rank = d.memory_words_per_rank()
+        assert sum(per_rank.values()) == d.words()
+
+
+class TestRedistribute:
+    @pytest.mark.parametrize("p", [2, 4, 6])
+    def test_preserves_content(self, rng, p):
+        mat = random_weight_spmat(rng, 19, 21, 0.3)
+        machine = Machine(p)
+        d = DistMat.distribute(mat, machine, home_grid(p))
+        r = d.redistribute(np.arange(p).reshape(p, 1))
+        assert r.gather(charge=False).equals(mat)
+        r2 = r.redistribute(np.arange(p).reshape(1, p))
+        assert r2.gather(charge=False).equals(mat)
+
+    def test_to_subgrid(self, rng):
+        mat = random_weight_spmat(rng, 12, 12, 0.4)
+        machine = Machine(8)
+        d = DistMat.distribute(mat, machine, home_grid(8))
+        sub = np.array([[4, 5], [6, 7]])
+        r = d.redistribute(sub)
+        assert r.gather(charge=False).equals(mat)
+        owners = set(r.ranks2d.ravel().tolist())
+        assert owners == {4, 5, 6, 7}
+
+    def test_charges_alltoall(self, rng):
+        mat = random_weight_spmat(rng, 16, 16, 0.5)
+        machine = Machine(4)
+        d = DistMat.distribute(mat, machine, home_grid(4), charge=False)
+        w0 = machine.ledger.critical_words()
+        d.redistribute(np.arange(4).reshape(4, 1))
+        assert machine.ledger.critical_words() > w0
+
+    def test_custom_splits(self, rng):
+        mat = random_weight_spmat(rng, 10, 10, 0.5)
+        machine = Machine(2)
+        d = DistMat.distribute(mat, machine, np.array([[0, 1]]))
+        r = d.redistribute(
+            np.array([[0], [1]]),
+            row_splits=np.array([0, 3, 10]),
+            col_splits=np.array([0, 10]),
+        )
+        assert r.gather(charge=False).equals(mat)
+
+
+class TestElementwiseParity:
+    """DistMat blockwise ops must equal the same SpMat ops."""
+
+    @pytest.fixture
+    def pair(self, rng):
+        a = random_weight_spmat(rng, 15, 15, 0.3)
+        b = random_weight_spmat(rng, 15, 15, 0.3)
+        machine = Machine(4)
+        da = DistMat.distribute(a, machine, home_grid(4))
+        db = DistMat.distribute(b, machine, home_grid(4))
+        return a, b, da, db
+
+    def test_combine(self, pair):
+        a, b, da, db = pair
+        assert da.combine(db).gather(charge=False).equals(a.combine(b))
+
+    def test_filter(self, pair):
+        a, _, da, _ = pair
+        pred = lambda v: v["w"] > 10
+        assert da.filter(pred).gather(charge=False).equals(a.filter(pred))
+
+    def test_map(self, pair):
+        a, _, da, _ = pair
+        fn = lambda v: {"w": v["w"] * 2}
+        assert da.map(fn).gather(charge=False).equals(a.map(fn))
+
+    def test_zip_filter(self, pair):
+        a, b, da, db = pair
+        pred = lambda av, bv: av["w"] <= bv["w"]
+        assert da.zip_filter(db, pred).gather(charge=False).equals(
+            a.zip_filter(b, pred)
+        )
+
+    def test_zip_map(self, pair):
+        a, b, da, db = pair
+        fn = lambda av, bv: {"w": np.minimum(av["w"], bv["w"])}
+        assert da.zip_map(db, fn).gather(charge=False).equals(a.zip_map(b, fn))
+
+    def test_mismatched_layouts_auto_align(self, pair):
+        """Operands on different layouts of the same machine are aligned
+        automatically (charged), like CTF's distribution-oblivious ops."""
+        a, b, da, db = pair
+        moved = db.redistribute(np.arange(4).reshape(4, 1))
+        w0 = da.machine.ledger.total_words
+        out = da.combine(moved)
+        assert out.gather(charge=False).equals(a.combine(b))
+        assert da.machine.ledger.total_words > w0  # re-alignment was charged
+
+
+class TestTranspose:
+    def test_content(self, rng):
+        a = random_weight_spmat(rng, 9, 13, 0.4)
+        machine = Machine(4)
+        da = DistMat.distribute(a, machine, home_grid(4))
+        assert da.transpose().gather(charge=False).equals(a.transpose())
+
+    def test_memoized_identity(self, rng):
+        a = random_weight_spmat(rng, 9, 9, 0.4)
+        machine = Machine(4)
+        da = DistMat.distribute(a, machine, home_grid(4))
+        t1 = da.transpose()
+        t2 = da.transpose()
+        assert t1 is t2
+        assert t1.transpose() is da
+
+
+class TestExtractRanges:
+    def test_col_range(self, rng):
+        a = random_weight_spmat(rng, 10, 20, 0.4)
+        machine = Machine(4)
+        da = DistMat.distribute(a, machine, home_grid(4))
+        sub = da.extract_col_range(5, 13)
+        assert sub.gather(charge=False).equals(a.block(0, 10, 5, 13))
+
+    def test_row_range(self, rng):
+        a = random_weight_spmat(rng, 20, 10, 0.4)
+        machine = Machine(4)
+        da = DistMat.distribute(a, machine, home_grid(4))
+        sub = da.extract_row_range(3, 18)
+        assert sub.gather(charge=False).equals(a.block(3, 18, 0, 10))
+
+    def test_empty_range(self, rng):
+        a = random_weight_spmat(rng, 10, 10, 0.4)
+        machine = Machine(2)
+        da = DistMat.distribute(a, machine, np.array([[0, 1]]))
+        sub = da.extract_col_range(4, 4)
+        assert sub.ncols == 0 and sub.nnz == 0
+
+    def test_bad_range_raises(self, rng):
+        a = random_weight_spmat(rng, 10, 10, 0.4)
+        machine = Machine(2)
+        da = DistMat.distribute(a, machine, np.array([[0, 1]]))
+        with pytest.raises(ValueError):
+            da.extract_col_range(5, 20)
+        with pytest.raises(ValueError):
+            da.extract_row_range(-1, 5)

@@ -1,0 +1,106 @@
+"""Edge betweenness centrality against the networkx oracle."""
+
+import numpy as np
+import pytest
+
+from repro.core import edge_betweenness_centrality
+from repro.dist import DistributedEngine
+from repro.graphs import Graph, uniform_random_graph_nm, with_random_weights
+from repro.machine import Machine
+
+
+def nx_edge_reference(graph):
+    import networkx as nx
+
+    ref = nx.edge_betweenness_centrality(
+        graph.to_networkx(),
+        normalized=False,
+        weight="weight" if graph.weighted else None,
+    )
+    factor = 1.0 if graph.directed else 2.0
+    out = {}
+    for (u, v), s in ref.items():
+        out[(u, v)] = s * factor
+    return out
+
+
+def assert_matches_nx(graph, result):
+    ref = nx_edge_reference(graph)
+    for (u, v), s in result.as_dict().items():
+        expect = ref.get((u, v), ref.get((v, u)))
+        assert expect is not None, (u, v)
+        assert s == pytest.approx(expect, abs=1e-8), (u, v)
+
+
+class TestCorrectness:
+    @pytest.mark.parametrize("directed", [False, True])
+    @pytest.mark.parametrize("weighted", [False, True])
+    def test_matches_networkx(self, directed, weighted):
+        g = uniform_random_graph_nm(35, 3.5, directed=directed, seed=97)
+        if weighted:
+            g = with_random_weights(g, 1, 8, seed=97)
+        res = edge_betweenness_centrality(g, batch_size=8)
+        assert_matches_nx(g, res)
+
+    def test_path_graph_analytic(self, path_graph):
+        """Edge i-(i+1) of a 5-path carries 2·(i+1)·(4-i) ordered pairs."""
+        res = edge_betweenness_centrality(path_graph)
+        d = res.as_dict()
+        for i in range(4):
+            assert d[(i, i + 1)] == pytest.approx(2 * (i + 1) * (4 - i))
+
+    def test_bridge_dominates(self):
+        """The single bridge between two triangles has the highest score."""
+        # triangles {0,1,2} and {3,4,5} bridged by (2,3)
+        src = np.array([0, 1, 2, 3, 4, 5, 2])
+        dst = np.array([1, 2, 0, 4, 5, 3, 3])
+        g = Graph(6, src, dst)
+        res = edge_betweenness_centrality(g)
+        top = res.top_edges(1)[0]
+        assert {top[0], top[1]} == {2, 3}
+
+    def test_batch_invariance(self):
+        g = uniform_random_graph_nm(30, 3.0, seed=99)
+        a = edge_betweenness_centrality(g, batch_size=30).scores
+        b = edge_betweenness_centrality(g, batch_size=4).scores
+        assert np.allclose(a, b, atol=1e-8)
+
+    def test_edge_chunking(self):
+        g = uniform_random_graph_nm(30, 3.0, seed=99)
+        a = edge_betweenness_centrality(g, batch_size=8).scores
+        b = edge_betweenness_centrality(g, batch_size=8, edge_chunk=3).scores
+        assert np.allclose(a, b, atol=1e-10)
+
+    def test_sources_subset_scaling(self):
+        g = uniform_random_graph_nm(30, 3.0, seed=99)
+        full = edge_betweenness_centrality(g).scores
+        partials = [
+            edge_betweenness_centrality(g, sources=np.array([s])).scores
+            for s in range(g.n)
+        ]
+        assert np.allclose(sum(partials), full, atol=1e-8)
+
+    def test_distributed_engine(self, small_undirected):
+        ref = edge_betweenness_centrality(small_undirected, batch_size=10).scores
+        eng = DistributedEngine(Machine(4))
+        got = edge_betweenness_centrality(
+            small_undirected, batch_size=10, engine=eng
+        ).scores
+        assert np.allclose(got, ref, atol=1e-8)
+
+    def test_bad_batch_raises(self, small_undirected):
+        with pytest.raises(ValueError, match="batch_size"):
+            edge_betweenness_centrality(small_undirected, batch_size=0)
+
+
+class TestResultAPI:
+    def test_top_edges_sorted(self, small_undirected):
+        res = edge_betweenness_centrality(small_undirected, batch_size=10)
+        top = res.top_edges(5)
+        assert len(top) == 5
+        scores = [s for _, _, s in top]
+        assert scores == sorted(scores, reverse=True)
+
+    def test_dict_covers_all_edges(self, small_undirected):
+        res = edge_betweenness_centrality(small_undirected, batch_size=10)
+        assert len(res.as_dict()) == small_undirected.m

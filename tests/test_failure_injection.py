@@ -1,0 +1,127 @@
+"""Failure injection: corrupted inputs, resource exhaustion, bad wiring.
+
+A production library must fail loudly and early on the failure modes a
+downstream user will actually hit; these tests assert the failure *paths*,
+not just the happy paths.
+"""
+
+import numpy as np
+import pytest
+
+from repro.algebra.monoid import MinMonoid
+from repro.algebra.multpath import MULTPATH
+from repro.core import mfbc, mfbf, mfbr
+from repro.dist import DistMat, DistributedEngine
+from repro.graphs import Graph, uniform_random_graph_nm
+from repro.machine import Machine, MemoryLimitExceeded
+from repro.sparse import SpMat
+
+W = MinMonoid()
+
+
+class TestCorruptedInputs:
+    def test_mfbr_with_corrupt_distances_terminates_gracefully(
+        self, small_undirected
+    ):
+        """MFBr cannot stall on corrupt distances with positive weights: a
+        "successor cycle" would need edge weights summing to zero, which the
+        positivity invariant forbids.  Corrupt τ therefore yields graceful
+        termination — the tie-based successor detection finds no valid
+        back-propagation targets and the partial factors stay zero — rather
+        than a hang or crash."""
+        adj = small_undirected.adjacency()
+        t = mfbf(adj, np.arange(4, dtype=np.int64))
+        corrupt = t.map(lambda v: {"w": v["w"] * 0.37 + 1.0, "m": v["m"]})
+        z = mfbr(adj, corrupt, max_iterations=small_undirected.n + 1)
+        good = mfbr(adj, t)
+        assert np.all(np.isfinite(z.vals["p"]))
+        assert not np.allclose(
+            z.to_dense("p").sum(), good.to_dense("p").sum()
+        )
+
+    def test_negative_weights_rejected_at_graph_construction(self):
+        with pytest.raises(ValueError, match="positive"):
+            Graph(3, np.array([0]), np.array([1]), np.array([-1.0]))
+
+    def test_nan_weights_rejected(self):
+        with pytest.raises(ValueError, match="positive"):
+            Graph(3, np.array([0]), np.array([1]), np.array([np.nan]))
+
+    def test_spmat_monoid_schema_mismatch(self):
+        a = SpMat(2, 2, np.array([0]), np.array([0]), {"w": np.ones(1)}, W)
+        b = SpMat(
+            2,
+            2,
+            np.array([0]),
+            np.array([0]),
+            MULTPATH.make([1.0], [1.0]),
+            MULTPATH,
+        )
+        with pytest.raises(ValueError, match="monoid"):
+            a.combine(b)
+
+    def test_wrong_field_names_rejected(self):
+        with pytest.raises(Exception):
+            SpMat(2, 2, np.array([0]), np.array([0]), {"zzz": np.ones(1)}, W)
+
+
+class TestResourceExhaustion:
+    def test_machine_oom_during_distribution(self, small_undirected):
+        machine = Machine(2, memory_words=10)
+        machine.allocate(0, 5)
+        with pytest.raises(MemoryLimitExceeded):
+            machine.allocate(0, 100)
+
+    def test_selector_oom_reports_sizes(self, small_undirected):
+        machine = Machine(4, memory_words=2)
+        eng = DistributedEngine(machine)
+        with pytest.raises(MemoryLimitExceeded, match="memory budget"):
+            mfbc(small_undirected, batch_size=8, max_batches=1, engine=eng)
+
+    def test_mfbf_iteration_bound_is_a_backstop(self, small_undirected):
+        # a bound below the diameter triggers the guard...
+        with pytest.raises(RuntimeError):
+            mfbf(
+                small_undirected.adjacency(),
+                np.array([0]),
+                max_iterations=1,
+            )
+        # ...while the default bound never fires on a valid graph
+        mfbf(small_undirected.adjacency(), np.array([0]))
+
+
+class TestBadWiring:
+    def test_distmat_elementwise_across_machines_fails(self, rng):
+        from conftest import random_weight_spmat
+
+        a = random_weight_spmat(rng, 8, 8, 0.5)
+        m1, m2 = Machine(2), Machine(2)
+        grid = np.arange(2).reshape(1, 2)
+        d1 = DistMat.distribute(a, m1, grid)
+        d2 = DistMat.distribute(a, m2, np.arange(2).reshape(2, 1))
+        with pytest.raises(ValueError, match="different machines"):
+            d1.combine(d2)
+
+    def test_plan_machine_size_mismatch(self, rng):
+        from conftest import random_weight_spmat
+        from repro.algebra import TROPICAL
+        from repro.spgemm import Plan, execute_plan
+
+        a = random_weight_spmat(rng, 8, 8, 0.5)
+        machine = Machine(4)
+        grid = np.arange(4).reshape(2, 2)
+        da = DistMat.distribute(a, machine, grid)
+        with pytest.raises(ValueError, match="cover"):
+            execute_plan(
+                Plan(2, 1, 1, "A", "AB"), da, da, TROPICAL.matmul_spec(), grid
+            )
+
+    def test_engine_mixing_detected_via_distribution(self, small_undirected):
+        """A matrix built on one engine cannot silently flow into another
+        machine's products — the co-distribution check trips."""
+        eng1 = DistributedEngine(Machine(4))
+        eng2 = DistributedEngine(Machine(2))
+        adj1 = eng1.adjacency(small_undirected)
+        adj2 = eng2.adjacency(small_undirected)
+        with pytest.raises(ValueError):
+            adj1.combine(adj2)

@@ -1,0 +1,82 @@
+"""Unit tests for the columnar field-array helpers."""
+
+import numpy as np
+import pytest
+
+from repro.algebra.fields import (
+    concat_fields,
+    empty_fields,
+    fields_length,
+    full_fields,
+    take_fields,
+    validate_fields,
+)
+
+SPEC = [("w", np.dtype(np.float64)), ("m", np.dtype(np.int64))]
+
+
+class TestFieldsLength:
+    def test_consistent(self):
+        assert fields_length({"a": np.zeros(3), "b": np.ones(3)}) == 3
+
+    def test_empty_dict(self):
+        assert fields_length({}) == 0
+
+    def test_ragged_raises(self):
+        with pytest.raises(ValueError, match="ragged"):
+            fields_length({"a": np.zeros(3), "b": np.ones(2)})
+
+
+class TestEmptyAndFull:
+    def test_empty_schema(self):
+        e = empty_fields(SPEC)
+        assert set(e) == {"w", "m"}
+        assert len(e["w"]) == 0 and e["w"].dtype == np.float64
+        assert e["m"].dtype == np.int64
+
+    def test_full_values(self):
+        f = full_fields(SPEC, 4, {"w": np.inf, "m": 0})
+        assert np.all(np.isinf(f["w"])) and len(f["w"]) == 4
+        assert np.all(f["m"] == 0)
+
+
+class TestTakeConcat:
+    def test_take_reorders_all_columns(self):
+        vals = {"w": np.arange(5.0), "m": np.arange(5) * 10}
+        out = take_fields(vals, np.array([4, 0, 2]))
+        assert list(out["w"]) == [4.0, 0.0, 2.0]
+        assert list(out["m"]) == [40, 0, 20]
+
+    def test_concat_roundtrip(self):
+        a = {"w": np.array([1.0, 2.0]), "m": np.array([1, 2])}
+        b = {"w": np.array([3.0]), "m": np.array([3])}
+        out = concat_fields([a, b])
+        assert list(out["w"]) == [1.0, 2.0, 3.0]
+        assert list(out["m"]) == [1, 2, 3]
+
+    def test_concat_skips_empty_parts(self):
+        a = {"w": np.empty(0), "m": np.empty(0, np.int64)}
+        b = {"w": np.array([3.0]), "m": np.array([3])}
+        out = concat_fields([a, b])
+        assert list(out["w"]) == [3.0]
+
+    def test_concat_schema_mismatch_raises(self):
+        a = {"w": np.array([1.0])}
+        b = {"x": np.array([2.0])}
+        with pytest.raises(ValueError, match="schema mismatch"):
+            concat_fields([a, b])
+
+
+class TestValidate:
+    def test_valid(self):
+        validate_fields({"w": np.zeros(2), "m": np.zeros(2, np.int64)}, SPEC)
+
+    def test_missing_field(self):
+        with pytest.raises(ValueError, match="expected fields"):
+            validate_fields({"w": np.zeros(2)}, SPEC)
+
+    def test_extra_field(self):
+        with pytest.raises(ValueError, match="expected fields"):
+            validate_fields(
+                {"w": np.zeros(2), "m": np.zeros(2), "x": np.zeros(2)}, SPEC
+            )

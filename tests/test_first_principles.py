@@ -1,0 +1,169 @@
+"""First-principles oracle: brute-force path enumeration on tiny graphs.
+
+Brandes' algorithm (our main oracle) shares the dependency-accumulation idea
+with MFBC, so agreeing with it is not fully independent evidence.  These
+tests enumerate *all simple paths* on tiny random graphs and evaluate the
+paper's definitions literally:
+
+    τ(s,t)      = min path weight
+    σ̄(s,t)     = number of minimal-weight paths
+    σ(s,t,v)    = number of those passing through interior vertex v
+    λ(v)        = Σ_{s,t} σ(s,t,v)/σ̄(s,t)
+
+then check MFBF and MFBC against them.
+"""
+
+import itertools
+
+import numpy as np
+import pytest
+from hypothesis import assume, given, settings
+from hypothesis import strategies as st
+
+from repro.core import mfbc, mfbf
+from repro.graphs import Graph
+
+
+def enumerate_shortest(graph: Graph):
+    """All-pairs (τ, σ̄, path sets) by exhaustive simple-path enumeration."""
+    n = graph.n
+    adj: dict[int, list[tuple[int, float]]] = {i: [] for i in range(n)}
+    w = graph.edge_weights()
+    for u, v, ww in zip(graph.src, graph.dst, w):
+        adj[int(u)].append((int(v), float(ww)))
+        if not graph.directed:
+            adj[int(v)].append((int(u), float(ww)))
+
+    tau = np.full((n, n), np.inf)
+    paths: dict[tuple[int, int], list[tuple[int, ...]]] = {}
+    for s in range(n):
+        tau[s, s] = 0.0
+        paths[(s, s)] = [(s,)]
+        all_paths: dict[int, list[tuple[tuple[int, ...], float]]] = {s: [((s,), 0.0)]}
+        # DFS over all simple paths from s
+        frontier = [((s,), 0.0)]
+        while frontier:
+            path, cost = frontier.pop()
+            u = path[-1]
+            for v, ww in adj[u]:
+                if v in path:
+                    continue
+                npath = path + (v,)
+                ncost = cost + ww
+                all_paths.setdefault(v, []).append((npath, ncost))
+                frontier.append((npath, ncost))
+        for t, plist in all_paths.items():
+            if t == s:
+                continue
+            mincost = min(c for _, c in plist)
+            tau[s, t] = mincost
+            paths[(s, t)] = [p for p, c in plist if c == mincost]
+    return tau, paths
+
+
+def brute_bc(graph: Graph) -> np.ndarray:
+    tau, paths = enumerate_shortest(graph)
+    n = graph.n
+    lam = np.zeros(n)
+    for (s, t), plist in paths.items():
+        if s == t or not plist:
+            continue
+        sigma = len(plist)
+        for v in range(n):
+            if v == s or v == t:
+                continue
+            through = sum(1 for p in plist if v in p)
+            lam[v] += through / sigma
+    return lam
+
+
+def small_graphs():
+    return graphs_strategy()
+
+
+@st.composite
+def graphs_strategy(draw):
+    n = draw(st.integers(3, 7))
+    pairs = list(itertools.permutations(range(n), 2))
+    nedges = draw(st.integers(2, min(len(pairs), 12)))
+    chosen = draw(
+        st.lists(
+            st.sampled_from(pairs), min_size=nedges, max_size=nedges
+        )
+    )
+    src = np.array([e[0] for e in chosen], dtype=np.int64)
+    dst = np.array([e[1] for e in chosen], dtype=np.int64)
+    assume(len(np.unique(src * n + dst)) >= 2)
+    directed = draw(st.booleans())
+    weighted = draw(st.booleans())
+    weight = None
+    if weighted:
+        weight = np.array(
+            draw(st.lists(st.integers(1, 4), min_size=nedges, max_size=nedges)),
+            dtype=np.float64,
+        )
+    return Graph(n, src, dst, weight, directed=directed)
+
+
+@given(small_graphs())
+@settings(max_examples=50, deadline=None)
+def test_mfbf_matches_path_enumeration(g):
+    tau_ref, paths = enumerate_shortest(g)
+    t = mfbf(g.adjacency(), np.arange(g.n, dtype=np.int64))
+    tau = t.to_dense("w")
+    sigma = t.to_dense("m", fill=0.0)
+    assert np.allclose(
+        np.nan_to_num(tau, posinf=-1), np.nan_to_num(tau_ref, posinf=-1)
+    )
+    for (s, tt), plist in paths.items():
+        if s == tt:
+            continue
+        assert sigma[s, tt] == len(plist), (s, tt)
+
+
+@given(small_graphs())
+@settings(max_examples=50, deadline=None)
+def test_mfbc_matches_definition(g):
+    got = mfbc(g, batch_size=max(g.n // 2, 1)).scores
+    ref = brute_bc(g)
+    assert np.allclose(got, ref, atol=1e-8)
+
+
+class TestHandChecked:
+    def test_kite(self):
+        """The classic 'kite' where degree, closeness and betweenness
+        disagree about the most central vertex."""
+        # Krackhardt kite, vertices 0..9; 7 is the betweenness winner
+        edges = [
+            (0, 1), (0, 2), (0, 3), (0, 5),
+            (1, 3), (1, 4), (1, 6),
+            (2, 3), (2, 5),
+            (3, 4), (3, 5), (3, 6),
+            (4, 6),
+            (5, 6), (5, 7),
+            (6, 7),
+            (7, 8),
+            (8, 9),
+        ]
+        g = Graph(
+            10,
+            np.array([e[0] for e in edges]),
+            np.array([e[1] for e in edges]),
+        )
+        scores = mfbc(g).scores
+        assert int(np.argmax(scores)) == 7
+        assert np.allclose(scores, brute_bc(g), atol=1e-8)
+
+    def test_weighted_tie_multiplicity(self):
+        """Two weighted routes of equal cost both count: σ̄ = 2, each middle
+        vertex gets λ = 1 per direction."""
+        # 0 -1- 1 -2- 3 and 0 -2- 2 -1- 3
+        g = Graph(
+            4,
+            np.array([0, 1, 0, 2]),
+            np.array([1, 3, 2, 3]),
+            np.array([1.0, 2.0, 2.0, 1.0]),
+        )
+        scores = mfbc(g).scores
+        assert scores[1] == pytest.approx(1.0)
+        assert scores[2] == pytest.approx(1.0)

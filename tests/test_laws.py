@@ -1,0 +1,103 @@
+"""The public monoid-law checker (and that it catches unlawful algebras)."""
+
+import numpy as np
+import pytest
+
+from repro.algebra import (
+    CENTPATH,
+    MULTPATH,
+    MonoidLawError,
+    bellman_ford_action,
+    brandes_action,
+    check_action_compatibility,
+    check_monoid_laws,
+)
+from repro.algebra.monoid import MaxMonoid, MinMonoid, Monoid, PlusMonoid
+
+MULTPATH_SAMPLES = [
+    {"w": np.inf, "m": 0.0},
+    {"w": 0.0, "m": 1.0},
+    {"w": 1.0, "m": 2.0},
+    {"w": 1.0, "m": 3.0},
+    {"w": 5.0, "m": 1.0},
+]
+
+CENTPATH_SAMPLES = [
+    {"w": -np.inf, "p": 0.0, "c": 0},
+    {"w": 0.0, "p": 0.5, "c": 1},
+    {"w": 2.0, "p": 0.25, "c": -1},
+    {"w": 2.0, "p": 1.0, "c": 3},
+]
+
+
+class TestLawfulMonoidsPass:
+    def test_multpath(self):
+        check_monoid_laws(MULTPATH, MULTPATH_SAMPLES)
+
+    def test_centpath(self):
+        check_monoid_laws(CENTPATH, CENTPATH_SAMPLES)
+
+    def test_scalar_monoids(self):
+        check_monoid_laws(PlusMonoid(), [{"w": v} for v in (0.0, 1.0, -2.5)])
+        check_monoid_laws(MinMonoid(), [{"w": v} for v in (np.inf, 1.0, 3.0)])
+        check_monoid_laws(MaxMonoid(), [{"w": v} for v in (-np.inf, 1.0, 3.0)])
+
+
+class _SubtractMonoid(Monoid):
+    """Deliberately unlawful: subtraction is neither assoc. nor comm."""
+
+    def __init__(self):
+        super().__init__([("w", np.float64)], {"w": 0.0})
+
+    def combine(self, a, b):
+        return {"w": a["w"] - b["w"]}
+
+
+class _WrongIdentityMonoid(Monoid):
+    def __init__(self):
+        super().__init__([("w", np.float64)], {"w": 1.0})
+
+    def combine(self, a, b):
+        return {"w": a["w"] + b["w"]}
+
+
+class TestUnlawfulMonoidsCaught:
+    def test_subtraction_rejected(self):
+        # e ⊕ a = −a trips the identity law before the later laws run
+        with pytest.raises(MonoidLawError, match="failed"):
+            check_monoid_laws(
+                _SubtractMonoid(), [{"w": 1.0}, {"w": 2.0}, {"w": 5.0}]
+            )
+
+    def test_wrong_identity_rejected(self):
+        with pytest.raises(MonoidLawError, match="identity"):
+            check_monoid_laws(_WrongIdentityMonoid(), [{"w": 3.0}])
+
+    def test_empty_samples_rejected(self):
+        with pytest.raises(ValueError, match="sample"):
+            check_monoid_laws(MULTPATH, [])
+
+
+class TestActionLaws:
+    def test_bellman_ford_action(self):
+        check_action_compatibility(
+            bellman_ford_action,
+            [{"w": 0.0, "m": 1.0}, {"w": 3.0, "m": 2.0}],
+            [1.0, 2.5, 7.0],
+        )
+
+    def test_brandes_action(self):
+        check_action_compatibility(
+            brandes_action,
+            [{"w": 5.0, "p": 0.5, "c": 1}],
+            [1.0, 2.0],
+        )
+
+    def test_broken_action_caught(self):
+        def broken(a, b):
+            return {"w": a["w"] + b["w"] ** 2, "m": a["m"]}
+
+        with pytest.raises(MonoidLawError, match="action law"):
+            check_action_compatibility(
+                broken, [{"w": 0.0, "m": 1.0}], [1.0, 2.0]
+            )

@@ -1,0 +1,214 @@
+"""The simulated machine: cost charging, critical paths, collectives, memory."""
+
+import numpy as np
+import pytest
+
+from repro.machine import CostParams, Group, Machine, MemoryLimitExceeded, payload_words
+from repro.sparse import SpMat
+from repro.algebra.monoid import MinMonoid
+
+W = MinMonoid()
+
+
+class TestCostParams:
+    def test_defaults_valid(self):
+        c = CostParams()
+        assert c.alpha >= c.beta
+
+    def test_alpha_below_beta_raises(self):
+        with pytest.raises(ValueError, match="alpha >= beta"):
+            CostParams(alpha=1e-12, beta=1e-6)
+
+
+class TestMachineBasics:
+    def test_bad_p_raises(self):
+        with pytest.raises(ValueError):
+            Machine(0)
+
+    def test_world_group(self):
+        m = Machine(4)
+        assert m.world().size == 4
+
+
+class TestCharging:
+    def test_collective_cost_formula(self):
+        m = Machine(4, CostParams(alpha=1.0, beta=0.5, compute_rate=1.0))
+        m.charge_collective(np.arange(4), words_per_rank=10, weight=2.0)
+        # 2*(10*0.5 + 2*1.0) = 14 seconds; words 20; msgs 2*log2(4)=4
+        assert m.ledger.critical_time() == pytest.approx(14.0)
+        assert m.ledger.critical_words() == pytest.approx(20.0)
+        assert m.ledger.critical_msgs() == pytest.approx(4.0)
+
+    def test_single_rank_collective_free(self):
+        m = Machine(4)
+        m.charge_collective([2], 100.0)
+        assert m.ledger.critical_time() == 0.0
+
+    def test_critical_path_max_merge(self):
+        """Two disjoint groups charge in parallel; a spanning collective
+        starts from the max."""
+        m = Machine(4, CostParams(alpha=1.0, beta=1.0, compute_rate=1.0))
+        m.charge_collective([0, 1], 5.0, weight=1.0)  # t = 5 + 1 = 6
+        m.charge_collective([2, 3], 2.0, weight=1.0)  # t = 2 + 1 = 3
+        assert m.ledger.critical_time() == pytest.approx(6.0)
+        m.charge_collective(np.arange(4), 1.0, weight=1.0)  # starts at 6
+        assert m.ledger.critical_time() == pytest.approx(6.0 + 1.0 + 2.0)
+
+    def test_parallel_groups_do_not_stack(self):
+        m = Machine(4, CostParams(alpha=1.0, beta=1.0, compute_rate=1.0))
+        for _ in range(3):
+            m.charge_collective([0, 1], 1.0, weight=1.0)
+        m2 = Machine(4, CostParams(alpha=1.0, beta=1.0, compute_rate=1.0))
+        for _ in range(3):
+            m2.charge_collective([0, 1], 1.0, weight=1.0)
+            m2.charge_collective([2, 3], 1.0, weight=1.0)
+        # disjoint charging doesn't lengthen the critical path
+        assert m.ledger.critical_time() == m2.ledger.critical_time()
+
+    def test_pointtopoint(self):
+        m = Machine(3, CostParams(alpha=1.0, beta=1.0, compute_rate=1.0))
+        m.charge_pointtopoint(0, 1, 4.0)
+        assert m.ledger.critical_time() == pytest.approx(5.0)
+        assert m.ledger.critical_msgs() == 1
+        assert m.ledger.time[2] == 0.0
+
+    def test_compute_charge(self):
+        m = Machine(2, CostParams(alpha=1.0, beta=1.0, compute_rate=100.0))
+        m.charge_compute([0], 200.0)
+        assert m.ledger.time[0] == pytest.approx(2.0)
+        assert m.ledger.comm_time[0] == 0.0
+
+    def test_barrier_syncs(self):
+        m = Machine(2, CostParams(alpha=1.0, beta=1.0, compute_rate=1.0))
+        m.charge_compute([0], 5.0)
+        m.barrier()
+        assert m.ledger.time[1] == m.ledger.time[0]
+
+    def test_totals_accumulate(self):
+        m = Machine(4)
+        m.charge_collective(np.arange(4), 10.0, weight=1.0)
+        assert m.ledger.total_words == pytest.approx(40.0)
+        snap = m.ledger.snapshot()
+        assert set(snap) >= {"time", "words", "msgs", "comm_time"}
+
+    def test_category_breakdown(self):
+        m = Machine(4)
+        m.charge_collective(np.arange(4), 10.0, weight=1.0, category="bcast")
+        m.charge_collective(np.arange(4), 3.0, weight=2.0, category="reduce")
+        m.charge_collective(np.arange(4), 5.0, weight=1.0, category="bcast")
+        bd = m.ledger.traffic_breakdown()
+        assert bd["bcast"] == pytest.approx(60.0)
+        assert bd["reduce"] == pytest.approx(24.0)
+        assert list(bd)[0] == "bcast"  # sorted descending
+
+    def test_categories_from_real_run(self):
+        """A distributed MFBC run populates the expected categories."""
+        from repro.core import mfbc
+        from repro.dist import DistributedEngine
+        from repro.graphs import uniform_random_graph_nm
+
+        g = uniform_random_graph_nm(40, 4.0, seed=5)
+        m = Machine(4)
+        mfbc(g, batch_size=10, max_batches=1, engine=DistributedEngine(m))
+        bd = m.ledger.traffic_breakdown()
+        assert "input" in bd and "gather" in bd
+        assert sum(bd.values()) == pytest.approx(m.ledger.total_words)
+
+
+class TestMemory:
+    def test_limit_enforced(self):
+        m = Machine(2, memory_words=100)
+        m.allocate(0, 60)
+        with pytest.raises(MemoryLimitExceeded):
+            m.allocate(0, 50)
+
+    def test_free_releases(self):
+        m = Machine(2, memory_words=100)
+        m.allocate(0, 60)
+        m.free(0, 60)
+        m.allocate(0, 90)  # fits again
+        assert m.memory_used(0) == 90
+        assert m.memory_used() == 90
+        m.reset_memory()
+        assert m.memory_used() == 0
+
+
+class TestGroups:
+    def test_distinct_ranks_required(self):
+        m = Machine(4)
+        with pytest.raises(ValueError, match="distinct"):
+            Group(m, np.array([0, 0]))
+
+    def test_rank_range_checked(self):
+        m = Machine(2)
+        with pytest.raises(ValueError, match="out of range"):
+            Group(m, np.array([5]))
+
+    def test_payload_count_checked(self):
+        m = Machine(2)
+        g = m.world()
+        with pytest.raises(ValueError, match="payloads"):
+            g.bcast([None])
+
+    def test_bcast_moves_root_payload(self):
+        m = Machine(3)
+        g = m.world()
+        out = g.bcast([np.arange(4), None, None], root=0)
+        assert all(np.array_equal(o, np.arange(4)) for o in out)
+        assert m.ledger.critical_words() > 0
+
+    def test_reduce_combines(self):
+        m = Machine(3)
+        g = m.world()
+        out = g.reduce([np.ones(3), np.ones(3) * 2, None], lambda a, b: a + b)
+        assert np.allclose(out, [3, 3, 3])
+
+    def test_reduce_all_none(self):
+        m = Machine(2)
+        assert m.world().reduce([None, None], lambda a, b: a + b) is None
+
+    def test_allreduce(self):
+        m = Machine(2)
+        out = m.world().allreduce([np.ones(2), np.ones(2)], lambda a, b: a + b)
+        assert len(out) == 2 and np.allclose(out[0], 2)
+
+    def test_sparse_reduce_charges_output_size(self):
+        m = Machine(2, CostParams(alpha=1.0, beta=1.0, compute_rate=1.0))
+        small = SpMat(4, 4, np.array([0]), np.array([0]), {"w": np.ones(1)}, W)
+        big = SpMat(
+            4, 4, np.arange(4), np.arange(4), {"w": np.ones(4)}, W
+        )
+        out = m.world().sparse_reduce([small, big], lambda a, b: a.combine(b))
+        assert out.nnz == 4
+        # cost charged against the reduced result, not the sum of inputs
+        assert m.ledger.critical_words() == pytest.approx(2 * out.words())
+
+    def test_scatter_gather_allgather(self):
+        m = Machine(2)
+        g = m.world()
+        parts = [np.zeros(2), np.ones(2)]
+        assert np.allclose(g.scatter(parts)[1], 1)
+        gathered = g.gather(parts)
+        assert len(gathered) == 2
+        ag = g.allgather(parts)
+        assert len(ag) == 2 and len(ag[0]) == 2
+
+
+class TestPayloadWords:
+    def test_none(self):
+        assert payload_words(None) == 0
+
+    def test_array(self):
+        assert payload_words(np.zeros(10)) == 10
+
+    def test_spmat(self):
+        s = SpMat(2, 2, np.array([0]), np.array([1]), {"w": np.ones(1)}, W)
+        assert payload_words(s) == s.words()
+
+    def test_containers(self):
+        assert payload_words([np.zeros(2), np.zeros(3)]) == 5
+        assert payload_words({"a": np.zeros(2)}) == 2
+
+    def test_unknown_type_raises(self):
+        with pytest.raises(TypeError):
+            payload_words(object())

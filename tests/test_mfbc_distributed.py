@@ -1,0 +1,156 @@
+"""Distributed MFBC on the simulated machine: equivalence + cost sanity."""
+
+import numpy as np
+import pytest
+
+from repro.core import mfbc
+from repro.dist import DistributedEngine
+from repro.dist.engine import near_square_shape
+from repro.graphs import uniform_random_graph_nm, with_random_weights
+from repro.machine import CostParams, Machine
+from repro.machine.machine import MemoryLimitExceeded
+from repro.spgemm import AutoPolicy, PinnedPolicy, Plan, Square2DPolicy
+
+
+@pytest.fixture(scope="module")
+def graph():
+    return uniform_random_graph_nm(60, 5.0, seed=21)
+
+
+@pytest.fixture(scope="module")
+def reference(graph):
+    return mfbc(graph, batch_size=15).scores
+
+
+class TestEquivalence:
+    @pytest.mark.parametrize("p", [1, 2, 4, 8, 16])
+    def test_auto_policy(self, graph, reference, p):
+        machine = Machine(p)
+        res = mfbc(graph, batch_size=15, engine=DistributedEngine(machine))
+        assert np.allclose(res.scores, reference, atol=1e-8)
+
+    def test_ca_mfbc_policy(self, graph, reference):
+        machine = Machine(16)
+        eng = DistributedEngine(machine, PinnedPolicy.ca_mfbc(16, c=4))
+        res = mfbc(graph, batch_size=15, engine=eng)
+        assert np.allclose(res.scores, reference, atol=1e-8)
+
+    def test_square2d_policy(self, graph, reference):
+        machine = Machine(9)
+        eng = DistributedEngine(machine, Square2DPolicy())
+        res = mfbc(graph, batch_size=15, engine=eng)
+        assert np.allclose(res.scores, reference, atol=1e-8)
+
+    def test_weighted_distributed(self):
+        g = with_random_weights(uniform_random_graph_nm(40, 4.0, seed=23), 1, 9, seed=3)
+        ref = mfbc(g, batch_size=10).scores
+        machine = Machine(4)
+        res = mfbc(g, batch_size=10, engine=DistributedEngine(machine))
+        assert np.allclose(res.scores, ref, atol=1e-8)
+
+    def test_directed_distributed(self):
+        g = uniform_random_graph_nm(40, 4.0, directed=True, seed=29)
+        ref = mfbc(g, batch_size=10).scores
+        machine = Machine(6)
+        res = mfbc(g, batch_size=10, engine=DistributedEngine(machine))
+        assert np.allclose(res.scores, ref, atol=1e-8)
+
+
+class TestLedger:
+    def test_costs_accumulate(self, graph):
+        machine = Machine(8)
+        mfbc(graph, batch_size=15, max_batches=1, engine=DistributedEngine(machine))
+        snap = machine.ledger.snapshot()
+        assert snap["words"] > 0 and snap["msgs"] > 0 and snap["time"] > 0
+        assert snap["comm_time"] <= snap["time"]
+
+    def test_plan_log_populated(self, graph):
+        machine = Machine(8)
+        eng = DistributedEngine(machine)
+        mfbc(graph, batch_size=15, max_batches=1, engine=eng)
+        assert len(eng.plan_log) > 0
+        assert all(pl.p == 8 for pl in eng.plan_log)
+
+    def test_critical_words_decrease_with_p(self, graph):
+        """More ranks → smaller per-rank panels → fewer critical-path words
+        (the strong-scaling effect of Theorem 5.1)."""
+        words = {}
+        for p in (2, 16):
+            machine = Machine(p)
+            mfbc(
+                graph,
+                batch_size=15,
+                max_batches=1,
+                engine=DistributedEngine(machine),
+            )
+            words[p] = machine.ledger.critical_words()
+        assert words[16] < words[2]
+
+    def test_replication_amortized_across_batches(self, graph):
+        """With an invariant adjacency, later batches must not pay the
+        replication again: per-batch traffic should not grow."""
+        machine = Machine(4)
+        eng = DistributedEngine(machine, PinnedPolicy(Plan(2, 2, 1, "B", "AB")))
+        mfbc(graph, batch_size=15, max_batches=1, engine=eng)
+        t1 = machine.ledger.total_words
+        mfbc(graph, batch_size=15, max_batches=1, engine=eng)
+        t2 = machine.ledger.total_words - t1
+        # second run reuses the cached replicas and the cached adjacency —
+        # but re-distributes the adjacency in engine.adjacency(); allow a
+        # modest increase only
+        assert t2 <= t1 * 1.1
+
+
+class TestEveryVariantEndToEnd:
+    """MFBC end-to-end under each pinned plan family — the strongest
+    integration net over the variant implementations."""
+
+    @pytest.mark.parametrize("x", ["A", "B", "C"])
+    @pytest.mark.parametrize("yz", ["AB", "AC", "BC"])
+    def test_pinned_3d_variants(self, graph, reference, x, yz):
+        machine = Machine(8)
+        eng = DistributedEngine(machine, PinnedPolicy(Plan(2, 2, 2, x, yz)))
+        res = mfbc(graph, batch_size=15, max_batches=2, engine=eng)
+        ref = mfbc(graph, batch_size=15, max_batches=2).scores
+        assert np.allclose(res.scores, ref, atol=1e-8), (x, yz)
+
+    @pytest.mark.parametrize("x", ["A", "B", "C"])
+    def test_pinned_1d_variants(self, graph, x):
+        machine = Machine(4)
+        eng = DistributedEngine(machine, PinnedPolicy(Plan(4, 1, 1, x, "AB")))
+        res = mfbc(graph, batch_size=15, max_batches=2, engine=eng)
+        ref = mfbc(graph, batch_size=15, max_batches=2).scores
+        assert np.allclose(res.scores, ref, atol=1e-8), x
+
+    @pytest.mark.parametrize("yz", ["AB", "AC", "BC"])
+    def test_pinned_2d_variants(self, graph, yz):
+        machine = Machine(6)
+        eng = DistributedEngine(machine, PinnedPolicy(Plan(1, 2, 3, "A", yz)))
+        res = mfbc(graph, batch_size=15, max_batches=2, engine=eng)
+        ref = mfbc(graph, batch_size=15, max_batches=2).scores
+        assert np.allclose(res.scores, ref, atol=1e-8), yz
+
+
+class TestMemoryBudget:
+    def test_budget_violation_raises(self, graph):
+        machine = Machine(4, memory_words=4)
+        with pytest.raises(MemoryLimitExceeded):
+            mfbc(
+                graph,
+                batch_size=15,
+                max_batches=1,
+                engine=DistributedEngine(machine),
+            )
+
+    def test_feasible_budget_runs(self, graph, reference):
+        machine = Machine(4, memory_words=100_000)
+        res = mfbc(graph, batch_size=15, engine=DistributedEngine(machine))
+        assert np.allclose(res.scores, reference, atol=1e-8)
+
+
+class TestNearSquare:
+    def test_shapes(self):
+        assert near_square_shape(1) == (1, 1)
+        assert near_square_shape(12) == (3, 4)
+        assert near_square_shape(16) == (4, 4)
+        assert near_square_shape(7) == (1, 7)

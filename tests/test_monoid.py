@@ -1,0 +1,256 @@
+"""Monoid laws and reduction correctness — unit and property-based."""
+
+import numpy as np
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.algebra.monoid import (
+    MaxMonoid,
+    MinMonoid,
+    Monoid,
+    MinWeightTieSumMonoid,
+    PlusMonoid,
+)
+from repro.algebra.multpath import MULTPATH
+from repro.algebra.centpath import CENTPATH
+
+
+def _scalar(monoid, **kw):
+    return {k: np.array([v]) for k, v in kw.items()}
+
+
+def _as_tuple(vals, i=0):
+    return tuple(np.asarray(vals[k])[i] for k in sorted(vals))
+
+
+# ---------------------------------------------------------------------------
+# algebraic laws, checked on concrete sample sets
+# ---------------------------------------------------------------------------
+
+MULTPATH_SAMPLES = [
+    {"w": np.inf, "m": 0.0},
+    {"w": 0.0, "m": 1.0},
+    {"w": 1.0, "m": 2.0},
+    {"w": 1.0, "m": 3.0},
+    {"w": 5.0, "m": 1.0},
+]
+
+CENTPATH_SAMPLES = [
+    {"w": -np.inf, "p": 0.0, "c": 0},
+    {"w": 0.0, "p": 0.5, "c": 1},
+    {"w": 2.0, "p": 0.25, "c": -1},
+    {"w": 2.0, "p": 1.0, "c": 3},
+    {"w": 7.0, "p": 0.0, "c": 2},
+]
+
+
+def _check_laws(monoid: Monoid, samples: list[dict]):
+    ident = {k: np.array([v]) for k, v in monoid.identity.items()}
+    for a in samples:
+        av = {k: np.array([v]) for k, v in a.items()}
+        # identity
+        assert _as_tuple(monoid.combine(av, ident)) == _as_tuple(av)
+        assert _as_tuple(monoid.combine(ident, av)) == _as_tuple(av)
+        for b in samples:
+            bv = {k: np.array([v]) for k, v in b.items()}
+            # commutativity
+            assert _as_tuple(monoid.combine(av, bv)) == _as_tuple(
+                monoid.combine(bv, av)
+            )
+            for c in samples:
+                cv = {k: np.array([v]) for k, v in c.items()}
+                # associativity
+                left = monoid.combine(monoid.combine(av, bv), cv)
+                right = monoid.combine(av, monoid.combine(bv, cv))
+                assert _as_tuple(left) == _as_tuple(right)
+
+
+class TestLaws:
+    def test_multpath_laws(self):
+        _check_laws(MULTPATH, MULTPATH_SAMPLES)
+
+    def test_centpath_laws(self):
+        _check_laws(CENTPATH, CENTPATH_SAMPLES)
+
+    def test_plus_laws(self):
+        _check_laws(PlusMonoid(), [{"w": v} for v in (-1.0, 0.0, 2.5, 7.0)])
+
+    def test_min_laws(self):
+        _check_laws(MinMonoid(), [{"w": v} for v in (np.inf, 0.0, 2.5, 7.0)])
+
+    def test_max_laws(self):
+        _check_laws(MaxMonoid(), [{"w": v} for v in (-np.inf, 0.0, 2.5)])
+
+
+class TestSemantics:
+    def test_multpath_tie_sums_multiplicity(self):
+        out = MULTPATH.combine(
+            _scalar(MULTPATH, w=3.0, m=2.0), _scalar(MULTPATH, w=3.0, m=5.0)
+        )
+        assert out["w"][0] == 3.0 and out["m"][0] == 7.0
+
+    def test_multpath_min_wins(self):
+        out = MULTPATH.combine(
+            _scalar(MULTPATH, w=3.0, m=2.0), _scalar(MULTPATH, w=1.0, m=5.0)
+        )
+        assert out["w"][0] == 1.0 and out["m"][0] == 5.0
+
+    def test_centpath_max_wins(self):
+        out = CENTPATH.combine(
+            _scalar(CENTPATH, w=3.0, p=0.5, c=1), _scalar(CENTPATH, w=1.0, p=9.0, c=9)
+        )
+        assert (out["w"][0], out["p"][0], out["c"][0]) == (3.0, 0.5, 1)
+
+    def test_centpath_tie_sums_p_and_c(self):
+        out = CENTPATH.combine(
+            _scalar(CENTPATH, w=3.0, p=0.5, c=1),
+            _scalar(CENTPATH, w=3.0, p=0.25, c=-1),
+        )
+        assert (out["w"][0], out["p"][0], out["c"][0]) == (3.0, 0.75, 0)
+
+    def test_is_identity(self):
+        vals = {"w": np.array([np.inf, 1.0]), "m": np.array([0.0, 0.0])}
+        assert list(MULTPATH.is_identity(vals)) == [True, False]
+
+    def test_identity_array(self):
+        arr = CENTPATH.identity_array(3)
+        assert np.all(np.isneginf(arr["w"])) and np.all(arr["c"] == 0)
+
+    def test_bad_select_raises(self):
+        with pytest.raises(ValueError, match="select"):
+            MinWeightTieSumMonoid([("w", float)], {"w": np.inf}, select="median")
+
+    def test_bad_weight_field_raises(self):
+        with pytest.raises(ValueError, match="weight field"):
+            MinWeightTieSumMonoid(
+                [("w", float)], {"w": np.inf}, weight_field="nope"
+            )
+
+    def test_identity_schema_mismatch_raises(self):
+        with pytest.raises(ValueError, match="identity"):
+            Monoid([("w", float)], {"x": 0.0})
+
+    def test_base_combine_not_implemented(self):
+        m = Monoid([("w", float)], {"w": 0.0})
+        with pytest.raises(NotImplementedError):
+            m.combine({"w": np.zeros(1)}, {"w": np.zeros(1)})
+
+
+# ---------------------------------------------------------------------------
+# reductions: vectorized fast paths vs the generic pairwise fold
+# ---------------------------------------------------------------------------
+
+
+def _generic_reduce(monoid, keys, vals):
+    order = np.argsort(keys, kind="stable")
+    return Monoid._reduce_sorted(
+        monoid, keys[order], {k: v[order] for k, v in vals.items()}
+    )
+
+
+class TestReduceByKey:
+    @pytest.mark.parametrize("monoid_name", ["multpath", "centpath", "plus", "min"])
+    def test_fast_path_matches_generic(self, rng, monoid_name):
+        monoid = {
+            "multpath": MULTPATH,
+            "centpath": CENTPATH,
+            "plus": PlusMonoid(),
+            "min": MinMonoid(),
+        }[monoid_name]
+        nelem = 500
+        keys = rng.integers(0, 37, nelem)
+        vals = {}
+        for name, dtype in monoid.field_spec:
+            if np.issubdtype(dtype, np.integer):
+                vals[name] = rng.integers(-3, 4, nelem).astype(dtype)
+            else:
+                vals[name] = rng.integers(0, 6, nelem).astype(dtype)
+        k1, v1 = monoid.reduce_by_key(keys, {k: v.copy() for k, v in vals.items()})
+        k2, v2 = _generic_reduce(monoid, keys, vals)
+        assert np.array_equal(k1, k2)
+        for name in monoid.field_names:
+            assert np.allclose(v1[name], v2[name]), name
+
+    def test_empty_input(self):
+        keys = np.empty(0, dtype=np.int64)
+        k, v = MULTPATH.reduce_by_key(keys, MULTPATH.empty())
+        assert len(k) == 0 and len(v["w"]) == 0
+
+    def test_single_group(self):
+        keys = np.zeros(4, dtype=np.int64)
+        vals = MULTPATH.make([2.0, 1.0, 1.0, 3.0], [1, 2, 3, 4])
+        k, v = MULTPATH.reduce_by_key(keys, vals)
+        assert list(k) == [0]
+        assert v["w"][0] == 1.0 and v["m"][0] == 5.0
+
+    def test_keys_already_unique(self):
+        keys = np.array([3, 1, 2], dtype=np.int64)
+        vals = MULTPATH.make([1.0, 2.0, 3.0], [1, 1, 1])
+        k, v = MULTPATH.reduce_by_key(keys, vals)
+        assert list(k) == [1, 2, 3]
+        assert list(v["w"]) == [2.0, 3.0, 1.0]
+
+
+# ---------------------------------------------------------------------------
+# hypothesis: laws on arbitrary elements, reduce == sequential fold
+# ---------------------------------------------------------------------------
+
+finite_w = st.integers(min_value=0, max_value=10).map(float)
+mult = st.integers(min_value=0, max_value=100).map(float)
+
+
+@st.composite
+def multpath_elem(draw):
+    if draw(st.booleans()):
+        return (np.inf, 0.0)
+    return (draw(finite_w), draw(mult))
+
+
+@given(st.lists(multpath_elem(), min_size=1, max_size=30))
+@settings(max_examples=100, deadline=None)
+def test_multpath_reduce_equals_fold(elems):
+    keys = np.zeros(len(elems), dtype=np.int64)
+    vals = MULTPATH.make([e[0] for e in elems], [e[1] for e in elems])
+    _, reduced = MULTPATH.reduce_by_key(keys, vals)
+
+    # sequential fold reference
+    acc = (np.inf, 0.0)
+    for w, m in elems:
+        if w < acc[0]:
+            acc = (w, m)
+        elif w == acc[0]:
+            acc = (acc[0], acc[1] + m)
+    if acc == (np.inf, 0.0):
+        assert len(reduced["w"]) == 0 or (
+            reduced["w"][0] == np.inf and reduced["m"][0] == 0
+        )
+    else:
+        assert reduced["w"][0] == acc[0]
+        assert reduced["m"][0] == acc[1]
+
+
+@given(
+    st.lists(
+        st.tuples(
+            st.integers(0, 5),
+            st.integers(0, 8).map(float),
+            st.integers(-2, 5),
+        ),
+        min_size=1,
+        max_size=40,
+    )
+)
+@settings(max_examples=100, deadline=None)
+def test_centpath_reduce_matches_generic(items):
+    keys = np.array([k for k, _, _ in items], dtype=np.int64)
+    vals = CENTPATH.make(
+        [w for _, w, _ in items],
+        [w / 2 for _, w, _ in items],
+        [c for _, _, c in items],
+    )
+    k1, v1 = CENTPATH.reduce_by_key(keys, {k: v.copy() for k, v in vals.items()})
+    k2, v2 = _generic_reduce(CENTPATH, keys, vals)
+    assert np.array_equal(k1, k2)
+    for name in CENTPATH.field_names:
+        assert np.allclose(v1[name], v2[name])

@@ -1,0 +1,107 @@
+"""The hybrid performance model and its agreement with the simulator."""
+
+import numpy as np
+import pytest
+
+from repro.analysis import model_run
+from repro.analysis.scaling import trace_combblas, trace_mfbc
+from repro.core import mfbc
+from repro.dist import DistributedEngine
+from repro.graphs import uniform_random_graph_nm
+from repro.machine import CostParams, Machine
+from repro.spgemm import Square2DPolicy
+
+
+@pytest.fixture(scope="module")
+def traced():
+    g = uniform_random_graph_nm(80, 6.0, seed=41)
+    stats, sources = trace_mfbc(g, batch_size=20)
+    return g, stats, sources
+
+
+class TestModelRun:
+    def test_words_decrease_with_p(self, traced):
+        g, stats, _ = traced
+        w = [model_run(stats, g, p).words for p in (2, 8, 32, 128)]
+        assert all(a > b for a, b in zip(w, w[1:]))
+
+    def test_msgs_increase_with_p(self, traced):
+        g, stats, _ = traced
+        m2 = model_run(stats, g, 2).msgs
+        m128 = model_run(stats, g, 128).msgs
+        assert m128 > m2
+
+    def test_compute_scales_inversely(self, traced):
+        """The ops-proportional part of compute time scales 1/p; the fixed
+        per-product overhead (CostParams.product_overhead) does not."""
+        g, stats, _ = traced
+        overhead = (
+            sum(len(b.iterations) for b in stats.batches)
+            * CostParams().product_overhead
+        )
+        c2 = model_run(stats, g, 2).compute_seconds - overhead
+        c8 = model_run(stats, g, 8).compute_seconds - overhead
+        assert c8 == pytest.approx(c2 / 4, rel=0.01)
+
+    def test_breakdown_consistent(self, traced):
+        g, stats, _ = traced
+        run = model_run(stats, g, 16)
+        assert run.seconds == pytest.approx(run.comm_seconds + run.compute_seconds)
+        assert set(run.breakdown) == {
+            "seconds",
+            "comm_seconds",
+            "compute_seconds",
+            "words",
+            "msgs",
+        }
+
+    def test_policy_restriction_prices_higher_or_equal(self, traced):
+        """A CombBLAS-restricted (square-2D-only) pricing can never beat the
+        full search on the same trace."""
+        g, stats, _ = traced
+        free = model_run(stats, g, 16)
+        pinned = model_run(stats, g, 16, policy=Square2DPolicy())
+        assert pinned.seconds >= free.seconds - 1e-15
+
+    def test_memory_constraint_respected(self, traced):
+        g, stats, _ = traced
+        # a generous budget works
+        run = model_run(stats, g, 16, memory_words=1e9)
+        assert run.seconds > 0
+        # an impossible one raises
+        with pytest.raises(ValueError, match="memory"):
+            model_run(stats, g, 16, memory_words=1.0)
+
+    def test_custom_cost_params_scale(self, traced):
+        g, stats, _ = traced
+        cheap = model_run(stats, g, 8, cost=CostParams(alpha=1e-6, beta=1e-9))
+        pricey = model_run(stats, g, 8, cost=CostParams(alpha=1e-3, beta=1e-6))
+        assert pricey.comm_seconds > cheap.comm_seconds
+
+
+class TestCombBLASTrace:
+    def test_trace_shape(self):
+        g = uniform_random_graph_nm(50, 5.0, seed=43)
+        stats, sources = trace_combblas(g, batch_size=25, max_batches=1)
+        assert sources == 25
+        assert stats.total_ops > 0
+        run = model_run(stats, g, 16)
+        assert run.seconds > 0
+
+
+class TestModelVsSimulator:
+    def test_model_lower_bounds_simulator(self):
+        """The hybrid model prices only the §5.2 algorithm collectives; the
+        full simulator additionally pays input distribution, per-operation
+        redistribution, and result gathers — so on the same workload the
+        simulator's total traffic must dominate the model's and both must be
+        nonzero."""
+        g = uniform_random_graph_nm(60, 5.0, seed=47)
+        stats, _ = trace_mfbc(g, batch_size=20)
+        p = 4
+        modeled = model_run(stats, g, p)
+        assert modeled.words > 0
+
+        machine = Machine(p)
+        mfbc(g, batch_size=20, engine=DistributedEngine(machine))
+        assert machine.ledger.total_words > modeled.words

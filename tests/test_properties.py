@@ -1,0 +1,103 @@
+"""Property-based tests of the library's load-bearing equivalences.
+
+Hypothesis generates arbitrary small graphs (random edge sets, optional
+integer weights, directed or not) and asserts the chain of equalities the
+whole reproduction rests on:
+
+    MFBC == Brandes == CombBLAS-style   (betweenness centrality)
+    MFBF == Dijkstra/BFS                (distances and multiplicities)
+"""
+
+import numpy as np
+from hypothesis import assume, given, settings
+from hypothesis import strategies as st
+
+from repro.baselines import brandes_bc, combblas_bc
+from repro.baselines.sssp import bfs_sssp, dijkstra_sssp
+from repro.core import mfbc, mfbf
+from repro.graphs import Graph
+
+
+@st.composite
+def graphs(draw, weighted=None, max_n=14):
+    n = draw(st.integers(min_value=2, max_value=max_n))
+    max_edges = n * (n - 1) // 2
+    nedges = draw(st.integers(min_value=1, max_value=min(max_edges, 3 * n)))
+    edges = draw(
+        st.lists(
+            st.tuples(
+                st.integers(0, n - 1),
+                st.integers(0, n - 1),
+            ),
+            min_size=nedges,
+            max_size=nedges,
+        )
+    )
+    src = np.array([e[0] for e in edges], dtype=np.int64)
+    dst = np.array([e[1] for e in edges], dtype=np.int64)
+    assume(np.any(src != dst))
+    directed = draw(st.booleans())
+    if weighted is None:
+        weighted = draw(st.booleans())
+    weight = None
+    if weighted:
+        weight = np.array(
+            draw(
+                st.lists(
+                    st.integers(1, 5), min_size=nedges, max_size=nedges
+                )
+            ),
+            dtype=np.float64,
+        )
+    return Graph(n, src, dst, weight, directed=directed)
+
+
+@given(graphs())
+@settings(max_examples=60, deadline=None)
+def test_mfbc_equals_brandes(g):
+    got = mfbc(g, batch_size=max(g.n // 3, 1)).scores
+    ref = brandes_bc(g)
+    assert np.allclose(got, ref, atol=1e-8)
+
+
+@given(graphs(weighted=False))
+@settings(max_examples=40, deadline=None)
+def test_combblas_equals_brandes(g):
+    got = combblas_bc(g, batch_size=max(g.n // 2, 1)).scores
+    ref = brandes_bc(g)
+    assert np.allclose(got, ref, atol=1e-8)
+
+
+@given(graphs(), st.integers(0, 1000))
+@settings(max_examples=60, deadline=None)
+def test_mfbf_equals_sssp_oracle(g, source_seed):
+    s = source_seed % g.n
+    t = mfbf(g.adjacency(), np.array([s], dtype=np.int64))
+    d = t.to_dense("w")[0]
+    m = t.to_dense("m")[0]
+    d_ref, m_ref = (dijkstra_sssp if g.weighted else bfs_sssp)(g, s)
+    assert np.allclose(
+        np.nan_to_num(d, posinf=-1.0), np.nan_to_num(d_ref, posinf=-1.0)
+    )
+    reach = np.isfinite(d_ref)
+    assert np.allclose(m[reach], m_ref[reach])
+
+
+@given(graphs(max_n=10), st.integers(1, 5))
+@settings(max_examples=30, deadline=None)
+def test_batch_size_never_changes_scores(g, nb):
+    ref = mfbc(g, batch_size=g.n).scores
+    got = mfbc(g, batch_size=nb).scores
+    assert np.allclose(got, ref, atol=1e-8)
+
+
+@given(graphs(max_n=10))
+@settings(max_examples=25, deadline=None)
+def test_scores_nonnegative_and_endpoint_free(g):
+    scores = mfbc(g).scores
+    assert np.all(scores >= -1e-12)
+    # a vertex of degree ≤ 1 in an undirected graph mediates nothing
+    if not g.directed:
+        deg = g.degrees()
+        leaves = deg <= 1
+        assert np.allclose(scores[leaves], 0.0, atol=1e-12)

@@ -1,0 +1,66 @@
+"""Scaling-experiment harnesses produce well-formed, correctly-shaped data."""
+
+import numpy as np
+import pytest
+
+from repro.analysis import (
+    edge_weak_scaling,
+    strong_scaling,
+    vertex_weak_scaling,
+)
+from repro.analysis.scaling import ScalingPoint
+from repro.graphs import uniform_random_graph_nm
+
+
+@pytest.fixture(scope="module")
+def graph():
+    return uniform_random_graph_nm(100, 6.0, seed=51, name="harness")
+
+
+class TestStrongScaling:
+    def test_rows_per_p(self, graph):
+        pts = strong_scaling(graph, [2, 8, 32], max_batches=1, batch_sizes=[16])
+        assert [p.p for p in pts] == [2, 8, 32]
+        assert all(isinstance(p, ScalingPoint) for p in pts)
+        assert all(p.graph_name == "harness" for p in pts)
+        assert all(p.mteps_per_node > 0 for p in pts)
+
+    def test_best_over_batch_sizes(self, graph):
+        single = strong_scaling(graph, [8], max_batches=1, batch_sizes=[16])
+        multi = strong_scaling(graph, [8], max_batches=1, batch_sizes=[4, 16, 50])
+        assert multi[0].mteps_per_node >= single[0].mteps_per_node - 1e-12
+
+    def test_total_words_decrease_with_p(self, graph):
+        pts = strong_scaling(graph, [2, 32], max_batches=1, batch_sizes=[16])
+        assert pts[1].words < pts[0].words
+
+
+class TestWeakScaling:
+    def test_edge_weak_graph_sizes(self):
+        pts = edge_weak_scaling(
+            40, 0.02, [1, 4, 16], batch_size=8, max_batches=1
+        )
+        ns = [p.n for p in pts]
+        # n = n0·√p
+        assert ns[0] == 40 and ns[1] == 80 and ns[2] == 160
+
+    def test_edge_weak_density_constant(self):
+        pts = edge_weak_scaling(40, 0.02, [1, 4], batch_size=8, max_batches=1)
+        f = [2 * p.m / p.n**2 for p in pts]
+        assert f[1] == pytest.approx(f[0], rel=0.35)
+
+    def test_vertex_weak_graph_sizes(self):
+        pts = vertex_weak_scaling(30, 4.0, [1, 2, 4], batch_size=8, max_batches=1)
+        assert [p.n for p in pts] == [30, 60, 120]
+
+    def test_vertex_weak_degree_constant(self):
+        pts = vertex_weak_scaling(50, 6.0, [1, 4], batch_size=8, max_batches=1)
+        k = [2 * p.m / p.n for p in pts]
+        assert k[1] == pytest.approx(k[0], rel=0.25)
+
+    def test_vertex_weak_words_per_node_work_grow(self):
+        """§7.3: vertex weak scaling is unsustainable — critical-path words
+        per unit of per-node work grow (≈ √p) with p on full runs."""
+        pts = vertex_weak_scaling(20, 4.0, [8, 128], batch_size=20)
+        per_work = [p.words * p.p / max(p.m * p.n, 1) for p in pts]
+        assert per_work[-1] > per_work[0]

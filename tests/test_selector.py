@@ -1,0 +1,185 @@
+"""Cost models and the plan selector (CTF mapping-search behaviour)."""
+
+import math
+
+import numpy as np
+import pytest
+
+from repro.machine import CostParams, Machine
+from repro.machine.machine import MemoryLimitExceeded
+from repro.spgemm import (
+    AutoPolicy,
+    PinnedPolicy,
+    Plan,
+    Square2DPolicy,
+    estimate_nnz_c,
+    estimate_ops,
+    model_1d,
+    model_2d,
+    model_3d,
+)
+from repro.spgemm.costmodel import model_plan
+from repro.spgemm.selector import amortized_model_plan, enumerate_plans
+
+
+class TestEstimators:
+    def test_ops_uniform(self):
+        # nnz(A)·nnz(B)/k
+        assert estimate_ops(10, 20, 10, 100, 200) == pytest.approx(1000.0)
+
+    def test_nnz_c_capped_by_dense(self):
+        assert estimate_nnz_c(3, 100, 3, 10_000, 10_000) == 9.0
+
+    def test_zero_k(self):
+        assert estimate_ops(5, 0, 5, 0, 0) == 0.0
+
+
+class TestModels:
+    def test_1d_words_scale_with_replicated_operand(self):
+        a = model_1d("A", 16, nnz_a=1000, nnz_b=10, nnz_c=10, ops=100)
+        b = model_1d("B", 16, nnz_a=1000, nnz_b=10, nnz_c=10, ops=100)
+        assert a.words == 2000 and b.words == 20
+
+    def test_2d_words_formula(self):
+        est = model_2d("AB", 4, 8, nnz_a=800, nnz_b=1600, nnz_c=0, ops=0)
+        assert est.words == pytest.approx(2 * (800 / 4 + 1600 / 8))
+
+    def test_2d_latency_lcm_steps(self):
+        est_sq = model_2d("AB", 4, 4, 1, 1, 1, 0)
+        est_bad = model_2d("AB", 8, 2, 1, 1, 1, 0)
+        # lcm(8,2)=8 = max; lcm(4,4)=4: fewer steps on the square grid
+        assert est_sq.msgs < est_bad.msgs
+
+    def test_3d_memory_includes_replication(self):
+        est = model_3d("A", "AB", 4, 2, 2, nnz_a=1600, nnz_b=16, nnz_c=16, ops=0)
+        # replicated A: nnz_a·p1/p = 1600·4/16 = 400 per rank at least
+        assert est.memory_words >= 400
+
+    def test_time_combines_terms(self):
+        est = model_1d("A", 4, 100, 0, 0, ops=1000)
+        # msgs = 2·log2(4) = 4, words = 2·nnz(A) = 200, flops = ops/p = 250
+        t = est.time(alpha=1.0, beta=0.5, compute_rate=100.0)
+        assert t == pytest.approx(4 * 1.0 + 200 * 0.5 + 250 / 100.0)
+
+    def test_model_plan_dispatch(self):
+        p1d = model_plan(Plan(4, 1, 1, "A", "AB"), 10, 10, 10, 80, 20)
+        p2d = model_plan(Plan(1, 2, 2, "A", "AB"), 10, 10, 10, 80, 20)
+        p3d = model_plan(Plan(2, 2, 1, "A", "AB"), 10, 10, 10, 80, 20)
+        # 1D-A ships all of A (160 words); 2D ships panels (2·(40+10)=100)
+        assert p1d.words == pytest.approx(160)
+        assert p2d.words == pytest.approx(100)
+        assert p3d.memory_words >= p2d.memory_words
+
+
+class TestAmortization:
+    def test_discount_removes_replication_words(self):
+        plan = Plan(4, 2, 2, "B", "AB")
+        full = amortized_model_plan(plan, 10, 100, 100, 50, 5000, frozenset())
+        disc = amortized_model_plan(plan, 10, 100, 100, 50, 5000, frozenset("B"))
+        assert disc.words == pytest.approx(full.words - 2 * 5000 / 4)
+
+    def test_discount_1d(self):
+        plan = Plan(4, 1, 1, "B", "AB")
+        full = amortized_model_plan(plan, 10, 100, 100, 50, 5000, frozenset())
+        disc = amortized_model_plan(plan, 10, 100, 100, 50, 5000, frozenset("B"))
+        assert disc.words == pytest.approx(full.words - 2 * 5000)
+
+    def test_no_discount_for_other_operand(self):
+        plan = Plan(4, 2, 2, "A", "AB")
+        full = amortized_model_plan(plan, 10, 100, 100, 50, 5000, frozenset())
+        disc = amortized_model_plan(plan, 10, 100, 100, 50, 5000, frozenset("B"))
+        assert disc.words == full.words
+
+
+class TestAutoPolicy:
+    def test_picks_cheapest_for_imbalanced_operands(self):
+        """A tiny frontier times a huge adjacency should NOT replicate the
+        frontier-to-everyone 1D-B style plan; the chosen plan's modeled cost
+        must be minimal over the enumeration."""
+        machine = Machine(16)
+        pol = AutoPolicy()
+        plan = pol.select(machine, 8, 10000, 10000, 50, 500_000)
+        est = amortized_model_plan(plan, 8, 10000, 10000, 50, 500_000, frozenset())
+        for other in enumerate_plans(16):
+            est_o = amortized_model_plan(
+                other, 8, 10000, 10000, 50, 500_000, frozenset()
+            )
+            assert est.time(1e-6, 1e-9, 1e9) <= est_o.time(1e-6, 1e-9, 1e9) + 1e-15
+
+    def test_memory_budget_filters(self):
+        # replicating the big operand everywhere (1D) needs ≥ 10k words/rank;
+        # a budget of 8k forces a non-replicating 2D/3D plan.
+        machine = Machine(16, memory_words=8000)
+        pol = AutoPolicy()
+        plan = pol.select(machine, 100, 100, 100, 10_000, 10_000)
+        est = model_plan(plan, 100, 100, 100, 10_000, 10_000)
+        assert est.memory_words <= 8000
+        assert plan.kind != "1d"
+
+    def test_impossible_budget_raises(self):
+        machine = Machine(4, memory_words=1)
+        with pytest.raises(MemoryLimitExceeded):
+            AutoPolicy().select(machine, 100, 100, 100, 10_000, 10_000)
+
+    def test_history_recorded(self):
+        machine = Machine(4)
+        pol = AutoPolicy()
+        pol.select(machine, 10, 10, 10, 20, 20)
+        assert len(pol.history) == 1
+
+    def test_amortized_adjacency_prefers_replication_at_scale(self):
+        """With the adjacency's replication amortized away and latency
+        expensive, 3D/1D plans replicating B become competitive."""
+        machine = Machine(64, CostParams(alpha=1e-3, beta=1e-9))
+        pol = AutoPolicy()
+        plan = pol.select(
+            machine, 512, 100_000, 100_000, 2_000, 1_000_000, amortized=frozenset("B")
+        )
+        # the selected plan must exploit the free replication of B
+        assert plan.x == "B" or plan.kind == "2d"
+
+
+class TestPinnedPolicies:
+    def test_ca_mfbc_grid(self):
+        pol = PinnedPolicy.ca_mfbc(16, c=4)
+        assert (pol.plan.p1, pol.plan.p2, pol.plan.p3) == (4, 2, 2)
+        assert pol.plan.x == "B"
+
+    def test_ca_mfbc_c1_is_2d(self):
+        pol = PinnedPolicy.ca_mfbc(16, c=1)
+        assert pol.plan.kind == "2d" and pol.plan.p2 == pol.plan.p3 == 4
+
+    def test_ca_mfbc_invalid(self):
+        with pytest.raises(ValueError, match="divide"):
+            PinnedPolicy.ca_mfbc(16, c=3)
+        with pytest.raises(ValueError, match="square"):
+            PinnedPolicy.ca_mfbc(8, c=1)
+
+    def test_pinned_machine_mismatch(self):
+        pol = PinnedPolicy.ca_mfbc(16, c=1)
+        with pytest.raises(ValueError, match="ranks"):
+            pol.select(Machine(8), 1, 1, 1, 1, 1)
+
+    def test_square2d(self):
+        plan = Square2DPolicy().select(Machine(16), 1, 1, 1, 1, 1)
+        assert (plan.p2, plan.p3) == (4, 4) and plan.yz == "AB"
+
+    def test_square2d_nonsquare_raises(self):
+        with pytest.raises(ValueError, match="square"):
+            Square2DPolicy().select(Machine(8), 1, 1, 1, 1, 1)
+
+
+class TestEnumeration:
+    @pytest.mark.parametrize("p", [1, 2, 4, 16])
+    def test_all_plans_cover_p(self, p):
+        for plan in enumerate_plans(p):
+            assert plan.p == p
+
+    def test_includes_all_kinds_at_16(self):
+        kinds = {pl.kind for pl in enumerate_plans(16)}
+        assert kinds == {"1d", "2d", "3d"}
+
+    def test_plan_count_grows(self):
+        assert len(enumerate_plans(16)) > len(enumerate_plans(4)) > len(
+            enumerate_plans(2)
+        )

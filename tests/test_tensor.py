@@ -1,0 +1,266 @@
+"""Sparse tensors and contractions vs numpy einsum references."""
+
+import numpy as np
+import pytest
+
+from repro.algebra import REAL_PLUS_TIMES, TROPICAL
+from repro.algebra.monoid import MinMonoid, PlusMonoid
+from repro.tensor import SpTensor, contract
+from repro.tensor.contract import contract_with_ops
+
+PLUS = PlusMonoid()
+MIN = MinMonoid()
+
+
+def random_tensor(rng, shape, density, monoid=PLUS):
+    size = int(np.prod(shape))
+    nnz = max(1, int(size * density))
+    flat = rng.choice(size, size=nnz, replace=False)
+    coords = []
+    rest = flat
+    for s in reversed(shape[1:]):
+        coords.append(rest % s)
+        rest = rest // s
+    coords.append(rest)
+    coords = list(reversed(coords))
+    vals = {"w": rng.integers(1, 9, nnz).astype(float)}
+    return SpTensor(shape, coords, vals, monoid)
+
+
+def dense(t: SpTensor, fill=0.0) -> np.ndarray:
+    out = np.full(t.shape, fill)
+    out[tuple(t.coords)] = t.vals["w"]
+    return out
+
+
+class TestSpTensorBasics:
+    def test_canonicalization_dedups(self):
+        t = SpTensor(
+            (2, 2, 2),
+            (np.array([0, 0]), np.array([1, 1]), np.array([0, 0])),
+            {"w": np.array([2.0, 3.0])},
+            PLUS,
+        )
+        assert t.nnz == 1 and t.get(0, 1, 0)["w"] == 5.0
+
+    def test_identity_pruned(self):
+        t = SpTensor(
+            (2, 2),
+            (np.array([0, 1]), np.array([0, 1])),
+            {"w": np.array([0.0, 1.0])},
+            PLUS,
+        )
+        assert t.nnz == 1
+
+    def test_order_bounds(self):
+        with pytest.raises(ValueError, match="order"):
+            SpTensor((2, 2, 2, 2), (np.empty(0),) * 4, PLUS.empty(), PLUS)
+
+    def test_out_of_bounds(self):
+        with pytest.raises(ValueError, match="bounds"):
+            SpTensor((2, 2), (np.array([5]), np.array([0])), {"w": np.ones(1)}, PLUS)
+
+    def test_permute_roundtrip(self, rng):
+        t = random_tensor(rng, (3, 4, 5), 0.3)
+        p = t.permute((2, 0, 1))
+        assert p.shape == (5, 3, 4)
+        assert np.allclose(dense(p), np.transpose(dense(t), (2, 0, 1)))
+        assert p.permute((1, 2, 0)).equals(t)
+
+    def test_permute_invalid(self, rng):
+        t = random_tensor(rng, (3, 4), 0.5)
+        with pytest.raises(ValueError, match="permutation"):
+            t.permute((0, 0))
+
+    def test_unfold_fold_roundtrip(self, rng):
+        t = random_tensor(rng, (3, 4, 5), 0.3)
+        mat = t.unfold([0, 2])  # rows = (i, k), cols = (j)
+        assert mat.shape == (15, 4)
+        back = SpTensor.fold(mat, [3, 5], [4]).permute((0, 2, 1))
+        assert back.equals(t)
+
+    def test_unfold_dense_agreement(self, rng):
+        t = random_tensor(rng, (3, 4, 5), 0.4)
+        mat = t.unfold([1])  # rows = j, cols = (i, k) ascending modes
+        ref = np.transpose(dense(t), (1, 0, 2)).reshape(4, 15)
+        assert np.allclose(mat.to_dense("w", fill=0.0), ref)
+
+    def test_combine_map_filter(self, rng):
+        t = random_tensor(rng, (3, 4), 0.4)
+        u = random_tensor(rng, (3, 4), 0.4)
+        c = t.combine(u)
+        assert np.allclose(dense(c), dense(t) + dense(u))
+        doubled = t.map(lambda v: {"w": v["w"] * 2})
+        assert np.allclose(dense(doubled), dense(t) * 2)
+        big = t.filter(lambda v: v["w"] > 4)
+        assert (dense(big) > 0).sum() <= (dense(t) > 0).sum()
+
+    def test_from_spmat(self, rng):
+        from conftest import random_weight_spmat
+
+        m = random_weight_spmat(rng, 5, 6, 0.4)
+        t = SpTensor.from_spmat(m)
+        assert t.shape == (5, 6) and t.nnz == m.nnz
+
+
+class TestContraction:
+    SPEC = REAL_PLUS_TIMES.matmul_spec()
+
+    def test_matrix_matrix(self, rng):
+        a = random_tensor(rng, (4, 5), 0.5)
+        b = random_tensor(rng, (5, 6), 0.5)
+        c = contract(a, "ik", b, "kj", "ij", self.SPEC)
+        ref = np.einsum("ik,kj->ij", dense(a), dense(b))
+        assert np.allclose(dense(c), ref)
+
+    def test_order3_times_matrix(self, rng):
+        a = random_tensor(rng, (3, 4, 5), 0.3)
+        b = random_tensor(rng, (5, 6), 0.5)
+        c = contract(a, "ijk", b, "kl", "ijl", self.SPEC)
+        ref = np.einsum("ijk,kl->ijl", dense(a), dense(b))
+        assert np.allclose(dense(c), ref)
+
+    def test_order3_times_matrix_middle_mode(self, rng):
+        a = random_tensor(rng, (3, 4, 5), 0.3)
+        b = random_tensor(rng, (4, 6), 0.5)
+        c = contract(a, "ijk", b, "jl", "ikl", self.SPEC)
+        ref = np.einsum("ijk,jl->ikl", dense(a), dense(b))
+        assert np.allclose(dense(c), ref)
+
+    def test_output_permutation(self, rng):
+        a = random_tensor(rng, (3, 4, 5), 0.3)
+        b = random_tensor(rng, (5, 6), 0.5)
+        c = contract(a, "ijk", b, "kl", "lji", self.SPEC)
+        ref = np.einsum("ijk,kl->lji", dense(a), dense(b))
+        assert np.allclose(dense(c), ref)
+
+    def test_matrix_vector(self, rng):
+        a = random_tensor(rng, (4, 5), 0.5)
+        v = random_tensor(rng, (5,), 0.6)
+        c = contract(a, "ik", v, "k", "i", self.SPEC)
+        ref = np.einsum("ik,k->i", dense(a), dense(v))
+        assert np.allclose(dense(c), ref)
+
+    def test_vector_order3(self, rng):
+        a = random_tensor(rng, (4,), 0.7)
+        t = random_tensor(rng, (4, 3, 5), 0.3)
+        c = contract(a, "i", t, "ijk", "jk", self.SPEC)
+        ref = np.einsum("i,ijk->jk", dense(a), dense(t))
+        assert np.allclose(dense(c), ref)
+
+    def test_tropical_contraction(self, rng):
+        a = random_tensor(rng, (4, 5), 0.5, monoid=MIN)
+        b = random_tensor(rng, (5, 4), 0.5, monoid=MIN)
+        c = contract(a, "ik", b, "kj", "ij", TROPICAL.matmul_spec())
+        da = np.where(dense(a, np.inf) == 0, np.inf, dense(a, np.inf))
+        da = dense(a, np.inf)
+        db = dense(b, np.inf)
+        ref = np.min(da[:, :, None] + db[None, :, :], axis=1)
+        got = dense(c, np.inf)
+        assert np.allclose(
+            np.where(np.isfinite(ref), ref, -1),
+            np.where(np.isfinite(got), got, -1),
+        )
+
+    def test_ops_counted(self, rng):
+        a = random_tensor(rng, (4, 5), 0.5)
+        b = random_tensor(rng, (5, 6), 0.5)
+        _, ops = contract_with_ops(a, "ik", b, "kj", "ij", self.SPEC)
+        assert ops > 0
+
+    def test_hypergraph_path_counting(self):
+        """Order-3 incidence: T(author, paper, venue).  Contracting with a
+        venue-weight vector counts weighted (author, paper) incidences —
+        the hypergraph workload §6.1 alludes to."""
+        # (author, paper, venue) incidences
+        t = SpTensor(
+            (2, 3, 2),
+            (
+                np.array([0, 0, 1, 1]),
+                np.array([0, 1, 1, 2]),
+                np.array([0, 1, 1, 0]),
+            ),
+            {"w": np.ones(4)},
+            PLUS,
+        )
+        venue_w = SpTensor((2,), (np.array([0, 1]),), {"w": np.array([2.0, 3.0])}, PLUS)
+        ap = contract(t, "apv", venue_w, "v", "ap", REAL_PLUS_TIMES.matmul_spec())
+        assert ap.get(0, 0)["w"] == 2.0
+        assert ap.get(0, 1)["w"] == 3.0
+        assert ap.get(1, 1)["w"] == 3.0
+
+
+class TestContractionProperties:
+    """Hypothesis: contraction equals numpy einsum over random shapes."""
+
+    from hypothesis import given, settings
+    from hypothesis import strategies as st
+
+    @given(
+        st.integers(0, 5000),
+        st.integers(2, 5),
+        st.integers(2, 5),
+        st.integers(2, 5),
+        st.integers(2, 4),
+    )
+    @settings(max_examples=40, deadline=None)
+    def test_order3_matrix_einsum(self, seed, i, j, k, l):
+        rng = np.random.default_rng(seed)
+        a = random_tensor(rng, (i, j, k), 0.4)
+        b = random_tensor(rng, (k, l), 0.5)
+        c = contract(a, "ijk", b, "kl", "ijl", REAL_PLUS_TIMES.matmul_spec())
+        ref = np.einsum("ijk,kl->ijl", dense(a), dense(b))
+        assert np.allclose(dense(c), ref)
+
+    @given(st.integers(0, 5000))
+    @settings(max_examples=30, deadline=None)
+    def test_all_output_permutations(self, seed):
+        rng = np.random.default_rng(seed)
+        a = random_tensor(rng, (3, 4), 0.5)
+        b = random_tensor(rng, (4, 5, 2), 0.3)
+        import itertools
+
+        for out in ("".join(p) for p in itertools.permutations("ijl")):
+            c = contract(a, "ik", b, "kjl", out, REAL_PLUS_TIMES.matmul_spec())
+            ref = np.einsum(f"ik,kjl->{out}", dense(a), dense(b))
+            assert np.allclose(dense(c), ref), out
+
+
+class TestContractionValidation:
+    SPEC = REAL_PLUS_TIMES.matmul_spec()
+
+    def test_no_shared_index(self, rng):
+        a = random_tensor(rng, (3, 4), 0.5)
+        b = random_tensor(rng, (5, 6), 0.5)
+        with pytest.raises(ValueError, match="shared"):
+            contract(a, "ij", b, "kl", "ijkl", self.SPEC)
+
+    def test_extent_mismatch(self, rng):
+        a = random_tensor(rng, (3, 4), 0.5)
+        b = random_tensor(rng, (5, 6), 0.5)
+        with pytest.raises(ValueError, match="extents"):
+            contract(a, "ik", b, "kj", "ij", self.SPEC)
+
+    def test_output_must_be_free_indices(self, rng):
+        a = random_tensor(rng, (3, 4), 0.5)
+        b = random_tensor(rng, (4, 5), 0.5)
+        with pytest.raises(ValueError, match="free"):
+            contract(a, "ik", b, "kj", "ik", self.SPEC)
+
+    def test_scalar_output_rejected(self, rng):
+        a = random_tensor(rng, (4,), 0.5)
+        b = random_tensor(rng, (4,), 0.5)
+        with pytest.raises(ValueError, match="scalar"):
+            contract(a, "i", b, "i", "", self.SPEC)
+
+    def test_order4_output_rejected(self, rng):
+        a = random_tensor(rng, (2, 3, 4), 0.5)
+        b = random_tensor(rng, (4, 2, 3), 0.5)
+        with pytest.raises(ValueError, match="maximum"):
+            contract(a, "ijk", b, "klm", "ijlm", self.SPEC)
+
+    def test_index_length_mismatch(self, rng):
+        a = random_tensor(rng, (3, 4), 0.5)
+        b = random_tensor(rng, (4, 5), 0.5)
+        with pytest.raises(ValueError, match="orders"):
+            contract(a, "ijk", b, "kj", "i", self.SPEC)

@@ -1,0 +1,121 @@
+"""Distributed tensor contraction == local contraction, with charged traffic."""
+
+import numpy as np
+import pytest
+
+from repro.algebra import REAL_PLUS_TIMES, TROPICAL
+from repro.dist import DistributedEngine
+from repro.machine import Machine
+from repro.tensor import SpTensor, contract
+from repro.tensor.dist import DistTensor, contract_distributed
+
+from test_tensor import dense, random_tensor
+
+SPEC = REAL_PLUS_TIMES.matmul_spec()
+
+
+@pytest.fixture(params=[2, 4, 6])
+def engine(request):
+    return DistributedEngine(Machine(request.param))
+
+
+class TestDistTensorBasics:
+    def test_distribute_gather_roundtrip(self, rng, engine):
+        t = random_tensor(rng, (4, 5, 6), 0.2)
+        d = DistTensor.distribute(t, engine)
+        assert d.nnz == t.nnz
+        assert d.gather(charge=False).equals(t)
+
+    def test_alternative_unfolding_roundtrip(self, rng, engine):
+        t = random_tensor(rng, (4, 5, 6), 0.2)
+        d = DistTensor.distribute(t, engine, row_modes=(2, 0))
+        assert d.gather(charge=False).equals(t)
+
+    def test_reunfold_preserves_content_and_charges(self, rng, engine):
+        t = random_tensor(rng, (4, 5, 6), 0.3)
+        d = DistTensor.distribute(t, engine)
+        w0 = engine.machine.ledger.total_words
+        r = d.reunfold((1,))
+        assert r.gather(charge=False).equals(t)
+        if engine.machine.p > 1:
+            assert engine.machine.ledger.total_words > w0
+
+    def test_reunfold_same_layout_noop(self, rng, engine):
+        t = random_tensor(rng, (4, 5), 0.3)
+        d = DistTensor.distribute(t, engine)
+        assert d.reunfold((0,)) is d
+
+    def test_invalid_mode_partition(self, rng, engine):
+        t = random_tensor(rng, (4, 5), 0.3)
+        d = DistTensor.distribute(t, engine)
+        with pytest.raises(ValueError, match="partition"):
+            DistTensor(d.distmat, (4, 5), (0,), (0,))
+
+
+class TestDistributedContraction:
+    def test_matrix_matrix(self, rng, engine):
+        a = random_tensor(rng, (5, 6), 0.4)
+        b = random_tensor(rng, (6, 7), 0.4)
+        da = DistTensor.distribute(a, engine)
+        db = DistTensor.distribute(b, engine)
+        c = contract_distributed(da, "ik", db, "kj", "ij", SPEC, engine)
+        ref = contract(a, "ik", b, "kj", "ij", SPEC)
+        assert c.gather(charge=False).equals(ref)
+
+    def test_order3_times_matrix(self, rng, engine):
+        a = random_tensor(rng, (3, 4, 5), 0.25)
+        b = random_tensor(rng, (5, 6), 0.4)
+        da = DistTensor.distribute(a, engine)
+        db = DistTensor.distribute(b, engine)
+        c = contract_distributed(da, "ijk", db, "kl", "ijl", SPEC, engine)
+        ref = contract(a, "ijk", b, "kl", "ijl", SPEC)
+        assert c.gather(charge=False).equals(ref)
+
+    def test_middle_mode_contraction(self, rng, engine):
+        a = random_tensor(rng, (3, 4, 5), 0.25)
+        b = random_tensor(rng, (4, 6), 0.4)
+        da = DistTensor.distribute(a, engine)
+        db = DistTensor.distribute(b, engine)
+        c = contract_distributed(da, "ijk", db, "jl", "ikl", SPEC, engine)
+        ref = contract(a, "ijk", b, "jl", "ikl", SPEC)
+        assert c.gather(charge=False).equals(ref)
+
+    def test_permuted_output(self, rng, engine):
+        a = random_tensor(rng, (3, 4, 5), 0.25)
+        b = random_tensor(rng, (5, 6), 0.4)
+        da = DistTensor.distribute(a, engine)
+        db = DistTensor.distribute(b, engine)
+        c = contract_distributed(da, "ijk", db, "kl", "lji", SPEC, engine)
+        ref = contract(a, "ijk", b, "kl", "lji", SPEC)
+        assert c.gather(charge=False).equals(ref)
+
+    def test_vector_contraction(self, rng, engine):
+        a = random_tensor(rng, (4,), 0.7)
+        t = random_tensor(rng, (4, 3, 5), 0.3)
+        da = DistTensor.distribute(a, engine)
+        dt = DistTensor.distribute(t, engine)
+        c = contract_distributed(da, "i", dt, "ijk", "jk", SPEC, engine)
+        ref = contract(a, "i", t, "ijk", "jk", SPEC)
+        assert c.gather(charge=False).equals(ref)
+
+    def test_tropical_distributed(self, rng, engine):
+        a = random_tensor(rng, (5, 6), 0.4, monoid=TROPICAL.add_monoid)
+        b = random_tensor(rng, (6, 5), 0.4, monoid=TROPICAL.add_monoid)
+        da = DistTensor.distribute(a, engine)
+        db = DistTensor.distribute(b, engine)
+        c = contract_distributed(
+            da, "ik", db, "kj", "ij", TROPICAL.matmul_spec(), engine
+        )
+        ref = contract(a, "ik", b, "kj", "ij", TROPICAL.matmul_spec())
+        assert c.gather(charge=False).equals(ref)
+
+    def test_traffic_charged(self, rng):
+        engine = DistributedEngine(Machine(4))
+        a = random_tensor(rng, (6, 7, 4), 0.3)
+        b = random_tensor(rng, (7, 5), 0.5)
+        da = DistTensor.distribute(a, engine)
+        db = DistTensor.distribute(b, engine)
+        contract_distributed(da, "ijk", db, "jl", "ikl", SPEC, engine)
+        snap = engine.machine.ledger.snapshot()
+        assert snap["words"] > 0 and snap["msgs"] > 0
+        assert "redistribute" in engine.machine.ledger.traffic_breakdown()

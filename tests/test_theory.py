@@ -1,0 +1,82 @@
+"""The §5.3 closed-form results: sanity relations and claimed advantages."""
+
+import math
+
+import pytest
+
+from repro.analysis.theory import (
+    apsp_bandwidth_words,
+    apsp_memory_words,
+    best_replication_factor,
+    mfbc_bandwidth_words,
+    mfbc_latency_messages,
+    mfbc_memory_words,
+    strong_scaling_range,
+)
+
+
+class TestBandwidth:
+    def test_matches_tiskin_at_same_c(self):
+        """MFBC's n²/√(cp) term equals APSP's bandwidth — the Theorem 5.1
+        'matches this bandwidth cost' claim — while its memory is c·m/p
+        instead of c·n²/p."""
+        n, m, p, c = 1e6, 1e7, 4096, 8
+        mfbc = mfbc_bandwidth_words(n, m, p, c)
+        apsp = apsp_bandwidth_words(n, p, c)
+        assert mfbc == pytest.approx(apsp + c * m / p)
+        assert mfbc_memory_words(n, m, p, c) < apsp_memory_words(n, p, c)
+
+    def test_optimal_c_minimizes(self):
+        n, m, p = 1e5, 1e7, 4096
+        c_star = best_replication_factor(n, m, p)
+        w_star = mfbc_bandwidth_words(n, m, p, c_star)
+        for c in (1.0, c_star / 2, c_star * 2, p):
+            if 1 <= c <= p:
+                assert w_star <= mfbc_bandwidth_words(n, m, p, c) * (1 + 1e-9)
+
+    def test_replication_reduces_bandwidth_for_dense(self):
+        """For a dense-enough graph, c > 1 strictly beats c = 1."""
+        n, m, p = 1e5, 1e7, 4096
+        assert mfbc_bandwidth_words(n, m, p, 8) < mfbc_bandwidth_words(n, m, p, 1)
+
+    def test_speedup_over_apsp_memory_bound(self):
+        """§5.3.2: given M = Ω(n²/p^{2/3}) memory, MFBC is up to
+        min(n/√m, p^{2/3}) faster — check the headline n√m/p^{2/3} cost is
+        below APSP's n²/√p."""
+        n, m, p = 1e6, 1e7, 32768
+        headline = n * math.sqrt(m) / p ** (2 / 3)
+        apsp = apsp_bandwidth_words(n, p, 1)
+        assert headline < apsp
+
+
+class TestLatency:
+    def test_latency_grows_with_diameter(self):
+        a = mfbc_latency_messages(1e5, 1e6, 1024, 1, d=10)
+        b = mfbc_latency_messages(1e5, 1e6, 1024, 1, d=100)
+        assert b == pytest.approx(10 * a)
+
+    def test_latency_falls_with_replication(self):
+        a = mfbc_latency_messages(1e5, 1e6, 1024, 1)
+        b = mfbc_latency_messages(1e5, 1e6, 1024, 4)
+        assert b < a
+
+    def test_default_diameter_lowers_for_smaller_n(self):
+        assert mfbc_latency_messages(1e3, 1e4, 64) < mfbc_latency_messages(
+            1e6, 1e7, 64
+        )
+
+
+class TestScalingRange:
+    def test_range_ordering(self):
+        all_costs, bandwidth = strong_scaling_range(1e6, 1e7, 64)
+        assert bandwidth > all_costs > 64
+
+    def test_range_beats_dense_mm(self):
+        """§5.3.4: the strong-scaling range p0 → p0^{3/2}·n²/m exceeds dense
+        MM's p0 → p0^{3/2} whenever n² > m."""
+        n, m, p0 = 1e6, 1e7, 64
+        all_costs, _ = strong_scaling_range(n, m, p0)
+        assert all_costs > p0 ** 1.5
+
+    def test_memory_scaling(self):
+        assert mfbc_memory_words(1e5, 1e7, 100, 2) == pytest.approx(2e5)
