@@ -11,10 +11,9 @@ sequential engine, (b) the working-set memory of the T/Z matrices, and
 products-vs-memory exchange.
 """
 
-import time
-
 import numpy as np
 
+from repro import obs
 from repro.core import mfbc
 from repro.graphs import uniform_random_graph_nm
 
@@ -26,9 +25,9 @@ def build_rows():
     g = uniform_random_graph_nm(N, 12.0, seed=9)
     rows = []
     for nb in BATCH_SIZES:
-        t0 = time.perf_counter()
-        res = mfbc(g, batch_size=nb)
-        wall = time.perf_counter() - t0
+        with obs.timed("bench.mfbc", batch_size=nb) as t:
+            res = mfbc(g, batch_size=nb)
+        wall = t.seconds
         matmuls = res.stats.total_multiplications
         # working set: the T and Z matrices are nb × n with ~3 fields
         working_words = 6 * nb * g.n

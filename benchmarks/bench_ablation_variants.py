@@ -13,7 +13,7 @@ import numpy as np
 
 from repro.algebra import MULTPATH, MatMulSpec, bellman_ford_action
 from repro.dist import DistMat
-from repro.dist.engine import near_square_shape
+from repro.machine.grid import near_square_shape
 from repro.graphs import uniform_random_graph_nm
 from repro.machine import Machine
 from repro.sparse import SpMat

@@ -9,11 +9,10 @@ pays for its generality (scipy's compiled kernel is faster on plus-times);
 the ratio printed here is that generality tax.
 """
 
-import time
-
 import numpy as np
 import scipy.sparse
 
+from repro import obs
 from repro.algebra import MULTPATH, REAL_PLUS_TIMES, TROPICAL, MatMulSpec
 from repro.algebra import bellman_ford_action
 from repro.algebra.monoid import MinMonoid, PlusMonoid
@@ -35,9 +34,9 @@ def _throughput(a, b, spec, repeats=3):
     best = float("inf")
     ops = None
     for _ in range(repeats):
-        t0 = time.perf_counter()
-        res = spgemm_with_ops(a, b, spec)
-        best = min(best, time.perf_counter() - t0)
+        with obs.timed("bench.kernel_spgemm", spec=spec.name) as t:
+            res = spgemm_with_ops(a, b, spec)
+        best = min(best, t.seconds)
         ops = res.ops
     return (ops / best if best > 0 else 0.0), ops
 
@@ -55,9 +54,9 @@ def build_rows():
         # scipy reference on the same plus-times product
         sa = scipy.sparse.csr_matrix((a_p.vals["w"], (a_p.rows, a_p.cols)), shape=(N, N))
         sb = scipy.sparse.csr_matrix((b_p.vals["w"], (b_p.rows, b_p.cols)), shape=(N, N))
-        t0 = time.perf_counter()
-        _ = sa @ sb
-        scipy_rate = ops / max(time.perf_counter() - t0, 1e-9)
+        with obs.timed("bench.scipy_spgemm") as t:
+            _ = sa @ sb
+        scipy_rate = ops / max(t.seconds, 1e-9)
 
         a_t = _mats(rng, density, tropical)
         b_t = _mats(rng, density, tropical)

@@ -71,6 +71,7 @@ from repro.graphs import (
     write_edgelist,
 )
 from repro.machine import CostParams, Grid, Machine
+from repro import obs
 from repro.sparse import SpMat, spgemm
 from repro.tensor import SpTensor, contract
 from repro.spgemm import (
@@ -120,6 +121,8 @@ __all__ = [
     "Grid",
     "DistMat",
     "DistributedEngine",
+    # observability
+    "obs",
     # spgemm plans
     "Plan",
     "AutoPolicy",

@@ -27,7 +27,12 @@ from repro.analysis.scaling import (
     strong_scaling,
     vertex_weak_scaling,
 )
-from repro.analysis.report import format_table, write_markdown_table
+from repro.analysis.report import (
+    format_table,
+    format_trace_report,
+    trace_attribution,
+    write_markdown_table,
+)
 
 __all__ = [
     "mteps",
@@ -46,4 +51,6 @@ __all__ = [
     "vertex_weak_scaling",
     "format_table",
     "write_markdown_table",
+    "trace_attribution",
+    "format_trace_report",
 ]

@@ -1,29 +1,47 @@
-"""A recording engine: sequential execution that logs every product.
+"""A recording engine: sequential execution traced through the span stream.
 
 Used to trace the CombBLAS-style baseline (whose result object only keeps
 aggregate counters) in the same per-product shape MFBC's stats use, so both
 algorithms can be priced by the same hybrid performance model.
+
+This is a thin adapter over :mod:`repro.obs`: each product runs inside a
+private capture session (so an outer tracing session, if any, is not
+disturbed), and ``records`` rebuilds the legacy ``IterationStats`` list from
+the recorded ``spgemm`` spans.
 """
 
 from __future__ import annotations
 
 from repro.core.engine import SequentialEngine
 from repro.core.stats import IterationStats
+from repro.obs import api as obs
+from repro.obs.metrics import Metrics
+from repro.obs.tracer import Tracer
 
 __all__ = ["RecordingEngine"]
 
 
 class RecordingEngine(SequentialEngine):
-    """Sequential engine that appends an IterationStats per product."""
+    """Sequential engine whose products land in a private span stream."""
 
     def __init__(self) -> None:
-        self.records: list[IterationStats] = []
+        self._tracer = Tracer()
+        self._metrics = Metrics()
 
     def spgemm(self, a, b, spec):
-        mat, ops = super().spgemm(a, b, spec)
-        self.records.append(
+        with obs.use(tracer=self._tracer, metrics=self._metrics):
+            return super().spgemm(a, b, spec)
+
+    @property
+    def records(self) -> list[IterationStats]:
+        """Per-product stats rebuilt from the captured ``spgemm`` spans."""
+        return [
             IterationStats(
-                phase=spec.name, frontier_nnz=a.nnz, product_nnz=mat.nnz, ops=ops
+                phase=sp.args["phase"],
+                frontier_nnz=sp.args["frontier_nnz"],
+                product_nnz=sp.args["product_nnz"],
+                ops=sp.args["ops"],
             )
-        )
-        return mat, ops
+            for sp in self._tracer.spans
+            if sp.cat == "spgemm"
+        ]

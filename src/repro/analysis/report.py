@@ -5,7 +5,12 @@ from __future__ import annotations
 import os
 from typing import Sequence
 
-__all__ = ["format_table", "write_markdown_table"]
+__all__ = [
+    "format_table",
+    "write_markdown_table",
+    "trace_attribution",
+    "format_trace_report",
+]
 
 
 def _fmt(v) -> str:
@@ -51,3 +56,57 @@ def write_markdown_table(
     mode = "a" if append else "w"
     with open(path, mode) as fh:
         fh.write("\n".join(lines) + "\n")
+
+
+def trace_attribution(tracer, ledger) -> list[dict]:
+    """Attribute critical-path words and modeled time to span categories.
+
+    One row per collective category (``bcast``, ``reduce``, ``replicate``,
+    ``redistribute``, ...) found in the trace's collective spans, carrying
+    the summed modeled time, word volume, and event count, plus each
+    category's share of the ledger's critical-path modeled time — the §7.4
+    breakdown ("where do the words and the time go?").
+    """
+    by_cat: dict[str, dict] = {}
+    for sp in tracer.spans:
+        if sp.cat != "collective":
+            continue
+        row = by_cat.setdefault(
+            sp.name, {"category": sp.name, "events": 0, "seconds": 0.0, "words": 0.0}
+        )
+        row["events"] += 1
+        row["seconds"] += sp.modeled_dur or 0.0
+        row["words"] += float(sp.args.get("volume_words", 0.0))
+    total_time = max(float(ledger.critical_time()), 1e-30)
+    rows = sorted(by_cat.values(), key=lambda r: -r["seconds"])
+    for row in rows:
+        row["time_share"] = row["seconds"] / total_time
+    return rows
+
+
+def format_trace_report(tracer, ledger) -> str:
+    """Render :func:`trace_attribution` as an aligned text table."""
+    rows = trace_attribution(tracer, ledger)
+    if not rows:
+        return "(no collective spans recorded)"
+    table = format_table(
+        ["category", "events", "modeled time (s)", "volume (words)", "% of critical"],
+        [
+            [
+                r["category"],
+                r["events"],
+                r["seconds"],
+                r["words"],
+                f"{100.0 * r['time_share']:.1f}%",
+            ]
+            for r in rows
+        ],
+    )
+    comm = sum(r["seconds"] for r in rows)
+    total = float(ledger.critical_time())
+    footer = (
+        f"\ncollective time {comm:.3e}s of {total:.3e}s modeled critical path "
+        f"({100.0 * comm / max(total, 1e-30):.1f}%); remainder is local compute "
+        "and per-product overhead"
+    )
+    return table + footer

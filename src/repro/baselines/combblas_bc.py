@@ -34,6 +34,7 @@ import numpy as np
 from repro.algebra.semiring import REAL_PLUS_TIMES
 from repro.core.engine import Engine, SequentialEngine
 from repro.graphs.graph import Graph
+from repro.obs import api as obs
 
 __all__ = ["combblas_bc", "CombBLASResult"]
 
@@ -94,14 +95,18 @@ def combblas_bc(
     )
     t0 = time.perf_counter()
 
-    nbatches = 0
-    for lo in range(0, len(sources), batch_size):
-        batch = sources[lo : lo + batch_size]
-        _one_batch(engine, adj, adj_t, batch, n, scores, result)
-        nbatches += 1
-        result._sources += len(batch)
-        if max_batches is not None and nbatches >= max_batches:
-            break
+    with obs.span(
+        "combblas", cat="run", n=n, m=graph.nnz_adjacency, batch_size=batch_size
+    ):
+        nbatches = 0
+        for lo in range(0, len(sources), batch_size):
+            batch = sources[lo : lo + batch_size]
+            with obs.span("batch", cat="batch", index=nbatches, sources=len(batch)):
+                _one_batch(engine, adj, adj_t, batch, n, scores, result)
+            nbatches += 1
+            result._sources += len(batch)
+            if max_batches is not None and nbatches >= max_batches:
+                break
     result.elapsed_seconds = time.perf_counter() - t0
     return result
 
@@ -124,42 +129,46 @@ def _one_batch(engine, adj, adj_t, batch, n, scores, result) -> None:
     fringe = nsp
 
     # ---- forward: batched BFS accumulating path counts per level.
-    while True:
-        product, ops = engine.spgemm(fringe, adj, _SPEC)
-        result.matmuls += 1
-        result.ops += ops
-        # Mask: only unvisited vertices stay in the fringe (their nsp entry
-        # is still the identity 0).
-        fringe = product.zip_filter(nsp, lambda pv, sv: sv["w"] == 0.0)
-        if fringe.nnz == 0:
-            break
-        nsp = nsp.combine(fringe)
-        levels.append(fringe)
+    with obs.span("forward", cat="phase") as fwd:
+        while True:
+            product, ops = engine.spgemm(fringe, adj, _SPEC)
+            result.matmuls += 1
+            result.ops += ops
+            # Mask: only unvisited vertices stay in the fringe (their nsp
+            # entry is still the identity 0).
+            fringe = product.zip_filter(nsp, lambda pv, sv: sv["w"] == 0.0)
+            if fringe.nnz == 0:
+                break
+            nsp = nsp.combine(fringe)
+            levels.append(fringe)
+        fwd.set(levels=len(levels) - 1)
     result.levels_per_batch.append(len(levels) - 1)
 
     # ---- backward: replay levels from deepest to depth 1.
     # bcu(s, w) carries (1 + δ(s, w)); implicitly 1 where unstored, so we
     # store only the δ part and add the 1 when forming the update.
-    delta = None  # lazily created sparse accumulator
-    for d in range(len(levels) - 1, 0, -1):
-        lvl = levels[d]
-        # w1(s, w) = (1 + δ(s, w)) / σ̄(s, w) on level-d support.
-        if delta is None:
-            w1 = lvl.map(lambda lv: {"w": 1.0 / lv["w"]})
-        else:
-            w1 = lvl.zip_map(
-                delta, lambda lv, dv: {"w": (1.0 + dv["w"]) / lv["w"]}
-            )
-        back, ops = engine.spgemm(w1, adj_t, _SPEC)
-        result.matmuls += 1
-        result.ops += ops
-        # Keep contributions landing on the previous level, scale by σ̄(s,v).
-        upd = levels[d - 1].zip_map(back, lambda lv, bv: {"w": lv["w"] * bv["w"]})
-        delta = upd if delta is None else delta.combine(upd)
+    with obs.span("backward", cat="phase"):
+        delta = None  # lazily created sparse accumulator
+        for d in range(len(levels) - 1, 0, -1):
+            lvl = levels[d]
+            # w1(s, w) = (1 + δ(s, w)) / σ̄(s, w) on level-d support.
+            if delta is None:
+                w1 = lvl.map(lambda lv: {"w": 1.0 / lv["w"]})
+            else:
+                w1 = lvl.zip_map(
+                    delta, lambda lv, dv: {"w": (1.0 + dv["w"]) / lv["w"]}
+                )
+            back, ops = engine.spgemm(w1, adj_t, _SPEC)
+            result.matmuls += 1
+            result.ops += ops
+            # Keep contributions landing on the previous level, scale by
+            # σ̄(s, v).
+            upd = levels[d - 1].zip_map(back, lambda lv, bv: {"w": lv["w"] * bv["w"]})
+            delta = upd if delta is None else delta.combine(upd)
 
-    if delta is not None:
-        local = engine.gather(delta)
-        keep = local.cols != np.asarray(batch)[local.rows]
-        scores += np.bincount(
-            local.cols[keep], weights=local.vals["w"][keep], minlength=n
-        )
+        if delta is not None:
+            local = engine.gather(delta)
+            keep = local.cols != np.asarray(batch)[local.rows]
+            scores += np.bincount(
+                local.cols[keep], weights=local.vals["w"][keep], minlength=n
+            )

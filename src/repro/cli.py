@@ -5,6 +5,7 @@ Commands
 ``bc``        exact or sampled betweenness centrality of an edge-list graph
 ``generate``  write a synthetic graph (R-MAT / uniform / SNAP stand-in)
 ``simulate``  run distributed MFBC on a simulated machine, print the ledger
+``trace``     like ``simulate``, capturing a Chrome trace + phase timeline
 ``info``      structural statistics of a graph file
 
 Examples
@@ -13,6 +14,7 @@ Examples
     python -m repro bc g.txt --top 10
     python -m repro bc g.txt --samples 128 --seed 0
     python -m repro simulate g.txt --p 16 --policy auto --batch 64
+    python -m repro trace g.txt --p 16 -o trace.json
     python -m repro info g.txt
 """
 
@@ -69,6 +71,27 @@ def build_parser() -> argparse.ArgumentParser:
     p_sim.add_argument("--c", type=int, default=1, help="replication (ca policy)")
     p_sim.add_argument("--batch", type=int, default=64)
     p_sim.add_argument("--batches", type=int, default=1, help="batches to run")
+
+    p_tr = sub.add_parser(
+        "trace",
+        help="traced distributed MFBC: Chrome trace JSON + phase timeline",
+    )
+    p_tr.add_argument("graph")
+    p_tr.add_argument("--directed", action="store_true")
+    p_tr.add_argument("--p", type=int, default=16, help="simulated ranks")
+    p_tr.add_argument(
+        "--policy", choices=["auto", "ca", "square2d"], default="auto"
+    )
+    p_tr.add_argument("--c", type=int, default=1, help="replication (ca policy)")
+    p_tr.add_argument("--batch", type=int, default=64)
+    p_tr.add_argument("--batches", type=int, default=1, help="batches to run")
+    p_tr.add_argument(
+        "-o", "--output", default="trace.json",
+        help="Chrome trace_event JSON output (load in ui.perfetto.dev)",
+    )
+    p_tr.add_argument(
+        "--jsonl", default=None, help="also write flat span/metric JSONL here"
+    )
 
     p_info = sub.add_parser("info", help="graph statistics")
     p_info.add_argument("graph")
@@ -178,6 +201,54 @@ def _cmd_simulate(args) -> int:
     return 0
 
 
+def _cmd_trace(args) -> int:
+    from repro import obs
+    from repro.analysis.report import format_trace_report
+    from repro.core import mfbc
+    from repro.dist import DistributedEngine
+    from repro.machine import Machine
+    from repro.spgemm import PinnedPolicy, Square2DPolicy
+
+    g = _load(args.graph, args.directed)
+    machine = Machine(args.p)
+    policy = None
+    if args.policy == "ca":
+        policy = PinnedPolicy.ca_mfbc(args.p, args.c)
+    elif args.policy == "square2d":
+        policy = Square2DPolicy()
+
+    session = obs.enable()
+    obs.set_modeled_clock(machine.ledger.critical_time)
+    try:
+        engine = DistributedEngine(machine, policy)
+        res = mfbc(
+            g, batch_size=args.batch, engine=engine, max_batches=args.batches
+        )
+    finally:
+        obs.disable()
+
+    obs.write_chrome_trace(session.tracer, args.output)
+    if args.jsonl:
+        obs.write_jsonl(session.tracer, args.jsonl, metrics=session.metrics)
+
+    print(f"graph: {g}; p={args.p}; policy={args.policy}")
+    print(f"sources processed: {res.stats.sources_processed}")
+    print()
+    print(obs.render_timeline(session.tracer))
+    print(format_trace_report(session.tracer, machine.ledger))
+    rec = obs.reconcile(session.tracer, machine.ledger)
+    print(
+        f"\nreconciliation: span modeled total "
+        f"{rec['span_modeled_seconds']:.6e}s vs ledger critical path "
+        f"{rec['ledger_seconds']:.6e}s "
+        f"(relative error {rec['relative_error']:.2e})"
+    )
+    print(f"\nwrote Chrome trace to {args.output} (load in ui.perfetto.dev)")
+    if args.jsonl:
+        print(f"wrote span/metric JSONL to {args.jsonl}")
+    return 0
+
+
 def _cmd_info(args) -> int:
     g = _load(args.graph, args.directed)
     print(f"name      : {g.name or '(unnamed)'}")
@@ -235,6 +306,7 @@ def main(argv: list[str] | None = None) -> int:
         "bc": _cmd_bc,
         "generate": _cmd_generate,
         "simulate": _cmd_simulate,
+        "trace": _cmd_trace,
         "info": _cmd_info,
         "verify": _cmd_verify,
     }[args.command]

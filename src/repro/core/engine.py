@@ -22,6 +22,7 @@ import numpy as np
 
 from repro.algebra.matmul import MatMulSpec
 from repro.algebra.monoid import Monoid
+from repro.obs import api as obs
 from repro.sparse.spgemm import spgemm_with_ops
 from repro.sparse.spmatrix import SpMat
 
@@ -66,7 +67,24 @@ class SequentialEngine:
         return graph.adjacency()
 
     def spgemm(self, a: SpMat, b: SpMat, spec: MatMulSpec) -> tuple[SpMat, int]:
-        result = spgemm_with_ops(a, b, spec)
+        if not obs.enabled():  # unguarded fast path: no span, no kwargs dict
+            result = spgemm_with_ops(a, b, spec)
+            return result.matrix, result.ops
+        with obs.span(
+            "spgemm", cat="spgemm", phase=spec.name, frontier_nnz=a.nnz
+        ) as sp:
+            result = spgemm_with_ops(a, b, spec)
+            sp.set(product_nnz=result.matrix.nnz, ops=result.ops)
+            obs.count("spgemm.products", 1.0, variant="sequential", phase=spec.name)
+            obs.count(
+                "spgemm.product_nnz",
+                float(result.matrix.nnz),
+                variant="sequential",
+                phase=spec.name,
+            )
+            obs.count(
+                "spgemm.ops", float(result.ops), variant="sequential", phase=spec.name
+            )
         return result.matrix, result.ops
 
     def gather(self, mat: SpMat) -> SpMat:

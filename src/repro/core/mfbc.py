@@ -24,6 +24,7 @@ from repro.core.mfbf import mfbf
 from repro.core.mfbr import mfbr
 from repro.core.stats import BatchStats, MFBCStats
 from repro.graphs.graph import Graph
+from repro.obs import api as obs
 
 __all__ = ["mfbc", "betweenness_centrality", "MFBCResult", "default_batch_size"]
 
@@ -110,22 +111,34 @@ def mfbc(
     if batch_size <= 0:
         raise ValueError(f"batch_size must be positive, got {batch_size}")
 
-    adj = engine.adjacency(graph)
     scores = np.zeros(graph.n, dtype=np.float64)
     stats = MFBCStats()
     t0 = time.perf_counter()
 
-    nbatches = 0
-    for lo in range(0, len(sources), batch_size):
-        batch = sources[lo : lo + batch_size]
-        batch_stats = BatchStats(sources=len(batch))
-        t_mat = mfbf(adj, batch, engine=engine, stats=batch_stats)
-        z_mat = mfbr(adj, t_mat, engine=engine, stats=batch_stats)
-        scores += _accumulate(engine, graph.n, batch, t_mat, z_mat)
-        stats.batches.append(batch_stats)
-        nbatches += 1
-        if max_batches is not None and nbatches >= max_batches:
-            break
+    with obs.span(
+        "mfbc",
+        cat="run",
+        n=graph.n,
+        m=graph.nnz_adjacency,
+        batch_size=batch_size,
+    ):
+        with obs.span("adjacency", cat="phase"):
+            adj = engine.adjacency(graph)
+        nbatches = 0
+        for lo in range(0, len(sources), batch_size):
+            batch = sources[lo : lo + batch_size]
+            batch_stats = BatchStats(sources=len(batch))
+            with obs.span("batch", cat="batch", index=nbatches, sources=len(batch)):
+                with obs.span("mfbf", cat="phase"):
+                    t_mat = mfbf(adj, batch, engine=engine, stats=batch_stats)
+                with obs.span("mfbr", cat="phase"):
+                    z_mat = mfbr(adj, t_mat, engine=engine, stats=batch_stats)
+                with obs.span("accumulate", cat="phase"):
+                    scores += _accumulate(engine, graph.n, batch, t_mat, z_mat)
+            stats.batches.append(batch_stats)
+            nbatches += 1
+            if max_batches is not None and nbatches >= max_batches:
+                break
 
     elapsed = time.perf_counter() - t0
     return MFBCResult(

@@ -18,7 +18,7 @@ bulk-synchronous p-rank machine (see DESIGN.md).  It provides:
 
 from repro.machine.machine import CostParams, Ledger, Machine, MemoryLimitExceeded
 from repro.machine.collectives import Group, payload_words
-from repro.machine.grid import Grid
+from repro.machine.grid import Grid, near_square_shape
 
 __all__ = [
     "Machine",
@@ -28,4 +28,5 @@ __all__ = [
     "Group",
     "payload_words",
     "Grid",
+    "near_square_shape",
 ]

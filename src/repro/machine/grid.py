@@ -15,7 +15,20 @@ import numpy as np
 
 from repro.machine.machine import Machine
 
-__all__ = ["Grid", "factorizations"]
+__all__ = ["Grid", "factorizations", "near_square_shape"]
+
+
+def near_square_shape(p: int) -> tuple[int, int]:
+    """The most-square ``pr × pc`` factorization of ``p`` (pr ≤ pc).
+
+    The canonical helper for picking a resting 2D layout; the distributed
+    engine and the tests import it from here.
+    """
+    best = (1, p)
+    for d in range(1, int(math.isqrt(p)) + 1):
+        if p % d == 0:
+            best = (d, p // d)
+    return best
 
 
 class Grid:

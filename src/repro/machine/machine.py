@@ -21,6 +21,8 @@ from dataclasses import dataclass, field
 
 import numpy as np
 
+from repro.obs import api as obs
+
 __all__ = ["CostParams", "Ledger", "Machine", "MemoryLimitExceeded"]
 
 
@@ -213,7 +215,8 @@ class Machine:
         led = self.ledger
         # §7.4: max-merge each critical-path accumulator over participants,
         # then add the collective's cost.
-        led.time[ranks] = led.time[ranks].max() + t
+        start = float(led.time[ranks].max())
+        led.time[ranks] = start + t
         led.comm_time[ranks] = led.comm_time[ranks].max() + t
         led.words[ranks] = led.words[ranks].max() + weight * words_per_rank
         led.msgs[ranks] = led.msgs[ranks].max() + msgs
@@ -222,6 +225,22 @@ class Machine:
         led.category_words[category] = (
             led.category_words.get(category, 0.0) + weight * words_per_rank * q
         )
+        if obs.enabled():
+            obs.complete(
+                category,
+                cat="collective",
+                modeled_ts=start,
+                modeled_dur=t,
+                args={
+                    "ranks": q,
+                    "words": weight * words_per_rank,
+                    "msgs": msgs,
+                    "volume_words": weight * words_per_rank * q,
+                },
+            )
+            obs.count("machine.collectives", 1.0, category=category)
+            obs.count("machine.words", weight * words_per_rank * q, category=category)
+            obs.count("machine.msgs", msgs * q, category=category)
 
     def charge_pointtopoint(self, src: int, dst: int, words: float) -> None:
         """Charge one point-to-point message (used by redistribution)."""
@@ -237,6 +256,18 @@ class Machine:
         led.msgs[[src, dst]] = mstart + 1
         led.total_words += words
         led.total_msgs += 1
+        led.category_words["p2p"] = led.category_words.get("p2p", 0.0) + words
+        if obs.enabled():
+            obs.complete(
+                "p2p",
+                cat="collective",
+                modeled_ts=float(start),
+                modeled_dur=t,
+                args={"ranks": 2, "words": words, "msgs": 1, "volume_words": words},
+            )
+            obs.count("machine.collectives", 1.0, category="p2p")
+            obs.count("machine.words", words, category="p2p")
+            obs.count("machine.msgs", 1.0, category="p2p")
 
     def charge_compute(self, ranks: np.ndarray | list[int], ops_per_rank: float) -> None:
         """Charge local computation (modeled time only; no traffic)."""

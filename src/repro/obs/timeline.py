@@ -1,0 +1,85 @@
+"""Human-readable views over a trace: text timeline + ledger reconciliation."""
+
+from __future__ import annotations
+
+from repro.obs.tracer import Span, Tracer
+
+__all__ = ["render_timeline", "reconcile"]
+
+
+def _fmt_seconds(x: float | None) -> str:
+    if x is None:
+        return "      -  "
+    if x >= 1.0:
+        return f"{x:8.3f}s"
+    if x >= 1e-3:
+        return f"{x * 1e3:7.2f}ms"
+    return f"{x * 1e6:7.1f}us"
+
+
+def _span_label(sp: Span) -> str:
+    label = sp.name
+    hints = []
+    for key in ("phase", "variant", "index", "sources", "batch_size"):
+        if key in sp.args:
+            hints.append(f"{key}={sp.args[key]}")
+    if hints:
+        label += " [" + ", ".join(hints) + "]"
+    return label
+
+
+def render_timeline(
+    tracer: Tracer,
+    cats: tuple[str, ...] = ("run", "batch", "phase", "spgemm"),
+) -> str:
+    """Indented text tree of the trace, one line per span of interest.
+
+    Only spans whose category is in ``cats`` are shown (collectives and
+    selector chatter are summarized better by the attribution report).
+    Each line shows modeled and wall durations.
+    """
+    shown = [sp for sp in tracer.spans if sp.cat in cats]
+    if not shown:
+        return "(no spans recorded)\n"
+    # Indent by depth *within the shown set*: count shown ancestors.
+    by_index = {sp.index: sp for sp in tracer.spans}
+    shown_idx = {sp.index for sp in shown}
+
+    def shown_depth(sp: Span) -> int:
+        d = 0
+        parent = sp.parent
+        while parent is not None:
+            if parent in shown_idx:
+                d += 1
+            parent = by_index[parent].parent
+        return d
+
+    lines = [f"{'modeled':>9}  {'wall':>9}  span"]
+    for sp in shown:
+        indent = "  " * shown_depth(sp)
+        lines.append(
+            f"{_fmt_seconds(sp.modeled_dur)}  {_fmt_seconds(sp.wall_dur)}  "
+            f"{indent}{_span_label(sp)}"
+        )
+    return "\n".join(lines) + "\n"
+
+
+def reconcile(tracer: Tracer, ledger) -> dict:
+    """Compare summed root-span modeled time against the ledger's
+    critical-path total.
+
+    For a machine that was fresh when tracing began, the modeled clock
+    only advances inside charges, all of which occur within some root
+    span — so the two totals should agree (the acceptance bar is 1%).
+    Returns ``{"span_modeled_seconds", "ledger_seconds", "relative_error"}``.
+    """
+    span_total = sum(
+        sp.modeled_dur or 0.0 for sp in tracer.roots() if sp.modeled_dur is not None
+    )
+    ledger_total = float(ledger.critical_time())
+    denom = max(abs(ledger_total), 1e-30)
+    return {
+        "span_modeled_seconds": span_total,
+        "ledger_seconds": ledger_total,
+        "relative_error": abs(span_total - ledger_total) / denom,
+    }

@@ -22,6 +22,7 @@ from dataclasses import dataclass, field
 
 from repro.machine.grid import factorizations
 from repro.machine.machine import Machine, MemoryLimitExceeded
+from repro.obs import api as obs
 from repro.spgemm.costmodel import estimate_nnz_c, estimate_ops, model_plan
 from repro.spgemm.plan import Plan
 
@@ -117,30 +118,43 @@ class AutoPolicy(SelectionPolicy):
     history: list[tuple[Plan, float]] = field(default_factory=list)
 
     def select(self, machine, m, k, n, nnz_a, nnz_b, amortized=frozenset()):
-        cost = machine.cost
-        best: Plan | None = None
-        best_time = math.inf
-        ops = estimate_ops(m, k, n, nnz_a, nnz_b)
-        nnz_c = estimate_nnz_c(m, k, n, nnz_a, nnz_b)
-        for plan in enumerate_plans(machine.p):
-            est = amortized_model_plan(plan, m, k, n, nnz_a, nnz_b, amortized)
-            if (
-                machine.memory_words is not None
-                and est.memory_words > machine.memory_words
-            ):
-                continue
-            t = est.time(cost.alpha, cost.beta, cost.compute_rate)
-            if t < best_time - 1e-18 or (
-                abs(t - best_time) <= 1e-18 and best is not None and plan.p1 < best.p1
-            ):
-                best, best_time = plan, t
-        if best is None:
-            raise MemoryLimitExceeded(
-                f"no SpGEMM plan fits the per-rank memory budget "
-                f"{machine.memory_words} words for nnz(A)={nnz_a}, nnz(B)={nnz_b}"
-            )
-        _ = (ops, nnz_c)
-        self.history.append((best, best_time))
+        with obs.span("select", cat="selector") as sp:
+            cost = machine.cost
+            best: Plan | None = None
+            best_time = math.inf
+            considered = 0
+            feasible = 0
+            ops = estimate_ops(m, k, n, nnz_a, nnz_b)
+            nnz_c = estimate_nnz_c(m, k, n, nnz_a, nnz_b)
+            for plan in enumerate_plans(machine.p):
+                considered += 1
+                est = amortized_model_plan(plan, m, k, n, nnz_a, nnz_b, amortized)
+                if (
+                    machine.memory_words is not None
+                    and est.memory_words > machine.memory_words
+                ):
+                    continue
+                feasible += 1
+                t = est.time(cost.alpha, cost.beta, cost.compute_rate)
+                if t < best_time - 1e-18 or (
+                    abs(t - best_time) <= 1e-18 and best is not None and plan.p1 < best.p1
+                ):
+                    best, best_time = plan, t
+            if best is None:
+                raise MemoryLimitExceeded(
+                    f"no SpGEMM plan fits the per-rank memory budget "
+                    f"{machine.memory_words} words for nnz(A)={nnz_a}, nnz(B)={nnz_b}"
+                )
+            _ = (ops, nnz_c)
+            self.history.append((best, best_time))
+            if obs.enabled():
+                sp.set(
+                    candidates=considered,
+                    feasible=feasible,
+                    chosen=best.describe(),
+                    modeled_seconds=best_time,
+                )
+                obs.count("selector.selections", 1.0, chosen=best.describe())
         return best
 
 

@@ -39,6 +39,7 @@ import numpy as np
 from repro.algebra.matmul import MatMulSpec
 from repro.dist.distmat import DistMat, even_splits
 from repro.machine.machine import Machine
+from repro.obs import api as obs
 from repro.sparse.spgemm import spgemm_with_ops
 from repro.sparse.spmatrix import SpMat
 from repro.spgemm.plan import Plan
@@ -116,10 +117,16 @@ def _replicate_cached(
 ):
     """Fetch a replicated operand from the cache or build-and-charge it."""
     if cache is not None and key in cache:
+        if obs.enabled():
+            obs.count("spgemm.replication_cache", 1.0, outcome="hit")
+            obs.set_attr(replication_cache="hit")
         return cache[key], True
     value = build()
     if cache is not None:
         cache[key] = value
+        if obs.enabled():
+            obs.count("spgemm.replication_cache", 1.0, outcome="miss")
+            obs.set_attr(replication_cache="miss")
     return value, False
 
 

@@ -125,6 +125,44 @@ class TestSimulateAndInfo:
         assert f"vertices  : {n}" in out
 
 
+class TestTrace:
+    def test_trace_writes_valid_chrome_trace(self, graph_file, tmp_path, capsys):
+        import json
+
+        from repro import obs
+
+        path, _ = graph_file
+        out = tmp_path / "trace.json"
+        jsonl = tmp_path / "trace.jsonl"
+        assert (
+            main(
+                [
+                    "trace",
+                    path,
+                    "--p",
+                    "4",
+                    "--batch",
+                    "10",
+                    "-o",
+                    str(out),
+                    "--jsonl",
+                    str(jsonl),
+                ]
+            )
+            == 0
+        )
+        printed = capsys.readouterr().out
+        assert "reconciliation" in printed
+        assert "mfbc" in printed and "mfbf" in printed and "mfbr" in printed
+        trace = json.loads(out.read_text())
+        obs.validate_chrome_trace(trace)
+        names = {e["name"] for e in trace["traceEvents"] if e["ph"] == "X"}
+        assert {"mfbc", "batch", "spgemm"} <= names
+        assert jsonl.exists()
+        # tracing must be fully torn down after the command
+        assert not obs.enabled()
+
+
 class TestVerify:
     def test_verify_passes(self, graph_file, capsys):
         path, _ = graph_file

@@ -5,7 +5,7 @@ import pytest
 
 from repro.algebra.monoid import MinMonoid
 from repro.dist import DistMat, even_splits
-from repro.dist.engine import near_square_shape
+from repro.machine.grid import near_square_shape
 from repro.machine import Machine
 
 from conftest import random_weight_spmat

@@ -5,7 +5,7 @@ import pytest
 
 from repro.core import mfbc
 from repro.dist import DistributedEngine
-from repro.dist.engine import near_square_shape
+from repro.machine.grid import near_square_shape
 from repro.graphs import uniform_random_graph_nm, with_random_weights
 from repro.machine import CostParams, Machine
 from repro.machine.machine import MemoryLimitExceeded

@@ -11,7 +11,7 @@ import pytest
 
 from repro.algebra import MULTPATH, TROPICAL, MatMulSpec, bellman_ford_action
 from repro.dist import DistMat
-from repro.dist.engine import near_square_shape
+from repro.machine.grid import near_square_shape
 from repro.machine import CostParams, Machine
 from repro.sparse import SpMat, spgemm
 from repro.spgemm import Plan, execute_plan
