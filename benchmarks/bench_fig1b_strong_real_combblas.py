@@ -10,7 +10,6 @@ Expected shape (§7.2):
   pricing of the same graphs.
 """
 
-from conftest import PAPER_NODE_COUNTS
 
 from repro.analysis import strong_scaling
 from repro.analysis.scaling import trace_combblas

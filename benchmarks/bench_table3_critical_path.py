@@ -41,7 +41,7 @@ def run_one(gid: str, code: str):
         res = mfbc(g, batch_size=BATCH, max_batches=1, engine=eng)
         scores = res.scores
     else:
-        eng = DistributedEngine(machine, Square2DPolicy())
+        eng = DistributedEngine(machine, policy=Square2DPolicy())
         res = combblas_bc(g, batch_size=BATCH, max_batches=1, engine=eng)
         scores = res.scores
     led = machine.ledger.snapshot()

@@ -13,7 +13,6 @@ Table 3, the full simulator ledger.
 
 from __future__ import annotations
 
-import os
 from pathlib import Path
 
 import pytest

@@ -48,6 +48,7 @@ from repro.apps import (
     triangle_count,
 )
 from repro.core import (
+    Engine,
     MFBCResult,
     SequentialEngine,
     adaptive_vertex_bc,
@@ -70,7 +71,16 @@ from repro.graphs import (
     with_random_weights,
     write_edgelist,
 )
-from repro.machine import CostParams, Grid, Machine
+from repro.machine import (
+    CostParams,
+    Grid,
+    LocalExecutor,
+    Machine,
+    ProcessExecutor,
+    SerialExecutor,
+    ThreadExecutor,
+    resolve_executor,
+)
 from repro import obs
 from repro.sparse import SpMat, spgemm
 from repro.tensor import SpTensor, contract
@@ -109,6 +119,7 @@ __all__ = [
     "adaptive_vertex_bc",
     "ca_mfbc",
     "MFBCResult",
+    "Engine",
     "SequentialEngine",
     # apps
     "bfs_levels",
@@ -121,6 +132,12 @@ __all__ = [
     "Grid",
     "DistMat",
     "DistributedEngine",
+    # local executors (rank-parallel simulation backend)
+    "LocalExecutor",
+    "SerialExecutor",
+    "ThreadExecutor",
+    "ProcessExecutor",
+    "resolve_executor",
     # observability
     "obs",
     # spgemm plans

@@ -4,4 +4,6 @@ import sys
 
 from repro.cli import main
 
+__all__ = ["main"]
+
 sys.exit(main())

@@ -41,11 +41,26 @@ class Semiring:
 
     def matmul_spec(self, field: str = "w") -> MatMulSpec:
         """The :class:`MatMulSpec` computing ``C = A •⟨⊕,⊗⟩ B``."""
+        return MatMulSpec(
+            monoid=self.add_monoid,
+            f=_SemiringAction(self.multiply, field),
+            name=self.name,
+        )
 
-        def f(a: FieldArray, b: FieldArray) -> FieldArray:
-            return {field: self.multiply(a[field], b[field])}
 
-        return MatMulSpec(monoid=self.add_monoid, f=f, name=self.name)
+@dataclass(frozen=True)
+class _SemiringAction:
+    """Picklable ``f(a, b) = {field: a.field ⊗ b.field}``.
+
+    A closure would do for in-process execution, but specs must cross the
+    :class:`~repro.machine.executor.ProcessExecutor` boundary by pickle.
+    """
+
+    multiply: Callable[[np.ndarray, np.ndarray], np.ndarray]
+    field: str
+
+    def __call__(self, a: FieldArray, b: FieldArray) -> FieldArray:
+        return {self.field: self.multiply(a[self.field], b[self.field])}
 
 
 #: The tropical semiring (W, min, +): shortest-path relaxation (§2.3).

@@ -14,7 +14,8 @@ Examples
     python -m repro bc g.txt --top 10
     python -m repro bc g.txt --samples 128 --seed 0
     python -m repro simulate g.txt --p 16 --policy auto --batch 64
-    python -m repro trace g.txt --p 16 -o trace.json
+    python -m repro simulate g.txt --p 16 --executor thread
+    python -m repro trace g.txt --p 16 --executor thread:8 -o trace.json
     python -m repro info g.txt
 """
 
@@ -71,6 +72,13 @@ def build_parser() -> argparse.ArgumentParser:
     p_sim.add_argument("--c", type=int, default=1, help="replication (ca policy)")
     p_sim.add_argument("--batch", type=int, default=64)
     p_sim.add_argument("--batches", type=int, default=1, help="batches to run")
+    p_sim.add_argument(
+        "--executor",
+        default=None,
+        metavar="BACKEND[:N]",
+        help="local execution backend (serial/thread/process, e.g. thread:8);"
+        " default: $REPRO_EXECUTOR or serial",
+    )
 
     p_tr = sub.add_parser(
         "trace",
@@ -91,6 +99,13 @@ def build_parser() -> argparse.ArgumentParser:
     )
     p_tr.add_argument(
         "--jsonl", default=None, help="also write flat span/metric JSONL here"
+    )
+    p_tr.add_argument(
+        "--executor",
+        default=None,
+        metavar="BACKEND[:N]",
+        help="local execution backend (serial/thread/process, e.g. thread:8);"
+        " default: $REPRO_EXECUTOR or serial",
     )
 
     p_info = sub.add_parser("info", help="graph statistics")
@@ -180,18 +195,21 @@ def _cmd_simulate(args) -> int:
     from repro.spgemm import PinnedPolicy, Square2DPolicy
 
     g = _load(args.graph, args.directed)
-    machine = Machine(args.p)
+    machine = Machine(args.p, executor=args.executor)
     policy = None
     if args.policy == "ca":
         policy = PinnedPolicy.ca_mfbc(args.p, args.c)
     elif args.policy == "square2d":
         policy = Square2DPolicy()
-    engine = DistributedEngine(machine, policy)
+    engine = DistributedEngine(machine, policy=policy)
     res = mfbc(
         g, batch_size=args.batch, engine=engine, max_batches=args.batches
     )
     led = machine.ledger.snapshot()
-    print(f"graph: {g}; p={args.p}; policy={args.policy}")
+    print(
+        f"graph: {g}; p={args.p}; policy={args.policy}; "
+        f"executor={machine.executor.name}"
+    )
     print(f"sources processed : {res.stats.sources_processed}")
     print(f"matmuls           : {res.stats.total_multiplications}")
     print(f"critical words    : {led['words']:.0f}")
@@ -210,7 +228,7 @@ def _cmd_trace(args) -> int:
     from repro.spgemm import PinnedPolicy, Square2DPolicy
 
     g = _load(args.graph, args.directed)
-    machine = Machine(args.p)
+    machine = Machine(args.p, executor=args.executor)
     policy = None
     if args.policy == "ca":
         policy = PinnedPolicy.ca_mfbc(args.p, args.c)
@@ -220,7 +238,7 @@ def _cmd_trace(args) -> int:
     session = obs.enable()
     obs.set_modeled_clock(machine.ledger.critical_time)
     try:
-        engine = DistributedEngine(machine, policy)
+        engine = DistributedEngine(machine, policy=policy)
         res = mfbc(
             g, batch_size=args.batch, engine=engine, max_batches=args.batches
         )
@@ -231,11 +249,19 @@ def _cmd_trace(args) -> int:
     if args.jsonl:
         obs.write_jsonl(session.tracer, args.jsonl, metrics=session.metrics)
 
-    print(f"graph: {g}; p={args.p}; policy={args.policy}")
+    print(
+        f"graph: {g}; p={args.p}; policy={args.policy}; "
+        f"executor={machine.executor.name}"
+    )
     print(f"sources processed: {res.stats.sources_processed}")
     print()
     print(obs.render_timeline(session.tracer))
     print(format_trace_report(session.tracer, machine.ledger))
+    if machine.executor.name != "serial":
+        from repro.machine.executor import executor_skew_report
+
+        print()
+        print(executor_skew_report(session.metrics, machine))
     rec = obs.reconcile(session.tracer, machine.ledger)
     print(
         f"\nreconciliation: span modeled total "

@@ -16,13 +16,14 @@
 from repro.core.approx import AdaptiveEstimate, adaptive_vertex_bc, approximate_bc
 from repro.core.ca_mfbc import ca_engine, ca_mfbc
 from repro.core.edge_bc import EdgeBCResult, edge_betweenness_centrality
-from repro.core.engine import SequentialEngine
+from repro.core.engine import Engine, SequentialEngine
 from repro.core.mfbf import mfbf
 from repro.core.mfbr import mfbr
 from repro.core.mfbc import MFBCResult, betweenness_centrality, mfbc
 from repro.core.stats import BatchStats, IterationStats, MFBCStats
 
 __all__ = [
+    "Engine",
     "SequentialEngine",
     "mfbf",
     "mfbr",

@@ -28,7 +28,7 @@ def ca_engine(machine: Machine, c: int = 1) -> DistributedEngine:
     ``p/c`` must be a perfect square; the replication factor ``c`` must
     divide ``p``.
     """
-    return DistributedEngine(machine, PinnedPolicy.ca_mfbc(machine.p, c))
+    return DistributedEngine(machine, policy=PinnedPolicy.ca_mfbc(machine.p, c))
 
 
 def ca_mfbc(

@@ -16,7 +16,7 @@ engine protocol only needs to abstract construction and multiplication.
 
 from __future__ import annotations
 
-from typing import Protocol
+from typing import TYPE_CHECKING, Protocol, runtime_checkable
 
 import numpy as np
 
@@ -29,8 +29,15 @@ from repro.sparse.spmatrix import SpMat
 __all__ = ["Engine", "SequentialEngine"]
 
 
+@runtime_checkable
 class Engine(Protocol):
-    """The seam between MFBC's algorithm code and its execution substrate."""
+    """The seam between MFBC's algorithm code and its execution substrate.
+
+    Both engines implement the full protocol, so algorithm code never
+    feature-tests its engine: ``spgemm`` always returns the
+    ``tuple[matrix, ops]`` pair, and ``register_invariant`` is always
+    callable (a no-op where there is nothing to amortize).
+    """
 
     def matrix(
         self,
@@ -48,8 +55,18 @@ class Engine(Protocol):
         """This engine's representation of ``graph``'s adjacency matrix."""
         ...
 
-    def spgemm(self, a, b, spec: MatMulSpec):
-        """``(a •⟨⊕,f⟩ b, elementary product count)``."""
+    def register_invariant(self, mat) -> None:
+        """Mark ``mat`` as loop-invariant so the engine may amortize work
+        that depends only on its identity (replication, transposes)."""
+        ...
+
+    def spgemm(self, a, b, spec: MatMulSpec) -> tuple[object, int]:
+        """``(a •⟨⊕,f⟩ b, elementary product count)``.
+
+        The unified return contract across engines: the product matrix in
+        this engine's representation, and the number of elementary nonzero
+        products formed (``ops(A, B)`` of §5.1).
+        """
         ...
 
     def gather(self, mat) -> SpMat:
@@ -66,7 +83,12 @@ class SequentialEngine:
     def adjacency(self, graph) -> SpMat:
         return graph.adjacency()
 
+    def register_invariant(self, mat: SpMat) -> None:
+        """No-op: a single-node engine has no replication to amortize."""
+
     def spgemm(self, a: SpMat, b: SpMat, spec: MatMulSpec) -> tuple[SpMat, int]:
+        """``(a •⟨⊕,f⟩ b, elementary product count)`` — the unified
+        :class:`Engine` contract."""
         if not obs.enabled():  # unguarded fast path: no span, no kwargs dict
             result = spgemm_with_ops(a, b, spec)
             return result.matrix, result.ops
@@ -89,3 +111,8 @@ class SequentialEngine:
 
     def gather(self, mat: SpMat) -> SpMat:
         return mat
+
+
+if TYPE_CHECKING:
+    # static proof that SequentialEngine satisfies the Engine protocol
+    _SEQUENTIAL_IS_ENGINE: Engine = SequentialEngine()

@@ -1,0 +1,17 @@
+"""Distributed matrices on the simulated machine.
+
+:class:`~repro.dist.distmat.DistMat` is a block-distributed sparse matrix
+over a 2D facet of a processor grid, mirroring CTF's distributed tensors:
+blocks are plain :class:`~repro.sparse.SpMat` instances held in per-rank
+stores, and every movement (scatter, gather, redistribution) goes through
+the machine's collectives so the α-β ledger sees the real traffic.
+
+:class:`~repro.dist.engine.DistributedEngine` implements the MFBC engine
+protocol on top: generalized products run through the CTF-style algorithm
+selector in :mod:`repro.spgemm`.
+"""
+
+from repro.dist.distmat import DistMat, even_splits
+from repro.dist.engine import DistributedEngine
+
+__all__ = ["DistMat", "even_splits", "DistributedEngine"]

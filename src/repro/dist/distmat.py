@@ -1,0 +1,579 @@
+"""Block-distributed sparse matrices.
+
+A :class:`DistMat` assigns a ``pr × pc`` blocking of an ``nrows × ncols``
+matrix onto a 2D array of machine ranks.  Blocks are node-local
+:class:`~repro.sparse.SpMat` matrices in *local* coordinates.  Elementwise
+operations (the CTF ``Transform``/``sparsify``/summation surface that MFBC's
+frontier logic uses) act block-by-block and are communication-free whenever
+the operands are co-distributed — the engine maintains that invariant.
+
+The paper's load-balance assumption (§5.2, balls-into-bins after random
+vertex relabeling) is what makes these oblivious even splits balanced.
+"""
+
+from __future__ import annotations
+
+import warnings
+from typing import Callable
+
+import numpy as np
+
+from repro.algebra.fields import FieldArray
+from repro.algebra.monoid import Monoid
+from repro.machine.machine import Machine
+from repro.sparse.spmatrix import SpMat
+
+__all__ = ["DistMat", "even_splits"]
+
+
+def _pack_block(
+    src: SpMat,
+    r0: int,
+    c0: int,
+    row_splits: np.ndarray,
+    col_splits: np.ndarray,
+    monoid: Monoid,
+) -> list[tuple[int, int, SpMat]]:
+    """Slice one source block against a target blocking.
+
+    Returns ``(a, b, piece)`` entries in deterministic (a, b ascending)
+    order — the per-source-block unit of redistribution packing, pure so
+    the machine's executor can fan source blocks across host cores.
+    """
+    out: list[tuple[int, int, SpMat]] = []
+    g_rows = src.rows + r0
+    g_cols = src.cols + c0
+    ti = np.searchsorted(row_splits, g_rows, side="right") - 1
+    tj = np.searchsorted(col_splits, g_cols, side="right") - 1
+    for a in np.unique(ti):
+        for b in np.unique(tj[ti == a]):
+            sel = ((ti == a) & (tj == b)).nonzero()[0]
+            piece = SpMat(
+                int(row_splits[a + 1] - row_splits[a]),
+                int(col_splits[b + 1] - col_splits[b]),
+                g_rows[sel] - row_splits[a],
+                g_cols[sel] - col_splits[b],
+                {k: v[sel] for k, v in src.vals.items()},
+                monoid,
+            )
+            out.append((int(a), int(b), piece))
+    return out
+
+
+def even_splits(n: int, parts: int) -> np.ndarray:
+    """Boundaries of an even contiguous split of ``range(n)`` into ``parts``."""
+    if parts <= 0:
+        raise ValueError(f"parts must be positive, got {parts}")
+    return np.linspace(0, n, parts + 1).astype(np.int64)
+
+
+class DistMat:
+    """A sparse matrix distributed over a 2D rank array.
+
+    Parameters
+    ----------
+    machine:
+        The simulated machine the blocks live on.
+    ranks2d:
+        ``pr × pc`` integer array of machine ranks owning each block.
+    row_splits, col_splits:
+        Block boundaries (lengths ``pr + 1`` / ``pc + 1``).
+    blocks:
+        ``pr × pc`` nested list of local-coordinate :class:`SpMat` blocks.
+    monoid:
+        The shared element monoid.
+    """
+
+    __slots__ = (
+        "machine",
+        "ranks2d",
+        "row_splits",
+        "col_splits",
+        "blocks",
+        "monoid",
+        "nrows",
+        "ncols",
+        "_cached_t",
+    )
+
+    def __init__(
+        self,
+        machine: Machine,
+        ranks2d: np.ndarray,
+        row_splits: np.ndarray,
+        col_splits: np.ndarray,
+        blocks: list[list[SpMat]],
+        monoid: Monoid,
+    ) -> None:
+        ranks2d = np.asarray(ranks2d, dtype=np.int64)
+        if ranks2d.ndim != 2:
+            raise ValueError("ranks2d must be 2-dimensional")
+        pr, pc = ranks2d.shape
+        row_splits = np.asarray(row_splits, dtype=np.int64)
+        col_splits = np.asarray(col_splits, dtype=np.int64)
+        if len(row_splits) != pr + 1 or len(col_splits) != pc + 1:
+            raise ValueError("split lengths must match the rank grid shape")
+        if len(blocks) != pr or any(len(row) != pc for row in blocks):
+            raise ValueError("blocks layout must match the rank grid shape")
+        for i in range(pr):
+            for j in range(pc):
+                expect = (
+                    int(row_splits[i + 1] - row_splits[i]),
+                    int(col_splits[j + 1] - col_splits[j]),
+                )
+                if blocks[i][j].shape != expect:
+                    raise ValueError(
+                        f"block ({i},{j}) has shape {blocks[i][j].shape}, "
+                        f"expected {expect}"
+                    )
+        self.machine = machine
+        self.ranks2d = ranks2d
+        self.row_splits = row_splits
+        self.col_splits = col_splits
+        self.blocks = blocks
+        self.monoid = monoid
+        self.nrows = int(row_splits[-1])
+        self.ncols = int(col_splits[-1])
+        self._cached_t: "DistMat | None" = None
+
+    # -- construction -----------------------------------------------------------
+
+    @classmethod
+    def distribute(
+        cls,
+        mat: SpMat,
+        machine: Machine,
+        ranks2d: np.ndarray,
+        *args,
+        row_splits: np.ndarray | None = None,
+        col_splits: np.ndarray | None = None,
+        charge: bool = True,
+    ) -> "DistMat":
+        """Scatter a node-local matrix into blocks (root-owned input).
+
+        ``row_splits`` / ``col_splits`` / ``charge`` are keyword-only.
+        Charged as a scatter where the root owns the whole matrix —
+        the bulk-synchronous graph input path (CTF ``Tensor::write``).
+        """
+        if args:
+            warnings.warn(
+                "passing row_splits/col_splits to DistMat.distribute "
+                "positionally is deprecated; use keyword arguments",
+                DeprecationWarning,
+                stacklevel=2,
+            )
+            if len(args) > 2:
+                raise TypeError(
+                    f"DistMat.distribute() takes at most 5 positional "
+                    f"arguments ({3 + len(args)} given)"
+                )
+            if row_splits is None:
+                row_splits = args[0]
+            if len(args) == 2 and col_splits is None:
+                col_splits = args[1]
+        ranks2d = np.asarray(ranks2d, dtype=np.int64)
+        pr, pc = ranks2d.shape
+        if row_splits is None:
+            row_splits = even_splits(mat.nrows, pr)
+        if col_splits is None:
+            col_splits = even_splits(mat.ncols, pc)
+        blocks = [
+            [
+                mat.block(
+                    int(row_splits[i]),
+                    int(row_splits[i + 1]),
+                    int(col_splits[j]),
+                    int(col_splits[j + 1]),
+                )
+                for j in range(pc)
+            ]
+            for i in range(pr)
+        ]
+        if charge:
+            flat_ranks = np.unique(ranks2d.ravel())
+            if len(flat_ranks) > 1:
+                machine.charge_collective(
+                    flat_ranks, mat.words(), weight=1.0, category="input"
+                )
+        return cls(machine, ranks2d, row_splits, col_splits, blocks, monoid=mat.monoid)
+
+    @classmethod
+    def from_triples(
+        cls,
+        machine: Machine,
+        ranks2d: np.ndarray,
+        nrows: int,
+        ncols: int,
+        rows: np.ndarray,
+        cols: np.ndarray,
+        vals: FieldArray,
+        monoid: Monoid,
+        row_splits: np.ndarray | None = None,
+        col_splits: np.ndarray | None = None,
+        *,
+        charge: bool = True,
+    ) -> "DistMat":
+        """Build and distribute from coordinate triples."""
+        mat = SpMat(nrows, ncols, rows, cols, vals, monoid)
+        return cls.distribute(
+            mat,
+            machine,
+            ranks2d,
+            row_splits=row_splits,
+            col_splits=col_splits,
+            charge=charge,
+        )
+
+    @classmethod
+    def empty_like(cls, other: "DistMat", monoid: Monoid | None = None) -> "DistMat":
+        """An all-identity matrix with ``other``'s distribution."""
+        monoid = monoid or other.monoid
+        pr, pc = other.grid_shape
+        blocks = [
+            [
+                SpMat.empty(
+                    int(other.row_splits[i + 1] - other.row_splits[i]),
+                    int(other.col_splits[j + 1] - other.col_splits[j]),
+                    monoid,
+                )
+                for j in range(pc)
+            ]
+            for i in range(pr)
+        ]
+        return cls(
+            other.machine,
+            other.ranks2d,
+            other.row_splits,
+            other.col_splits,
+            blocks,
+            monoid,
+        )
+
+    # -- properties ----------------------------------------------------------------
+
+    @property
+    def grid_shape(self) -> tuple[int, int]:
+        return tuple(self.ranks2d.shape)  # type: ignore[return-value]
+
+    @property
+    def shape(self) -> tuple[int, int]:
+        return (self.nrows, self.ncols)
+
+    @property
+    def nnz(self) -> int:
+        return sum(b.nnz for row in self.blocks for b in row)
+
+    def words(self) -> int:
+        return sum(b.words() for row in self.blocks for b in row)
+
+    def max_block_words(self) -> int:
+        return max(b.words() for row in self.blocks for b in row)
+
+    def memory_words_per_rank(self) -> dict[int, int]:
+        """Words held by each participating rank (for memory budget checks)."""
+        out: dict[int, int] = {}
+        pr, pc = self.grid_shape
+        for i in range(pr):
+            for j in range(pc):
+                r = int(self.ranks2d[i, j])
+                out[r] = out.get(r, 0) + self.blocks[i][j].words()
+        return out
+
+    def same_distribution(self, other: "DistMat") -> bool:
+        return (
+            np.array_equal(self.ranks2d, other.ranks2d)
+            and np.array_equal(self.row_splits, other.row_splits)
+            and np.array_equal(self.col_splits, other.col_splits)
+        )
+
+    # -- gather -----------------------------------------------------------------
+
+    def gather(self, *, charge: bool = True) -> SpMat:
+        """Reassemble the full matrix on a single node (CTF read-back path)."""
+        rows_parts: list[np.ndarray] = []
+        cols_parts: list[np.ndarray] = []
+        vals_parts: list[FieldArray] = []
+        pr, pc = self.grid_shape
+        for i in range(pr):
+            for j in range(pc):
+                b = self.blocks[i][j]
+                if b.nnz == 0:
+                    continue
+                rows_parts.append(b.rows + self.row_splits[i])
+                cols_parts.append(b.cols + self.col_splits[j])
+                vals_parts.append(b.vals)
+        if charge:
+            flat_ranks = np.unique(self.ranks2d.ravel())
+            if len(flat_ranks) > 1:
+                self.machine.charge_collective(
+                    flat_ranks, self.words(), weight=1.0, category="gather"
+                )
+        if not rows_parts:
+            return SpMat.empty(self.nrows, self.ncols, self.monoid)
+        from repro.algebra.fields import concat_fields
+
+        return SpMat(
+            self.nrows,
+            self.ncols,
+            np.concatenate(rows_parts),
+            np.concatenate(cols_parts),
+            concat_fields(vals_parts),
+            self.monoid,
+            canonical=False,
+        )
+
+    # -- elementwise (communication-free on co-distributed operands) -------------
+
+    def _aligned(self, other: "DistMat") -> "DistMat":
+        """``other`` co-distributed with ``self``.
+
+        Elementwise operations are communication-free when operands share a
+        distribution (the common case — the engine keeps working sets
+        aligned); otherwise the other operand is redistributed first, with
+        the traffic charged (CTF lets users "work obliviously of the data
+        distribution", §6.2).  Mixing machines is still an error: blocks on
+        different simulated machines cannot meet.
+        """
+        if other.machine is not self.machine:
+            raise ValueError(
+                "operands live on different machines and cannot be "
+                "co-distributed"
+            )
+        if self.same_distribution(other):
+            return other
+        return other.redistribute(
+            self.ranks2d, self.row_splits, self.col_splits
+        )
+
+    def _blockwise(self, fn: Callable[[SpMat, tuple[int, int]], SpMat], monoid=None):
+        pr, pc = self.grid_shape
+        cells = [(i, j) for i in range(pr) for j in range(pc)]
+        flat = self.machine.executor.run_tasks(
+            [
+                (lambda b=self.blocks[i][j], ij=(i, j): fn(b, ij))
+                for i, j in cells
+            ],
+            site="blockwise",
+            est_work=float(self.nnz),
+            ranks=[int(self.ranks2d[i, j]) for i, j in cells],
+        )
+        blocks = [[flat[i * pc + j] for j in range(pc)] for i in range(pr)]
+        return DistMat(
+            self.machine,
+            self.ranks2d,
+            self.row_splits,
+            self.col_splits,
+            blocks,
+            monoid or self.monoid,
+        )
+
+    def combine(self, other: "DistMat") -> "DistMat":
+        other = self._aligned(other)
+        return self._blockwise(
+            lambda b, ij: b.combine(other.blocks[ij[0]][ij[1]])
+        )
+
+    def filter(self, predicate) -> "DistMat":
+        return self._blockwise(lambda b, ij: b.filter(predicate))
+
+    def map(self, fn, monoid: Monoid | None = None) -> "DistMat":
+        return self._blockwise(lambda b, ij: b.map(fn, monoid=monoid), monoid)
+
+    def zip_filter(self, other: "DistMat", predicate) -> "DistMat":
+        other = self._aligned(other)
+        return self._blockwise(
+            lambda b, ij: b.zip_filter(other.blocks[ij[0]][ij[1]], predicate)
+        )
+
+    def zip_map(self, other: "DistMat", fn, monoid: Monoid | None = None) -> "DistMat":
+        other = self._aligned(other)
+        return self._blockwise(
+            lambda b, ij: b.zip_map(other.blocks[ij[0]][ij[1]], fn, monoid=monoid),
+            monoid,
+        )
+
+    # -- structure ---------------------------------------------------------------
+
+    def transpose(self) -> "DistMat":
+        """Transpose: every block transposes in place, the grid flips.
+
+        No traffic: block ``(i,j)`` stays on its rank and becomes block
+        ``(j,i)`` of the transposed grid (CTF's data-reordering happens
+        lazily at the next redistribution).  The result is memoized so that
+        loop-invariant transposes (MFBr's ``Aᵀ``) keep a stable identity —
+        which is what lets the engine's replication cache amortize them.
+        """
+        if self._cached_t is not None:
+            return self._cached_t
+        pr, pc = self.grid_shape
+        blocks = [[self.blocks[i][j].transpose() for i in range(pr)] for j in range(pc)]
+        out = DistMat(
+            self.machine,
+            self.ranks2d.T,
+            self.col_splits,
+            self.row_splits,
+            blocks,
+            self.monoid,
+        )
+        self._cached_t = out
+        out._cached_t = self
+        return out
+
+    def redistribute(
+        self,
+        ranks2d: np.ndarray,
+        row_splits: np.ndarray | None = None,
+        col_splits: np.ndarray | None = None,
+        *,
+        charge: bool = True,
+    ) -> "DistMat":
+        """Move to a new blocking/rank assignment (CTF sparse redistribution).
+
+        Every source block is sliced against the target blocking; pieces that
+        change owner are charged as one all-to-all-v collective sized by the
+        busiest rank's sent+received volume (CTF's sparse-to-sparse
+        redistribution kernel, §6.2).
+        """
+        ranks2d = np.asarray(ranks2d, dtype=np.int64)
+        prn, pcn = ranks2d.shape
+        if row_splits is None:
+            row_splits = even_splits(self.nrows, prn)
+        if col_splits is None:
+            col_splits = even_splits(self.ncols, pcn)
+        row_splits = np.asarray(row_splits, dtype=np.int64)
+        col_splits = np.asarray(col_splits, dtype=np.int64)
+
+        new_blocks: list[list[list[SpMat]]] = [
+            [[] for _ in range(pcn)] for _ in range(prn)
+        ]
+        sent = np.zeros(self.machine.p)
+        recv = np.zeros(self.machine.p)
+        pr, pc = self.grid_shape
+        # packing each source block against the target blocking is
+        # independent work: fan the nonempty blocks through the executor,
+        # then merge the pieces on the simulation thread in (i, j) order
+        sources = [
+            (i, j)
+            for i in range(pr)
+            for j in range(pc)
+            if self.blocks[i][j].nnz
+        ]
+        piece_lists = self.machine.executor.run_tasks(
+            [
+                (
+                    lambda src=self.blocks[i][j],
+                    r0=int(self.row_splits[i]),
+                    c0=int(self.col_splits[j]): _pack_block(
+                        src, r0, c0, row_splits, col_splits, self.monoid
+                    )
+                )
+                for i, j in sources
+            ],
+            site="redistribute",
+            est_work=float(self.nnz),
+            ranks=[int(self.ranks2d[i, j]) for i, j in sources],
+        )
+        for (i, j), pieces in zip(sources, piece_lists):
+            src_rank = int(self.ranks2d[i, j])
+            for a, b, piece in pieces:
+                new_blocks[a][b].append(piece)
+                dst_rank = int(ranks2d[a, b])
+                if src_rank != dst_rank and piece.nnz:
+                    sent[src_rank] += piece.words()
+                    recv[dst_rank] += piece.words()
+        if charge:
+            moved = sent + recv
+            participants = np.unique(
+                np.concatenate([self.ranks2d.ravel(), ranks2d.ravel()])
+            )
+            if moved.max() > 0 and len(participants) > 1:
+                self.machine.charge_collective(
+                    participants,
+                    float(moved.max()),
+                    weight=1.0,
+                    category="redistribute",
+                )
+
+        assembled: list[list[SpMat]] = []
+        for a in range(prn):
+            row: list[SpMat] = []
+            for b in range(pcn):
+                shape = (
+                    int(row_splits[a + 1] - row_splits[a]),
+                    int(col_splits[b + 1] - col_splits[b]),
+                )
+                pieces = new_blocks[a][b]
+                if not pieces:
+                    row.append(SpMat.empty(*shape, self.monoid))
+                elif len(pieces) == 1:
+                    row.append(pieces[0])
+                else:
+                    acc = pieces[0]
+                    for piece in pieces[1:]:
+                        acc = acc.combine(piece)
+                    row.append(acc)
+            assembled.append(row)
+        return DistMat(
+            self.machine, ranks2d, row_splits, col_splits, assembled, self.monoid
+        )
+
+    def extract_col_range(self, c0: int, c1: int) -> "DistMat":
+        """Restrict to global columns [c0, c1) — purely local slicing.
+
+        The resulting column splits are the old ones clipped to the range,
+        so the rank grid is unchanged (blocks fully outside become empty).
+        """
+        if not 0 <= c0 <= c1 <= self.ncols:
+            raise ValueError(f"column range [{c0}, {c1}) out of bounds")
+        new_col_splits = np.clip(self.col_splits, c0, c1) - c0
+        pr, pc = self.grid_shape
+        blocks = []
+        for i in range(pr):
+            row = []
+            for j in range(pc):
+                width = int(self.col_splits[j + 1] - self.col_splits[j])
+                lo = min(max(c0 - int(self.col_splits[j]), 0), width)
+                hi = min(max(c1 - int(self.col_splits[j]), 0), width)
+                hi = max(hi, lo)
+                row.append(self.blocks[i][j].block(0, self.blocks[i][j].nrows, lo, hi))
+            blocks.append(row)
+        return DistMat(
+            self.machine,
+            self.ranks2d,
+            self.row_splits,
+            new_col_splits,
+            blocks,
+            self.monoid,
+        )
+
+    def extract_row_range(self, r0: int, r1: int) -> "DistMat":
+        """Restrict to global rows [r0, r1) — purely local slicing."""
+        if not 0 <= r0 <= r1 <= self.nrows:
+            raise ValueError(f"row range [{r0}, {r1}) out of bounds")
+        new_row_splits = np.clip(self.row_splits, r0, r1) - r0
+        pr, pc = self.grid_shape
+        blocks = []
+        for i in range(pr):
+            height = int(self.row_splits[i + 1] - self.row_splits[i])
+            lo = min(max(r0 - int(self.row_splits[i]), 0), height)
+            hi = min(max(r1 - int(self.row_splits[i]), 0), height)
+            hi = max(hi, lo)
+            blocks.append(
+                [
+                    self.blocks[i][j].block(lo, hi, 0, self.blocks[i][j].ncols)
+                    for j in range(pc)
+                ]
+            )
+        return DistMat(
+            self.machine,
+            self.ranks2d,
+            new_row_splits,
+            self.col_splits,
+            blocks,
+            self.monoid,
+        )
+
+    def __repr__(self) -> str:  # pragma: no cover - debugging aid
+        return (
+            f"DistMat(shape={self.shape}, grid={self.grid_shape}, nnz={self.nnz})"
+        )

@@ -13,9 +13,23 @@ bulk-synchronous p-rank machine (see DESIGN.md).  It provides:
   both *move real payloads* between rank-local stores and charge the model
   costs, so distribution logic is genuinely exercised;
 * :class:`~repro.machine.grid.Grid` — 1/2/3-dimensional processor grids
-  with axis subgroup enumeration, the substrate of the SpGEMM variants.
+  with axis subgroup enumeration, the substrate of the SpGEMM variants;
+* :mod:`~repro.machine.executor` — pluggable local-execution backends
+  (serial / thread-pool / process-pool with shared-memory ndarray
+  transfer) that fan the independent per-rank local kernels across host
+  cores while keeping results and ledger totals bit-identical.
 """
 
+from repro.machine.executor import (
+    EXECUTOR_ENV,
+    LocalExecutor,
+    ProcessExecutor,
+    SerialExecutor,
+    ThreadExecutor,
+    available_backends,
+    executor_skew_report,
+    resolve_executor,
+)
 from repro.machine.machine import CostParams, Ledger, Machine, MemoryLimitExceeded
 from repro.machine.collectives import Group, payload_words
 from repro.machine.grid import Grid, near_square_shape
@@ -29,4 +43,12 @@ __all__ = [
     "payload_words",
     "Grid",
     "near_square_shape",
+    "EXECUTOR_ENV",
+    "LocalExecutor",
+    "SerialExecutor",
+    "ThreadExecutor",
+    "ProcessExecutor",
+    "available_backends",
+    "resolve_executor",
+    "executor_skew_report",
 ]

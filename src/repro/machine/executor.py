@@ -1,0 +1,539 @@
+"""Pluggable local-execution backends for the simulated machine.
+
+The simulated machine models ``p`` ranks, but the process hosting the
+simulation is a single Python interpreter: historically every rank's local
+kernel ran serially, so modeled time scaled with ``p`` while wall-clock
+time did not.  On the real machines the paper ran on, the ``p`` local
+SpGEMMs between two collectives execute *concurrently* — that concurrency
+is exactly what this module recovers on the host: the independent per-rank
+local products inside the §5.2 variant executors, the per-block elementwise
+operations of :class:`~repro.dist.distmat.DistMat`, and redistribution
+block packing all fan out across host cores.
+
+Three backends implement one surface (:class:`LocalExecutor`):
+
+* :class:`SerialExecutor` — runs every task inline (the default; zero
+  overhead, reference semantics);
+* :class:`ThreadExecutor` — a lazily created thread pool.  The sparse
+  kernels are dominated by large-array NumPy primitives (``argsort``,
+  ``searchsorted``, ``reduceat``, fancy indexing) that release the GIL, so
+  threads overlap on multi-core hosts while still sharing operands
+  zero-copy;
+* :class:`ProcessExecutor` — a lazily created (fork-context) process pool
+  for workloads whose kernels hold the GIL.  Operand and result ndarrays
+  cross the process boundary through :mod:`multiprocessing.shared_memory`
+  segments rather than pickle streams; operands repeated within a batch
+  (e.g. a replicated adjacency matrix) are exported once.
+
+Two guarantees hold for every backend:
+
+* **Determinism** — results are collected in submission order and merged
+  on the simulation thread, and ledger charges are issued on the
+  simulation thread in serial iteration order, so gathered matrices and
+  ``ledger.snapshot()`` are bit-identical to serial execution.
+* **Cost-aware dispatch** — a batch fans out only when its estimated work
+  (elementary products via :func:`~repro.sparse.spgemm.count_ops`, or
+  nonzeros touched for packing/elementwise tasks) amortizes the executor's
+  per-batch overhead; otherwise it runs inline on the simulation thread.
+
+Selection is threaded through :class:`~repro.machine.machine.Machine`
+(``Machine(p=64, executor="thread")``), the ``REPRO_EXECUTOR`` environment
+variable (``serial`` | ``thread[:N]`` | ``process[:N]``), and the
+``repro`` CLI's ``--executor`` flag.
+"""
+
+from __future__ import annotations
+
+import os
+import time
+from concurrent.futures import ProcessPoolExecutor, ThreadPoolExecutor
+from typing import Callable, Sequence
+
+import numpy as np
+
+from repro.obs import api as obs
+from repro.sparse.spgemm import SpGemmResult, count_ops, spgemm_with_ops
+from repro.sparse.spmatrix import SpMat
+
+__all__ = [
+    "EXECUTOR_ENV",
+    "LocalExecutor",
+    "SerialExecutor",
+    "ThreadExecutor",
+    "ProcessExecutor",
+    "available_backends",
+    "resolve_executor",
+    "executor_skew_report",
+]
+
+#: environment variable consulted when no explicit executor is configured.
+EXECUTOR_ENV = "REPRO_EXECUTOR"
+
+#: estimated-work floors (work units ≈ elementary kernel ops) below which a
+#: batch runs inline.  Thread dispatch costs ~100 µs per batch; process
+#: dispatch additionally pays shared-memory export/import, hence the higher
+#: floor.  At the default ``compute_rate`` of 1e9 ops/s these floors
+#: correspond to ~0.2 ms / ~2 ms of modeled local work.
+THREAD_FANOUT_MIN_WORK = 200_000
+PROCESS_FANOUT_MIN_WORK = 2_000_000
+
+
+def _worker_default() -> int:
+    try:
+        return max(1, len(os.sched_getaffinity(0)))
+    except (AttributeError, OSError):  # pragma: no cover - non-Linux hosts
+        return max(1, os.cpu_count() or 1)
+
+
+class LocalExecutor:
+    """Common surface of the local execution backends.
+
+    Subclasses override :meth:`_submit_thunks` (arbitrary callables; used
+    by elementwise and packing fan-out, requires ``supports_closures``) and
+    :meth:`_submit_spgemm` (local generalized products).  Batch entry
+    points :meth:`run_tasks` / :meth:`run_spgemm` apply the dispatch gate,
+    record observability events, and preserve submission order.
+    """
+
+    #: backend identifier (``serial`` / ``thread`` / ``process``)
+    name = "serial"
+    #: worker slots the backend can occupy concurrently
+    workers = 1
+    #: whether arbitrary closures can be shipped to the workers
+    supports_closures = True
+    #: estimated-work floor for fan-out; ``inf`` means never fan out
+    fanout_min_work: float = float("inf")
+
+    # -- dispatch gate -------------------------------------------------------
+
+    def should_fanout(self, n_tasks: int, est_work: float) -> bool:
+        """True when a batch's estimated work amortizes dispatch overhead."""
+        return (
+            self.workers > 1 and n_tasks > 1 and est_work >= self.fanout_min_work
+        )
+
+    # -- batch entry points --------------------------------------------------
+
+    def run_tasks(
+        self,
+        thunks: Sequence[Callable[[], object]],
+        *,
+        site: str,
+        est_work: float,
+        ranks: Sequence[int] | None = None,
+    ) -> list:
+        """Run zero-argument callables; results in submission order.
+
+        Falls back to inline execution when the gate rejects the batch or
+        the backend cannot ship closures (:class:`ProcessExecutor`).
+        """
+        if not (self.supports_closures and self.should_fanout(len(thunks), est_work)):
+            self._note_inline(site, len(thunks))
+            return [fn() for fn in thunks]
+        return self._fanout(
+            site, ranks, lambda: self._submit_thunks(list(thunks))
+        )
+
+    def run_spgemm(
+        self,
+        pairs: Sequence[tuple[SpMat, SpMat]],
+        spec,
+        *,
+        site: str = "spgemm",
+        ranks: Sequence[int] | None = None,
+    ) -> list[SpGemmResult]:
+        """Run a batch of independent local products ``C_t = A_t • B_t``.
+
+        The work estimate is the exact elementary-product count
+        (:func:`count_ops`), computed only when fan-out is possible at all.
+        """
+        if self.workers > 1 and len(pairs) > 1:
+            est_work = float(sum(count_ops(x, y) for x, y in pairs))
+            if self.should_fanout(len(pairs), est_work):
+                return self._fanout(
+                    site, ranks, lambda: self._submit_spgemm(list(pairs), spec)
+                )
+        self._note_inline(site, len(pairs))
+        return [spgemm_with_ops(x, y, spec) for x, y in pairs]
+
+    def close(self) -> None:
+        """Release pool resources (idempotent)."""
+
+    def __enter__(self) -> "LocalExecutor":
+        return self
+
+    def __exit__(self, *exc) -> bool:
+        self.close()
+        return False
+
+    def __repr__(self) -> str:  # pragma: no cover - debugging aid
+        return f"{type(self).__name__}(workers={self.workers})"
+
+    # -- backend hooks -------------------------------------------------------
+
+    def _submit_thunks(self, thunks: list) -> list[tuple[object, float]]:
+        """Run callables concurrently → ``[(result, wall_seconds), ...]``."""
+        raise NotImplementedError
+
+    def _submit_spgemm(self, pairs: list, spec) -> list[tuple[object, float]]:
+        """Run products concurrently → ``[(SpGemmResult, wall_seconds), ...]``."""
+        raise NotImplementedError
+
+    # -- shared bookkeeping --------------------------------------------------
+
+    def _note_inline(self, site: str, n_tasks: int) -> None:
+        if obs.enabled():
+            obs.count("executor.batches", 1.0, backend=self.name, site=site, mode="inline")
+            obs.count("executor.tasks", float(n_tasks), backend=self.name, site=site, mode="inline")
+
+    def _fanout(self, site, ranks, submit) -> list:
+        """Dispatch one batch, record per-rank wall times and utilization."""
+        t0 = time.perf_counter()
+        timed = submit()  # [(result, task_wall_seconds), ...] in order
+        elapsed = time.perf_counter() - t0
+        if obs.enabled():
+            busy = 0.0
+            for idx, (_, dt) in enumerate(timed):
+                busy += dt
+                rank = int(ranks[idx]) if ranks is not None else idx
+                obs.observe(
+                    "executor.rank_wall_seconds", dt, rank=rank, backend=self.name
+                )
+            obs.count("executor.batches", 1.0, backend=self.name, site=site, mode="fanout")
+            obs.count("executor.tasks", float(len(timed)), backend=self.name, site=site, mode="fanout")
+            if elapsed > 0:
+                obs.gauge(
+                    "executor.utilization",
+                    busy / (elapsed * self.workers),
+                    backend=self.name,
+                    site=site,
+                )
+            obs.complete(
+                f"executor.{site}",
+                cat="executor",
+                wall_dur=elapsed,
+                args={"backend": self.name, "tasks": len(timed), "busy_seconds": busy},
+            )
+        return [result for result, _ in timed]
+
+
+class SerialExecutor(LocalExecutor):
+    """Run every task inline on the simulation thread (reference backend)."""
+
+    name = "serial"
+    workers = 1
+
+    def __init__(self, workers: int | None = None, *, fanout_min_work=None) -> None:
+        # accepted (and ignored) so every backend shares a constructor shape
+        del workers, fanout_min_work
+
+
+def _timed_call(fn) -> tuple[object, float]:
+    t0 = time.perf_counter()
+    out = fn()
+    return out, time.perf_counter() - t0
+
+
+def _timed_spgemm(x: SpMat, y: SpMat, spec) -> tuple[SpGemmResult, float]:
+    t0 = time.perf_counter()
+    out = spgemm_with_ops(x, y, spec)
+    return out, time.perf_counter() - t0
+
+
+class ThreadExecutor(LocalExecutor):
+    """Fan tasks across a host-local thread pool (lazily created)."""
+
+    name = "thread"
+    supports_closures = True
+
+    def __init__(
+        self, workers: int | None = None, *, fanout_min_work: float | None = None
+    ) -> None:
+        self.workers = int(workers) if workers else _worker_default()
+        self.fanout_min_work = (
+            THREAD_FANOUT_MIN_WORK if fanout_min_work is None else float(fanout_min_work)
+        )
+        self._pool: ThreadPoolExecutor | None = None
+
+    def _ensure_pool(self) -> ThreadPoolExecutor:
+        if self._pool is None:
+            self._pool = ThreadPoolExecutor(
+                max_workers=self.workers, thread_name_prefix="repro-exec"
+            )
+        return self._pool
+
+    def _submit_thunks(self, thunks: list) -> list[tuple[object, float]]:
+        pool = self._ensure_pool()
+        futures = [pool.submit(_timed_call, fn) for fn in thunks]
+        return [f.result() for f in futures]
+
+    def _submit_spgemm(self, pairs: list, spec) -> list[tuple[object, float]]:
+        pool = self._ensure_pool()
+        futures = [pool.submit(_timed_spgemm, x, y, spec) for x, y in pairs]
+        return [f.result() for f in futures]
+
+    def close(self) -> None:
+        if self._pool is not None:
+            self._pool.shutdown(wait=True)
+            self._pool = None
+
+
+# ---------------------------------------------------------------------------
+# process backend: shared-memory ndarray transfer
+# ---------------------------------------------------------------------------
+#
+# An SpMat is exported as one shared-memory segment holding the byte-
+# concatenation of its coordinate and value arrays, plus a picklable
+# manifest (segment name, dims, per-array dtype/length, monoid).  Workers
+# attach and rebuild zero-copy views; results travel back the same way.
+# With the fork start method the resource-tracker process is shared by
+# parent and workers, so create/attach registrations and the single unlink
+# stay consistent.
+
+
+def _export_spmat(mat: SpMat):
+    """Pack ``mat``'s arrays into a shared-memory segment → (manifest, shm)."""
+    from multiprocessing import shared_memory
+
+    arrays = [("rows", mat.rows), ("cols", mat.cols)] + [
+        (f"v:{name}", mat.vals[name]) for name in mat.vals
+    ]
+    layout = []
+    offset = 0
+    for label, arr in arrays:
+        arr = np.ascontiguousarray(arr)
+        layout.append((label, str(arr.dtype), len(arr), offset))
+        offset += arr.nbytes
+    shm = None
+    segment = None
+    if offset > 0:  # SharedMemory rejects zero-size segments
+        shm = shared_memory.SharedMemory(create=True, size=offset)
+        segment = shm.name
+        for (label, dtype, length, off), (_, arr) in zip(layout, arrays):
+            view = np.ndarray((length,), dtype=dtype, buffer=shm.buf, offset=off)
+            view[:] = np.ascontiguousarray(arr)
+    manifest = {
+        "segment": segment,
+        "nrows": mat.nrows,
+        "ncols": mat.ncols,
+        "monoid": mat.monoid,
+        "layout": layout,
+    }
+    return manifest, shm
+
+
+def _import_spmat(manifest, *, copy: bool):
+    """Rebuild an SpMat from a manifest → (mat, shm or None).
+
+    With ``copy=False`` the arrays are zero-copy views into the segment:
+    the caller must keep the returned shm object alive while using them.
+    """
+    from multiprocessing import shared_memory
+
+    shm = None
+    parts: dict[str, np.ndarray] = {}
+    if manifest["segment"] is not None:
+        shm = shared_memory.SharedMemory(name=manifest["segment"])
+    for label, dtype, length, off in manifest["layout"]:
+        if shm is None:
+            arr = np.empty(0, dtype=dtype)
+        else:
+            arr = np.ndarray((length,), dtype=dtype, buffer=shm.buf, offset=off)
+            if copy:
+                arr = arr.copy()
+        parts[label] = arr
+    monoid = manifest["monoid"]
+    vals = {name: parts[f"v:{name}"] for name in monoid.field_names}
+    mat = SpMat(
+        manifest["nrows"],
+        manifest["ncols"],
+        parts["rows"],
+        parts["cols"],
+        vals,
+        monoid,
+        canonical=True,
+    )
+    return mat, shm
+
+
+def _release(shm, *, unlink: bool) -> None:
+    if shm is not None:
+        shm.close()
+        if unlink:
+            shm.unlink()
+
+
+def _spgemm_shm_worker(a_manifest, b_manifest, spec):
+    """Worker-side product: attach operands, compute, export the result."""
+    a, a_shm = _import_spmat(a_manifest, copy=False)
+    b, b_shm = _import_spmat(b_manifest, copy=False)
+    try:
+        t0 = time.perf_counter()
+        res = spgemm_with_ops(a, b, spec)
+        dt = time.perf_counter() - t0
+    finally:
+        del a, b  # drop the zero-copy views before detaching
+        _release(a_shm, unlink=False)
+        _release(b_shm, unlink=False)
+    out_manifest, out_shm = _export_spmat(res.matrix)
+    _release(out_shm, unlink=False)  # parent copies out, then unlinks
+    return out_manifest, res.ops, dt
+
+
+class ProcessExecutor(LocalExecutor):
+    """Fan local products across a (fork-context) process pool.
+
+    Sidesteps the GIL entirely, at the price of moving operands and
+    results between address spaces — done through shared-memory segments,
+    with operands repeated inside a batch exported only once.  Closure
+    batches (:meth:`run_tasks`) are not shippable and run inline; the
+    products this backend accelerates are where the profile concentrates.
+    """
+
+    name = "process"
+    supports_closures = False
+
+    def __init__(
+        self, workers: int | None = None, *, fanout_min_work: float | None = None
+    ) -> None:
+        self.workers = int(workers) if workers else _worker_default()
+        self.fanout_min_work = (
+            PROCESS_FANOUT_MIN_WORK
+            if fanout_min_work is None
+            else float(fanout_min_work)
+        )
+        self._pool: ProcessPoolExecutor | None = None
+
+    def _ensure_pool(self) -> ProcessPoolExecutor:
+        if self._pool is None:
+            import multiprocessing
+
+            methods = multiprocessing.get_all_start_methods()
+            ctx = multiprocessing.get_context(
+                "fork" if "fork" in methods else None
+            )
+            self._pool = ProcessPoolExecutor(
+                max_workers=self.workers, mp_context=ctx
+            )
+        return self._pool
+
+    def _submit_spgemm(self, pairs: list, spec) -> list[tuple[object, float]]:
+        pool = self._ensure_pool()
+        # export each distinct operand once, even when it appears in many
+        # tasks (replicated adjacency matrices do, every batch)
+        exported: dict[int, tuple[dict, object]] = {}
+        for x, y in pairs:
+            for mat in (x, y):
+                if id(mat) not in exported:
+                    exported[id(mat)] = _export_spmat(mat)
+        try:
+            futures = [
+                pool.submit(
+                    _spgemm_shm_worker,
+                    exported[id(x)][0],
+                    exported[id(y)][0],
+                    spec,
+                )
+                for x, y in pairs
+            ]
+            out: list[tuple[object, float]] = []
+            for f in futures:
+                manifest, ops, dt = f.result()
+                matrix, shm = _import_spmat(manifest, copy=True)
+                _release(shm, unlink=True)
+                out.append((SpGemmResult(matrix, ops), dt))
+            return out
+        finally:
+            for _, shm in exported.values():
+                _release(shm, unlink=True)
+
+    def close(self) -> None:
+        if self._pool is not None:
+            self._pool.shutdown(wait=True)
+            self._pool = None
+
+
+# ---------------------------------------------------------------------------
+# selection
+# ---------------------------------------------------------------------------
+
+_BACKENDS: dict[str, type[LocalExecutor]] = {
+    "serial": SerialExecutor,
+    "thread": ThreadExecutor,
+    "process": ProcessExecutor,
+}
+
+
+def available_backends() -> tuple[str, ...]:
+    """Names accepted by :func:`resolve_executor` and ``REPRO_EXECUTOR``."""
+    return tuple(_BACKENDS)
+
+
+def resolve_executor(spec: "str | LocalExecutor | None" = None) -> LocalExecutor:
+    """Turn an executor specification into a backend instance.
+
+    ``spec`` may be an executor instance (returned as-is), a string
+    ``"name"`` or ``"name:workers"`` (e.g. ``"thread:8"``), or ``None`` —
+    in which case the ``REPRO_EXECUTOR`` environment variable is consulted
+    and ``serial`` is the fallback.
+    """
+    if isinstance(spec, LocalExecutor):
+        return spec
+    if spec is None:
+        spec = os.environ.get(EXECUTOR_ENV) or "serial"
+    if not isinstance(spec, str):
+        raise TypeError(
+            f"executor must be a backend name or LocalExecutor, got {spec!r}"
+        )
+    name, _, workers_str = spec.partition(":")
+    name = name.strip().lower()
+    if name not in _BACKENDS:
+        raise ValueError(
+            f"unknown executor {name!r}; available: {', '.join(_BACKENDS)}"
+        )
+    workers = None
+    if workers_str:
+        workers = int(workers_str)
+        if workers <= 0:
+            raise ValueError(f"executor workers must be positive, got {workers}")
+    return _BACKENDS[name](workers)
+
+
+# ---------------------------------------------------------------------------
+# reporting
+# ---------------------------------------------------------------------------
+
+
+def executor_skew_report(metrics, machine) -> str:
+    """Per-rank real-vs-modeled skew table from captured metrics.
+
+    For every simulated rank with fanned-out work, compares the wall-clock
+    seconds its tasks actually took (the ``executor.rank_wall_seconds``
+    histogram) against the ledger's modeled local-compute seconds.  The
+    skew column is wall / modeled: uniform skew means the α-β model and the
+    host kernel disagree only by a constant; non-uniform skew exposes ranks
+    whose local work the model mis-prices.
+    """
+    series = metrics.series("executor.rank_wall_seconds")
+    if not series:
+        return "executor: no fanned-out batches recorded"
+    per_rank: dict[int, tuple[float, int]] = {}
+    for labels, hist in series.items():
+        rank = int(dict(labels).get("rank", -1))
+        total, count = per_rank.get(rank, (0.0, 0))
+        per_rank[rank] = (total + hist.total, count + hist.count)
+    rate = machine.cost.compute_rate
+    lines = ["executor per-rank wall vs modeled compute:"]
+    lines.append(f"{'rank':>6} {'tasks':>7} {'wall ms':>10} {'modeled ms':>11} {'skew':>7}")
+    for rank in sorted(per_rank):
+        wall, count = per_rank[rank]
+        modeled = (
+            float(machine.ledger.compute_per_rank[rank]) / rate
+            if 0 <= rank < machine.p
+            else 0.0
+        )
+        skew = f"{wall / modeled:7.2f}" if modeled > 0 else "      -"
+        lines.append(
+            f"{rank:>6} {count:>7} {wall * 1e3:>10.3f} {modeled * 1e3:>11.3f} {skew}"
+        )
+    return "\n".join(lines)

@@ -17,10 +17,12 @@ amount of data communicated along any dependent sequence of collectives".
 from __future__ import annotations
 
 import math
+import warnings
 from dataclasses import dataclass, field
 
 import numpy as np
 
+from repro.machine.executor import LocalExecutor, resolve_executor
 from repro.obs import api as obs
 
 __all__ = ["CostParams", "Ledger", "Machine", "MemoryLimitExceeded"]
@@ -145,24 +147,51 @@ class Machine:
         Number of ranks (the paper benchmarks powers of four, but any
         positive count works).
     cost:
-        α-β model constants.
+        α-β model constants (keyword-only).
     memory_words:
         Optional per-rank memory budget ``M`` in 8-byte words; tracked
         allocations beyond it raise :class:`MemoryLimitExceeded`, modeling
-        the paper's ``M = Ω(c·m/p)`` feasibility constraints.
+        the paper's ``M = Ω(c·m/p)`` feasibility constraints (keyword-only).
+    executor:
+        Local-execution backend for the independent per-rank kernels
+        (keyword-only): a :class:`~repro.machine.executor.LocalExecutor`
+        instance, a backend name like ``"thread"`` / ``"process:8"``, or
+        ``None`` to consult the ``REPRO_EXECUTOR`` environment variable
+        (default ``serial``).  Results and ledger totals are bit-identical
+        across backends; only host wall-clock time changes.
     """
 
     def __init__(
         self,
         p: int,
+        *args,
         cost: CostParams | None = None,
         memory_words: int | None = None,
+        executor: "LocalExecutor | str | None" = None,
     ) -> None:
+        if args:
+            # pre-executor signature: Machine(p, cost, memory_words)
+            warnings.warn(
+                "passing cost/memory_words to Machine positionally is "
+                "deprecated; use Machine(p, cost=..., memory_words=...)",
+                DeprecationWarning,
+                stacklevel=2,
+            )
+            if len(args) > 2:
+                raise TypeError(
+                    f"Machine() takes at most 3 positional arguments "
+                    f"({1 + len(args)} given)"
+                )
+            if cost is None:
+                cost = args[0]
+            if len(args) == 2 and memory_words is None:
+                memory_words = args[1]
         if p <= 0:
             raise ValueError(f"p must be positive, got {p}")
         self.p = int(p)
         self.cost = cost or CostParams()
         self.memory_words = memory_words
+        self.executor = resolve_executor(executor)
         self.ledger = Ledger(self.p)
         self._mem_used = np.zeros(self.p, dtype=np.int64)
 
@@ -297,4 +326,7 @@ class Machine:
         return self.group(np.arange(self.p))
 
     def __repr__(self) -> str:  # pragma: no cover - debugging aid
-        return f"Machine(p={self.p}, M={self.memory_words})"
+        return (
+            f"Machine(p={self.p}, M={self.memory_words}, "
+            f"executor={self.executor.name})"
+        )

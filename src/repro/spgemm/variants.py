@@ -97,6 +97,30 @@ def _local_mul(machine: Machine, rank: int, x: SpMat, y: SpMat, spec) -> tuple[S
     return res.matrix, res.ops
 
 
+def _local_mul_batch(
+    machine: Machine, tasks: list[tuple[int, SpMat, SpMat]], spec
+) -> list[tuple[SpMat, int]]:
+    """Run independent local products ``[(rank, x, y), ...]``.
+
+    On real hardware the per-rank kernels between two collectives run
+    concurrently; here the machine's executor fans them across host cores
+    (when the work amortizes the dispatch overhead).  Results come back in
+    task order and ledger charges are applied on the simulation thread in
+    that same order, so matrices and ledger totals are bit-identical to
+    calling :func:`_local_mul` in a loop.
+    """
+    results = machine.executor.run_spgemm(
+        [(x, y) for _, x, y in tasks],
+        spec,
+        ranks=[rank for rank, _, _ in tasks],
+    )
+    out = []
+    for (rank, _, _), res in zip(tasks, results):
+        machine.charge_compute([rank], float(res.ops))
+        out.append((res.matrix, res.ops))
+    return out
+
+
 def _embed(piece: SpMat, nrows: int, ncols: int, roff: int, coff: int) -> SpMat:
     """Place ``piece`` into an ``nrows × ncols`` frame at offset (roff, coff)."""
     return SpMat(
@@ -162,9 +186,11 @@ def _exec_1d(
 
         a_full, _ = _replicate_cached(cache, ("1dA", id(a)), build)
         b1 = b.redistribute(row1)
+        outs = _local_mul_batch(
+            machine, [(j, a_full, b1.blocks[0][j]) for j in range(p)], spec
+        )
         c_blocks = []
-        for j in range(p):
-            blk, ops = _local_mul(machine, j, a_full, b1.blocks[0][j], spec)
+        for blk, ops in outs:
             total_ops += ops
             c_blocks.append(blk)
         c = DistMat(
@@ -183,9 +209,11 @@ def _exec_1d(
 
         b_full, _ = _replicate_cached(cache, ("1dB", id(b)), build)
         a1 = a.redistribute(col1)
+        outs = _local_mul_batch(
+            machine, [(i, a1.blocks[i][0], b_full) for i in range(p)], spec
+        )
         c_blocks = []
-        for i in range(p):
-            blk, ops = _local_mul(machine, i, a1.blocks[i][0], b_full, spec)
+        for blk, ops in outs:
             total_ops += ops
             c_blocks.append([blk])
         c = DistMat(
@@ -196,9 +224,11 @@ def _exec_1d(
     # x == "C": block A by columns and B by rows; sparse-reduce full partials.
     a1 = a.redistribute(row1)  # (m × k) split along k
     b1 = b.redistribute(col1)  # (k × n) split along k
+    outs = _local_mul_batch(
+        machine, [(r, a1.blocks[0][r], b1.blocks[r][0]) for r in range(p)], spec
+    )
     partial = None
-    for r in range(p):
-        blk, ops = _local_mul(machine, r, a1.blocks[0][r], b1.blocks[r][0], spec)
+    for blk, ops in outs:
         total_ops += ops
         partial = blk if partial is None else partial.combine(blk)
     if partial is None:
@@ -272,18 +302,24 @@ def _exec_2d(
                     machine.charge_collective(
                         ranks2d[:, j], piece.words(), weight=2.0, category="bcast"
                     )
-            for i in range(pr):
-                if a_pieces[i].nnz == 0:
-                    continue
-                for j in range(pc):
-                    if b_pieces[j].nnz == 0:
-                        continue
-                    prod, ops = _local_mul(
-                        machine, int(ranks2d[i, j]), a_pieces[i], b_pieces[j], spec
-                    )
-                    total_ops += ops
-                    if prod.nnz:
-                        c_blocks[i][j] = c_blocks[i][j].combine(prod)
+            # per-step local products are independent across (i, j): batch
+            # them through the executor, merge in serial iteration order
+            cells = [
+                (i, j)
+                for i in range(pr)
+                if a_pieces[i].nnz
+                for j in range(pc)
+                if b_pieces[j].nnz
+            ]
+            outs = _local_mul_batch(
+                machine,
+                [(int(ranks2d[i, j]), a_pieces[i], b_pieces[j]) for i, j in cells],
+                spec,
+            )
+            for (i, j), (prod, ops) in zip(cells, outs):
+                total_ops += ops
+                if prod.nnz:
+                    c_blocks[i][j] = c_blocks[i][j].combine(prod)
         c = DistMat(machine, ranks2d, a_n.row_splits, b_n.col_splits, c_blocks, monoid)
         return c, total_ops
 
@@ -315,14 +351,34 @@ def _exec_2d(
                     machine.charge_collective(
                         ranks2d[:, j], piece.words(), weight=2.0, category="bcast"
                     )
+            # products are independent across the whole (i, j) step; grid
+            # rows touch disjoint rank sets, so batching them ahead of the
+            # per-row reductions leaves the ledger bit-identical
+            cells = [
+                (i, j)
+                for i in range(pr)
+                for j in range(pc)
+                if b_pieces[j].nnz and a_n.blocks[i][j].nnz
+            ]
+            outs = dict(
+                zip(
+                    cells,
+                    _local_mul_batch(
+                        machine,
+                        [
+                            (int(ranks2d[i, j]), a_n.blocks[i][j], b_pieces[j])
+                            for i, j in cells
+                        ],
+                        spec,
+                    ),
+                )
+            )
             for i in range(pr):
                 partial = None
                 for j in range(pc):
-                    if b_pieces[j].nnz == 0 or a_n.blocks[i][j].nnz == 0:
+                    if (i, j) not in outs:
                         continue
-                    prod, ops = _local_mul(
-                        machine, int(ranks2d[i, j]), a_n.blocks[i][j], b_pieces[j], spec
-                    )
+                    prod, ops = outs[(i, j)]
                     total_ops += ops
                     partial = prod if partial is None else partial.combine(prod)
                 if partial is not None and partial.nnz:
@@ -372,14 +428,34 @@ def _exec_2d(
                     machine.charge_collective(
                         ranks2d[i, :], piece.words(), weight=2.0, category="bcast"
                     )
+            # mirror of BC: batch the step's products; grid columns touch
+            # disjoint rank sets, so the per-column reductions still see a
+            # bit-identical ledger
+            cells = [
+                (j, i)
+                for j in range(pc)
+                for i in range(pr)
+                if a_pieces[i].nnz and b_n.blocks[i][j].nnz
+            ]
+            outs = dict(
+                zip(
+                    cells,
+                    _local_mul_batch(
+                        machine,
+                        [
+                            (int(ranks2d[i, j]), a_pieces[i], b_n.blocks[i][j])
+                            for j, i in cells
+                        ],
+                        spec,
+                    ),
+                )
+            )
             for j in range(pc):
                 partial = None
                 for i in range(pr):
-                    if a_pieces[i].nnz == 0 or b_n.blocks[i][j].nnz == 0:
+                    if (j, i) not in outs:
                         continue
-                    prod, ops = _local_mul(
-                        machine, int(ranks2d[i, j]), a_pieces[i], b_n.blocks[i][j], spec
-                    )
+                    prod, ops = outs[(j, i)]
                     total_ops += ops
                     partial = prod if partial is None else partial.combine(prod)
                 if partial is not None and partial.nnz:

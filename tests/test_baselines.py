@@ -13,7 +13,7 @@ from repro.baselines import (
 from repro.baselines.apsp import dense_distance_matrix
 from repro.baselines.brandes import brandes_bc, brandes_single_source
 from repro.baselines.sssp import bfs_sssp
-from repro.graphs import Graph, uniform_random_graph_nm, with_random_weights
+from repro.graphs import uniform_random_graph_nm, with_random_weights
 
 from conftest import nx_reference_bc
 

@@ -6,7 +6,7 @@ import pytest
 from repro.baselines import brandes_bc, combblas_bc
 from repro.core import mfbc
 from repro.dist import DistributedEngine
-from repro.graphs import Graph, uniform_random_graph_nm, with_random_weights
+from repro.graphs import Graph, uniform_random_graph_nm
 from repro.machine import Machine
 from repro.spgemm import Square2DPolicy
 
@@ -49,7 +49,7 @@ class TestRestrictions:
 
     def test_distributed_square_grid(self, small_undirected):
         machine = Machine(4)
-        eng = DistributedEngine(machine, Square2DPolicy())
+        eng = DistributedEngine(machine, policy=Square2DPolicy())
         ref = brandes_bc(small_undirected)
         res = combblas_bc(small_undirected, batch_size=10, engine=eng)
         assert np.allclose(res.scores, ref, atol=1e-8)
@@ -57,7 +57,7 @@ class TestRestrictions:
 
     def test_nonsquare_grid_rejected(self, small_undirected):
         machine = Machine(8)
-        eng = DistributedEngine(machine, Square2DPolicy())
+        eng = DistributedEngine(machine, policy=Square2DPolicy())
         with pytest.raises(ValueError, match="square"):
             combblas_bc(small_undirected, batch_size=10, engine=eng)
 

@@ -7,6 +7,12 @@ rank counts.  Every intermediate result must agree exactly.  This is the
 broadest equivalence net over the distribution logic: any divergence in
 redistribution, piece extraction, reduction order, or identity pruning
 shows up here.
+
+The cross-*executor* tests at the bottom re-run the same programs on the
+distributed engine under every local backend (serial / thread / process,
+with the dispatch gate forced open) and require bit-identical gathered
+matrices *and* bit-identical ``ledger.snapshot()`` — the determinism
+guarantee the executor subsystem promises.
 """
 
 import numpy as np
@@ -19,6 +25,9 @@ from repro.algebra.monoid import MinMonoid
 from repro.core.engine import SequentialEngine
 from repro.dist import DistributedEngine
 from repro.machine import Machine
+from repro.machine.executor import ProcessExecutor, SerialExecutor, ThreadExecutor
+from repro.spgemm import Plan
+from repro.spgemm.selector import PinnedPolicy
 
 W = MinMonoid()
 TROP = TROPICAL.matmul_spec()
@@ -107,3 +116,89 @@ def test_multpath_product_chain_agrees(seed, p):
     rng_local = np.random.default_rng(seed)
     got = run(DistributedEngine(Machine(p)))
     assert got.equals(ref)
+
+
+# ---------------------------------------------------------------------------
+# cross-executor determinism: serial vs thread vs process
+# ---------------------------------------------------------------------------
+
+# Pools are shared across examples (and the gate forced open with
+# ``fanout_min_work=0``) so every batch actually crosses the backend even
+# at fuzz-sized inputs, without paying pool startup per example.
+
+
+@pytest.fixture(scope="module")
+def executors():
+    exs = [
+        SerialExecutor(),
+        ThreadExecutor(2, fanout_min_work=0),
+        ProcessExecutor(2, fanout_min_work=0),
+    ]
+    yield exs
+    for ex in exs:
+        ex.close()
+
+
+@given(pipelines())
+@settings(max_examples=10, deadline=None)
+def test_pipelines_agree_across_executors(executors, pipeline):
+    n, seed, p, ops = pipeline
+    ref = _run(SequentialEngine(), n, seed, ops)
+    snaps = []
+    for ex in executors:
+        machine = Machine(p, executor=ex)
+        got = _run(DistributedEngine(machine), n, seed, ops)
+        assert got.equals(ref), (n, seed, p, ops, ex.name)
+        snaps.append(machine.ledger.snapshot())
+    assert snaps[1] == snaps[0], (n, seed, p, ops, "thread ledger diverged")
+    assert snaps[2] == snaps[0], (n, seed, p, ops, "process ledger diverged")
+
+
+#: pinned p=4 plans covering every variant class: pure 1D (A/B/C), pure 2D
+#: (AB/AC/BC), and genuinely 3D nestings (1D splits × 2D grids).
+PLANS_P4 = [
+    Plan(4, 1, 1, "A", "AB"),
+    Plan(4, 1, 1, "B", "AB"),
+    Plan(4, 1, 1, "C", "AB"),
+    Plan(1, 2, 2, "A", "AB"),
+    Plan(1, 2, 2, "A", "AC"),
+    Plan(1, 2, 2, "A", "BC"),
+    Plan(2, 2, 1, "A", "AB"),
+    Plan(2, 1, 2, "B", "AC"),
+    Plan(2, 2, 1, "C", "BC"),
+]
+
+
+@given(st.integers(0, 5000), st.sampled_from(PLANS_P4))
+@settings(max_examples=18, deadline=None)
+def test_variant_classes_agree_across_executors(executors, seed, plan):
+    """Every §5.2 variant class, every backend: same matrix, same ledger."""
+    n = 16
+    rng = np.random.default_rng(seed)
+    mask = rng.random((n, n)) < 0.3
+    ar, ac = (idx.astype(np.int64) for idx in mask.nonzero())
+    aw = rng.integers(1, 9, len(ar)).astype(float)
+    srcs = rng.choice(n, size=3, replace=False).astype(np.int64)
+
+    def run(executor):
+        machine = Machine(4, executor=executor)
+        engine = DistributedEngine(machine, policy=PinnedPolicy(plan))
+        adj = engine.matrix(n, n, ar, ac, {"w": aw}, W)
+        engine.register_invariant(adj)
+        f = engine.matrix(
+            len(srcs),
+            n,
+            np.arange(len(srcs), dtype=np.int64),
+            srcs,
+            MULTPATH.make(np.zeros(len(srcs)), np.ones(len(srcs))),
+            MULTPATH,
+        )
+        for _ in range(2):
+            f, _ = engine.spgemm(f, adj, BF)
+        return engine.gather(f), machine.ledger.snapshot()
+
+    ref_mat, ref_snap = run(executors[0])
+    for ex in executors[1:]:
+        got, snap = run(ex)
+        assert got.equals(ref_mat), (seed, plan.describe(), ex.name)
+        assert snap == ref_snap, (seed, plan.describe(), ex.name)

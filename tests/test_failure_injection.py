@@ -12,7 +12,7 @@ from repro.algebra.monoid import MinMonoid
 from repro.algebra.multpath import MULTPATH
 from repro.core import mfbc, mfbf, mfbr
 from repro.dist import DistMat, DistributedEngine
-from repro.graphs import Graph, uniform_random_graph_nm
+from repro.graphs import Graph
 from repro.machine import Machine, MemoryLimitExceeded
 from repro.sparse import SpMat
 

@@ -1,6 +1,5 @@
 """Processor grids and factorization enumeration."""
 
-import numpy as np
 import pytest
 
 from repro.machine import Grid, Machine

@@ -32,7 +32,7 @@ class TestMachineBasics:
 
 class TestCharging:
     def test_collective_cost_formula(self):
-        m = Machine(4, CostParams(alpha=1.0, beta=0.5, compute_rate=1.0))
+        m = Machine(4, cost=CostParams(alpha=1.0, beta=0.5, compute_rate=1.0))
         m.charge_collective(np.arange(4), words_per_rank=10, weight=2.0)
         # 2*(10*0.5 + 2*1.0) = 14 seconds; words 20; msgs 2*log2(4)=4
         assert m.ledger.critical_time() == pytest.approx(14.0)
@@ -47,7 +47,7 @@ class TestCharging:
     def test_critical_path_max_merge(self):
         """Two disjoint groups charge in parallel; a spanning collective
         starts from the max."""
-        m = Machine(4, CostParams(alpha=1.0, beta=1.0, compute_rate=1.0))
+        m = Machine(4, cost=CostParams(alpha=1.0, beta=1.0, compute_rate=1.0))
         m.charge_collective([0, 1], 5.0, weight=1.0)  # t = 5 + 1 = 6
         m.charge_collective([2, 3], 2.0, weight=1.0)  # t = 2 + 1 = 3
         assert m.ledger.critical_time() == pytest.approx(6.0)
@@ -55,10 +55,10 @@ class TestCharging:
         assert m.ledger.critical_time() == pytest.approx(6.0 + 1.0 + 2.0)
 
     def test_parallel_groups_do_not_stack(self):
-        m = Machine(4, CostParams(alpha=1.0, beta=1.0, compute_rate=1.0))
+        m = Machine(4, cost=CostParams(alpha=1.0, beta=1.0, compute_rate=1.0))
         for _ in range(3):
             m.charge_collective([0, 1], 1.0, weight=1.0)
-        m2 = Machine(4, CostParams(alpha=1.0, beta=1.0, compute_rate=1.0))
+        m2 = Machine(4, cost=CostParams(alpha=1.0, beta=1.0, compute_rate=1.0))
         for _ in range(3):
             m2.charge_collective([0, 1], 1.0, weight=1.0)
             m2.charge_collective([2, 3], 1.0, weight=1.0)
@@ -66,20 +66,20 @@ class TestCharging:
         assert m.ledger.critical_time() == m2.ledger.critical_time()
 
     def test_pointtopoint(self):
-        m = Machine(3, CostParams(alpha=1.0, beta=1.0, compute_rate=1.0))
+        m = Machine(3, cost=CostParams(alpha=1.0, beta=1.0, compute_rate=1.0))
         m.charge_pointtopoint(0, 1, 4.0)
         assert m.ledger.critical_time() == pytest.approx(5.0)
         assert m.ledger.critical_msgs() == 1
         assert m.ledger.time[2] == 0.0
 
     def test_compute_charge(self):
-        m = Machine(2, CostParams(alpha=1.0, beta=1.0, compute_rate=100.0))
+        m = Machine(2, cost=CostParams(alpha=1.0, beta=1.0, compute_rate=100.0))
         m.charge_compute([0], 200.0)
         assert m.ledger.time[0] == pytest.approx(2.0)
         assert m.ledger.comm_time[0] == 0.0
 
     def test_barrier_syncs(self):
-        m = Machine(2, CostParams(alpha=1.0, beta=1.0, compute_rate=1.0))
+        m = Machine(2, cost=CostParams(alpha=1.0, beta=1.0, compute_rate=1.0))
         m.charge_compute([0], 5.0)
         m.barrier()
         assert m.ledger.time[1] == m.ledger.time[0]
@@ -173,7 +173,7 @@ class TestGroups:
         assert len(out) == 2 and np.allclose(out[0], 2)
 
     def test_sparse_reduce_charges_output_size(self):
-        m = Machine(2, CostParams(alpha=1.0, beta=1.0, compute_rate=1.0))
+        m = Machine(2, cost=CostParams(alpha=1.0, beta=1.0, compute_rate=1.0))
         small = SpMat(4, 4, np.array([0]), np.array([0]), {"w": np.ones(1)}, W)
         big = SpMat(
             4, 4, np.arange(4), np.arange(4), {"w": np.ones(4)}, W

@@ -7,9 +7,9 @@ from repro.core import mfbc
 from repro.dist import DistributedEngine
 from repro.machine.grid import near_square_shape
 from repro.graphs import uniform_random_graph_nm, with_random_weights
-from repro.machine import CostParams, Machine
+from repro.machine import Machine
 from repro.machine.machine import MemoryLimitExceeded
-from repro.spgemm import AutoPolicy, PinnedPolicy, Plan, Square2DPolicy
+from repro.spgemm import PinnedPolicy, Plan, Square2DPolicy
 
 
 @pytest.fixture(scope="module")
@@ -31,13 +31,13 @@ class TestEquivalence:
 
     def test_ca_mfbc_policy(self, graph, reference):
         machine = Machine(16)
-        eng = DistributedEngine(machine, PinnedPolicy.ca_mfbc(16, c=4))
+        eng = DistributedEngine(machine, policy=PinnedPolicy.ca_mfbc(16, c=4))
         res = mfbc(graph, batch_size=15, engine=eng)
         assert np.allclose(res.scores, reference, atol=1e-8)
 
     def test_square2d_policy(self, graph, reference):
         machine = Machine(9)
-        eng = DistributedEngine(machine, Square2DPolicy())
+        eng = DistributedEngine(machine, policy=Square2DPolicy())
         res = mfbc(graph, batch_size=15, engine=eng)
         assert np.allclose(res.scores, reference, atol=1e-8)
 
@@ -90,7 +90,7 @@ class TestLedger:
         """With an invariant adjacency, later batches must not pay the
         replication again: per-batch traffic should not grow."""
         machine = Machine(4)
-        eng = DistributedEngine(machine, PinnedPolicy(Plan(2, 2, 1, "B", "AB")))
+        eng = DistributedEngine(machine, policy=PinnedPolicy(Plan(2, 2, 1, "B", "AB")))
         mfbc(graph, batch_size=15, max_batches=1, engine=eng)
         t1 = machine.ledger.total_words
         mfbc(graph, batch_size=15, max_batches=1, engine=eng)
@@ -109,7 +109,7 @@ class TestEveryVariantEndToEnd:
     @pytest.mark.parametrize("yz", ["AB", "AC", "BC"])
     def test_pinned_3d_variants(self, graph, reference, x, yz):
         machine = Machine(8)
-        eng = DistributedEngine(machine, PinnedPolicy(Plan(2, 2, 2, x, yz)))
+        eng = DistributedEngine(machine, policy=PinnedPolicy(Plan(2, 2, 2, x, yz)))
         res = mfbc(graph, batch_size=15, max_batches=2, engine=eng)
         ref = mfbc(graph, batch_size=15, max_batches=2).scores
         assert np.allclose(res.scores, ref, atol=1e-8), (x, yz)
@@ -117,7 +117,7 @@ class TestEveryVariantEndToEnd:
     @pytest.mark.parametrize("x", ["A", "B", "C"])
     def test_pinned_1d_variants(self, graph, x):
         machine = Machine(4)
-        eng = DistributedEngine(machine, PinnedPolicy(Plan(4, 1, 1, x, "AB")))
+        eng = DistributedEngine(machine, policy=PinnedPolicy(Plan(4, 1, 1, x, "AB")))
         res = mfbc(graph, batch_size=15, max_batches=2, engine=eng)
         ref = mfbc(graph, batch_size=15, max_batches=2).scores
         assert np.allclose(res.scores, ref, atol=1e-8), x
@@ -125,7 +125,7 @@ class TestEveryVariantEndToEnd:
     @pytest.mark.parametrize("yz", ["AB", "AC", "BC"])
     def test_pinned_2d_variants(self, graph, yz):
         machine = Machine(6)
-        eng = DistributedEngine(machine, PinnedPolicy(Plan(1, 2, 3, "A", yz)))
+        eng = DistributedEngine(machine, policy=PinnedPolicy(Plan(1, 2, 3, "A", yz)))
         res = mfbc(graph, batch_size=15, max_batches=2, engine=eng)
         ref = mfbc(graph, batch_size=15, max_batches=2).scores
         assert np.allclose(res.scores, ref, atol=1e-8), yz

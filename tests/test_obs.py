@@ -130,7 +130,7 @@ class TestChromeExport:
         session = obs.enable()
         obs.set_modeled_clock(machine.ledger.critical_time)
         try:
-            engine = DistributedEngine(machine, PinnedPolicy.ca_mfbc(p=16, c=4))
+            engine = DistributedEngine(machine, policy=PinnedPolicy.ca_mfbc(p=16, c=4))
             mfbc(g, batch_size=32, engine=engine, max_batches=1)
         finally:
             obs.disable()

@@ -1,6 +1,5 @@
 """The hybrid performance model and its agreement with the simulator."""
 
-import numpy as np
 import pytest
 
 from repro.analysis import model_run

@@ -1,6 +1,5 @@
 """Scaling-experiment harnesses produce well-formed, correctly-shaped data."""
 
-import numpy as np
 import pytest
 
 from repro.analysis import (

@@ -1,8 +1,6 @@
 """Cost models and the plan selector (CTF mapping-search behaviour)."""
 
-import math
 
-import numpy as np
 import pytest
 
 from repro.machine import CostParams, Machine
@@ -130,7 +128,7 @@ class TestAutoPolicy:
     def test_amortized_adjacency_prefers_replication_at_scale(self):
         """With the adjacency's replication amortized away and latency
         expensive, 3D/1D plans replicating B become competitive."""
-        machine = Machine(64, CostParams(alpha=1e-3, beta=1e-9))
+        machine = Machine(64, cost=CostParams(alpha=1e-3, beta=1e-9))
         pol = AutoPolicy()
         plan = pol.select(
             machine, 512, 100_000, 100_000, 2_000, 1_000_000, amortized=frozenset("B")

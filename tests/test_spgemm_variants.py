@@ -151,7 +151,7 @@ class TestCostAccounting:
         assert w2 < w1  # replication traffic absent the second time
 
     def test_p1_output_no_comm(self, rng):
-        machine = Machine(1, CostParams(alpha=1.0, beta=1.0, compute_rate=1e9))
+        machine = Machine(1, cost=CostParams(alpha=1.0, beta=1.0, compute_rate=1e9))
         a, b, da, db = dist_pair(rng, machine, 10, 10, 10, 0.4, 0.4)
         execute_plan(Plan(1, 1, 1, "A", "AB"), da, db, SPEC, home(1))
         assert machine.ledger.critical_words() == 0.0

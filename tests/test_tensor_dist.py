@@ -1,15 +1,14 @@
 """Distributed tensor contraction == local contraction, with charged traffic."""
 
-import numpy as np
 import pytest
 
 from repro.algebra import REAL_PLUS_TIMES, TROPICAL
 from repro.dist import DistributedEngine
 from repro.machine import Machine
-from repro.tensor import SpTensor, contract
+from repro.tensor import contract
 from repro.tensor.dist import DistTensor, contract_distributed
 
-from test_tensor import dense, random_tensor
+from test_tensor import random_tensor
 
 SPEC = REAL_PLUS_TIMES.matmul_spec()
 
