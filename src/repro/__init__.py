@@ -61,6 +61,21 @@ from repro.core import (
     mfbr,
 )
 from repro.dist import DistMat, DistributedEngine
+from repro.faults import (
+    CheckpointStore,
+    CorruptPayload,
+    FaultError,
+    FaultEvent,
+    FaultPlan,
+    JsonCheckpointStore,
+    MemoryCheckpointStore,
+    NpzCheckpointStore,
+    RankFailure,
+    WorkerPoolDied,
+    format_fault_report,
+    resolve_checkpoint_store,
+    resolve_fault_plan,
+)
 from repro.graphs import (
     Graph,
     read_edgelist,
@@ -140,6 +155,20 @@ __all__ = [
     "resolve_executor",
     # observability
     "obs",
+    # fault injection + tolerance
+    "FaultPlan",
+    "FaultEvent",
+    "FaultError",
+    "RankFailure",
+    "CorruptPayload",
+    "WorkerPoolDied",
+    "resolve_fault_plan",
+    "format_fault_report",
+    "CheckpointStore",
+    "MemoryCheckpointStore",
+    "JsonCheckpointStore",
+    "NpzCheckpointStore",
+    "resolve_checkpoint_store",
     # spgemm plans
     "Plan",
     "AutoPolicy",

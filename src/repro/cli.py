@@ -15,8 +15,15 @@ Examples
     python -m repro bc g.txt --samples 128 --seed 0
     python -m repro simulate g.txt --p 16 --policy auto --batch 64
     python -m repro simulate g.txt --p 16 --executor thread
+    python -m repro simulate g.txt --p 16 --faults seed:3,crash:0.05,limit:2 \\
+        --checkpoint run.ckpt.json
     python -m repro trace g.txt --p 16 --executor thread:8 -o trace.json
+    python -m repro trace g.txt --p 16 --faults seed:0,straggle:0.2
     python -m repro info g.txt
+
+Fault injection (``--faults`` / ``$REPRO_FAULTS``) and per-batch
+checkpointing (``--checkpoint``; re-running the same command resumes from
+the file if it exists) are documented in ``docs/robustness.md``.
 """
 
 from __future__ import annotations
@@ -47,6 +54,13 @@ def build_parser() -> argparse.ArgumentParser:
     p_bc.add_argument("--top", type=int, default=10, help="print this many vertices")
     p_bc.add_argument("--normalized", action="store_true")
     p_bc.add_argument("-o", "--output", default=None, help="write all scores here")
+    p_bc.add_argument(
+        "--checkpoint",
+        default=None,
+        metavar="PATH",
+        help="checkpoint scores after every batch; resumes from PATH if it "
+        "already holds a compatible checkpoint (.npz binary, else JSON)",
+    )
 
     p_gen = sub.add_parser("generate", help="generate a synthetic graph")
     p_gen.add_argument(
@@ -79,6 +93,20 @@ def build_parser() -> argparse.ArgumentParser:
         help="local execution backend (serial/thread/process, e.g. thread:8);"
         " default: $REPRO_EXECUTOR or serial",
     )
+    p_sim.add_argument(
+        "--faults",
+        default=None,
+        metavar="SPEC",
+        help="fault-injection plan, e.g. seed:3,crash:0.05,limit:2 "
+        "(see docs/robustness.md); default: $REPRO_FAULTS or none",
+    )
+    p_sim.add_argument(
+        "--checkpoint",
+        default=None,
+        metavar="PATH",
+        help="checkpoint scores after every batch; resumes from PATH if it "
+        "already holds a compatible checkpoint (.npz binary, else JSON)",
+    )
 
     p_tr = sub.add_parser(
         "trace",
@@ -107,6 +135,20 @@ def build_parser() -> argparse.ArgumentParser:
         help="local execution backend (serial/thread/process, e.g. thread:8);"
         " default: $REPRO_EXECUTOR or serial",
     )
+    p_tr.add_argument(
+        "--faults",
+        default=None,
+        metavar="SPEC",
+        help="fault-injection plan, e.g. seed:3,crash:0.05,limit:2 "
+        "(see docs/robustness.md); default: $REPRO_FAULTS or none",
+    )
+    p_tr.add_argument(
+        "--checkpoint",
+        default=None,
+        metavar="PATH",
+        help="checkpoint scores after every batch; resumes from PATH if it "
+        "already holds a compatible checkpoint (.npz binary, else JSON)",
+    )
 
     p_info = sub.add_parser("info", help="graph statistics")
     p_info.add_argument("graph")
@@ -133,6 +175,22 @@ def _load(path: str, directed: bool):
     return read_edgelist(path, directed=directed)
 
 
+def _checkpoint_kwargs(path: str | None) -> dict:
+    """``--checkpoint PATH`` → mfbc kwargs with resume-if-present semantics."""
+    if path is None:
+        return {}
+    from repro.faults import resolve_checkpoint_store
+
+    store = resolve_checkpoint_store(path)
+    state = store.load()
+    if state is not None:
+        print(
+            f"resuming from checkpoint {path} "
+            f"(batches completed: {state.batch_index})"
+        )
+    return {"checkpoint": store, "resume_from": store}
+
+
 def _cmd_bc(args) -> int:
     from repro.core import approximate_bc, mfbc
 
@@ -143,7 +201,9 @@ def _cmd_bc(args) -> int:
         )
         print(f"approximate BC from {args.samples} sampled sources")
     else:
-        res = mfbc(g, batch_size=args.batch)
+        res = mfbc(
+            g, batch_size=args.batch, **_checkpoint_kwargs(args.checkpoint)
+        )
         scores = res.scores
         print(
             f"exact BC: {res.stats.total_multiplications} matmuls in "
@@ -195,7 +255,7 @@ def _cmd_simulate(args) -> int:
     from repro.spgemm import PinnedPolicy, Square2DPolicy
 
     g = _load(args.graph, args.directed)
-    machine = Machine(args.p, executor=args.executor)
+    machine = Machine(args.p, executor=args.executor, faults=args.faults)
     policy = None
     if args.policy == "ca":
         policy = PinnedPolicy.ca_mfbc(args.p, args.c)
@@ -203,7 +263,11 @@ def _cmd_simulate(args) -> int:
         policy = Square2DPolicy()
     engine = DistributedEngine(machine, policy=policy)
     res = mfbc(
-        g, batch_size=args.batch, engine=engine, max_batches=args.batches
+        g,
+        batch_size=args.batch,
+        engine=engine,
+        max_batches=args.batches,
+        **_checkpoint_kwargs(args.checkpoint),
     )
     led = machine.ledger.snapshot()
     print(
@@ -216,6 +280,12 @@ def _cmd_simulate(args) -> int:
     print(f"critical messages : {led['msgs']:.0f}")
     print(f"modeled comm time : {led['comm_time'] * 1e3:.3f} ms")
     print(f"modeled total time: {led['time'] * 1e3:.3f} ms")
+    if machine.faults is not None:
+        print(
+            f"faults            : {machine.faults.describe()} "
+            f"({machine.faults.injected} injected, "
+            f"{len(machine.faults.events)} events)"
+        )
     return 0
 
 
@@ -228,7 +298,7 @@ def _cmd_trace(args) -> int:
     from repro.spgemm import PinnedPolicy, Square2DPolicy
 
     g = _load(args.graph, args.directed)
-    machine = Machine(args.p, executor=args.executor)
+    machine = Machine(args.p, executor=args.executor, faults=args.faults)
     policy = None
     if args.policy == "ca":
         policy = PinnedPolicy.ca_mfbc(args.p, args.c)
@@ -240,7 +310,11 @@ def _cmd_trace(args) -> int:
     try:
         engine = DistributedEngine(machine, policy=policy)
         res = mfbc(
-            g, batch_size=args.batch, engine=engine, max_batches=args.batches
+            g,
+            batch_size=args.batch,
+            engine=engine,
+            max_batches=args.batches,
+            **_checkpoint_kwargs(args.checkpoint),
         )
     finally:
         obs.disable()
@@ -262,6 +336,11 @@ def _cmd_trace(args) -> int:
 
         print()
         print(executor_skew_report(session.metrics, machine))
+    if machine.faults is not None:
+        from repro.faults import format_fault_report
+
+        print()
+        print(format_fault_report(machine.faults))
     rec = obs.reconcile(session.tracer, machine.ledger)
     print(
         f"\nreconciliation: span modeled total "

@@ -9,6 +9,15 @@ that converts partial centrality *factors* back into Brandes dependencies
 The batch size is the paper's time/storage tradeoff knob: MFBC performs
 ``⌈n/nb⌉`` batches while holding an ``n × nb`` working matrix; §5.3's
 analysis picks ``nb = c·m/n`` to fill the available memory.
+
+The batch boundary is also the driver's fault-tolerance unit.  With
+``checkpoint=`` the accumulated scores and source cursor are persisted
+after every batch (see :mod:`repro.faults.checkpoint`), and
+``resume_from=`` replays only the remaining batches — bit-identical to an
+uninterrupted run, because partial sums accumulate in the same order
+either way.  Injected failures (:class:`~repro.faults.FaultError`) inside
+a batch are retried up to ``retries`` times with exponential backoff
+charged to the machine's modeled clock.
 """
 
 from __future__ import annotations
@@ -23,6 +32,15 @@ from repro.core.engine import Engine, SequentialEngine
 from repro.core.mfbf import mfbf
 from repro.core.mfbr import mfbr
 from repro.core.stats import BatchStats, MFBCStats
+from repro.faults.checkpoint import (
+    CheckpointState,
+    CheckpointStore,
+    resolve_checkpoint_store,
+    sources_checksum,
+    stats_from_dicts,
+    stats_to_dicts,
+)
+from repro.faults.plan import FaultError
 from repro.graphs.graph import Graph
 from repro.obs import api as obs
 
@@ -73,6 +91,10 @@ def mfbc(
     engine: Engine | None = None,
     sources: np.ndarray | None = None,
     max_batches: int | None = None,
+    checkpoint: "CheckpointStore | str | None" = None,
+    resume_from: "CheckpointStore | str | None" = None,
+    retries: int = 2,
+    retry_backoff: float = 0.05,
 ) -> MFBCResult:
     """Compute betweenness centrality of every vertex of ``graph``.
 
@@ -82,7 +104,8 @@ def mfbc(
         Input graph (directed or undirected, weighted or unweighted;
         weights must be positive).
     batch_size:
-        Sources per batch (``nb``).  Defaults to :func:`default_batch_size`.
+        Sources per batch (``nb``).  Defaults to :func:`default_batch_size`,
+        or to the checkpoint's recorded batch size when resuming.
     engine:
         Execution engine (sequential by default; pass a
         :class:`~repro.dist.engine.DistributedEngine` to run on the
@@ -92,8 +115,26 @@ def mfbc(
         the building block of the per-batch benchmarks).  Default: all
         vertices.
     max_batches:
-        Stop after this many batches (for sampled benchmarking); scores are
-        then partial sums over the processed sources.
+        Stop after this many batches *in this call* (for sampled
+        benchmarking); scores are then partial sums over the processed
+        sources.
+    checkpoint:
+        A :class:`~repro.faults.CheckpointStore` or file path; the driver
+        persists scores + cursor after every completed batch.
+    resume_from:
+        A store or path holding a previous run's checkpoint; the driver
+        restores its scores and replays only the remaining batches.
+        Incompatible checkpoints (different graph size, source list, or an
+        explicit conflicting ``batch_size``) are rejected.  Pass the same
+        store as both ``checkpoint=`` and ``resume_from=`` for
+        resume-if-present semantics (an empty store starts from scratch).
+    retries:
+        How many times to re-run a batch that died with an injected
+        :class:`~repro.faults.FaultError` before giving up.  Each retry
+        first calls the engine's ``recover()`` hook (when it has one).
+    retry_backoff:
+        Base backoff in modeled seconds, doubled per attempt and charged
+        to the machine via ``charge_overhead`` — restarts are not free.
 
     Returns
     -------
@@ -102,10 +143,39 @@ def mfbc(
     undirected unordered-pair convention).
     """
     engine = engine or SequentialEngine()
+    if retries < 0:
+        raise ValueError(f"retries must be non-negative, got {retries}")
+    if retry_backoff < 0:
+        raise ValueError(f"retry_backoff must be non-negative, got {retry_backoff}")
     if sources is None:
         sources = np.arange(graph.n, dtype=np.int64)
     else:
         sources = np.asarray(sources, dtype=np.int64)
+    src_crc = sources_checksum(sources)
+
+    store = None if checkpoint is None else resolve_checkpoint_store(checkpoint)
+    state = None
+    if resume_from is not None:
+        resume_store = resolve_checkpoint_store(resume_from)
+        state = resume_store.load()
+        if state is None and not isinstance(resume_from, CheckpointStore):
+            raise FileNotFoundError(
+                f"no checkpoint to resume from at {resume_from!r}"
+            )
+    if state is not None:
+        if state.n != graph.n:
+            raise ValueError(
+                f"checkpoint is for a {state.n}-vertex graph, not {graph.n}"
+            )
+        if state.sources_crc != src_crc:
+            raise ValueError("checkpoint was taken with a different source list")
+        if batch_size is None:
+            batch_size = state.batch_size
+        elif batch_size != state.batch_size:
+            raise ValueError(
+                f"checkpoint used batch_size={state.batch_size}, "
+                f"cannot resume with batch_size={batch_size}"
+            )
     if batch_size is None:
         batch_size = default_batch_size(graph)
     if batch_size <= 0:
@@ -113,6 +183,21 @@ def mfbc(
 
     scores = np.zeros(graph.n, dtype=np.float64)
     stats = MFBCStats()
+    cursor = 0
+    batch_index = 0
+    machine = getattr(engine, "machine", None)
+    plan = getattr(machine, "faults", None)
+    if state is not None:
+        scores[:] = state.scores
+        cursor = int(state.cursor)
+        batch_index = int(state.batch_index)
+        stats.batches = stats_from_dicts(state.stats)
+        if plan is not None:
+            plan.note(
+                "batch", "resumed", site="mfbc", cursor=cursor, index=batch_index
+            )
+        elif obs.enabled():
+            obs.count("faults.resumed", 1.0, kind="batch")
     t0 = time.perf_counter()
 
     with obs.span(
@@ -124,20 +209,73 @@ def mfbc(
     ):
         with obs.span("adjacency", cat="phase"):
             adj = engine.adjacency(graph)
-        nbatches = 0
-        for lo in range(0, len(sources), batch_size):
+        executed = 0
+        for lo in range(cursor, len(sources), batch_size):
             batch = sources[lo : lo + batch_size]
-            batch_stats = BatchStats(sources=len(batch))
-            with obs.span("batch", cat="batch", index=nbatches, sources=len(batch)):
-                with obs.span("mfbf", cat="phase"):
-                    t_mat = mfbf(adj, batch, engine=engine, stats=batch_stats)
-                with obs.span("mfbr", cat="phase"):
-                    z_mat = mfbr(adj, t_mat, engine=engine, stats=batch_stats)
-                with obs.span("accumulate", cat="phase"):
-                    scores += _accumulate(engine, graph.n, batch, t_mat, z_mat)
+            attempt = 0
+            while True:
+                batch_stats = BatchStats(sources=len(batch))
+                try:
+                    with obs.span(
+                        "batch",
+                        cat="batch",
+                        index=batch_index,
+                        sources=len(batch),
+                        attempt=attempt,
+                    ):
+                        with obs.span("mfbf", cat="phase"):
+                            t_mat = mfbf(adj, batch, engine=engine, stats=batch_stats)
+                        with obs.span("mfbr", cat="phase"):
+                            z_mat = mfbr(adj, t_mat, engine=engine, stats=batch_stats)
+                        with obs.span("accumulate", cat="phase"):
+                            delta = _accumulate(engine, graph.n, batch, t_mat, z_mat)
+                    break
+                except FaultError as exc:
+                    attempt += 1
+                    if attempt > retries:
+                        if plan is not None:
+                            plan.note(
+                                "batch",
+                                "abandoned",
+                                site="mfbc",
+                                index=batch_index,
+                                attempts=attempt,
+                                error=type(exc).__name__,
+                            )
+                        raise
+                    recover = getattr(engine, "recover", None)
+                    if recover is not None:
+                        recover()
+                    backoff = retry_backoff * (2.0 ** (attempt - 1))
+                    if machine is not None and backoff > 0:
+                        machine.charge_overhead(backoff)
+                    if plan is not None:
+                        plan.note(
+                            "batch",
+                            "recovered",
+                            site="mfbc",
+                            index=batch_index,
+                            attempt=attempt,
+                            backoff_s=backoff,
+                            error=type(exc).__name__,
+                        )
+            scores += delta
             stats.batches.append(batch_stats)
-            nbatches += 1
-            if max_batches is not None and nbatches >= max_batches:
+            batch_index += 1
+            executed += 1
+            if store is not None:
+                store.save(
+                    CheckpointState(
+                        cursor=lo + len(batch),
+                        batch_index=batch_index,
+                        batch_size=batch_size,
+                        n=graph.n,
+                        sources_crc=src_crc,
+                        scores=scores,
+                        stats=stats_to_dicts(stats.batches),
+                    )
+                )
+            if max_batches is not None and executed >= max_batches:
                 break
 
     elapsed = time.perf_counter() - t0

@@ -165,6 +165,23 @@ class DistributedEngine:
     def gather(self, mat: DistMat) -> SpMat:
         return mat.gather(charge=True)
 
+    # -- fault tolerance -------------------------------------------------------
+
+    def recover(self) -> None:
+        """Reset transient state after an injected failure, before a retry.
+
+        Drops the replication cache (replicas are rebuilt — and recharged —
+        on the next product, mirroring a restarted rank that lost its
+        copies) and clears the machine's memory accounting so a half-done
+        batch's allocations don't eat the budget of its retry.  Registered
+        invariants and resting "home" layouts survive: they are the durable
+        inputs a restart would reload.
+        """
+        self._replication_cache.clear()
+        self.machine.reset_memory()
+        if obs.enabled():
+            obs.count("engine.recoveries", 1.0)
+
 
 if TYPE_CHECKING:
     from repro.core.engine import Engine

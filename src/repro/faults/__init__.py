@@ -1,0 +1,67 @@
+"""repro.faults — deterministic fault injection and fault tolerance.
+
+The injection half lives in :mod:`repro.faults.plan`: a seeded
+:class:`FaultPlan` threaded through the machine, the collectives, and the
+local executors (rank crashes, payload corruption, stragglers, worker-pool
+death, memory pressure), every event recorded as a structured
+:class:`FaultEvent` on the ``repro.obs`` streams.
+
+The tolerance half lives in :mod:`repro.faults.checkpoint` (per-batch
+checkpoint/restart stores for the MFBC driver) and in the consumers: the
+``mfbc`` retry loop (``retries=``/``resume_from=``) and the executors'
+graceful degradation chain (process → thread → serial).
+
+See ``docs/robustness.md`` for the fault model and walkthroughs.
+"""
+
+from repro.faults.checkpoint import (
+    CheckpointState,
+    CheckpointStore,
+    JsonCheckpointStore,
+    MemoryCheckpointStore,
+    NpzCheckpointStore,
+    resolve_checkpoint_store,
+    sources_checksum,
+    stats_from_dicts,
+    stats_to_dicts,
+)
+from repro.faults.plan import (
+    FAULTS_ENV,
+    CorruptPayload,
+    FaultError,
+    FaultEvent,
+    FaultPlan,
+    RankFailure,
+    ScriptedFault,
+    WorkerPoolDied,
+    corrupt_copy,
+    format_fault_report,
+    payload_checksum,
+    resolve_fault_plan,
+)
+
+__all__ = [
+    # plan / injection
+    "FAULTS_ENV",
+    "FaultPlan",
+    "FaultEvent",
+    "ScriptedFault",
+    "FaultError",
+    "RankFailure",
+    "CorruptPayload",
+    "WorkerPoolDied",
+    "resolve_fault_plan",
+    "corrupt_copy",
+    "payload_checksum",
+    "format_fault_report",
+    # checkpoint / restart
+    "CheckpointState",
+    "CheckpointStore",
+    "MemoryCheckpointStore",
+    "JsonCheckpointStore",
+    "NpzCheckpointStore",
+    "resolve_checkpoint_store",
+    "sources_checksum",
+    "stats_to_dicts",
+    "stats_from_dicts",
+]

@@ -1,0 +1,281 @@
+"""Per-batch checkpoint/restart for the MFBC driver.
+
+The batched structure of Algorithm 3 is a natural checkpoint boundary:
+after each batch the driver's entire mutable state is the accumulated
+score vector, the source cursor, and the run statistics.  A
+:class:`CheckpointStore` persists exactly that as a :class:`CheckpointState`,
+and ``mfbc(..., resume_from=store)`` replays only the remaining batches —
+with scores bit-identical to an uninterrupted run, because batch partial
+sums are accumulated in the same order either way.
+
+Three stores cover the practical deployments:
+
+* :class:`MemoryCheckpointStore` — in-process (tests, notebook retries);
+* :class:`JsonCheckpointStore` — a human-readable JSON file.  Floats
+  round-trip exactly (``json`` emits ``repr`` shortest-round-trip
+  literals), so resumed scores stay bit-identical;
+* :class:`NpzCheckpointStore` — a NumPy ``.npz`` archive for large score
+  vectors (binary-exact by construction).
+
+File-backed stores write atomically (temp file + ``os.replace``) so a
+crash *during* checkpointing never corrupts the previous checkpoint.
+"""
+
+from __future__ import annotations
+
+import json
+import os
+import zlib
+from dataclasses import dataclass, field
+
+import numpy as np
+
+__all__ = [
+    "CheckpointState",
+    "CheckpointStore",
+    "MemoryCheckpointStore",
+    "JsonCheckpointStore",
+    "NpzCheckpointStore",
+    "resolve_checkpoint_store",
+    "sources_checksum",
+    "stats_to_dicts",
+    "stats_from_dicts",
+]
+
+#: bump when the persisted layout changes incompatibly.
+CHECKPOINT_VERSION = 1
+
+
+def sources_checksum(sources: np.ndarray) -> int:
+    """CRC-32 of the source list — guards a resume against the wrong run."""
+    return zlib.crc32(np.ascontiguousarray(sources, dtype=np.int64).tobytes())
+
+
+@dataclass
+class CheckpointState:
+    """Everything ``mfbc`` needs to continue after batch ``batch_index - 1``."""
+
+    cursor: int  # next offset into the source list
+    batch_index: int  # batches completed so far (== next batch's index)
+    batch_size: int
+    n: int  # graph vertices (compatibility check)
+    sources_crc: int  # checksum of the full source list
+    scores: np.ndarray  # accumulated λ over completed batches
+    stats: list = field(default_factory=list)  # serialized BatchStats rows
+    version: int = CHECKPOINT_VERSION
+
+    def to_payload(self) -> dict:
+        """JSON-compatible dict (scores as a list of floats)."""
+        return {
+            "version": self.version,
+            "cursor": int(self.cursor),
+            "batch_index": int(self.batch_index),
+            "batch_size": int(self.batch_size),
+            "n": int(self.n),
+            "sources_crc": int(self.sources_crc),
+            "scores": [float(x) for x in self.scores],
+            "stats": self.stats,
+        }
+
+    @classmethod
+    def from_payload(cls, payload: dict) -> "CheckpointState":
+        version = int(payload.get("version", -1))
+        if version != CHECKPOINT_VERSION:
+            raise ValueError(
+                f"unsupported checkpoint version {version} "
+                f"(this build writes {CHECKPOINT_VERSION})"
+            )
+        return cls(
+            cursor=int(payload["cursor"]),
+            batch_index=int(payload["batch_index"]),
+            batch_size=int(payload["batch_size"]),
+            n=int(payload["n"]),
+            sources_crc=int(payload["sources_crc"]),
+            scores=np.asarray(payload["scores"], dtype=np.float64),
+            stats=list(payload.get("stats", [])),
+            version=version,
+        )
+
+
+# -- BatchStats (de)serialization --------------------------------------------
+#
+# Imported lazily: repro.core.mfbc imports this module, so a module-level
+# import of repro.core.stats would close a cycle during package init.
+
+
+def stats_to_dicts(batches) -> list[dict]:
+    """Serialize a list of :class:`~repro.core.stats.BatchStats` rows."""
+    return [
+        {
+            "sources": b.sources,
+            "iterations": [
+                {
+                    "phase": it.phase,
+                    "frontier_nnz": int(it.frontier_nnz),
+                    "product_nnz": int(it.product_nnz),
+                    "ops": int(it.ops),
+                }
+                for it in b.iterations
+            ],
+        }
+        for b in batches
+    ]
+
+
+def stats_from_dicts(rows) -> list:
+    """Rebuild :class:`~repro.core.stats.BatchStats` rows from JSON dicts."""
+    from repro.core.stats import BatchStats, IterationStats
+
+    out = []
+    for row in rows:
+        b = BatchStats(sources=int(row["sources"]))
+        b.iterations = [
+            IterationStats(
+                phase=it["phase"],
+                frontier_nnz=int(it["frontier_nnz"]),
+                product_nnz=int(it["product_nnz"]),
+                ops=int(it["ops"]),
+            )
+            for it in row.get("iterations", [])
+        ]
+        out.append(b)
+    return out
+
+
+# ---------------------------------------------------------------------------
+# stores
+# ---------------------------------------------------------------------------
+
+
+class CheckpointStore:
+    """Persistence surface: :meth:`save` after each batch, :meth:`load` once.
+
+    ``load`` returns ``None`` when no checkpoint exists yet, so drivers can
+    pass the same store as both ``checkpoint=`` and ``resume_from=`` for
+    "resume if anything is there" semantics (the CLI does exactly this).
+    """
+
+    def save(self, state: CheckpointState) -> None:
+        raise NotImplementedError
+
+    def load(self) -> CheckpointState | None:
+        raise NotImplementedError
+
+    def clear(self) -> None:
+        """Drop the stored checkpoint (no-op when empty)."""
+        raise NotImplementedError
+
+
+class MemoryCheckpointStore(CheckpointStore):
+    """Keep the latest state in process memory (copied, not aliased)."""
+
+    def __init__(self) -> None:
+        self._state: CheckpointState | None = None
+
+    def save(self, state: CheckpointState) -> None:
+        self._state = CheckpointState(
+            cursor=state.cursor,
+            batch_index=state.batch_index,
+            batch_size=state.batch_size,
+            n=state.n,
+            sources_crc=state.sources_crc,
+            scores=np.array(state.scores, dtype=np.float64, copy=True),
+            stats=[dict(row) for row in state.stats],
+            version=state.version,
+        )
+
+    def load(self) -> CheckpointState | None:
+        return self._state
+
+    def clear(self) -> None:
+        self._state = None
+
+
+class _FileStore(CheckpointStore):
+    """Shared atomic-write plumbing for the file-backed stores."""
+
+    def __init__(self, path) -> None:
+        self.path = os.fspath(path)
+
+    def clear(self) -> None:
+        try:
+            os.remove(self.path)
+        except FileNotFoundError:
+            pass
+
+    def _atomic_write(self, write_fn) -> None:
+        tmp = f"{self.path}.tmp"
+        try:
+            write_fn(tmp)
+            os.replace(tmp, self.path)
+        finally:
+            if os.path.exists(tmp):  # failed mid-write; don't leave litter
+                os.remove(tmp)
+
+    def __repr__(self) -> str:  # pragma: no cover - debugging aid
+        return f"{type(self).__name__}({self.path!r})"
+
+
+class JsonCheckpointStore(_FileStore):
+    """One JSON document per checkpoint; float-exact and greppable."""
+
+    def save(self, state: CheckpointState) -> None:
+        payload = state.to_payload()
+        self._atomic_write(
+            lambda tmp: open(tmp, "w").write(json.dumps(payload))
+        )
+
+    def load(self) -> CheckpointState | None:
+        try:
+            with open(self.path) as fh:
+                return CheckpointState.from_payload(json.load(fh))
+        except FileNotFoundError:
+            return None
+
+
+class NpzCheckpointStore(_FileStore):
+    """Scores as a binary array plus a JSON metadata blob, in one .npz."""
+
+    def save(self, state: CheckpointState) -> None:
+        meta = state.to_payload()
+        del meta["scores"]
+
+        def write(tmp: str) -> None:
+            with open(tmp, "wb") as fh:
+                np.savez(
+                    fh,
+                    scores=np.asarray(state.scores, dtype=np.float64),
+                    meta=np.frombuffer(
+                        json.dumps(meta).encode(), dtype=np.uint8
+                    ),
+                )
+
+        self._atomic_write(write)
+
+    def load(self) -> CheckpointState | None:
+        try:
+            with np.load(self.path) as archive:
+                meta = json.loads(bytes(archive["meta"]).decode())
+                meta["scores"] = archive["scores"]
+                return CheckpointState.from_payload(meta)
+        except FileNotFoundError:
+            return None
+
+
+def resolve_checkpoint_store(spec) -> CheckpointStore:
+    """Normalize a checkpoint specification into a store.
+
+    A :class:`CheckpointStore` passes through; a path string selects
+    :class:`NpzCheckpointStore` for ``.npz`` and
+    :class:`JsonCheckpointStore` otherwise.
+    """
+    if isinstance(spec, CheckpointStore):
+        return spec
+    if isinstance(spec, (str, os.PathLike)):
+        path = os.fspath(spec)
+        if path.endswith(".npz"):
+            return NpzCheckpointStore(path)
+        return JsonCheckpointStore(path)
+    raise TypeError(
+        f"checkpoint must be a CheckpointStore or a path, got {spec!r}"
+    )

@@ -17,11 +17,16 @@ bulk-synchronous p-rank machine (see DESIGN.md).  It provides:
 * :mod:`~repro.machine.executor` — pluggable local-execution backends
   (serial / thread-pool / process-pool with shared-memory ndarray
   transfer) that fan the independent per-rank local kernels across host
-  cores while keeping results and ledger totals bit-identical.
+  cores while keeping results and ledger totals bit-identical, and that
+  degrade gracefully (process → thread → serial) when a pool dies.
+
+Fault injection (``Machine(p, faults=...)``) lives in :mod:`repro.faults`
+and hooks into every layer above; see ``docs/robustness.md``.
 """
 
 from repro.machine.executor import (
     EXECUTOR_ENV,
+    POOL_FAILURES,
     LocalExecutor,
     ProcessExecutor,
     SerialExecutor,
@@ -44,6 +49,7 @@ __all__ = [
     "Grid",
     "near_square_shape",
     "EXECUTOR_ENV",
+    "POOL_FAILURES",
     "LocalExecutor",
     "SerialExecutor",
     "ThreadExecutor",

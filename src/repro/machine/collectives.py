@@ -8,6 +8,19 @@ reports reflect what the distribution logic really shipped.
 
 Payloads are :class:`~repro.sparse.SpMat` matrices, numpy arrays, or
 ``None``; :func:`payload_words` measures them in 8-byte words.
+
+Bad wiring fails loudly: group construction rejects empty, duplicate, and
+out-of-range rank sets; every rooted collective validates its ``root``
+index; payload lists must match the group size exactly.
+
+When the machine carries an armed :class:`~repro.faults.FaultPlan`, the
+moving payloads of ``bcast`` / ``reduce`` / ``sparse_reduce`` /
+``allgather`` pass through the plan's delivery hook, which may perturb an
+in-flight *copy* (senders' buffers are never mutated).  With the plan's
+opt-in checksum guard (``checksum:1``) each such collective verifies a
+CRC-32 of the payload across the transfer and raises
+:class:`~repro.faults.CorruptPayload` on mismatch; without the guard the
+corruption propagates silently, as it would on real hardware.
 """
 
 from __future__ import annotations
@@ -16,6 +29,7 @@ from typing import Callable, Sequence
 
 import numpy as np
 
+from repro.faults.plan import CorruptPayload, payload_checksum
 from repro.sparse.spmatrix import SpMat
 
 __all__ = ["Group", "payload_words"]
@@ -60,6 +74,38 @@ class Group:
                 f"expected {self.size} payloads (one per rank), got {len(payloads)}"
             )
 
+    def _check_root(self, root: int) -> None:
+        if not 0 <= root < self.size:
+            raise ValueError(
+                f"root index {root} out of range for group of size {self.size}"
+            )
+
+    def _deliver(self, payload, site: str):
+        """Run one moving payload through the fault plan's delivery hook.
+
+        Returns the payload (possibly a corrupted copy).  With the
+        checksum guard armed, verifies a CRC-32 across the transfer and
+        raises :class:`CorruptPayload` on mismatch — detection is a real
+        mechanism here, not a flag set by the injector.
+        """
+        plan = self.machine._fault_hook
+        if plan is None:
+            return payload
+        sent_crc = payload_checksum(payload) if plan.checksum else None
+        payload, _ = plan.deliver(payload, site)
+        if plan.checksum:
+            received_crc = payload_checksum(payload)
+            if received_crc != sent_crc:
+                plan.note(
+                    "corrupt",
+                    "detected",
+                    site=site,
+                    sent_crc=sent_crc,
+                    received_crc=received_crc,
+                )
+                raise CorruptPayload(site, plan.step)
+        return payload
+
     # -- collectives -----------------------------------------------------------
 
     def bcast(self, payloads: Sequence, root: int = 0) -> list:
@@ -68,8 +114,10 @@ class Group:
         ``root`` is an index into the group, not a global rank.
         """
         self._check(payloads)
+        self._check_root(root)
         data = payloads[root]
         self.machine.charge_collective(self.ranks, payload_words(data), weight=2.0)
+        data = self._deliver(data, "bcast")
         return [data for _ in range(self.size)]
 
     def reduce(
@@ -81,6 +129,7 @@ class Group:
         processor "owns x words at the start or end" — §5.1).
         """
         self._check(payloads)
+        self._check_root(root)
         present = [p for p in payloads if p is not None]
         if not present:
             return None
@@ -92,7 +141,7 @@ class Group:
             payload_words(acc),
         )
         self.machine.charge_collective(self.ranks, x, weight=2.0)
-        return acc
+        return self._deliver(acc, "reduce")
 
     def allreduce(self, payloads: Sequence, combine: Callable) -> list:
         """Reduce + broadcast (charged as both)."""
@@ -109,6 +158,7 @@ class Group:
         overlap little.
         """
         self._check(payloads)
+        self._check_root(root)
         present = [p for p in payloads if p is not None]
         if not present:
             return None
@@ -116,11 +166,12 @@ class Group:
         for nxt in present[1:]:
             acc = combine(acc, nxt)
         self.machine.charge_collective(self.ranks, payload_words(acc), weight=2.0)
-        return acc
+        return self._deliver(acc, "sparse_reduce")
 
     def scatter(self, parts: Sequence, root: int = 0) -> list:
         """Distribute ``parts[i]`` (held by the root) to participant ``i``."""
         self._check(parts)
+        self._check_root(root)
         x = max(payload_words(p) for p in parts)
         self.machine.charge_collective(self.ranks, x, weight=1.0)
         return list(parts)
@@ -128,6 +179,7 @@ class Group:
     def gather(self, payloads: Sequence, root: int = 0) -> list:
         """Collect every participant's payload at the root (returns the list)."""
         self._check(payloads)
+        self._check_root(root)
         x = sum(payload_words(p) for p in payloads)
         self.machine.charge_collective(self.ranks, x, weight=1.0)
         return list(payloads)
@@ -137,7 +189,8 @@ class Group:
         self._check(payloads)
         x = sum(payload_words(p) for p in payloads)
         self.machine.charge_collective(self.ranks, x, weight=1.0)
-        return [list(payloads) for _ in range(self.size)]
+        shipped = self._deliver(list(payloads), "allgather")
+        return [list(shipped) for _ in range(self.size)]
 
     def __repr__(self) -> str:  # pragma: no cover - debugging aid
         return f"Group(ranks={self.ranks.tolist()})"

@@ -40,23 +40,38 @@ Selection is threaded through :class:`~repro.machine.machine.Machine`
 (``Machine(p=64, executor="thread")``), the ``REPRO_EXECUTOR`` environment
 variable (``serial`` | ``thread[:N]`` | ``process[:N]``), and the
 ``repro`` CLI's ``--executor`` flag.
+
+**Graceful degradation** — worker pools die on real machines (OOM killer,
+container limits, a segfaulting extension).  When a fanned-out batch hits
+a pool failure (:class:`concurrent.futures.BrokenExecutor` or an injected
+:class:`~repro.faults.WorkerPoolDied`), the executor closes the broken
+pool, builds its fallback backend (process → thread → serial), transfers
+any attached fault plan, records a ``pool/degraded`` event, and re-runs
+the batch there — callers see the same bit-identical results, one backend
+slower.  All pool-owning executors register for interpreter-exit cleanup
+so a crashed run cannot leak shared-memory segments.
 """
 
 from __future__ import annotations
 
+import atexit
 import os
+import signal
 import time
-from concurrent.futures import ProcessPoolExecutor, ThreadPoolExecutor
+import weakref
+from concurrent.futures import BrokenExecutor, ProcessPoolExecutor, ThreadPoolExecutor
 from typing import Callable, Sequence
 
 import numpy as np
 
+from repro.faults.plan import WorkerPoolDied
 from repro.obs import api as obs
 from repro.sparse.spgemm import SpGemmResult, count_ops, spgemm_with_ops
 from repro.sparse.spmatrix import SpMat
 
 __all__ = [
     "EXECUTOR_ENV",
+    "POOL_FAILURES",
     "LocalExecutor",
     "SerialExecutor",
     "ThreadExecutor",
@@ -65,6 +80,23 @@ __all__ = [
     "resolve_executor",
     "executor_skew_report",
 ]
+
+#: exception classes treated as "the worker pool died" → degrade and re-run.
+#: ``BrokenExecutor`` covers ``BrokenProcessPool``/``BrokenThreadPool``.
+POOL_FAILURES = (BrokenExecutor, WorkerPoolDied)
+
+#: live pool-owning executors, closed at interpreter exit so a crashed or
+#: abandoned run cannot leak shared-memory segments or worker processes.
+_LIVE_EXECUTORS: "weakref.WeakSet[LocalExecutor]" = weakref.WeakSet()
+
+
+@atexit.register
+def _close_live_executors() -> None:  # pragma: no cover - exit path
+    for ex in list(_LIVE_EXECUTORS):
+        try:
+            ex.close()
+        except Exception:
+            pass
 
 #: environment variable consulted when no explicit executor is configured.
 EXECUTOR_ENV = "REPRO_EXECUTOR"
@@ -103,6 +135,12 @@ class LocalExecutor:
     supports_closures = True
     #: estimated-work floor for fan-out; ``inf`` means never fan out
     fanout_min_work: float = float("inf")
+    #: backends to fall back to, in order, when the worker pool dies
+    fallback_chain: tuple[str, ...] = ()
+    #: fault plan consulted before each fanned-out batch (set by Machine)
+    fault_plan = None
+    #: replacement backend after degradation; batches delegate to it
+    _successor: "LocalExecutor | None" = None
 
     # -- dispatch gate -------------------------------------------------------
 
@@ -125,14 +163,27 @@ class LocalExecutor:
         """Run zero-argument callables; results in submission order.
 
         Falls back to inline execution when the gate rejects the batch or
-        the backend cannot ship closures (:class:`ProcessExecutor`).
+        the backend cannot ship closures (:class:`ProcessExecutor`).  A
+        pool failure mid-batch degrades to the fallback backend and
+        re-runs the whole batch there.
         """
+        if self._successor is not None:
+            return self._successor.run_tasks(
+                thunks, site=site, est_work=est_work, ranks=ranks
+            )
         if not (self.supports_closures and self.should_fanout(len(thunks), est_work)):
             self._note_inline(site, len(thunks))
             return [fn() for fn in thunks]
-        return self._fanout(
-            site, ranks, lambda: self._submit_thunks(list(thunks))
-        )
+        try:
+            self._maybe_inject_pool_fault(site)
+            return self._fanout(
+                site, ranks, lambda: self._submit_thunks(list(thunks))
+            )
+        except POOL_FAILURES as exc:
+            fallback = self._degrade(exc, site)
+            return fallback.run_tasks(
+                thunks, site=site, est_work=est_work, ranks=ranks
+            )
 
     def run_spgemm(
         self,
@@ -146,18 +197,82 @@ class LocalExecutor:
 
         The work estimate is the exact elementary-product count
         (:func:`count_ops`), computed only when fan-out is possible at all.
+        A pool failure mid-batch degrades to the fallback backend and
+        re-runs the whole batch there.
         """
+        if self._successor is not None:
+            return self._successor.run_spgemm(pairs, spec, site=site, ranks=ranks)
         if self.workers > 1 and len(pairs) > 1:
             est_work = float(sum(count_ops(x, y) for x, y in pairs))
             if self.should_fanout(len(pairs), est_work):
-                return self._fanout(
-                    site, ranks, lambda: self._submit_spgemm(list(pairs), spec)
-                )
+                try:
+                    self._maybe_inject_pool_fault(site)
+                    return self._fanout(
+                        site, ranks, lambda: self._submit_spgemm(list(pairs), spec)
+                    )
+                except POOL_FAILURES as exc:
+                    fallback = self._degrade(exc, site)
+                    return fallback.run_spgemm(
+                        pairs, spec, site=site, ranks=ranks
+                    )
         self._note_inline(site, len(pairs))
         return [spgemm_with_ops(x, y, spec) for x, y in pairs]
 
+    # -- fault injection + graceful degradation ------------------------------
+
+    def _maybe_inject_pool_fault(self, site: str) -> None:
+        """Consult the fault plan just before a fanned-out batch dispatches."""
+        plan = self.fault_plan
+        if plan is None or not plan.take_poolkill(site):
+            return
+        plan.note("pool", "injected", site=site, backend=self.name)
+        self._kill_pool_for_injection(site)
+
+    def _kill_pool_for_injection(self, site: str) -> None:
+        """Make the pool die; backends with real workers kill one for real."""
+        raise WorkerPoolDied(self.name, site)
+
+    def _degrade(self, exc: BaseException, site: str) -> "LocalExecutor":
+        """Swap in the fallback backend after a pool failure.
+
+        The broken pool is closed, the fallback inherits this executor's
+        worker count, fan-out floor, and fault plan, and becomes the
+        :attr:`_successor` every later batch delegates to.  Re-raises when
+        the chain is exhausted (serial has no fallback — but serial also
+        never fans out, so it cannot get here).
+        """
+        try:
+            self.close()
+        except Exception:  # a broken pool may fail its own shutdown
+            pass
+        if not self.fallback_chain:
+            raise exc
+        name = self.fallback_chain[0]
+        fallback = _BACKENDS[name](
+            None if name == "serial" else self.workers,
+            fanout_min_work=self.fanout_min_work,
+        )
+        fallback.fault_plan = self.fault_plan
+        self._successor = fallback
+        if self.fault_plan is not None:
+            self.fault_plan.note(
+                "pool",
+                "degraded",
+                site=site,
+                backend=self.name,
+                fallback=name,
+                error=type(exc).__name__,
+            )
+        elif obs.enabled():
+            obs.count(
+                "faults.degraded", 1.0, kind="pool", backend=self.name, fallback=name
+            )
+        return fallback
+
     def close(self) -> None:
-        """Release pool resources (idempotent)."""
+        """Release pool resources (idempotent; closes any successor too)."""
+        if self._successor is not None:
+            self._successor.close()
 
     def __enter__(self) -> "LocalExecutor":
         return self
@@ -245,6 +360,7 @@ class ThreadExecutor(LocalExecutor):
 
     name = "thread"
     supports_closures = True
+    fallback_chain = ("serial",)
 
     def __init__(
         self, workers: int | None = None, *, fanout_min_work: float | None = None
@@ -254,6 +370,7 @@ class ThreadExecutor(LocalExecutor):
             THREAD_FANOUT_MIN_WORK if fanout_min_work is None else float(fanout_min_work)
         )
         self._pool: ThreadPoolExecutor | None = None
+        _LIVE_EXECUTORS.add(self)
 
     def _ensure_pool(self) -> ThreadPoolExecutor:
         if self._pool is None:
@@ -273,9 +390,10 @@ class ThreadExecutor(LocalExecutor):
         return [f.result() for f in futures]
 
     def close(self) -> None:
-        if self._pool is not None:
-            self._pool.shutdown(wait=True)
-            self._pool = None
+        pool, self._pool = self._pool, None
+        if pool is not None:
+            pool.shutdown(wait=True)
+        super().close()
 
 
 # ---------------------------------------------------------------------------
@@ -392,6 +510,7 @@ class ProcessExecutor(LocalExecutor):
 
     name = "process"
     supports_closures = False
+    fallback_chain = ("thread", "serial")
 
     def __init__(
         self, workers: int | None = None, *, fanout_min_work: float | None = None
@@ -403,6 +522,7 @@ class ProcessExecutor(LocalExecutor):
             else float(fanout_min_work)
         )
         self._pool: ProcessPoolExecutor | None = None
+        _LIVE_EXECUTORS.add(self)
 
     def _ensure_pool(self) -> ProcessPoolExecutor:
         if self._pool is None:
@@ -437,20 +557,64 @@ class ProcessExecutor(LocalExecutor):
                 for x, y in pairs
             ]
             out: list[tuple[object, float]] = []
-            for f in futures:
-                manifest, ops, dt = f.result()
-                matrix, shm = _import_spmat(manifest, copy=True)
-                _release(shm, unlink=True)
-                out.append((SpGemmResult(matrix, ops), dt))
+            try:
+                for f in futures:
+                    manifest, ops, dt = f.result()
+                    matrix, shm = _import_spmat(manifest, copy=True)
+                    _release(shm, unlink=True)
+                    out.append((SpGemmResult(matrix, ops), dt))
+            except Exception:
+                self._drain_result_segments(futures[len(out):])
+                raise
             return out
         finally:
             for _, shm in exported.values():
                 _release(shm, unlink=True)
 
+    @staticmethod
+    def _drain_result_segments(futures) -> None:
+        """Unlink result segments of tasks that completed before a failure.
+
+        When the pool breaks mid-batch, tasks that already finished have
+        exported result segments the parent never imported; without this
+        they would outlive the run (until atexit/resource-tracker cleanup).
+        """
+        from multiprocessing import shared_memory
+
+        for f in futures:
+            if not f.done() or f.cancelled():
+                continue
+            try:
+                manifest, _, _ = f.result()
+            except Exception:
+                continue
+            if manifest["segment"] is None:
+                continue
+            try:
+                shm = shared_memory.SharedMemory(name=manifest["segment"])
+            except FileNotFoundError:  # pragma: no cover - already reclaimed
+                continue
+            _release(shm, unlink=True)
+
+    def _kill_pool_for_injection(self, site: str) -> None:
+        """SIGKILL one live pool worker — a real death, not a simulated one.
+
+        The subsequent batch submission then observes ``BrokenProcessPool``
+        exactly as it would after an OOM-killed worker.  Workers spawn
+        lazily, so a no-op task is run first to guarantee one exists.
+        """
+        pool = self._ensure_pool()
+        pool.submit(int).result()
+        procs = list(getattr(pool, "_processes", {}).values())
+        if not procs:  # pragma: no cover - defensive
+            raise WorkerPoolDied(self.name, site)
+        os.kill(procs[0].pid, signal.SIGKILL)
+
     def close(self) -> None:
-        if self._pool is not None:
-            self._pool.shutdown(wait=True)
-            self._pool = None
+        pool, self._pool = self._pool, None
+        if pool is not None:
+            pool.shutdown(wait=True)
+        super().close()
 
 
 # ---------------------------------------------------------------------------

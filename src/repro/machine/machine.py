@@ -22,6 +22,7 @@ from dataclasses import dataclass, field
 
 import numpy as np
 
+from repro.faults.plan import FaultPlan, resolve_fault_plan
 from repro.machine.executor import LocalExecutor, resolve_executor
 from repro.obs import api as obs
 
@@ -159,6 +160,15 @@ class Machine:
         ``None`` to consult the ``REPRO_EXECUTOR`` environment variable
         (default ``serial``).  Results and ledger totals are bit-identical
         across backends; only host wall-clock time changes.
+    faults:
+        Deterministic fault injection (keyword-only): a
+        :class:`~repro.faults.FaultPlan`, a spec string like
+        ``"seed:3,crash:0.05"`` (see :mod:`repro.faults.plan` for the
+        grammar; ``""``/``"none"`` disable), or ``None`` to consult the
+        ``REPRO_FAULTS`` environment variable (default: no injection).
+        An armed plan hooks the charge paths, the collectives' payload
+        delivery, and the executor's batch dispatch; an inert plan (all
+        rates zero, no script) costs the hot paths nothing.
     """
 
     def __init__(
@@ -168,6 +178,7 @@ class Machine:
         cost: CostParams | None = None,
         memory_words: int | None = None,
         executor: "LocalExecutor | str | None" = None,
+        faults: "FaultPlan | str | None" = None,
     ) -> None:
         if args:
             # pre-executor signature: Machine(p, cost, memory_words)
@@ -190,20 +201,36 @@ class Machine:
             raise ValueError(f"p must be positive, got {p}")
         self.p = int(p)
         self.cost = cost or CostParams()
+        self.faults = resolve_fault_plan(faults)
+        #: the hot-path guard: None unless the plan can actually fire
+        self._fault_hook = (
+            self.faults if self.faults is not None and self.faults.armed else None
+        )
+        if self._fault_hook is not None and memory_words is not None:
+            memory_words = self.faults.tighten_memory(memory_words)
         self.memory_words = memory_words
         self.executor = resolve_executor(executor)
+        if self._fault_hook is not None:
+            self.executor.fault_plan = self.faults
         self.ledger = Ledger(self.p)
         self._mem_used = np.zeros(self.p, dtype=np.int64)
+        self._mem_peak = np.zeros(self.p, dtype=np.int64)
 
     # -- memory tracking -----------------------------------------------------
 
     def allocate(self, rank: int, words: int) -> None:
         """Track ``words`` of new allocation on ``rank``."""
         self._mem_used[rank] += int(words)
+        if self._mem_used[rank] > self._mem_peak[rank]:
+            self._mem_peak[rank] = self._mem_used[rank]
         if self.memory_words is not None and self._mem_used[rank] > self.memory_words:
+            pressured = (
+                self.faults is not None and self.faults.mem is not None
+            )
             raise MemoryLimitExceeded(
                 f"rank {rank} needs {int(self._mem_used[rank])} words "
                 f"but the budget is {self.memory_words}"
+                + (" (tightened by injected memory pressure)" if pressured else "")
             )
 
     def free(self, rank: int, words: int) -> None:
@@ -214,8 +241,22 @@ class Machine:
             return int(self._mem_used.max()) if self.p else 0
         return int(self._mem_used[rank])
 
+    def memory_peak(self, rank: int | None = None) -> int:
+        """High-water mark of tracked allocation (per rank or machine-wide)."""
+        if rank is None:
+            return int(self._mem_peak.max()) if self.p else 0
+        return int(self._mem_peak[rank])
+
     def reset_memory(self) -> None:
+        """Forget all tracked allocations *and* the per-rank peaks.
+
+        Repeated runs on one machine must start from a clean slate: a
+        stale high-water mark would misreport the new run's footprint and
+        leaked usage from a crashed run would eat the budget
+        (see the regression test in test_machine.py).
+        """
         self._mem_used[:] = 0
+        self._mem_peak[:] = 0
 
     # -- cost charging ---------------------------------------------------------
 
@@ -238,6 +279,9 @@ class Machine:
         q = len(ranks)
         if q <= 1:
             return  # single-rank collectives are free (no communication)
+        if self._fault_hook is not None:
+            # may skew a straggler's clock or raise RankFailure
+            self._fault_hook.on_collective(self, ranks, category)
         lg = math.ceil(math.log2(q))
         t = weight * (words_per_rank * self.cost.beta + lg * self.cost.alpha)
         msgs = weight * lg
@@ -273,6 +317,8 @@ class Machine:
 
     def charge_pointtopoint(self, src: int, dst: int, words: float) -> None:
         """Charge one point-to-point message (used by redistribution)."""
+        if self._fault_hook is not None:
+            self._fault_hook.on_collective(self, [src, dst], "p2p")
         t = self.cost.alpha + words * self.cost.beta
         led = self.ledger
         start = max(led.time[src], led.time[dst])
@@ -326,7 +372,8 @@ class Machine:
         return self.group(np.arange(self.p))
 
     def __repr__(self) -> str:  # pragma: no cover - debugging aid
+        faults = f", faults={self.faults.describe()}" if self.faults else ""
         return (
             f"Machine(p={self.p}, M={self.memory_words}, "
-            f"executor={self.executor.name})"
+            f"executor={self.executor.name}{faults})"
         )

@@ -125,3 +125,64 @@ class TestBadWiring:
         adj2 = eng2.adjacency(small_undirected)
         with pytest.raises(ValueError):
             adj1.combine(adj2)
+
+
+class TestCollectiveWiring:
+    """Group collectives reject malformed participation before moving data."""
+
+    def _group(self, q=4):
+        from repro.machine import Group
+
+        return Group(Machine(q), np.arange(q))
+
+    def test_empty_group_rejected(self):
+        from repro.machine import Group
+
+        with pytest.raises(ValueError, match="empty group"):
+            Group(Machine(4), np.array([], dtype=np.int64))
+
+    def test_duplicate_ranks_rejected(self):
+        from repro.machine import Group
+
+        with pytest.raises(ValueError, match="distinct"):
+            Group(Machine(4), np.array([0, 1, 1]))
+
+    def test_out_of_range_ranks_rejected(self):
+        from repro.machine import Group
+
+        with pytest.raises(ValueError, match="out of range"):
+            Group(Machine(4), np.array([0, 4]))
+        with pytest.raises(ValueError, match="out of range"):
+            Group(Machine(4), np.array([-1, 0]))
+
+    def test_scatter_payload_count_mismatch(self):
+        g = self._group(4)
+        with pytest.raises(ValueError, match="expected 4 payloads"):
+            g.scatter([np.ones(2)] * 3)
+
+    def test_gather_payload_count_mismatch(self):
+        g = self._group(4)
+        with pytest.raises(ValueError, match="expected 4 payloads"):
+            g.gather([np.ones(2)] * 5)
+
+    @pytest.mark.parametrize("root", [-1, 4, 17])
+    def test_out_of_range_root_rejected_everywhere(self, root):
+        g = self._group(4)
+        payloads = [np.ones(2)] * 4
+        with pytest.raises(ValueError, match="root index"):
+            g.bcast(payloads, root=root)
+        with pytest.raises(ValueError, match="root index"):
+            g.reduce(payloads, np.add, root=root)
+        with pytest.raises(ValueError, match="root index"):
+            g.sparse_reduce(payloads, np.add, root=root)
+        with pytest.raises(ValueError, match="root index"):
+            g.scatter(payloads, root=root)
+        with pytest.raises(ValueError, match="root index"):
+            g.gather(payloads, root=root)
+
+    def test_schema_mismatched_payload_rejected_by_sizing(self):
+        """Unsizeable payload types fail loudly in payload_words, so a
+        schema mismatch cannot silently be charged as zero words."""
+        g = self._group(2)
+        with pytest.raises(TypeError, match="cannot size payload"):
+            g.bcast([object(), None])

@@ -1,0 +1,588 @@
+"""repro.faults: deterministic injection, tolerance, and the acceptance bars.
+
+Covers the :class:`FaultPlan` spec grammar and validation, seed-exact
+determinism of the injected event stream, payload corruption + the checksum
+guard at the Group collectives, straggler skew, memory-pressure tightening,
+the executors' pool-kill injection and process → thread → serial graceful
+degradation (bit-identical results), the mfbc retry loop, and the ISSUE's
+end-to-end acceptance criteria (crash → checkpoint → resume re-executes
+only the remaining batches, bit-identical scores).
+"""
+
+import numpy as np
+import pytest
+
+from repro import obs
+from repro.core import mfbc
+from repro.dist import DistributedEngine
+from repro.faults import (
+    CorruptPayload,
+    FaultPlan,
+    MemoryCheckpointStore,
+    RankFailure,
+    WorkerPoolDied,
+    corrupt_copy,
+    format_fault_report,
+    payload_checksum,
+    resolve_fault_plan,
+)
+from repro.faults.plan import FAULTS_ENV
+from repro.graphs import uniform_random_graph_nm
+from repro.machine import Group, Machine, MemoryLimitExceeded
+from repro.machine.executor import ProcessExecutor, SerialExecutor, ThreadExecutor
+from repro.sparse.spgemm import spgemm_with_ops
+
+from conftest import random_weight_spmat
+
+from repro.algebra import TROPICAL
+
+SPEC = TROPICAL.matmul_spec()
+
+
+def spgemm_pairs(rng, n_pairs=6, m=18, density=0.3):
+    return [
+        (
+            random_weight_spmat(rng, m, m, density),
+            random_weight_spmat(rng, m, m, density),
+        )
+        for _ in range(n_pairs)
+    ]
+
+
+def assert_results_equal(got, ref):
+    assert len(got) == len(ref)
+    for r, e in zip(got, ref):
+        assert r.ops == e.ops
+        assert np.array_equal(r.matrix.rows, e.matrix.rows)
+        assert np.array_equal(r.matrix.cols, e.matrix.cols)
+        for name in e.matrix.monoid.field_names:
+            assert np.array_equal(r.matrix.vals[name], e.matrix.vals[name])
+
+
+# ---------------------------------------------------------------------------
+# spec grammar + resolution
+# ---------------------------------------------------------------------------
+
+
+class TestSpecParsing:
+    def test_full_grammar(self):
+        plan = FaultPlan.from_spec(
+            "seed:7,crash:0.05,corrupt:0.01,straggle:0.1,poolkill:0.02,"
+            "checksum:1,mem:0.5,skew:2e-4,limit:10,crash@12,straggle@9:2,corrupt@7"
+        )
+        assert plan.seed == 7
+        assert plan.crash == 0.05
+        assert plan.corrupt == 0.01
+        assert plan.straggle == 0.1
+        assert plan.poolkill == 0.02
+        assert plan.checksum is True
+        assert plan.mem == 0.5
+        assert plan.skew == 2e-4
+        assert plan.limit == 10
+        assert [repr(sc) for sc in plan.script] == [
+            "crash@12",
+            "straggle@9:2",
+            "corrupt@7",
+        ]
+        assert plan.armed
+
+    @pytest.mark.parametrize("spec", ["", "none", "off", "  NONE  "])
+    def test_disabled_specs_parse_to_none(self, spec):
+        assert FaultPlan.from_spec(spec) is None
+
+    @pytest.mark.parametrize(
+        "spec",
+        [
+            "crash",  # missing value
+            "crash:2.0",  # rate out of range
+            "mem:0",  # factor must be positive
+            "mem:1.5",
+            "limit:0",
+            "skew:-1",
+            "frobnicate:1",  # unknown key
+            "explode@3",  # unknown scripted kind
+            "crash@0",  # step must be positive
+            "crash:xyz",  # unparsable value
+        ],
+    )
+    def test_bad_specs_raise(self, spec):
+        with pytest.raises(ValueError):
+            FaultPlan.from_spec(spec)
+
+    def test_describe_round_trips(self):
+        spec = "seed:3,crash:0.05,checksum:1,limit:2,crash@12"
+        plan = FaultPlan.from_spec(spec)
+        again = FaultPlan.from_spec(plan.describe())
+        assert again.describe() == plan.describe()
+
+    def test_inert_plan_is_not_armed(self):
+        assert not FaultPlan(seed=5).armed
+        assert FaultPlan(seed=5, checksum=True).armed
+        assert FaultPlan(seed=5, mem=0.5).armed
+        assert FaultPlan(seed=5, script=[("crash", 3)]).armed
+
+
+class TestResolve:
+    def test_plan_passthrough(self):
+        plan = FaultPlan(1, crash=0.1)
+        assert resolve_fault_plan(plan) is plan
+
+    def test_env_fallback(self, monkeypatch):
+        monkeypatch.setenv(FAULTS_ENV, "seed:9,crash:0.25")
+        plan = resolve_fault_plan(None)
+        assert plan.seed == 9 and plan.crash == 0.25
+
+    def test_env_opt_out(self, monkeypatch):
+        monkeypatch.setenv(FAULTS_ENV, "seed:9,crash:0.25")
+        assert resolve_fault_plan(None, env=False) is None
+
+    def test_explicit_spec_beats_env(self, monkeypatch):
+        monkeypatch.setenv(FAULTS_ENV, "seed:9,crash:0.25")
+        assert resolve_fault_plan("none") is None
+
+    def test_type_error(self):
+        with pytest.raises(TypeError):
+            resolve_fault_plan(42)
+
+    def test_machine_threads_plan_through(self, monkeypatch):
+        monkeypatch.delenv(FAULTS_ENV, raising=False)
+        m = Machine(4)
+        assert m.faults is None
+        m = Machine(4, faults="seed:1,crash:0.5")
+        assert m.faults is not None and m.faults.crash == 0.5
+        assert "seed:1" in repr(m)
+
+    def test_inert_plan_disables_hot_path_hooks(self):
+        m = Machine(4, faults="seed:1")
+        assert m.faults is not None
+        assert m._fault_hook is None  # inert → hooks skipped entirely
+
+
+# ---------------------------------------------------------------------------
+# determinism
+# ---------------------------------------------------------------------------
+
+
+class TestDeterminism:
+    def _run_collectives(self, spec):
+        m = Machine(4, faults=spec)
+        g = Group(m, np.arange(4))
+        try:
+            for _ in range(60):
+                g.bcast([np.ones(4), None, None, None], root=0)
+        except RankFailure:
+            pass
+        return m.faults.signature()
+
+    def test_same_seed_same_event_sequence(self):
+        spec = "seed:3,crash:0.05,straggle:0.1"
+        sig1 = self._run_collectives(spec)
+        sig2 = self._run_collectives(spec)
+        assert sig1 and sig1 == sig2
+
+    def test_different_seeds_diverge(self):
+        sig1 = self._run_collectives("seed:3,crash:0.05,straggle:0.1")
+        sig2 = self._run_collectives("seed:4,crash:0.05,straggle:0.1")
+        assert sig1 != sig2
+
+    def test_reset_replays_schedule(self):
+        plan = FaultPlan(3, crash=0.05, straggle=0.1)
+        m = Machine(4, faults=plan)
+        g = Group(m, np.arange(4))
+        try:
+            for _ in range(60):
+                g.bcast([np.ones(4), None, None, None], root=0)
+        except RankFailure:
+            pass
+        first = plan.signature()
+        plan.reset()
+        assert plan.signature() == []
+        try:
+            for _ in range(60):
+                g.bcast([np.ones(4), None, None, None], root=0)
+        except RankFailure:
+            pass
+        assert plan.signature() == first
+
+    def test_full_mfbc_run_deterministic(self, small_undirected):
+        """Same seed ⇒ identical FaultEvent sequence AND identical scores
+        after recovery (acceptance criterion)."""
+        spec = "seed:3,crash:0.02,straggle:0.05,limit:4"
+
+        def run():
+            m = Machine(4, faults=spec)
+            res = mfbc(
+                small_undirected,
+                batch_size=8,
+                engine=DistributedEngine(m),
+                retries=5,
+            )
+            return m.faults.signature(), res.scores
+
+        sig1, scores1 = run()
+        sig2, scores2 = run()
+        assert sig1 == sig2 and sig1
+        assert np.array_equal(scores1, scores2)
+
+
+# ---------------------------------------------------------------------------
+# corruption + checksum guard
+# ---------------------------------------------------------------------------
+
+
+class TestCorruption:
+    def test_corrupt_copy_never_mutates_original(self, rng):
+        arr = np.ones(16)
+        out = corrupt_copy(arr, rng)
+        assert np.array_equal(arr, np.ones(16))
+        assert not np.array_equal(out, arr)
+
+        mat = random_weight_spmat(rng, 10, 10, 0.5)
+        before = mat.vals["w"].copy()
+        out = corrupt_copy(mat, rng)
+        assert np.array_equal(mat.vals["w"], before)
+        assert out is not mat
+        assert not np.array_equal(out.vals["w"], before)
+        # structure untouched: only a value was perturbed
+        assert np.array_equal(out.rows, mat.rows)
+        assert np.array_equal(out.cols, mat.cols)
+
+    def test_checksum_detects_any_perturbation(self, rng):
+        mat = random_weight_spmat(rng, 10, 10, 0.5)
+        assert payload_checksum(mat) == payload_checksum(mat)
+        assert payload_checksum(mat) != payload_checksum(corrupt_copy(mat, rng))
+
+    def test_checksum_guard_raises_on_collective(self):
+        m = Machine(4, faults="seed:0,corrupt:1,checksum:1")
+        g = Group(m, np.arange(4))
+        with pytest.raises(CorruptPayload, match="checksum mismatch"):
+            g.bcast([np.ones(8), None, None, None], root=0)
+        actions = {(e.kind, e.action) for e in m.faults.events}
+        assert ("corrupt", "injected") in actions
+        assert ("corrupt", "detected") in actions
+
+    def test_unguarded_corruption_propagates_silently(self):
+        m = Machine(4, faults="seed:0,corrupt:1")
+        g = Group(m, np.arange(4))
+        sent = np.ones(8)
+        out = g.bcast([sent, None, None, None], root=0)
+        assert np.array_equal(sent, np.ones(8))  # sender buffer intact
+        assert not np.array_equal(out[0], sent)  # receivers got damage
+        assert [e.action for e in m.faults.events] == ["injected"]
+
+    def test_reduce_and_allgather_guarded(self):
+        for site, call in [
+            ("reduce", lambda g: g.reduce([np.ones(8)] * 4, np.add)),
+            ("allgather", lambda g: g.allgather([np.ones(8)] * 4)),
+        ]:
+            m = Machine(4, faults="seed:0,corrupt:1,checksum:1")
+            g = Group(m, np.arange(4))
+            with pytest.raises(CorruptPayload):
+                call(g)
+            assert m.faults.events[-1].site == site
+
+    def test_scripted_corrupt_fires_once(self):
+        m = Machine(4, faults="corrupt@1")
+        g = Group(m, np.arange(4))
+        out1 = g.bcast([np.ones(8), None, None, None], root=0)
+        out2 = g.bcast([np.ones(8), None, None, None], root=0)
+        assert not np.array_equal(out1[0], np.ones(8))
+        assert np.array_equal(out2[0], np.ones(8))
+
+
+# ---------------------------------------------------------------------------
+# stragglers + memory pressure
+# ---------------------------------------------------------------------------
+
+
+class TestStragglersAndMemory:
+    def test_scripted_straggler_skews_target_rank(self):
+        m = Machine(4, faults="straggle@2:1,skew:1.0")
+        g = Group(m, np.arange(4))
+        g.bcast([np.ones(4), None, None, None])
+        before = m.ledger.time.copy()
+        g.bcast([np.ones(4), None, None, None])
+        skew = m.ledger.time - before
+        # rank 1 got between 0.5 and 2.0 modeled seconds of extra time
+        assert skew[1] > 0.4
+        ev = m.faults.events[-1]
+        assert ev.kind == "straggle" and ev.rank == 1
+
+    def test_memory_budget_tightened_at_construction(self):
+        assert Machine(2, memory_words=1000, faults="mem:0.5").memory_words == 500
+        assert Machine(2, memory_words=1000).memory_words == 1000
+
+    def test_tightened_budget_blames_injection(self):
+        m = Machine(2, memory_words=100, faults="mem:0.1")
+        with pytest.raises(MemoryLimitExceeded, match="tightened by injected"):
+            m.allocate(0, 50)
+        assert m.faults.events[0].kind == "mem"
+
+    def test_limit_caps_injections(self):
+        m = Machine(4, faults="seed:0,straggle:1,limit:3")
+        g = Group(m, np.arange(4))
+        for _ in range(10):
+            g.bcast([np.ones(4), None, None, None])
+        assert m.faults.injected == 3
+
+
+# ---------------------------------------------------------------------------
+# executor degradation
+# ---------------------------------------------------------------------------
+
+
+class TestExecutorDegradation:
+    def test_thread_degrades_to_serial_bit_identical(self, rng):
+        pairs = spgemm_pairs(rng)
+        ref = [spgemm_with_ops(x, y, SPEC) for x, y in pairs]
+        ex = ThreadExecutor(2, fanout_min_work=0)
+        ex.fault_plan = FaultPlan(0, poolkill=1.0, limit=1)
+        out = ex.run_spgemm(pairs, SPEC)
+        assert_results_equal(out, ref)
+        assert isinstance(ex._successor, SerialExecutor)
+        actions = [(e.kind, e.action) for e in ex.fault_plan.events]
+        assert actions == [("pool", "injected"), ("pool", "degraded")]
+        ex.close()
+
+    def test_process_pool_sigkill_degrades_down_the_chain(self, rng):
+        """Acceptance: a real SIGKILLed pool worker degrades process →
+        thread (→ serial after a second injection) with no intervention and
+        bit-identical results."""
+        pairs = spgemm_pairs(rng)
+        ref = [spgemm_with_ops(x, y, SPEC) for x, y in pairs]
+        ex = ProcessExecutor(2, fanout_min_work=0)
+        ex.fault_plan = FaultPlan(0, poolkill=1.0, limit=2)
+        try:
+            out = ex.run_spgemm(pairs, SPEC)
+            assert_results_equal(out, ref)
+            chain = []
+            cur = ex
+            while cur is not None:
+                chain.append(cur.name)
+                cur = cur._successor
+            assert chain == ["process", "thread", "serial"]
+            kinds = [(e.kind, e.action) for e in ex.fault_plan.events]
+            assert kinds.count(("pool", "degraded")) == 2
+        finally:
+            ex.close()
+
+    def test_degraded_executor_delegates_future_batches(self, rng):
+        ex = ThreadExecutor(2, fanout_min_work=0)
+        ex.fault_plan = FaultPlan(0, poolkill=1.0, limit=1)
+        pairs = spgemm_pairs(rng)
+        ex.run_spgemm(pairs, SPEC)  # degrades here
+        ref = [spgemm_with_ops(x, y, SPEC) for x, y in pairs]
+        out = ex.run_spgemm(pairs, SPEC)  # runs on the serial successor
+        assert_results_equal(out, ref)
+        assert ex.fault_plan.events[-1].action == "degraded"  # no new faults
+        ex.close()
+
+    def test_run_tasks_degrades_too(self):
+        ex = ThreadExecutor(2, fanout_min_work=0)
+        ex.fault_plan = FaultPlan(0, poolkill=1.0, limit=1)
+        out = ex.run_tasks(
+            [lambda i=i: i * i for i in range(8)], site="tasks", est_work=1e9
+        )
+        assert out == [i * i for i in range(8)]
+        assert isinstance(ex._successor, SerialExecutor)
+        ex.close()
+
+    def test_injection_skipped_for_inline_batches(self, rng):
+        """The pool can only die when a batch actually fans out: inline
+        batches (below the work floor) never consult the poolkill hook."""
+        ex = ThreadExecutor(2)  # default floor; tiny batches run inline
+        ex.fault_plan = FaultPlan(0, poolkill=1.0)
+        pairs = spgemm_pairs(rng, n_pairs=2, m=6, density=0.2)
+        ex.run_spgemm(pairs, SPEC)
+        assert ex._successor is None
+        assert ex.fault_plan.events == []
+        ex.close()
+
+    def test_close_is_idempotent_and_closes_successor(self, rng):
+        ex = ThreadExecutor(2, fanout_min_work=0)
+        ex.fault_plan = FaultPlan(0, poolkill=1.0, limit=1)
+        ex.run_spgemm(spgemm_pairs(rng), SPEC)
+        successor = ex._successor
+        assert successor is not None
+        ex.close()
+        ex.close()  # second close is a no-op, not an error
+        assert ex._pool is None
+
+    def test_executors_registered_for_atexit_cleanup(self):
+        from repro.machine.executor import _LIVE_EXECUTORS
+
+        ex = ThreadExecutor(2)
+        px = ProcessExecutor(2)
+        try:
+            assert ex in _LIVE_EXECUTORS
+            assert px in _LIVE_EXECUTORS
+        finally:
+            ex.close()
+            px.close()
+
+    def test_serial_reference_untouched_by_fault_plan(self, rng):
+        ex = SerialExecutor()
+        ex.fault_plan = FaultPlan(0, poolkill=1.0)
+        pairs = spgemm_pairs(rng)
+        ref = [spgemm_with_ops(x, y, SPEC) for x, y in pairs]
+        assert_results_equal(ex.run_spgemm(pairs, SPEC), ref)
+
+
+# ---------------------------------------------------------------------------
+# mfbc retry loop
+# ---------------------------------------------------------------------------
+
+
+class TestMfbcRetry:
+    def test_crash_retried_to_bit_identical_scores(self, small_undirected):
+        ref = mfbc(small_undirected, batch_size=8).scores
+        m = Machine(4, faults="seed:3,crash:0.02,limit:2")
+        res = mfbc(
+            small_undirected, batch_size=8, engine=DistributedEngine(m), retries=3
+        )
+        assert np.array_equal(res.scores, ref)
+        actions = [(e.kind, e.action) for e in m.faults.events]
+        assert ("crash", "injected") in actions
+        assert ("batch", "recovered") in actions
+
+    def test_retries_zero_propagates_failure(self, small_undirected):
+        m = Machine(4, faults="seed:2,crash:0.01,limit:1")
+        with pytest.raises(RankFailure):
+            mfbc(
+                small_undirected,
+                batch_size=8,
+                engine=DistributedEngine(m),
+                retries=0,
+            )
+
+    def test_exhausted_retries_abandon_with_event(
+        self, small_undirected, monkeypatch
+    ):
+        import sys
+
+        mfbc_mod = sys.modules["repro.core.mfbc"]
+
+        def always_crash(*args, **kwargs):
+            raise RankFailure(0, 0, "mfbf")
+
+        monkeypatch.setattr(mfbc_mod, "mfbf", always_crash)
+        m = Machine(4, faults="seed:0")  # inert plan still records tolerance
+        with pytest.raises(RankFailure):
+            mfbc_mod.mfbc(
+                small_undirected,
+                batch_size=8,
+                engine=DistributedEngine(m),
+                retries=2,
+                retry_backoff=0.01,
+            )
+        actions = [(e.kind, e.action) for e in m.faults.events]
+        assert actions.count(("batch", "recovered")) == 2
+        assert actions[-1] == ("batch", "abandoned")
+
+    def test_backoff_charged_to_modeled_clock(self, small_undirected, monkeypatch):
+        import sys
+
+        mfbc_mod = sys.modules["repro.core.mfbc"]
+        calls = {"n": 0}
+        real_mfbf = mfbc_mod.mfbf
+
+        def flaky(*args, **kwargs):
+            calls["n"] += 1
+            if calls["n"] == 1:
+                raise RankFailure(0, 0, "mfbf")
+            return real_mfbf(*args, **kwargs)
+
+        monkeypatch.setattr(mfbc_mod, "mfbf", flaky)
+        # the synthetic mfbf fault must be the only one: opt out of any
+        # ambient REPRO_FAULTS plan (the CI fault leg sets one)
+        m = Machine(4, faults="off")
+        t_before = m.ledger.critical_time()
+        mfbc_mod.mfbc(
+            small_undirected,
+            batch_size=8,
+            engine=DistributedEngine(m),
+            retries=1,
+            retry_backoff=123.0,
+            max_batches=1,
+        )
+        assert m.ledger.critical_time() - t_before >= 123.0
+
+    def test_invalid_retry_arguments(self, small_undirected):
+        with pytest.raises(ValueError, match="retries"):
+            mfbc(small_undirected, retries=-1)
+        with pytest.raises(ValueError, match="retry_backoff"):
+            mfbc(small_undirected, retry_backoff=-0.1)
+
+
+# ---------------------------------------------------------------------------
+# end-to-end acceptance: crash → checkpoint → resume
+# ---------------------------------------------------------------------------
+
+
+class TestAcceptance:
+    def test_crash_checkpoint_resume_reexecutes_only_remaining_batches(
+        self, small_undirected
+    ):
+        """The ISSUE's resume bar: a run killed by an injected rank crash at
+        batch k, resumed via ``resume_from=``, produces bit-identical scores
+        while re-executing only batches ≥ k (asserted via obs batch spans)."""
+        ref = mfbc(small_undirected, batch_size=8).scores
+
+        store = MemoryCheckpointStore()
+        m = Machine(4, faults="seed:2,crash:0.01,limit:1")
+        with pytest.raises(RankFailure):
+            mfbc(
+                small_undirected,
+                batch_size=8,
+                engine=DistributedEngine(m),
+                retries=0,
+                checkpoint=store,
+            )
+        state = store.load()
+        assert state is not None and state.batch_index >= 1  # died mid-run
+
+        session = obs.enable()
+        try:
+            res = mfbc(
+                small_undirected,
+                batch_size=8,
+                engine=DistributedEngine(Machine(4)),
+                resume_from=store,
+            )
+        finally:
+            obs.disable()
+
+        assert np.array_equal(res.scores, ref)
+        assert res.stats.sources_processed == small_undirected.n
+        batch_indices = [
+            sp.args["index"] for sp in session.tracer.find("batch")
+        ]
+        assert batch_indices  # the resumed run did execute batches...
+        assert min(batch_indices) == state.batch_index  # ...but only ≥ k
+        assert batch_indices == sorted(batch_indices)
+
+    def test_fault_report_renders(self, small_undirected):
+        m = Machine(4, faults="seed:3,crash:0.02,limit:2")
+        mfbc(
+            small_undirected, batch_size=8, engine=DistributedEngine(m), retries=3
+        )
+        report = format_fault_report(m.faults)
+        assert "fault injection summary" in report
+        assert "crash/injected" in report
+        assert format_fault_report(None) == "faults: no fault plan attached"
+
+    def test_fault_events_mirrored_to_obs(self, small_undirected):
+        session = obs.enable()
+        try:
+            m = Machine(4, faults="seed:3,crash:0.02,limit:2")
+            mfbc(
+                small_undirected,
+                batch_size=8,
+                engine=DistributedEngine(m),
+                retries=3,
+            )
+        finally:
+            obs.disable()
+        fault_spans = [sp for sp in session.tracer.spans if sp.cat == "fault"]
+        assert len(fault_spans) == len(m.faults.events)
+        assert session.metrics.total("faults.injected") >= 1

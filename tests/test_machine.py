@@ -132,6 +132,29 @@ class TestMemory:
         m.reset_memory()
         assert m.memory_used() == 0
 
+    def test_peak_tracked_and_reset(self):
+        m = Machine(2, memory_words=100)
+        m.allocate(0, 60)
+        m.free(0, 60)
+        m.allocate(0, 30)
+        assert m.memory_peak(0) == 60  # high-water mark survives the free
+        assert m.memory_peak() == 60
+        m.reset_memory()
+        assert m.memory_peak() == 0
+        assert m.memory_used() == 0
+
+    def test_repeated_runs_on_one_machine_do_not_accumulate(self):
+        """Regression: reset_memory must clear both live usage and peaks, so
+        back-to-back runs on one Machine can't spuriously exhaust the budget
+        or misreport the later run's footprint."""
+        m = Machine(2, memory_words=100)
+        for _ in range(5):
+            m.allocate(0, 90)  # would blow the budget on round 2 if leaked
+            m.allocate(1, 90)
+            m.reset_memory()
+        assert m.memory_used() == 0
+        assert m.memory_peak() == 0
+
 
 class TestGroups:
     def test_distinct_ranks_required(self):
