@@ -85,6 +85,63 @@ def build_rows():
     return rows
 
 
+def build_check_overhead_rows():
+    """REPRO_CHECK=cheap cost on the node-local kernel (best-of-5 timing)."""
+    from repro.check import CheckedEngine
+    from repro.core.engine import SequentialEngine
+
+    rng = np.random.default_rng(11)
+    tropical = MinMonoid()
+    spec = TROPICAL.matmul_spec()
+    engine = CheckedEngine(SequentialEngine(), "cheap")
+    rows = []
+    for density in DENSITIES:
+        a = _mats(rng, density, tropical)
+        b = _mats(rng, density, tropical)
+
+        def best(fn, repeats=5):
+            t_best = float("inf")
+            for _ in range(repeats):
+                with obs.timed("bench.check_overhead") as t:
+                    fn()
+                t_best = min(t_best, t.seconds)
+            return t_best
+
+        raw = best(lambda: spgemm_with_ops(a, b, spec))
+        checked = best(lambda: engine.spgemm(a, b, spec))
+        overhead = checked / max(raw, 1e-9) - 1.0
+        rows.append(
+            (
+                f"{density:.3%}",
+                f"{raw * 1e3:.1f}",
+                f"{checked * 1e3:.1f}",
+                f"{overhead:+.1%}",
+            )
+        )
+    return rows
+
+
+def test_check_overhead(benchmark, save_table):
+    """Cheap-mode invariant checking must cost ≤10% on the dense-ish case.
+
+    (Disabled checking has *zero* hot-path cost by construction: nothing is
+    wrapped — see tests/test_check_engine.py::TestEnablement.)
+    """
+    rows = benchmark.pedantic(build_check_overhead_rows, rounds=1, iterations=1)
+    save_table(
+        "check_overhead",
+        f"Supplementary: REPRO_CHECK=cheap overhead on the node-local "
+        f"generalized-SpGEMM kernel (tropical, n={N}, best of 5)",
+        ["density", "unchecked ms", "checked ms", "overhead"],
+        rows,
+    )
+    # the acceptance budget applies at the dense end, where validation cost
+    # is amortized over real kernel work (the sparsest case is all fixed
+    # overhead and noise)
+    overhead_dense = float(rows[-1][-1].rstrip("%").replace("+", "")) / 100.0
+    assert overhead_dense <= 0.10, rows
+
+
 def test_kernel_throughput(benchmark, save_table):
     rows = benchmark.pedantic(build_rows, rounds=1, iterations=1)
     save_table(

@@ -47,6 +47,19 @@ from repro.apps import (
     sssp_distances,
     triangle_count,
 )
+from repro.check import (
+    CheckConfig,
+    CheckedEngine,
+    CheckError,
+    CheckFailure,
+    Violation,
+    check_distmat,
+    check_ledger,
+    check_matrix,
+    check_spmat,
+    maybe_checked,
+    resolve_check_config,
+)
 from repro.core import (
     Engine,
     MFBCResult,
@@ -155,6 +168,18 @@ __all__ = [
     "resolve_executor",
     # observability
     "obs",
+    # correctness checking
+    "CheckConfig",
+    "CheckedEngine",
+    "CheckError",
+    "CheckFailure",
+    "Violation",
+    "check_spmat",
+    "check_distmat",
+    "check_ledger",
+    "check_matrix",
+    "maybe_checked",
+    "resolve_check_config",
     # fault injection + tolerance
     "FaultPlan",
     "FaultEvent",

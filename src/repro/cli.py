@@ -24,6 +24,8 @@ Examples
 Fault injection (``--faults`` / ``$REPRO_FAULTS``) and per-batch
 checkpointing (``--checkpoint``; re-running the same command resumes from
 the file if it exists) are documented in ``docs/robustness.md``.
+Correctness checking (``--check`` / ``$REPRO_CHECK``: ``cheap``, ``full``,
+or ``sample:N``) is documented in ``docs/testing.md``.
 """
 
 from __future__ import annotations
@@ -107,6 +109,13 @@ def build_parser() -> argparse.ArgumentParser:
         help="checkpoint scores after every batch; resumes from PATH if it "
         "already holds a compatible checkpoint (.npz binary, else JSON)",
     )
+    p_sim.add_argument(
+        "--check",
+        default=None,
+        metavar="LEVEL",
+        help="correctness checking: cheap, full, or sample:N "
+        "(see docs/testing.md); default: $REPRO_CHECK or off",
+    )
 
     p_tr = sub.add_parser(
         "trace",
@@ -149,6 +158,13 @@ def build_parser() -> argparse.ArgumentParser:
         help="checkpoint scores after every batch; resumes from PATH if it "
         "already holds a compatible checkpoint (.npz binary, else JSON)",
     )
+    p_tr.add_argument(
+        "--check",
+        default=None,
+        metavar="LEVEL",
+        help="correctness checking: cheap, full, or sample:N "
+        "(see docs/testing.md); default: $REPRO_CHECK or off",
+    )
 
     p_info = sub.add_parser("info", help="graph statistics")
     p_info.add_argument("graph")
@@ -164,6 +180,13 @@ def build_parser() -> argparse.ArgumentParser:
     p_ver.add_argument("--seed", type=int, default=0)
     p_ver.add_argument(
         "--p", type=int, default=4, help="also verify on a simulated machine"
+    )
+    p_ver.add_argument(
+        "--check",
+        default=None,
+        metavar="LEVEL",
+        help="correctness checking for the simulated run: cheap, full, or "
+        "sample:N (see docs/testing.md); default: $REPRO_CHECK or off",
     )
 
     return parser
@@ -261,7 +284,7 @@ def _cmd_simulate(args) -> int:
         policy = PinnedPolicy.ca_mfbc(args.p, args.c)
     elif args.policy == "square2d":
         policy = Square2DPolicy()
-    engine = DistributedEngine(machine, policy=policy)
+    engine = DistributedEngine(machine, policy=policy, check=args.check)
     res = mfbc(
         g,
         batch_size=args.batch,
@@ -286,7 +309,20 @@ def _cmd_simulate(args) -> int:
             f"({machine.faults.injected} injected, "
             f"{len(machine.faults.events)} events)"
         )
+    _print_check_summary(engine)
     return 0
+
+
+def _print_check_summary(engine) -> None:
+    from repro.check import CheckedEngine
+
+    if isinstance(engine, CheckedEngine):
+        s = engine.stats
+        print(
+            f"checking          : {engine.config.describe()} "
+            f"({s['validated']} validations, {s['replayed']} replays, "
+            f"{s['mismatches']} mismatches)"
+        )
 
 
 def _cmd_trace(args) -> int:
@@ -308,7 +344,7 @@ def _cmd_trace(args) -> int:
     session = obs.enable()
     obs.set_modeled_clock(machine.ledger.critical_time)
     try:
-        engine = DistributedEngine(machine, policy=policy)
+        engine = DistributedEngine(machine, policy=policy, check=args.check)
         res = mfbc(
             g,
             batch_size=args.batch,
@@ -341,6 +377,7 @@ def _cmd_trace(args) -> int:
 
         print()
         print(format_fault_report(machine.faults))
+    _print_check_summary(engine)
     rec = obs.reconcile(session.tracer, machine.ledger)
     print(
         f"\nreconciliation: span modeled total "
@@ -390,12 +427,13 @@ def _cmd_verify(args) -> int:
         checks.append(("CombBLAS-style == Brandes", np.allclose(cb, ref, atol=1e-6)))
 
     if args.p > 1:
-        eng = DistributedEngine(Machine(args.p))
+        eng = DistributedEngine(Machine(args.p), check=args.check)
         dist = mfbc(g, sources=sources, engine=eng).scores
         checks.append(
             (f"MFBC (simulated p={args.p}) == sequential",
              np.allclose(dist, seq, atol=1e-6))
         )
+        _print_check_summary(eng)
 
     ok = True
     for label, passed in checks:

@@ -44,11 +44,52 @@ class DistributedEngine:
         SpGEMM selection policy (keyword-only); default :class:`AutoPolicy`
         (CTF-style model search).  Pass ``PinnedPolicy.ca_mfbc(p, c)`` for
         CA-MFBC or ``Square2DPolicy()`` for the CombBLAS restriction.
+    check:
+        Correctness checking (keyword-only): a
+        :class:`~repro.check.engine.CheckConfig`, a spec string
+        (``"cheap"`` / ``"full"`` / ``"sample:N"`` / ``"off"``), or ``None``
+        to fall back to ``machine.check`` and then the ``REPRO_CHECK``
+        environment variable.  When checking resolves on, the constructor
+        returns the engine wrapped in a
+        :class:`~repro.check.engine.CheckedEngine`; when off, nothing is
+        wrapped and the hot paths are exactly the unchecked ones.
     """
 
-    def __init__(
-        self, machine: Machine, *args, policy: SelectionPolicy | None = None
+    def __new__(
+        cls,
+        machine: Machine | None = None,
+        *args,
+        policy: SelectionPolicy | None = None,
+        check=None,
     ):
+        inner = super().__new__(cls)
+        if machine is None:  # bare __new__ (copy/pickle protocols): no wrap
+            return inner
+        from repro.check.engine import resolve_check_config
+
+        if check is not None:
+            # an explicit spec — including an explicit "off" — wins outright
+            cfg = resolve_check_config(check, env=False)
+        else:
+            cfg = resolve_check_config(getattr(machine, "check", None))
+        if cfg is None:
+            return inner
+        from repro.check.engine import CheckedEngine
+
+        # Returning a non-instance skips __init__, so run it by hand.
+        inner.__init__(machine, *args, policy=policy)
+        return CheckedEngine(inner, cfg)
+
+    def __init__(
+        self,
+        machine: Machine,
+        *args,
+        policy: SelectionPolicy | None = None,
+        check=None,
+    ):
+        if getattr(self, "_initialized", False):
+            return  # __new__ already ran __init__ before wrapping
+        self._initialized = True
         if args:
             # pre-audit signature: DistributedEngine(machine, policy)
             warnings.warn(

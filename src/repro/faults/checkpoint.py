@@ -36,11 +36,34 @@ __all__ = [
     "MemoryCheckpointStore",
     "JsonCheckpointStore",
     "NpzCheckpointStore",
+    "atomic_save_npz",
     "resolve_checkpoint_store",
     "sources_checksum",
     "stats_to_dicts",
     "stats_from_dicts",
 ]
+
+
+def atomic_save_npz(path, arrays: dict, meta: dict | None = None) -> None:
+    """Write ``arrays`` (plus an optional JSON ``meta`` blob under the key
+    ``"meta"``, stored as a uint8 array) to ``path`` atomically.
+
+    The write goes to ``path + ".tmp"`` and lands with ``os.replace``, so a
+    crash mid-write never corrupts an existing file.  Shared by the NPZ
+    checkpoint store and :mod:`repro.check.replay`'s repro-case emitter.
+    """
+    path = os.fspath(path)
+    payload = dict(arrays)
+    if meta is not None:
+        payload["meta"] = np.frombuffer(json.dumps(meta).encode(), dtype=np.uint8)
+    tmp = f"{path}.tmp"
+    try:
+        with open(tmp, "wb") as fh:
+            np.savez(fh, **payload)
+        os.replace(tmp, path)
+    finally:
+        if os.path.exists(tmp):  # failed mid-write; don't leave litter
+            os.remove(tmp)
 
 #: bump when the persisted layout changes incompatibly.
 CHECKPOINT_VERSION = 1
@@ -239,18 +262,11 @@ class NpzCheckpointStore(_FileStore):
     def save(self, state: CheckpointState) -> None:
         meta = state.to_payload()
         del meta["scores"]
-
-        def write(tmp: str) -> None:
-            with open(tmp, "wb") as fh:
-                np.savez(
-                    fh,
-                    scores=np.asarray(state.scores, dtype=np.float64),
-                    meta=np.frombuffer(
-                        json.dumps(meta).encode(), dtype=np.uint8
-                    ),
-                )
-
-        self._atomic_write(write)
+        atomic_save_npz(
+            self.path,
+            {"scores": np.asarray(state.scores, dtype=np.float64)},
+            meta=meta,
+        )
 
     def load(self) -> CheckpointState | None:
         try:

@@ -169,6 +169,14 @@ class Machine:
         An armed plan hooks the charge paths, the collectives' payload
         delivery, and the executor's batch dispatch; an inert plan (all
         rates zero, no script) costs the hot paths nothing.
+    check:
+        Default correctness-checking level for engines built on this
+        machine (keyword-only): a :class:`~repro.check.engine.CheckConfig`,
+        a spec string (``"cheap"`` / ``"full"`` / ``"sample:N"``), or
+        ``None`` to consult the ``REPRO_CHECK`` environment variable.
+        The machine itself never checks anything — the resolved config is
+        stored on ``self.check`` for :class:`~repro.dist.DistributedEngine`
+        to pick up at construction.
     """
 
     def __init__(
@@ -179,6 +187,7 @@ class Machine:
         memory_words: int | None = None,
         executor: "LocalExecutor | str | None" = None,
         faults: "FaultPlan | str | None" = None,
+        check=None,
     ) -> None:
         if args:
             # pre-executor signature: Machine(p, cost, memory_words)
@@ -212,6 +221,12 @@ class Machine:
         self.executor = resolve_executor(executor)
         if self._fault_hook is not None:
             self.executor.fault_plan = self.faults
+        if check is not None:
+            # deferred import: repro.check imports repro.dist → this module
+            from repro.check.engine import resolve_check_config
+
+            check = resolve_check_config(check, env=False)
+        self.check = check
         self.ledger = Ledger(self.p)
         self._mem_used = np.zeros(self.p, dtype=np.int64)
         self._mem_peak = np.zeros(self.p, dtype=np.int64)

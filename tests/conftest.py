@@ -1,29 +1,39 @@
-"""Shared fixtures and helpers for the test suite."""
+"""Shared fixtures and helpers for the test suite.
+
+Hypothesis settings are consolidated here into named profiles (the
+per-file ``@settings`` decorators are gone — see docs/testing.md):
+
+* ``ci`` (default) — ``deadline=None`` (CI machines stall unpredictably),
+  ``derandomize=True`` (a red CI run must be reproducible), 50 examples;
+* ``dev`` — randomized exploration for local bug-hunting, 50 examples;
+* ``thorough`` — randomized, 300 examples, for occasional deep sweeps.
+
+Select with ``HYPOTHESIS_PROFILE=dev pytest ...``.  Individual tests may
+still override ``max_examples`` where an example is unusually expensive
+(never the deadline or derandomization).
+"""
 
 from __future__ import annotations
 
+import os
+
 import numpy as np
 import pytest
+from hypothesis import settings
 
-from repro.algebra.monoid import MinMonoid
-from repro.graphs import (
-    Graph,
-    uniform_random_graph_nm,
-    with_random_weights,
-)
-from repro.sparse import SpMat
+from repro.check.strategies import WEIGHT_MONOID, random_weight_spmat
+from repro.graphs import Graph, uniform_random_graph_nm, with_random_weights
 
-WEIGHT = MinMonoid()
+settings.register_profile("ci", deadline=None, derandomize=True, max_examples=50)
+settings.register_profile("dev", deadline=None, max_examples=50)
+settings.register_profile("thorough", deadline=None, max_examples=300)
+settings.load_profile(os.environ.get("HYPOTHESIS_PROFILE", "ci"))
 
+#: re-exported so existing ``from conftest import ...`` users keep working;
+#: the canonical home is :mod:`repro.check.strategies`.
+WEIGHT = WEIGHT_MONOID
 
-def random_weight_spmat(
-    rng: np.random.Generator, m: int, n: int, density: float
-) -> SpMat:
-    """A random single-field (tropical weight) sparse matrix."""
-    mask = rng.random((m, n)) < density
-    r, c = mask.nonzero()
-    vals = rng.integers(1, 20, len(r)).astype(np.float64)
-    return SpMat(m, n, r, c, {"w": vals}, WEIGHT)
+__all__ = ["WEIGHT", "random_weight_spmat"]
 
 
 @pytest.fixture

@@ -21,33 +21,20 @@ from hypothesis import given, settings
 from hypothesis import strategies as st
 
 from repro.algebra import MULTPATH, TROPICAL, MatMulSpec, bellman_ford_action
-from repro.algebra.monoid import MinMonoid
+from repro.baselines import brandes_bc
+from repro.check.strategies import WEIGHT_MONOID as W
+from repro.check.strategies import graphs, pipelines
+from repro.core import mfbc
 from repro.core.engine import SequentialEngine
 from repro.dist import DistributedEngine
+from repro.graphs import Graph
 from repro.machine import Machine
 from repro.machine.executor import ProcessExecutor, SerialExecutor, ThreadExecutor
 from repro.spgemm import Plan
 from repro.spgemm.selector import PinnedPolicy
 
-W = MinMonoid()
 TROP = TROPICAL.matmul_spec()
 BF = MatMulSpec(MULTPATH, bellman_ford_action, "bf")
-
-
-@st.composite
-def pipelines(draw):
-    """(n, seed, p, ops) — a random program over n×n weight matrices."""
-    n = draw(st.integers(6, 18))
-    seed = draw(st.integers(0, 10_000))
-    p = draw(st.sampled_from([2, 3, 4, 6, 8]))
-    ops = draw(
-        st.lists(
-            st.sampled_from(["mul", "combine", "filter", "map", "transpose"]),
-            min_size=1,
-            max_size=5,
-        )
-    )
-    return n, seed, p, ops
 
 
 def _rand_mat(engine, rng, n):
@@ -77,7 +64,6 @@ def _run(engine, n, seed, ops):
 
 
 @given(pipelines())
-@settings(max_examples=40, deadline=None)
 def test_random_pipelines_agree(pipeline):
     n, seed, p, ops = pipeline
     ref = _run(SequentialEngine(), n, seed, ops)
@@ -86,7 +72,7 @@ def test_random_pipelines_agree(pipeline):
 
 
 @given(st.integers(0, 5000), st.sampled_from([2, 4, 9]))
-@settings(max_examples=20, deadline=None)
+@settings(max_examples=20)
 def test_multpath_product_chain_agrees(seed, p):
     """Chains of Bellman-Ford products (the MFBC inner loop shape)."""
     n = 14
@@ -140,7 +126,7 @@ def executors():
 
 
 @given(pipelines())
-@settings(max_examples=10, deadline=None)
+@settings(max_examples=10)
 def test_pipelines_agree_across_executors(executors, pipeline):
     n, seed, p, ops = pipeline
     ref = _run(SequentialEngine(), n, seed, ops)
@@ -170,7 +156,7 @@ PLANS_P4 = [
 
 
 @given(st.integers(0, 5000), st.sampled_from(PLANS_P4))
-@settings(max_examples=18, deadline=None)
+@settings(max_examples=18)
 def test_variant_classes_agree_across_executors(executors, seed, plan):
     """Every §5.2 variant class, every backend: same matrix, same ledger."""
     n = 16
@@ -202,3 +188,67 @@ def test_variant_classes_agree_across_executors(executors, seed, plan):
         got, snap = run(ex)
         assert got.equals(ref_mat), (seed, plan.describe(), ex.name)
         assert snap == ref_snap, (seed, plan.describe(), ex.name)
+
+
+# ---------------------------------------------------------------------------
+# weighted-graph and degenerate-graph edge cases, cross-executor × variants
+# ---------------------------------------------------------------------------
+
+
+@given(graphs(weighted=True, max_n=12))
+@settings(max_examples=15)
+def test_weighted_mfbc_agrees_across_engines(g):
+    """Weighted BC: sequential vs distributed, any auto-selected plan."""
+    ref = mfbc(g).scores
+    got = mfbc(g, engine=DistributedEngine(Machine(4), check="full")).scores
+    assert np.allclose(got, ref, atol=1e-8)
+    assert np.allclose(ref, brandes_bc(g), atol=1e-8)
+
+
+def _edge_case_graphs():
+    """Degenerate shapes the uniform fuzzers rarely hit."""
+    empty = Graph(3, np.array([], dtype=np.int64), np.array([], dtype=np.int64))
+    singleton = Graph(1, np.array([], dtype=np.int64), np.array([], dtype=np.int64))
+    self_loops = Graph(
+        4,
+        np.array([0, 1, 1, 2], dtype=np.int64),
+        np.array([0, 1, 2, 3], dtype=np.int64),
+    )
+    disconnected = Graph(
+        6,
+        np.array([0, 1, 3, 4], dtype=np.int64),
+        np.array([1, 2, 4, 5], dtype=np.int64),
+        np.array([2.0, 1.0, 1.0, 3.0]),
+    )
+    return {
+        "empty": empty,
+        "singleton": singleton,
+        "self_loops": self_loops,
+        "disconnected_weighted": disconnected,
+    }
+
+
+@pytest.mark.parametrize("case", sorted(_edge_case_graphs()))
+def test_edge_case_graphs_agree_across_executors(executors, case):
+    """Empty / singleton / self-loop / disconnected graphs: every backend
+    produces the sequential scores, under full checking."""
+    g = _edge_case_graphs()[case]
+    ref = mfbc(g).scores
+    assert np.allclose(ref, brandes_bc(g), atol=1e-12)
+    for ex in executors:
+        engine = DistributedEngine(Machine(4, executor=ex), check="full")
+        got = mfbc(g, engine=engine).scores
+        assert np.allclose(got, ref, atol=1e-12), (case, ex.name)
+
+
+@pytest.mark.parametrize("plan", PLANS_P4, ids=lambda p: p.describe())
+def test_edge_cases_under_every_variant(plan):
+    """Degenerate frontier shapes through every §5.2 variant class."""
+    cases = _edge_case_graphs()
+    for name, g in cases.items():
+        engine = DistributedEngine(
+            Machine(4), policy=PinnedPolicy(plan), check="full"
+        )
+        got = mfbc(g, engine=engine).scores
+        ref = mfbc(g).scores
+        assert np.allclose(got, ref, atol=1e-12), (name, plan.describe())

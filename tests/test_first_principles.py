@@ -13,13 +13,11 @@ paper's definitions literally:
 then check MFBF and MFBC against them.
 """
 
-import itertools
-
 import numpy as np
 import pytest
-from hypothesis import assume, given, settings
-from hypothesis import strategies as st
+from hypothesis import given
 
+from repro.check.strategies import tiny_graphs
 from repro.core import mfbc, mfbf
 from repro.graphs import Graph
 
@@ -77,36 +75,7 @@ def brute_bc(graph: Graph) -> np.ndarray:
     return lam
 
 
-def small_graphs():
-    return graphs_strategy()
-
-
-@st.composite
-def graphs_strategy(draw):
-    n = draw(st.integers(3, 7))
-    pairs = list(itertools.permutations(range(n), 2))
-    nedges = draw(st.integers(2, min(len(pairs), 12)))
-    chosen = draw(
-        st.lists(
-            st.sampled_from(pairs), min_size=nedges, max_size=nedges
-        )
-    )
-    src = np.array([e[0] for e in chosen], dtype=np.int64)
-    dst = np.array([e[1] for e in chosen], dtype=np.int64)
-    assume(len(np.unique(src * n + dst)) >= 2)
-    directed = draw(st.booleans())
-    weighted = draw(st.booleans())
-    weight = None
-    if weighted:
-        weight = np.array(
-            draw(st.lists(st.integers(1, 4), min_size=nedges, max_size=nedges)),
-            dtype=np.float64,
-        )
-    return Graph(n, src, dst, weight, directed=directed)
-
-
-@given(small_graphs())
-@settings(max_examples=50, deadline=None)
+@given(tiny_graphs())
 def test_mfbf_matches_path_enumeration(g):
     tau_ref, paths = enumerate_shortest(g)
     t = mfbf(g.adjacency(), np.arange(g.n, dtype=np.int64))
@@ -121,8 +90,7 @@ def test_mfbf_matches_path_enumeration(g):
         assert sigma[s, tt] == len(plist), (s, tt)
 
 
-@given(small_graphs())
-@settings(max_examples=50, deadline=None)
+@given(tiny_graphs())
 def test_mfbc_matches_definition(g):
     got = mfbc(g, batch_size=max(g.n // 2, 1)).scores
     ref = brute_bc(g)

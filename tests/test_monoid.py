@@ -208,7 +208,7 @@ def multpath_elem(draw):
 
 
 @given(st.lists(multpath_elem(), min_size=1, max_size=30))
-@settings(max_examples=100, deadline=None)
+@settings(max_examples=100)
 def test_multpath_reduce_equals_fold(elems):
     keys = np.zeros(len(elems), dtype=np.int64)
     vals = MULTPATH.make([e[0] for e in elems], [e[1] for e in elems])
@@ -241,7 +241,7 @@ def test_multpath_reduce_equals_fold(elems):
         max_size=40,
     )
 )
-@settings(max_examples=100, deadline=None)
+@settings(max_examples=100)
 def test_centpath_reduce_matches_generic(items):
     keys = np.array([k for k, _, _ in items], dtype=np.int64)
     vals = CENTPATH.make(

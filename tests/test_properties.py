@@ -9,51 +9,16 @@ whole reproduction rests on:
 """
 
 import numpy as np
-from hypothesis import assume, given, settings
+from hypothesis import given, settings
 from hypothesis import strategies as st
 
 from repro.baselines import brandes_bc, combblas_bc
 from repro.baselines.sssp import bfs_sssp, dijkstra_sssp
+from repro.check.strategies import graphs
 from repro.core import mfbc, mfbf
-from repro.graphs import Graph
-
-
-@st.composite
-def graphs(draw, weighted=None, max_n=14):
-    n = draw(st.integers(min_value=2, max_value=max_n))
-    max_edges = n * (n - 1) // 2
-    nedges = draw(st.integers(min_value=1, max_value=min(max_edges, 3 * n)))
-    edges = draw(
-        st.lists(
-            st.tuples(
-                st.integers(0, n - 1),
-                st.integers(0, n - 1),
-            ),
-            min_size=nedges,
-            max_size=nedges,
-        )
-    )
-    src = np.array([e[0] for e in edges], dtype=np.int64)
-    dst = np.array([e[1] for e in edges], dtype=np.int64)
-    assume(np.any(src != dst))
-    directed = draw(st.booleans())
-    if weighted is None:
-        weighted = draw(st.booleans())
-    weight = None
-    if weighted:
-        weight = np.array(
-            draw(
-                st.lists(
-                    st.integers(1, 5), min_size=nedges, max_size=nedges
-                )
-            ),
-            dtype=np.float64,
-        )
-    return Graph(n, src, dst, weight, directed=directed)
 
 
 @given(graphs())
-@settings(max_examples=60, deadline=None)
 def test_mfbc_equals_brandes(g):
     got = mfbc(g, batch_size=max(g.n // 3, 1)).scores
     ref = brandes_bc(g)
@@ -61,7 +26,6 @@ def test_mfbc_equals_brandes(g):
 
 
 @given(graphs(weighted=False))
-@settings(max_examples=40, deadline=None)
 def test_combblas_equals_brandes(g):
     got = combblas_bc(g, batch_size=max(g.n // 2, 1)).scores
     ref = brandes_bc(g)
@@ -69,7 +33,6 @@ def test_combblas_equals_brandes(g):
 
 
 @given(graphs(), st.integers(0, 1000))
-@settings(max_examples=60, deadline=None)
 def test_mfbf_equals_sssp_oracle(g, source_seed):
     s = source_seed % g.n
     t = mfbf(g.adjacency(), np.array([s], dtype=np.int64))
@@ -84,7 +47,7 @@ def test_mfbf_equals_sssp_oracle(g, source_seed):
 
 
 @given(graphs(max_n=10), st.integers(1, 5))
-@settings(max_examples=30, deadline=None)
+@settings(max_examples=30)
 def test_batch_size_never_changes_scores(g, nb):
     ref = mfbc(g, batch_size=g.n).scores
     got = mfbc(g, batch_size=nb).scores
@@ -92,7 +55,7 @@ def test_batch_size_never_changes_scores(g, nb):
 
 
 @given(graphs(max_n=10))
-@settings(max_examples=25, deadline=None)
+@settings(max_examples=25)
 def test_scores_nonnegative_and_endpoint_free(g):
     scores = mfbc(g).scores
     assert np.all(scores >= -1e-12)

@@ -2,7 +2,7 @@
 
 import numpy as np
 import pytest
-from hypothesis import given, settings
+from hypothesis import given
 from hypothesis import strategies as st
 
 from repro.algebra import MULTPATH, REAL_PLUS_TIMES, TROPICAL, MatMulSpec
@@ -11,7 +11,7 @@ from repro.algebra.monoid import MinMonoid
 from repro.sparse import SpMat, spgemm, spgemm_with_ops
 from repro.sparse.spgemm import _chunk_bounds, count_ops
 
-from conftest import random_weight_spmat
+from repro.check.strategies import random_weight_spmat
 
 W = MinMonoid()
 
@@ -166,7 +166,6 @@ class TestMultpathProduct:
     st.integers(2, 10),
     st.integers(0, 10_000),
 )
-@settings(max_examples=40, deadline=None)
 def test_tropical_property(m, k, n, seed):
     rng = np.random.default_rng(seed)
     a = random_weight_spmat(rng, m, k, 0.4)

@@ -203,7 +203,6 @@ class TestContractionProperties:
         st.integers(2, 5),
         st.integers(2, 4),
     )
-    @settings(max_examples=40, deadline=None)
     def test_order3_matrix_einsum(self, seed, i, j, k, l):
         rng = np.random.default_rng(seed)
         a = random_tensor(rng, (i, j, k), 0.4)
@@ -213,7 +212,7 @@ class TestContractionProperties:
         assert np.allclose(dense(c), ref)
 
     @given(st.integers(0, 5000))
-    @settings(max_examples=30, deadline=None)
+    @settings(max_examples=30)
     def test_all_output_permutations(self, seed):
         rng = np.random.default_rng(seed)
         a = random_tensor(rng, (3, 4), 0.5)
