@@ -74,9 +74,17 @@ from repro.core import (
     mfbr,
 )
 from repro.dist import DistMat, DistributedEngine
+from repro.elastic import (
+    ElasticPolicy,
+    RecoveryError,
+    RecoveryReport,
+    resolve_elastic,
+)
 from repro.faults import (
     CheckpointStore,
+    CorruptCheckpoint,
     CorruptPayload,
+    DeadlineExceeded,
     FaultError,
     FaultEvent,
     FaultPlan,
@@ -187,13 +195,20 @@ __all__ = [
     "RankFailure",
     "CorruptPayload",
     "WorkerPoolDied",
+    "DeadlineExceeded",
     "resolve_fault_plan",
     "format_fault_report",
     "CheckpointStore",
+    "CorruptCheckpoint",
     "MemoryCheckpointStore",
     "JsonCheckpointStore",
     "NpzCheckpointStore",
     "resolve_checkpoint_store",
+    # elastic recovery
+    "ElasticPolicy",
+    "resolve_elastic",
+    "RecoveryError",
+    "RecoveryReport",
     # spgemm plans
     "Plan",
     "AutoPolicy",

@@ -339,6 +339,43 @@ def check_ledger(
     cost = machine.cost
     out: list[Violation] = []
 
+    # after an elastic shrink every per-rank array must have been compacted
+    # in lockstep — a stale length means some accounting escaped the shrink
+    for name in ("time", "comm_time", "words", "msgs", "compute_per_rank"):
+        arr = getattr(led, name)
+        if len(arr) != machine.p:
+            out.append(
+                Violation(
+                    site,
+                    "shape",
+                    f"ledger array {name!r} has {len(arr)} entries for a "
+                    f"machine with p={machine.p}",
+                    {"len": len(arr), "p": machine.p},
+                )
+            )
+    for name, arr in (("memory_used", machine._mem_used), ("memory_peak", machine._mem_peak)):
+        if len(arr) != machine.p:
+            out.append(
+                Violation(
+                    site,
+                    "shape",
+                    f"{name} has {len(arr)} entries for a machine with "
+                    f"p={machine.p}",
+                    {"len": len(arr), "p": machine.p},
+                )
+            )
+    if led.p != machine.p:
+        out.append(
+            Violation(
+                site,
+                "shape",
+                "ledger.p disagrees with machine.p",
+                {"ledger_p": led.p, "p": machine.p},
+            )
+        )
+    if out:
+        return out
+
     for name in ("time", "comm_time", "words", "msgs", "compute_per_rank"):
         out += _nonneg_finite(getattr(led, name), name, site)
     for name in ("total_words", "total_msgs", "compute_ops"):

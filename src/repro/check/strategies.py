@@ -48,6 +48,7 @@ __all__ = [
     "tiny_graphs",
     "generated_graphs",
     "grids",
+    "survivor_sets",
     "matmul_specs",
     "pipelines",
 ]
@@ -249,6 +250,28 @@ def grids(draw, p: int | None = None, max_p: int = 8) -> np.ndarray:
     pr, pc = draw(st.sampled_from(shapes))
     perm = draw(st.permutations(range(p)))
     return np.array(perm, dtype=np.int64).reshape(pr, pc)
+
+
+@st.composite
+def survivor_sets(
+    draw, p: int | None = None, min_p: int = 2, max_p: int = 12
+) -> tuple[int, tuple[int, ...]]:
+    """``(p, dead)`` — a machine size and a proper subset of failed ranks.
+
+    At least one rank dies and at least one survives, covering the shapes
+    elastic recovery must renumber (:func:`repro.machine.grid.survivor_map`):
+    single failures, bursts, failures at the boundary ranks 0 and ``p-1``,
+    and owner+buddy pairs.
+    """
+    if p is None:
+        p = draw(st.integers(min_p, max_p))
+    n_dead = draw(st.integers(1, p - 1))
+    dead = draw(
+        st.lists(
+            st.integers(0, p - 1), min_size=n_dead, max_size=n_dead, unique=True
+        )
+    )
+    return p, tuple(sorted(dead))
 
 
 def matmul_specs() -> st.SearchStrategy[MatMulSpec]:

@@ -116,6 +116,21 @@ def build_parser() -> argparse.ArgumentParser:
         help="correctness checking: cheap, full, or sample:N "
         "(see docs/testing.md); default: $REPRO_CHECK or off",
     )
+    p_sim.add_argument(
+        "--deadline",
+        type=float,
+        default=None,
+        metavar="SECONDS",
+        help="modeled critical-path time budget; the run aborts with "
+        "DeadlineExceeded once the clock passes it",
+    )
+    p_sim.add_argument(
+        "--elastic",
+        default=None,
+        metavar="POLICY",
+        help="in-flight rank-failure recovery: replica, replica:STRIDE, or "
+        "source (see docs/robustness.md); default: $REPRO_ELASTIC or off",
+    )
 
     p_tr = sub.add_parser(
         "trace",
@@ -164,6 +179,21 @@ def build_parser() -> argparse.ArgumentParser:
         metavar="LEVEL",
         help="correctness checking: cheap, full, or sample:N "
         "(see docs/testing.md); default: $REPRO_CHECK or off",
+    )
+    p_tr.add_argument(
+        "--deadline",
+        type=float,
+        default=None,
+        metavar="SECONDS",
+        help="modeled critical-path time budget; the run aborts with "
+        "DeadlineExceeded once the clock passes it",
+    )
+    p_tr.add_argument(
+        "--elastic",
+        default=None,
+        metavar="POLICY",
+        help="in-flight rank-failure recovery: replica, replica:STRIDE, or "
+        "source (see docs/robustness.md); default: $REPRO_ELASTIC or off",
     )
 
     p_info = sub.add_parser("info", help="graph statistics")
@@ -278,7 +308,13 @@ def _cmd_simulate(args) -> int:
     from repro.spgemm import PinnedPolicy, Square2DPolicy
 
     g = _load(args.graph, args.directed)
-    machine = Machine(args.p, executor=args.executor, faults=args.faults)
+    machine = Machine(
+        args.p,
+        executor=args.executor,
+        faults=args.faults,
+        deadline=args.deadline,
+        elastic=args.elastic,
+    )
     policy = None
     if args.policy == "ca":
         policy = PinnedPolicy.ca_mfbc(args.p, args.c)
@@ -309,8 +345,20 @@ def _cmd_simulate(args) -> int:
             f"({machine.faults.injected} injected, "
             f"{len(machine.faults.events)} events)"
         )
+    _print_recovery_summary(machine)
     _print_check_summary(engine)
     return 0
+
+
+def _print_recovery_summary(machine) -> None:
+    for rep in getattr(machine, "recoveries", ()):
+        print(
+            f"recovery          : p {rep.p_before} -> {rep.p_after}; "
+            f"dead={list(rep.dead)} retired={list(rep.retired)}; "
+            f"blocks repaired: {rep.blocks_replica} replica, "
+            f"{rep.blocks_source} source "
+            f"({rep.words_restored:.0f} words)"
+        )
 
 
 def _print_check_summary(engine) -> None:
@@ -334,7 +382,13 @@ def _cmd_trace(args) -> int:
     from repro.spgemm import PinnedPolicy, Square2DPolicy
 
     g = _load(args.graph, args.directed)
-    machine = Machine(args.p, executor=args.executor, faults=args.faults)
+    machine = Machine(
+        args.p,
+        executor=args.executor,
+        faults=args.faults,
+        deadline=args.deadline,
+        elastic=args.elastic,
+    )
     policy = None
     if args.policy == "ca":
         policy = PinnedPolicy.ca_mfbc(args.p, args.c)
@@ -377,6 +431,7 @@ def _cmd_trace(args) -> int:
 
         print()
         print(format_fault_report(machine.faults))
+    _print_recovery_summary(machine)
     _print_check_summary(engine)
     rec = obs.reconcile(session.tracer, machine.ledger)
     print(

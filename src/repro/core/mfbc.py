@@ -18,6 +18,18 @@ uninterrupted run, because partial sums accumulate in the same order
 either way.  Injected failures (:class:`~repro.faults.FaultError`) inside
 a batch are retried up to ``retries`` times with exponential backoff
 charged to the machine's modeled clock.
+
+When the machine carries an :class:`~repro.elastic.ElasticPolicy`, a
+:class:`~repro.faults.RankFailure` takes the elastic path before burning a
+retry: the engine shrinks onto the survivors
+(:meth:`~repro.dist.engine.DistributedEngine.recover_from`) and only the
+interrupted batch re-executes — no restart, and the final scores stay
+bit-identical because completed batches' partial sums are untouched.
+Recovery never consumes retry budget (each success strictly shrinks ``p``,
+so storms terminate); when recovery itself is impossible
+(:class:`~repro.elastic.RecoveryError`) the driver falls back to the plain
+retry ladder.  :class:`~repro.faults.DeadlineExceeded` is terminal by
+design — retrying a blown time budget would only spin.
 """
 
 from __future__ import annotations
@@ -40,7 +52,7 @@ from repro.faults.checkpoint import (
     stats_from_dicts,
     stats_to_dicts,
 )
-from repro.faults.plan import FaultError
+from repro.faults.plan import DeadlineExceeded, FaultError, RankFailure
 from repro.graphs.graph import Graph
 from repro.obs import api as obs
 
@@ -231,6 +243,25 @@ def mfbc(
                             delta = _accumulate(engine, graph.n, batch, t_mat, z_mat)
                     break
                 except FaultError as exc:
+                    if isinstance(exc, DeadlineExceeded):
+                        if plan is not None:
+                            plan.note(
+                                "batch",
+                                "abandoned",
+                                site="mfbc",
+                                index=batch_index,
+                                attempts=attempt + 1,
+                                error="DeadlineExceeded",
+                            )
+                        raise
+                    if (
+                        isinstance(exc, RankFailure)
+                        and machine is not None
+                        and getattr(machine, "elastic", None) is not None
+                        and getattr(engine, "recover_from", None) is not None
+                        and _elastic_recover(engine, machine, exc, plan, batch_index)
+                    ):
+                        continue  # re-execute only this batch on the survivors
                     attempt += 1
                     if attempt > retries:
                         if plan is not None:
@@ -282,6 +313,39 @@ def mfbc(
     return MFBCResult(
         scores=scores, stats=stats, batch_size=batch_size, elapsed_seconds=elapsed
     )
+
+
+def _elastic_recover(engine, machine, failure, plan, batch_index) -> bool:
+    """One elastic recovery attempt; True means the batch can re-execute."""
+    # deferred import: the coordinator pulls in repro.dist
+    from repro.elastic.recovery import RecoveryError
+
+    try:
+        report = engine.recover_from(failure)
+    except RecoveryError as err:
+        if plan is not None:
+            plan.note(
+                "crash",
+                "degraded",
+                site="mfbc",
+                rank=getattr(failure, "rank", None),
+                reason=str(err),
+            )
+        elif obs.enabled():
+            obs.count("elastic.fallbacks", 1.0)
+        return False
+    if plan is not None:
+        plan.note(
+            "batch",
+            "recovered",
+            site="mfbc",
+            index=batch_index,
+            mode="elastic",
+            p=report.p_after,
+        )
+    elif obs.enabled():
+        obs.count("faults.recovered", 1.0, kind="batch", mode="elastic")
+    return True
 
 
 def _accumulate(engine, n, batch, t_mat, z_mat) -> np.ndarray:

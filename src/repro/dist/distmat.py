@@ -94,6 +94,9 @@ class DistMat:
         "nrows",
         "ncols",
         "_cached_t",
+        "redundancy",
+        "_replicas",
+        "_source",
     )
 
     def __init__(
@@ -135,6 +138,12 @@ class DistMat:
         self.nrows = int(row_splits[-1])
         self.ncols = int(col_splits[-1])
         self._cached_t: "DistMat | None" = None
+        #: elastic redundancy (set by :meth:`distribute` when the machine
+        #: runs with an ElasticPolicy): the policy, the per-block checksummed
+        #: buddy replicas, and the source matrix for re-materialization
+        self.redundancy = None
+        self._replicas: dict | None = None
+        self._source: SpMat | None = None
 
     # -- construction -----------------------------------------------------------
 
@@ -148,12 +157,21 @@ class DistMat:
         row_splits: np.ndarray | None = None,
         col_splits: np.ndarray | None = None,
         charge: bool = True,
+        redundancy=None,
     ) -> "DistMat":
         """Scatter a node-local matrix into blocks (root-owned input).
 
-        ``row_splits`` / ``col_splits`` / ``charge`` are keyword-only.
-        Charged as a scatter where the root owns the whole matrix —
-        the bulk-synchronous graph input path (CTF ``Tensor::write``).
+        ``row_splits`` / ``col_splits`` / ``charge`` / ``redundancy`` are
+        keyword-only.  Charged as a scatter where the root owns the whole
+        matrix — the bulk-synchronous graph input path (CTF
+        ``Tensor::write``).
+
+        ``redundancy`` (an :class:`~repro.elastic.ElasticPolicy`) arms
+        elastic recovery for this matrix: under ``"replica"`` every block is
+        copied to a buddy rank with a CRC-32 checksum and the replication
+        collective is charged to the ledger (category ``"redundancy"``);
+        under ``"source"`` the source matrix is retained for lost-block
+        re-materialization at zero steady-state cost.
         """
         if args:
             warnings.warn(
@@ -195,7 +213,105 @@ class DistMat:
                 machine.charge_collective(
                     flat_ranks, mat.words(), weight=1.0, category="input"
                 )
-        return cls(machine, ranks2d, row_splits, col_splits, blocks, monoid=mat.monoid)
+        out = cls(machine, ranks2d, row_splits, col_splits, blocks, monoid=mat.monoid)
+        if redundancy is not None:
+            out._install_redundancy(mat, redundancy, charge=charge)
+        return out
+
+    def _install_redundancy(self, source: SpMat, policy, *, charge: bool = True) -> None:
+        """Arm this matrix for elastic repair under ``policy``.
+
+        Replica mode ships every rank's blocks to its buddy
+        ``(owner + stride) % p`` — one shift collective, charged by the
+        busiest sender (category ``"redundancy"``) — and records a CRC-32
+        per replica so repair can verify integrity before trusting it.
+        The source handle is kept in both modes as the re-materialization
+        fallback.
+        """
+        from repro.faults.plan import payload_checksum
+
+        self.redundancy = policy
+        self._source = source
+        if policy.redundancy != "replica":
+            return
+        p = self.machine.p
+        pr, pc = self.grid_shape
+        replicas: dict[tuple[int, int], tuple[int, int, SpMat]] = {}
+        shipped = np.zeros(p)
+        for i in range(pr):
+            for j in range(pc):
+                owner = int(self.ranks2d[i, j])
+                buddy = (owner + policy.stride) % p
+                blk = self.blocks[i][j]
+                replicas[(i, j)] = (buddy, payload_checksum(blk), blk)
+                if buddy != owner:
+                    shipped[owner] += blk.words()
+        self._replicas = replicas
+        if charge and p > 1 and shipped.max() > 0:
+            self.machine.charge_collective(
+                np.arange(p),
+                float(shipped.max()),
+                weight=1.0,
+                category="redundancy",
+            )
+
+    def repair_lost(self, dead) -> dict[str, int]:
+        """Reconstruct blocks owned by ``dead`` ranks, in place.
+
+        Primary path: the checksummed buddy replica (skipped when the buddy
+        died too or the CRC no longer matches); fallback: re-slicing the
+        retained source matrix.  Raises
+        :class:`~repro.elastic.RecoveryError` when a lost block has neither.
+        Returns repair statistics (``replica`` / ``source`` block counts and
+        restored ``words``).
+        """
+        from repro.elastic.recovery import RecoveryError
+        from repro.faults.plan import payload_checksum
+
+        dead = set(int(r) for r in dead)
+        stats = {"replica": 0, "source": 0, "words": 0}
+        pr, pc = self.grid_shape
+        for i in range(pr):
+            for j in range(pc):
+                owner = int(self.ranks2d[i, j])
+                if owner not in dead:
+                    continue
+                blk = None
+                rep = (self._replicas or {}).get((i, j))
+                if rep is not None:
+                    buddy, crc, copy_ = rep
+                    if buddy not in dead and payload_checksum(copy_) == crc:
+                        blk = copy_
+                        stats["replica"] += 1
+                if blk is None and self._source is not None:
+                    blk = self._source.block(
+                        int(self.row_splits[i]),
+                        int(self.row_splits[i + 1]),
+                        int(self.col_splits[j]),
+                        int(self.col_splits[j + 1]),
+                    )
+                    stats["source"] += 1
+                if blk is None:
+                    raise RecoveryError(
+                        f"block ({i},{j}) lost with rank {owner}: no live "
+                        f"replica and no retained source to rebuild from"
+                    )
+                self.blocks[i][j] = blk
+                stats["words"] += blk.words()
+        self._cached_t = None
+        return stats
+
+    def _adopt(self, other: "DistMat") -> None:
+        """Become ``other`` in place (all slots copied).
+
+        Elastic recovery rebuilds an invariant matrix on the shrunken grid
+        and adopts it into the original object, so long-lived references
+        (the MFBC driver's adjacency, the engine's invariant registry) stay
+        valid across the reconfiguration.
+        """
+        for slot in self.__slots__:
+            setattr(self, slot, getattr(other, slot))
+        self._cached_t = None
 
     @classmethod
     def from_triples(

@@ -119,6 +119,9 @@ class DistributedEngine:
         self._invariant_ids: set[int] = set()
         # strong references keep invariant ids from being recycled by the GC
         self._invariants: list[DistMat] = []
+        # the registered base matrices (not their transposes): what elastic
+        # recovery repairs and rebuilds on the survivor grid
+        self._invariant_bases: list[DistMat] = []
         #: plans chosen per product, newest last (diagnostics / tests)
         self.plan_log: list = []
 
@@ -138,7 +141,10 @@ class DistributedEngine:
 
     def adjacency(self, graph) -> DistMat:
         mat = DistMat.distribute(
-            graph.adjacency(), self.machine, self.home_ranks2d
+            graph.adjacency(),
+            self.machine,
+            self.home_ranks2d,
+            redundancy=self.machine.elastic,
         )
         self.register_invariant(mat)
         return mat
@@ -146,6 +152,7 @@ class DistributedEngine:
     def register_invariant(self, mat: DistMat) -> None:
         """Mark ``mat`` (and its memoized transpose) as loop-invariant."""
         self._invariants.extend([mat, mat.transpose()])
+        self._invariant_bases.append(mat)
         self._invariant_ids.add(id(mat))
         self._invariant_ids.add(id(mat.transpose()))
 
@@ -222,6 +229,23 @@ class DistributedEngine:
         self.machine.reset_memory()
         if obs.enabled():
             obs.count("engine.recoveries", 1.0)
+
+    def recover_from(self, failure):
+        """Elastic recovery: shrink onto the survivors of ``failure``.
+
+        Repairs the dead ranks' invariant blocks (checksummed replicas,
+        falling back to source re-materialization), shrinks the machine to
+        the nearest grid the selection policy can run on, rebuilds the home
+        layout and every registered invariant there, and returns the
+        :class:`~repro.elastic.RecoveryReport`.  Requires
+        ``machine.elastic``; raises
+        :class:`~repro.elastic.RecoveryError` when reconstruction is
+        impossible (caller falls back to retry/restart).
+        """
+        # deferred import: repro.elastic.recovery imports this module
+        from repro.elastic.recovery import recover_engine
+
+        return recover_engine(self, failure)
 
 
 if TYPE_CHECKING:

@@ -1,0 +1,206 @@
+"""The recovery coordinator: shrink, repair, rebuild, resume.
+
+When a collective raises :class:`~repro.faults.RankFailure` and the machine
+carries an :class:`~repro.elastic.ElasticPolicy`, the MFBC driver hands the
+engine to :func:`recover_engine`, which runs the four-step protocol of the
+elastic design:
+
+1. **Freeze** — synchronize the survivors' modeled clocks (a real recovery
+   begins with failure detection + agreement, a barrier-class event) and
+   open a ``recovery`` span in :mod:`repro.obs` linked to the fault step.
+2. **Shrink** — pick the nearest rank count ``p' ≤ p - |dead|`` the active
+   selection policy is feasible on (:func:`~repro.machine.grid.nearest_feasible_p`);
+   survivors beyond ``p'`` are *retired* (alive but excluded, like MPI
+   ranks outside the shrunken communicator).  :meth:`Machine.shrink
+   <repro.machine.machine.Machine.shrink>` compacts the ledger onto the
+   survivor numbering.
+3. **Repair + rebuild** — every registered invariant matrix repairs its
+   lost blocks in place (checksummed buddy replicas first, source
+   re-materialization as fallback), then is redistributed onto the new
+   near-square home grid; the redistribution traffic is charged honestly
+   (category ``"recovery"``) and redundancy is re-established for the
+   shrunken grid.  Rebuilt matrices are *adopted* into the original
+   objects, so references held by the driver stay valid.
+4. **Resume** — the policy is rescaled to ``p'``, the replication cache is
+   dropped, memory accounting resets, and the driver re-executes only the
+   interrupted batch.
+
+Determinism: the survivor set is a pure function of the seeded fault plan,
+and every step here (grid choice, block repair, redistribution order) is
+deterministic given that set — so seeded runs make identical recovery
+decisions, and the recomputed batch is bit-identical to a fault-free one.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+import numpy as np
+
+from repro.obs import api as obs
+
+__all__ = ["RecoveryError", "RecoveryReport", "recover_engine"]
+
+
+class RecoveryError(RuntimeError):
+    """Elastic recovery could not reconstruct the lost state.
+
+    Raised when a lost block has no live replica and no retained source,
+    or no feasible survivor grid exists.  Callers fall back to the next
+    rung of the robustness ladder (retry from checkpoint, then abort).
+    """
+
+
+@dataclass(frozen=True)
+class RecoveryReport:
+    """What one completed recovery did (appended to ``machine.recoveries``)."""
+
+    dead: tuple[int, ...]  # failed ranks (old numbering)
+    retired: tuple[int, ...]  # alive ranks shed to reach a feasible grid
+    p_before: int
+    p_after: int
+    blocks_replica: int = 0  # lost blocks restored from checksummed replicas
+    blocks_source: int = 0  # lost blocks re-materialized from the source
+    words_restored: int = 0
+    detail: dict = field(default_factory=dict)
+
+
+def recover_engine(engine, failure) -> RecoveryReport:
+    """Recover ``engine`` in place from a :class:`RankFailure`.
+
+    Returns the :class:`RecoveryReport`; raises :class:`RecoveryError`
+    when no feasible grid or reconstruction path exists.
+    """
+    machine = engine.machine
+    if machine.elastic is None:
+        raise RecoveryError(
+            "machine has no elastic policy; construct it with elastic=... "
+            "or set REPRO_ELASTIC"
+        )
+    rank = int(getattr(failure, "rank", -1))
+    step = int(getattr(failure, "step", -1))
+    site = str(getattr(failure, "site", ""))
+    dead = sorted({rank} if 0 <= rank < machine.p else set())
+    if not dead:
+        raise RecoveryError(f"failure {failure!r} names no recoverable rank")
+
+    # The recovery window is injection-free: its collectives are charged
+    # (and the deadline guard still applies) but the fault plan's delivery
+    # hook stands down, so a storm manifests as the *next* batch failing —
+    # which re-enters recovery with strictly fewer ranks, guaranteeing
+    # termination without partially-rebuilt state.
+    hook = machine._fault_hook
+    machine._fault_hook = None
+    try:
+        return _recover_locked(engine, machine, rank, step, site, dead)
+    finally:
+        machine._fault_hook = hook
+
+
+def _recover_locked(engine, machine, rank, step, site, dead) -> RecoveryReport:
+    # deferred imports: this module is reached from engine/mfbc at runtime,
+    # after repro.dist and repro.machine are fully initialized
+    from repro.dist.distmat import DistMat
+    from repro.machine.grid import near_square_shape, nearest_feasible_p
+
+    with obs.span(
+        "recovery",
+        cat="recovery",
+        rank=rank,
+        fault_step=step,
+        site=site,
+        p_before=machine.p,
+    ) as sp:
+        # 1. freeze: survivors agree on the failure before reconfiguring
+        machine.barrier()
+
+        # 2. pick the nearest feasible survivor grid; retire the excess
+        p_before = machine.p
+        try:
+            p_target = nearest_feasible_p(
+                p_before - len(dead), engine.policy.feasible_p
+            )
+        except ValueError as exc:
+            raise RecoveryError(str(exc)) from exc
+        survivors = [r for r in range(p_before) if r not in dead]
+        retired = survivors[p_target:]
+        removed = sorted(dead + retired)
+
+        # 3a. repair the dead ranks' blocks while the old numbering (and
+        # the replica map keyed on it) is still in force
+        blocks_replica = blocks_source = words_restored = 0
+        bases = list(engine._invariant_bases)
+        for mat in bases:
+            stats = mat.repair_lost(dead)
+            blocks_replica += stats["replica"]
+            blocks_source += stats["source"]
+            words_restored += stats["words"]
+
+        machine.shrink(removed)
+        pr, pc = near_square_shape(p_target)
+        engine.home_ranks2d = np.arange(p_target).reshape(pr, pc)
+
+        # 3b. rebuild every invariant on the survivor grid.  The repaired
+        # global matrix is re-scattered (one collective, charged as
+        # category "recovery") and redundancy is re-established for the
+        # new grid — both paid for, so post-recovery ledger invariants
+        # hold without special-casing.
+        engine._invariants.clear()
+        engine._invariant_ids.clear()
+        engine._invariant_bases.clear()
+        for mat in bases:
+            full = mat.gather(charge=False)
+            if machine.p > 1:
+                machine.charge_collective(
+                    np.arange(machine.p),
+                    full.words(),
+                    weight=1.0,
+                    category="recovery",
+                )
+            rebuilt = DistMat.distribute(
+                full, machine, engine.home_ranks2d, charge=False
+            )
+            # re-arm redundancy for the new grid, charging its collective
+            # (category "redundancy") like the original installation did
+            rebuilt._install_redundancy(full, machine.elastic, charge=True)
+            mat._adopt(rebuilt)
+            engine.register_invariant(mat)
+
+        # 4. resume: fresh caches, rescaled policy, clean memory accounting
+        engine._replication_cache.clear()
+        engine.policy = engine.policy.rescale(p_target)
+        machine.reset_memory()
+
+        report = RecoveryReport(
+            dead=tuple(dead),
+            retired=tuple(retired),
+            p_before=p_before,
+            p_after=p_target,
+            blocks_replica=blocks_replica,
+            blocks_source=blocks_source,
+            words_restored=words_restored,
+            detail={"site": site, "fault_step": step},
+        )
+        machine.recoveries.append(report)
+        if machine.faults is not None:
+            machine.faults.note(
+                "crash",
+                "recovered",
+                site=site or "recovery",
+                rank=rank,
+                p_before=p_before,
+                p_after=p_target,
+                retired=len(retired),
+                blocks_replica=blocks_replica,
+                blocks_source=blocks_source,
+            )
+        if obs.enabled():
+            sp.set(
+                p_after=p_target,
+                retired=len(retired),
+                blocks_replica=blocks_replica,
+                blocks_source=blocks_source,
+                words_restored=words_restored,
+            )
+            obs.count("elastic.recoveries", 1.0, site=site or "recovery")
+    return report

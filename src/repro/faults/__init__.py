@@ -17,6 +17,7 @@ See ``docs/robustness.md`` for the fault model and walkthroughs.
 from repro.faults.checkpoint import (
     CheckpointState,
     CheckpointStore,
+    CorruptCheckpoint,
     JsonCheckpointStore,
     MemoryCheckpointStore,
     NpzCheckpointStore,
@@ -28,6 +29,7 @@ from repro.faults.checkpoint import (
 from repro.faults.plan import (
     FAULTS_ENV,
     CorruptPayload,
+    DeadlineExceeded,
     FaultError,
     FaultEvent,
     FaultPlan,
@@ -50,6 +52,7 @@ __all__ = [
     "RankFailure",
     "CorruptPayload",
     "WorkerPoolDied",
+    "DeadlineExceeded",
     "resolve_fault_plan",
     "corrupt_copy",
     "payload_checksum",
@@ -57,6 +60,7 @@ __all__ = [
     # checkpoint / restart
     "CheckpointState",
     "CheckpointStore",
+    "CorruptCheckpoint",
     "MemoryCheckpointStore",
     "JsonCheckpointStore",
     "NpzCheckpointStore",

@@ -18,13 +18,21 @@ Three stores cover the practical deployments:
   vectors (binary-exact by construction).
 
 File-backed stores write atomically (temp file + ``os.replace``) so a
-crash *during* checkpointing never corrupts the previous checkpoint.
+crash *during* checkpointing never corrupts the previous checkpoint, and
+they are hardened against corruption *at rest*: the score vector carries a
+CRC-32 verified on load, each save rotates the previous file into a
+numbered older generation (``path.1``, ``path.2``, ... up to ``keep``),
+and ``load`` falls back to the newest generation that verifies — raising
+:class:`CorruptCheckpoint` (a ``ValueError``) only when every generation
+is torn, truncated, version-incompatible, or checksum-broken.
 """
 
 from __future__ import annotations
 
 import json
 import os
+import warnings
+import zipfile
 import zlib
 from dataclasses import dataclass, field
 
@@ -33,6 +41,7 @@ import numpy as np
 __all__ = [
     "CheckpointState",
     "CheckpointStore",
+    "CorruptCheckpoint",
     "MemoryCheckpointStore",
     "JsonCheckpointStore",
     "NpzCheckpointStore",
@@ -66,12 +75,38 @@ def atomic_save_npz(path, arrays: dict, meta: dict | None = None) -> None:
             os.remove(tmp)
 
 #: bump when the persisted layout changes incompatibly.
-CHECKPOINT_VERSION = 1
+#: v2 added ``scores_crc`` (load-time integrity check); v1 files — the same
+#: layout minus the checksum — still load.
+CHECKPOINT_VERSION = 2
+
+_COMPATIBLE_VERSIONS = (1, 2)
+
+
+class CorruptCheckpoint(ValueError):
+    """Every on-disk checkpoint generation failed to load.
+
+    Carries the per-generation failure reasons (torn file, CRC mismatch,
+    unsupported checkpoint version, ...) so the operator can tell *why*
+    the run cannot resume.
+    """
+
+    def __init__(self, path: str, errors: list[tuple[str, str]]) -> None:
+        self.path = path
+        self.errors = list(errors)
+        detail = "; ".join(
+            f"{os.path.basename(p)}: {msg}" for p, msg in self.errors
+        )
+        super().__init__(f"no loadable checkpoint at {path!r}: {detail}")
 
 
 def sources_checksum(sources: np.ndarray) -> int:
     """CRC-32 of the source list — guards a resume against the wrong run."""
     return zlib.crc32(np.ascontiguousarray(sources, dtype=np.int64).tobytes())
+
+
+def _scores_checksum(scores: np.ndarray) -> int:
+    """CRC-32 of the float64 score bytes — detects at-rest corruption."""
+    return zlib.crc32(np.ascontiguousarray(scores, dtype=np.float64).tobytes())
 
 
 @dataclass
@@ -88,7 +123,7 @@ class CheckpointState:
     version: int = CHECKPOINT_VERSION
 
     def to_payload(self) -> dict:
-        """JSON-compatible dict (scores as a list of floats)."""
+        """JSON-compatible dict (scores as a list of floats, plus CRC)."""
         return {
             "version": self.version,
             "cursor": int(self.cursor),
@@ -96,6 +131,7 @@ class CheckpointState:
             "batch_size": int(self.batch_size),
             "n": int(self.n),
             "sources_crc": int(self.sources_crc),
+            "scores_crc": _scores_checksum(np.asarray(self.scores)),
             "scores": [float(x) for x in self.scores],
             "stats": self.stats,
         }
@@ -103,18 +139,27 @@ class CheckpointState:
     @classmethod
     def from_payload(cls, payload: dict) -> "CheckpointState":
         version = int(payload.get("version", -1))
-        if version != CHECKPOINT_VERSION:
+        if version not in _COMPATIBLE_VERSIONS:
             raise ValueError(
                 f"unsupported checkpoint version {version} "
                 f"(this build writes {CHECKPOINT_VERSION})"
             )
+        scores = np.asarray(payload["scores"], dtype=np.float64)
+        stored_crc = payload.get("scores_crc")  # absent in v1 files
+        if stored_crc is not None:
+            actual = _scores_checksum(scores)
+            if int(stored_crc) != actual:
+                raise ValueError(
+                    f"checkpoint scores failed CRC-32 verification "
+                    f"(stored {int(stored_crc)}, computed {actual})"
+                )
         return cls(
             cursor=int(payload["cursor"]),
             batch_index=int(payload["batch_index"]),
             batch_size=int(payload["batch_size"]),
             n=int(payload["n"]),
             sources_crc=int(payload["sources_crc"]),
-            scores=np.asarray(payload["scores"], dtype=np.float64),
+            scores=scores,
             stats=list(payload.get("stats", [])),
             version=version,
         )
@@ -215,18 +260,50 @@ class MemoryCheckpointStore(CheckpointStore):
 
 
 class _FileStore(CheckpointStore):
-    """Shared atomic-write plumbing for the file-backed stores."""
+    """Shared plumbing for the file-backed stores: atomic writes,
+    generation rotation, and corruption fallback.
 
-    def __init__(self, path) -> None:
+    Each :meth:`save` rotates the previous checkpoint into numbered older
+    generations (``path.1``, ``path.2``, ...), keeping the last ``keep``.
+    :meth:`load` returns the newest generation that parses and verifies,
+    warning when it had to skip a corrupt newer one, and raises
+    :class:`CorruptCheckpoint` only when generations exist but none loads.
+    """
+
+    #: exceptions that mean "this generation is unusable, try an older one":
+    #: torn/truncated archives, JSON decode errors, CRC/version rejections,
+    #: missing keys, and I/O failures.
+    _LOAD_ERRORS = (ValueError, KeyError, EOFError, OSError, zipfile.BadZipFile)
+
+    def __init__(self, path, keep: int = 2) -> None:
         self.path = os.fspath(path)
+        if keep < 1:
+            raise ValueError(f"keep must be at least 1, got {keep}")
+        self.keep = int(keep)
+
+    def _generation(self, i: int) -> str:
+        return self.path if i == 0 else f"{self.path}.{i}"
+
+    def _rotate(self) -> None:
+        if self.keep <= 1 or not os.path.exists(self.path):
+            return
+        oldest = self._generation(self.keep - 1)
+        if os.path.exists(oldest):
+            os.remove(oldest)
+        for i in range(self.keep - 2, -1, -1):
+            src = self._generation(i)
+            if os.path.exists(src):
+                os.replace(src, self._generation(i + 1))
 
     def clear(self) -> None:
-        try:
-            os.remove(self.path)
-        except FileNotFoundError:
-            pass
+        for i in range(self.keep):
+            try:
+                os.remove(self._generation(i))
+            except FileNotFoundError:
+                pass
 
     def _atomic_write(self, write_fn) -> None:
+        self._rotate()
         tmp = f"{self.path}.tmp"
         try:
             write_fn(tmp)
@@ -235,8 +312,38 @@ class _FileStore(CheckpointStore):
             if os.path.exists(tmp):  # failed mid-write; don't leave litter
                 os.remove(tmp)
 
+    def _load_one(self, path: str) -> CheckpointState:
+        raise NotImplementedError
+
+    def load(self) -> CheckpointState | None:
+        errors: list[tuple[str, str]] = []
+        found = False
+        for i in range(self.keep):
+            path = self._generation(i)
+            if not os.path.exists(path):
+                continue
+            found = True
+            try:
+                state = self._load_one(path)
+            except self._LOAD_ERRORS as exc:
+                errors.append((path, f"{type(exc).__name__}: {exc}"))
+                continue
+            if errors:
+                warnings.warn(
+                    f"checkpoint {self.path!r} restored from older "
+                    f"generation {os.path.basename(path)!r}; newer "
+                    f"generation(s) were corrupt: "
+                    + "; ".join(msg for _, msg in errors),
+                    RuntimeWarning,
+                    stacklevel=2,
+                )
+            return state
+        if not found:
+            return None
+        raise CorruptCheckpoint(self.path, errors)
+
     def __repr__(self) -> str:  # pragma: no cover - debugging aid
-        return f"{type(self).__name__}({self.path!r})"
+        return f"{type(self).__name__}({self.path!r}, keep={self.keep})"
 
 
 class JsonCheckpointStore(_FileStore):
@@ -248,12 +355,9 @@ class JsonCheckpointStore(_FileStore):
             lambda tmp: open(tmp, "w").write(json.dumps(payload))
         )
 
-    def load(self) -> CheckpointState | None:
-        try:
-            with open(self.path) as fh:
-                return CheckpointState.from_payload(json.load(fh))
-        except FileNotFoundError:
-            return None
+    def _load_one(self, path: str) -> CheckpointState:
+        with open(path) as fh:
+            return CheckpointState.from_payload(json.load(fh))
 
 
 class NpzCheckpointStore(_FileStore):
@@ -262,20 +366,18 @@ class NpzCheckpointStore(_FileStore):
     def save(self, state: CheckpointState) -> None:
         meta = state.to_payload()
         del meta["scores"]
+        self._rotate()
         atomic_save_npz(
             self.path,
             {"scores": np.asarray(state.scores, dtype=np.float64)},
             meta=meta,
         )
 
-    def load(self) -> CheckpointState | None:
-        try:
-            with np.load(self.path) as archive:
-                meta = json.loads(bytes(archive["meta"]).decode())
-                meta["scores"] = archive["scores"]
-                return CheckpointState.from_payload(meta)
-        except FileNotFoundError:
-            return None
+    def _load_one(self, path: str) -> CheckpointState:
+        with np.load(path) as archive:
+            meta = json.loads(bytes(archive["meta"]).decode())
+            meta["scores"] = archive["scores"]
+            return CheckpointState.from_payload(meta)
 
 
 def resolve_checkpoint_store(spec) -> CheckpointStore:

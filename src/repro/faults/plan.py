@@ -82,6 +82,7 @@ __all__ = [
     "RankFailure",
     "CorruptPayload",
     "WorkerPoolDied",
+    "DeadlineExceeded",
     "FaultEvent",
     "ScriptedFault",
     "FaultPlan",
@@ -136,6 +137,27 @@ class WorkerPoolDied(FaultError):
     def __init__(self, backend: str, site: str) -> None:
         super().__init__(f"{backend} worker pool died during {site!r}")
         self.backend = backend
+        self.site = site
+
+
+class DeadlineExceeded(FaultError):
+    """The machine's modeled critical-path time overran its deadline budget.
+
+    Raised by :class:`~repro.machine.machine.Machine` charge paths when
+    ``Machine(deadline=)`` is set.  A :class:`FaultError` so existing
+    handlers recognize it as a fault-domain failure, but drivers must *not*
+    retry it — the clock only moves forward, so a retry storm would spin
+    until abort.  The overrunning charge is already on the ledger when this
+    raises (deadlines are detected, not predicted).
+    """
+
+    def __init__(self, deadline: float, modeled: float, site: str) -> None:
+        super().__init__(
+            f"modeled critical-path time {modeled:.6g}s exceeded the "
+            f"deadline budget {deadline:.6g}s during {site!r}"
+        )
+        self.deadline = deadline
+        self.modeled = modeled
         self.site = site
 
 
@@ -619,20 +641,57 @@ def resolve_fault_plan(
     return FaultPlan.from_spec(spec)
 
 
+#: action columns of the fault summary table, in lifecycle order — injection
+#: first, then detection, then every recovery outcome, then the fatal ends.
+_REPORT_ACTIONS = (
+    "injected",
+    "detected",
+    "recovered",
+    "degraded",
+    "resumed",
+    "retired",
+    "abandoned",
+)
+
+
 def format_fault_report(plan: "FaultPlan | None") -> str:
-    """Text summary of a plan's event stream (the ``repro trace`` section)."""
+    """Text summary of a plan's event stream (the ``repro trace`` section).
+
+    Events are grouped by ``(kind, site)`` with one column per action, so a
+    crash that was injected at ``bcast`` and later elastically recovered
+    reads as one row — injected vs. recovered vs. fatal (``abandoned``)
+    outcomes are distinguishable at a glance instead of being scattered
+    over per-action tallies.
+    """
     if plan is None:
         return "faults: no fault plan attached"
     lines = [f"fault injection summary (plan {plan.describe()}):"]
     if not plan.events:
         lines.append("  no fault events recorded")
         return "\n".join(lines)
-    by_key: dict[tuple[str, str], int] = {}
+    by_row: dict[tuple[str, str], dict[str, int]] = {}
+    extra_actions: list[str] = []
     for ev in plan.events:
-        by_key[(ev.kind, ev.action)] = by_key.get((ev.kind, ev.action), 0) + 1
-    width = max(len(f"{k}/{a}") for k, a in by_key)
-    for (kind, action), n in sorted(by_key.items()):
-        lines.append(f"  {f'{kind}/{action}':<{width}}  {n}")
+        row = by_row.setdefault((ev.kind, ev.site), {})
+        row[ev.action] = row.get(ev.action, 0) + 1
+        if ev.action not in _REPORT_ACTIONS and ev.action not in extra_actions:
+            extra_actions.append(ev.action)
+    actions = [
+        a
+        for a in (*_REPORT_ACTIONS, *extra_actions)
+        if any(a in row for row in by_row.values())
+    ]
+    kind_w = max(4, max(len(k) for k, _ in by_row))
+    site_w = max(4, max(len(s) for _, s in by_row))
+    header = f"  {'kind':<{kind_w}}  {'site':<{site_w}}"
+    for a in actions:
+        header += f"  {a:>9}"
+    lines.append(header)
+    for (kind, site), row in sorted(by_row.items()):
+        line = f"  {kind:<{kind_w}}  {site:<{site_w}}"
+        for a in actions:
+            line += f"  {row.get(a, 0) or '-':>9}"
+        lines.append(line)
     lines.append("  events:")
     for ev in plan.events:
         rank = "-" if ev.rank is None else str(ev.rank)

@@ -63,12 +63,22 @@ class Group:
             raise ValueError(f"rank out of range for machine with p={machine.p}")
         self.machine = machine
         self.ranks = ranks
+        # captured at construction: an elastic shrink renumbers ranks, so a
+        # group built against the old numbering must fail loudly, not
+        # silently charge the wrong survivors
+        self._epoch = getattr(machine, "epoch", 0)
 
     @property
     def size(self) -> int:
         return len(self.ranks)
 
     def _check(self, payloads: Sequence) -> None:
+        if self._epoch != getattr(self.machine, "epoch", 0):
+            raise RuntimeError(
+                f"group built at machine epoch {self._epoch} used after a "
+                f"shrink (epoch is now {self.machine.epoch}); rebuild groups "
+                f"from the recovered layout"
+            )
         if len(payloads) != self.size:
             raise ValueError(
                 f"expected {self.size} payloads (one per rank), got {len(payloads)}"

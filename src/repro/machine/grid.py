@@ -15,7 +15,13 @@ import numpy as np
 
 from repro.machine.machine import Machine
 
-__all__ = ["Grid", "factorizations", "near_square_shape"]
+__all__ = [
+    "Grid",
+    "factorizations",
+    "near_square_shape",
+    "nearest_feasible_p",
+    "survivor_map",
+]
 
 
 def near_square_shape(p: int) -> tuple[int, int]:
@@ -29,6 +35,45 @@ def near_square_shape(p: int) -> tuple[int, int]:
         if p % d == 0:
             best = (d, p // d)
     return best
+
+
+def nearest_feasible_p(p_max: int, feasible=None) -> int:
+    """The largest rank count ``q ≤ p_max`` the active variant can run on.
+
+    ``feasible`` is a predicate on candidate rank counts (``None`` accepts
+    everything — the :class:`~repro.spgemm.selector.AutoPolicy` case, which
+    enumerates grids for any ``p``).  Pinned/restricted policies constrain
+    the shape (CombBLAS needs a perfect square; CA-MFBC needs ``p/c`` a
+    perfect square), so after losing ranks the elastic recovery layer asks
+    this helper for the nearest grid it can actually rebuild.
+    """
+    if p_max < 1:
+        raise ValueError(f"no feasible grid at or below p={p_max}")
+    for q in range(int(p_max), 0, -1):
+        if feasible is None or feasible(q):
+            return q
+    raise ValueError(
+        f"no feasible grid at or below p={p_max} for the active variant"
+    )
+
+
+def survivor_map(p: int, dead) -> np.ndarray:
+    """Old-rank → new-rank renumbering after removing ``dead`` ranks.
+
+    Survivors are compacted in ascending order onto ``0..p'-1``; removed
+    ranks map to ``-1``.  This is the canonical renumbering
+    :meth:`~repro.machine.machine.Machine.shrink` applies to its ledger and
+    the recovery layer applies to every resting block layout.
+    """
+    dead = np.asarray(sorted(set(int(r) for r in dead)), dtype=np.int64)
+    if len(dead) and (dead.min() < 0 or dead.max() >= p):
+        raise ValueError(f"dead ranks {dead.tolist()} out of range for p={p}")
+    if len(dead) >= p:
+        raise ValueError(f"cannot remove all {p} ranks")
+    mapping = np.full(p, -1, dtype=np.int64)
+    alive = np.setdiff1d(np.arange(p, dtype=np.int64), dead)
+    mapping[alive] = np.arange(len(alive), dtype=np.int64)
+    return mapping
 
 
 class Grid:

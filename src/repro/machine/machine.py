@@ -22,7 +22,7 @@ from dataclasses import dataclass, field
 
 import numpy as np
 
-from repro.faults.plan import FaultPlan, resolve_fault_plan
+from repro.faults.plan import DeadlineExceeded, FaultPlan, resolve_fault_plan
 from repro.machine.executor import LocalExecutor, resolve_executor
 from repro.obs import api as obs
 
@@ -177,6 +177,20 @@ class Machine:
         The machine itself never checks anything — the resolved config is
         stored on ``self.check`` for :class:`~repro.dist.DistributedEngine`
         to pick up at construction.
+    deadline:
+        Optional modeled-time budget in seconds (keyword-only).  When the
+        critical-path clock passes it, the next charge raises
+        :class:`~repro.faults.DeadlineExceeded` — a ledger-charged, clean
+        termination for straggler pile-ups and recovery storms that would
+        otherwise spin forever.
+    elastic:
+        In-flight rank-failure recovery (keyword-only): an
+        :class:`~repro.elastic.ElasticPolicy`, a spec string
+        (``"replica"`` / ``"replica:STRIDE"`` / ``"source"``; ``"off"``
+        disables), or ``None`` to consult the ``REPRO_ELASTIC``
+        environment variable.  The machine only stores the resolved
+        policy; :class:`~repro.dist.DistributedEngine` maintains the
+        redundancy and the MFBC driver triggers the recovery.
     """
 
     def __init__(
@@ -188,6 +202,8 @@ class Machine:
         executor: "LocalExecutor | str | None" = None,
         faults: "FaultPlan | str | None" = None,
         check=None,
+        deadline: float | None = None,
+        elastic=None,
     ) -> None:
         if args:
             # pre-executor signature: Machine(p, cost, memory_words)
@@ -227,6 +243,18 @@ class Machine:
 
             check = resolve_check_config(check, env=False)
         self.check = check
+        if deadline is not None and deadline <= 0:
+            raise ValueError(f"deadline must be positive, got {deadline}")
+        self.deadline = deadline
+        # deferred import: repro.elastic.recovery imports repro.dist → here
+        from repro.elastic.policy import resolve_elastic
+
+        self.elastic = resolve_elastic(elastic)
+        #: machine reconfiguration counter; bumped by :meth:`shrink` so
+        #: stale rank-indexed objects (groups, layouts) fail loudly.
+        self.epoch = 0
+        #: :class:`~repro.elastic.RecoveryReport` per completed recovery.
+        self.recoveries: list = []
         self.ledger = Ledger(self.p)
         self._mem_used = np.zeros(self.p, dtype=np.int64)
         self._mem_peak = np.zeros(self.p, dtype=np.int64)
@@ -329,6 +357,8 @@ class Machine:
             obs.count("machine.collectives", 1.0, category=category)
             obs.count("machine.words", weight * words_per_rank * q, category=category)
             obs.count("machine.msgs", msgs * q, category=category)
+        if self.deadline is not None:
+            self._check_deadline(category)
 
     def charge_pointtopoint(self, src: int, dst: int, words: float) -> None:
         """Charge one point-to-point message (used by redistribution)."""
@@ -358,6 +388,8 @@ class Machine:
             obs.count("machine.collectives", 1.0, category="p2p")
             obs.count("machine.words", words, category="p2p")
             obs.count("machine.msgs", 1.0, category="p2p")
+        if self.deadline is not None:
+            self._check_deadline("p2p")
 
     def charge_compute(self, ranks: np.ndarray | list[int], ops_per_rank: float) -> None:
         """Charge local computation (modeled time only; no traffic)."""
@@ -365,11 +397,67 @@ class Machine:
         self.ledger.time[ranks] += ops_per_rank / self.cost.compute_rate
         self.ledger.compute_ops += ops_per_rank * len(ranks)
         self.ledger.compute_per_rank[ranks] += ops_per_rank
+        if self.deadline is not None:
+            self._check_deadline("compute")
 
     def charge_overhead(self, seconds: float) -> None:
         """Charge a fixed per-operation overhead on every rank (bulk
         synchronous: all ranks pay it together)."""
         self.ledger.time += seconds
+        if self.deadline is not None:
+            self._check_deadline("overhead")
+
+    def _check_deadline(self, site: str) -> None:
+        """Raise once the modeled critical path overruns the budget.
+
+        The charge that tripped the guard stays on the ledger — the machine
+        spent the time before noticing it was over budget, exactly like a
+        wall-clock job limit.
+        """
+        modeled = float(self.ledger.time.max()) if self.p else 0.0
+        if modeled <= self.deadline:
+            return
+        if self.faults is not None:
+            self.faults.note(
+                "deadline",
+                "detected",
+                site=site,
+                modeled=modeled,
+                deadline=self.deadline,
+            )
+        elif obs.enabled():
+            obs.count("machine.deadline", 1.0, site=site)
+        raise DeadlineExceeded(self.deadline, modeled, site)
+
+    # -- elasticity ----------------------------------------------------------
+
+    def shrink(self, dead) -> np.ndarray:
+        """Remove ``dead`` ranks, compacting survivors onto ``0..p'-1``.
+
+        Returns the old-rank → new-rank mapping (``-1`` for removed ranks)
+        from :func:`~repro.machine.grid.survivor_map`.  Survivors keep their
+        ledger history — critical-path clocks, per-rank compute and memory
+        accounting are sliced, never reset — so post-recovery ledger
+        invariants still hold.  Bumps :attr:`epoch`; groups built before the
+        shrink refuse to operate afterwards.
+        """
+        # deferred import: grid.py imports this module at the top level
+        from repro.machine.grid import survivor_map
+
+        mapping = survivor_map(self.p, dead)
+        alive = np.flatnonzero(mapping >= 0)
+        led = self.ledger
+        led.time = led.time[alive].copy()
+        led.comm_time = led.comm_time[alive].copy()
+        led.words = led.words[alive].copy()
+        led.msgs = led.msgs[alive].copy()
+        led.compute_per_rank = led.compute_per_rank[alive].copy()
+        led.p = len(alive)
+        self._mem_used = self._mem_used[alive].copy()
+        self._mem_peak = self._mem_peak[alive].copy()
+        self.p = len(alive)
+        self.epoch += 1
+        return mapping
 
     def barrier(self) -> None:
         """Synchronize all ranks' modeled clocks (bulk-synchronous step)."""
@@ -388,7 +476,9 @@ class Machine:
 
     def __repr__(self) -> str:  # pragma: no cover - debugging aid
         faults = f", faults={self.faults.describe()}" if self.faults else ""
+        deadline = f", deadline={self.deadline}" if self.deadline is not None else ""
+        elastic = f", elastic={self.elastic.describe()}" if self.elastic else ""
         return (
             f"Machine(p={self.p}, M={self.memory_words}, "
-            f"executor={self.executor.name}{faults})"
+            f"executor={self.executor.name}{faults}{deadline}{elastic})"
         )

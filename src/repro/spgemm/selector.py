@@ -109,6 +109,28 @@ class SelectionPolicy:
     ) -> Plan:
         raise NotImplementedError
 
+    # -- elasticity hooks ----------------------------------------------------
+
+    def feasible_p(self, p: int) -> bool:
+        """Can this policy produce a plan for a ``p``-rank machine?
+
+        Elastic recovery asks this while picking the nearest feasible
+        survivor grid (:func:`~repro.machine.grid.nearest_feasible_p`).
+        The default — any positive ``p`` — matches :class:`AutoPolicy`,
+        which enumerates grids for arbitrary rank counts.
+        """
+        return p >= 1
+
+    def rescale(self, p: int) -> "SelectionPolicy":
+        """The policy to use after an elastic shrink to ``p`` ranks.
+
+        Stateless policies return themselves (they re-run their search at
+        the new ``p`` — the selector cost model re-runs per product, so the
+        optimal variant may legitimately change at ``p'``); pinned policies
+        must re-pin.
+        """
+        return self
+
 
 @dataclass
 class AutoPolicy(SelectionPolicy):
@@ -160,9 +182,15 @@ class AutoPolicy(SelectionPolicy):
 
 @dataclass
 class PinnedPolicy(SelectionPolicy):
-    """Always run one fixed plan (CA-MFBC's Theorem-5.1 configuration)."""
+    """Always run one fixed plan (CA-MFBC's Theorem-5.1 configuration).
+
+    ``ca_c`` records the Theorem-5.1 replication factor when the policy was
+    built by :meth:`ca_mfbc`; it is what lets the policy re-pin itself on a
+    shrunken machine (an arbitrary hand-pinned plan cannot).
+    """
 
     plan: Plan
+    ca_c: int | None = None
 
     @classmethod
     def ca_mfbc(cls, p: int, c: int = 1) -> "PinnedPolicy":
@@ -178,8 +206,8 @@ class PinnedPolicy(SelectionPolicy):
         if s * s != p // c:
             raise ValueError(f"p/c = {p // c} must be a perfect square")
         if c == 1:
-            return cls(Plan(1, s, s, "A", "AC"))
-        return cls(Plan(c, s, s, "B", "AC"))
+            return cls(Plan(1, s, s, "A", "AC"), ca_c=c)
+        return cls(Plan(c, s, s, "B", "AC"), ca_c=c)
 
     def select(self, machine, m, k, n, nnz_a, nnz_b, amortized=frozenset()):
         if self.plan.p != machine.p:
@@ -187,6 +215,22 @@ class PinnedPolicy(SelectionPolicy):
                 f"pinned plan covers {self.plan.p} ranks, machine has {machine.p}"
             )
         return self.plan
+
+    def feasible_p(self, p: int) -> bool:
+        if self.ca_c is not None:
+            c = self.ca_c
+            return p >= c and p % c == 0 and math.isqrt(p // c) ** 2 == p // c
+        return p == self.plan.p
+
+    def rescale(self, p: int) -> "PinnedPolicy":
+        if p == self.plan.p:
+            return self
+        if self.ca_c is None:
+            raise ValueError(
+                f"pinned plan covers {self.plan.p} ranks and cannot be "
+                f"rescaled to p={p}"
+            )
+        return type(self).ca_mfbc(p, self.ca_c)
 
 
 @dataclass
@@ -201,6 +245,9 @@ class Square2DPolicy(SelectionPolicy):
                 "is not a perfect square"
             )
         return Plan(1, s, s, "A", "AB")
+
+    def feasible_p(self, p: int) -> bool:
+        return p >= 1 and math.isqrt(p) ** 2 == p
 
 
 def select_plan(

@@ -17,6 +17,7 @@ from repro.core import mfbc
 from repro.dist import DistributedEngine
 from repro.faults import (
     CheckpointState,
+    CorruptCheckpoint,
     JsonCheckpointStore,
     MemoryCheckpointStore,
     NpzCheckpointStore,
@@ -85,8 +86,11 @@ class TestStores:
         path = tmp_path / "ck.json"
         store = JsonCheckpointStore(path)
         store.save(make_state())
-        store.save(make_state())  # overwrite goes through os.replace
-        assert sorted(p.name for p in tmp_path.iterdir()) == ["ck.json"]
+        store.save(make_state())  # overwrite rotates the previous generation
+        assert sorted(p.name for p in tmp_path.iterdir()) == [
+            "ck.json",
+            "ck.json.1",
+        ]
 
     def test_version_mismatch_rejected(self, tmp_path):
         path = tmp_path / "ck.json"
@@ -124,6 +128,120 @@ class TestStores:
         assert [b.mfbf_iterations for b in back] == [
             b.mfbf_iterations for b in res.stats.batches
         ]
+
+
+# ---------------------------------------------------------------------------
+# hardening: crash-during-write, corruption at rest, generation fallback
+# ---------------------------------------------------------------------------
+
+
+class TestHardening:
+    @pytest.mark.parametrize("cls,suffix", [
+        (JsonCheckpointStore, "ck.json"),
+        (NpzCheckpointStore, "ck.npz"),
+    ])
+    def test_crash_during_write_preserves_previous(
+        self, tmp_path, cls, suffix, monkeypatch
+    ):
+        """A crash mid-save (simulated by a replace that never happens) must
+        leave the previous generations loadable and the directory free of
+        temp litter."""
+        path = tmp_path / suffix
+        store = cls(path)
+        store.save(make_state(scores=np.arange(10.0)))
+
+        real_replace = os.replace
+
+        def torn_replace(src, dst):
+            if str(dst) == str(path):  # die before the new file lands
+                raise OSError("simulated crash during checkpoint write")
+            return real_replace(src, dst)
+
+        monkeypatch.setattr(os, "replace", torn_replace)
+        with pytest.raises(OSError, match="simulated crash"):
+            store.save(make_state(scores=np.arange(10.0) + 1))
+        monkeypatch.setattr(os, "replace", real_replace)
+
+        assert not any(p.name.endswith(".tmp") for p in tmp_path.iterdir())
+        loaded = store.load()  # the pre-crash checkpoint survived (as .1)
+        assert np.array_equal(loaded.scores, np.arange(10.0))
+
+    @pytest.mark.parametrize("garbage", [b"", b"not a checkpoint {"])
+    @pytest.mark.parametrize("cls,suffix", [
+        (JsonCheckpointStore, "ck.json"),
+        (NpzCheckpointStore, "ck.npz"),
+    ])
+    def test_corrupt_newest_falls_back_to_older(
+        self, tmp_path, cls, suffix, garbage
+    ):
+        path = tmp_path / suffix
+        store = cls(path)
+        store.save(make_state(scores=np.arange(10.0)))
+        store.save(make_state(scores=np.arange(10.0) + 1))
+        path.write_bytes(garbage)  # newest generation torn/truncated at rest
+        with pytest.warns(RuntimeWarning, match="older"):
+            loaded = store.load()
+        assert np.array_equal(loaded.scores, np.arange(10.0))
+
+    def test_all_generations_corrupt_raises(self, tmp_path):
+        path = tmp_path / "ck.json"
+        store = JsonCheckpointStore(path)
+        store.save(make_state())
+        store.save(make_state())
+        path.write_text("{")
+        (tmp_path / "ck.json.1").write_text("")
+        with pytest.raises(CorruptCheckpoint, match="no loadable checkpoint") as ei:
+            store.load()
+        assert len(ei.value.errors) == 2  # one reason per generation
+
+    def test_scores_crc_detects_bit_flip(self, tmp_path):
+        path = tmp_path / "ck.json"
+        store = JsonCheckpointStore(path, keep=1)
+        store.save(make_state(scores=np.arange(10.0)))
+        doc = json.loads(path.read_text())
+        doc["scores"][3] += 1.0  # silent corruption, still valid JSON
+        path.write_text(json.dumps(doc))
+        with pytest.raises(CorruptCheckpoint, match="CRC-32"):
+            store.load()
+
+    def test_v1_checkpoint_without_crc_still_loads(self, tmp_path):
+        path = tmp_path / "ck.json"
+        store = JsonCheckpointStore(path)
+        store.save(make_state(scores=np.arange(10.0)))
+        doc = json.loads(path.read_text())
+        doc["version"] = 1
+        del doc["scores_crc"]
+        path.write_text(json.dumps(doc))
+        loaded = store.load()
+        assert loaded.version == 1
+        assert np.array_equal(loaded.scores, np.arange(10.0))
+
+    def test_keep_bounds_generations(self, tmp_path):
+        store = JsonCheckpointStore(tmp_path / "ck.json", keep=3)
+        for i in range(5):
+            store.save(make_state(scores=np.full(10, float(i))))
+        names = sorted(p.name for p in tmp_path.iterdir())
+        assert names == ["ck.json", "ck.json.1", "ck.json.2"]
+        assert store.load().scores[0] == 4.0  # newest wins
+        store.clear()
+        assert list(tmp_path.iterdir()) == []
+        assert store.load() is None
+
+    def test_invalid_keep(self, tmp_path):
+        with pytest.raises(ValueError, match="keep"):
+            JsonCheckpointStore(tmp_path / "ck.json", keep=0)
+
+    def test_mfbc_resumes_from_older_generation(self, tmp_path, small_undirected):
+        """End-to-end: the newest on-disk checkpoint is corrupted between
+        runs; resume falls back to the previous batch boundary and still
+        produces bit-identical scores (just re-executing one more batch)."""
+        ref = mfbc(small_undirected, batch_size=8).scores
+        path = tmp_path / "run.json"
+        mfbc(small_undirected, batch_size=8, checkpoint=str(path), max_batches=3)
+        path.write_text("torn")
+        with pytest.warns(RuntimeWarning, match="older"):
+            res = mfbc(small_undirected, batch_size=8, resume_from=str(path))
+        assert np.array_equal(res.scores, ref)
 
 
 # ---------------------------------------------------------------------------

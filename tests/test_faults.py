@@ -446,7 +446,9 @@ class TestMfbcRetry:
         assert ("batch", "recovered") in actions
 
     def test_retries_zero_propagates_failure(self, small_undirected):
-        m = Machine(4, faults="seed:2,crash:0.01,limit:1")
+        # elastic="off": this test asserts the *non-elastic* abort path even
+        # under the CI chaos leg's ambient REPRO_ELASTIC
+        m = Machine(4, faults="seed:2,crash:0.01,limit:1", elastic="off")
         with pytest.raises(RankFailure):
             mfbc(
                 small_undirected,
@@ -466,7 +468,9 @@ class TestMfbcRetry:
             raise RankFailure(0, 0, "mfbf")
 
         monkeypatch.setattr(mfbc_mod, "mfbf", always_crash)
-        m = Machine(4, faults="seed:0")  # inert plan still records tolerance
+        # inert plan still records tolerance; elastic off so the synthetic
+        # failure walks the retry ladder, not recovery
+        m = Machine(4, faults="seed:0", elastic="off")
         with pytest.raises(RankFailure):
             mfbc_mod.mfbc(
                 small_undirected,
@@ -494,8 +498,9 @@ class TestMfbcRetry:
 
         monkeypatch.setattr(mfbc_mod, "mfbf", flaky)
         # the synthetic mfbf fault must be the only one: opt out of any
-        # ambient REPRO_FAULTS plan (the CI fault leg sets one)
-        m = Machine(4, faults="off")
+        # ambient REPRO_FAULTS plan (the CI fault leg sets one) and of
+        # ambient elastic recovery (the chaos leg), which would skip retry
+        m = Machine(4, faults="off", elastic="off")
         t_before = m.ledger.critical_time()
         mfbc_mod.mfbc(
             small_undirected,
@@ -529,7 +534,7 @@ class TestAcceptance:
         ref = mfbc(small_undirected, batch_size=8).scores
 
         store = MemoryCheckpointStore()
-        m = Machine(4, faults="seed:2,crash:0.01,limit:1")
+        m = Machine(4, faults="seed:2,crash:0.01,limit:1", elastic="off")
         with pytest.raises(RankFailure):
             mfbc(
                 small_undirected,
@@ -562,13 +567,19 @@ class TestAcceptance:
         assert batch_indices == sorted(batch_indices)
 
     def test_fault_report_renders(self, small_undirected):
-        m = Machine(4, faults="seed:3,crash:0.02,limit:2")
+        m = Machine(4, faults="seed:3,crash:0.02,limit:2", elastic="off")
         mfbc(
             small_undirected, batch_size=8, engine=DistributedEngine(m), retries=3
         )
         report = format_fault_report(m.faults)
         assert "fault injection summary" in report
-        assert "crash/injected" in report
+        # the attribution table groups counts by (kind, site) with one
+        # column per recovery outcome
+        assert "kind" in report and "injected" in report
+        crash_rows = [
+            ln for ln in report.splitlines() if ln.strip().startswith("crash")
+        ]
+        assert crash_rows  # the injected crashes are attributed to a site
         assert format_fault_report(None) == "faults: no fault plan attached"
 
     def test_fault_events_mirrored_to_obs(self, small_undirected):
