@@ -1,0 +1,93 @@
+"""Serving-layer load bench: latency, throughput, coalescing, cache yield.
+
+Drives a pinned :class:`~repro.serve.BCService` with the seeded mixed query
+stream from :mod:`repro.serve.loadgen` (mostly single-source BC plus
+BFS/SSSP/widest, sampled BC, and whole-graph queries, with a hot-set skew)
+and records what the serving economics actually deliver:
+
+* **latency** — wall-clock p50/p99 per query and end-to-end throughput;
+* **coalescing factor** — swept sources per MFBC sweep: how many
+  concurrent single-source queries shared one k-wide MFBF+MFBr pass
+  (§5.3's batching economics applied to a query mix);
+* **cache hit-rate** — the fraction of lookups answered at an unchanged
+  graph version without touching the machine's ledger.
+
+The bench sweeps the coalescing knobs (batch window off/on, max sweep
+width) at fixed traffic, then scales the offered concurrency.  Two
+contracts are asserted: zero failed queries everywhere, and coalescing
+plus caching together must cut the number of sweeps well below the number
+of computed queries once a window is armed.
+"""
+
+from repro.graphs import rmat_graph
+from repro.serve import BCService
+from repro.serve.loadgen import DirectClient, generate_queries, run_load
+
+SCALE = 9
+DEGREE = 8
+P = 4
+QUERIES = 400
+SEED = 0
+
+
+def test_serve_load(save_table):
+    graph = rmat_graph(scale=SCALE, avg_degree=DEGREE, seed=SEED)
+    specs = generate_queries(QUERIES, graph.n, seed=SEED)
+
+    rows = []
+    sweep_counts = {}
+    for label, concurrency, max_batch, window in [
+        ("no window", 16, 32, 0.0),
+        ("window 2ms", 16, 32, 0.002),
+        ("window 10ms", 16, 32, 0.010),
+        ("narrow sweeps", 16, 4, 0.010),
+        ("low concurrency", 2, 32, 0.010),
+        ("high concurrency", 32, 32, 0.010),
+    ]:
+        service = BCService(graph, p=P, max_batch=max_batch, batch_window=window)
+        try:
+            report = run_load(
+                DirectClient(service), specs, concurrency=concurrency
+            )
+        finally:
+            service.close()
+        assert report.failed == 0, label
+        sweep_counts[label] = report.batches
+        rows.append(
+            [
+                label,
+                concurrency,
+                max_batch,
+                f"{window * 1e3:.0f}ms",
+                f"{report.throughput_qps:.1f}",
+                f"{report.percentile(50) * 1e3:.1f}",
+                f"{report.percentile(99) * 1e3:.1f}",
+                f"{report.cache_hit_rate:.1%}",
+                f"{report.coalescing_factor:.2f}",
+                report.batches,
+            ]
+        )
+
+    save_table(
+        "serve_load",
+        f"BC-as-a-service load: {QUERIES} mixed queries (seed {SEED}) on a "
+        f"scale-{SCALE} R-MAT graph, p={P}",
+        [
+            "config",
+            "clients",
+            "max k",
+            "window",
+            "q/s",
+            "p50 ms",
+            "p99 ms",
+            "cache hits",
+            "coalescing",
+            "sweeps",
+        ],
+        rows,
+    )
+
+    # an armed window + the cache must amortize: far fewer sweeps than queries
+    assert sweep_counts["window 10ms"] < QUERIES / 2, sweep_counts
+    # narrowing the sweep width can only increase the sweep count
+    assert sweep_counts["narrow sweeps"] >= sweep_counts["window 10ms"]

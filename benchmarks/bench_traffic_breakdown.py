@@ -30,7 +30,7 @@ def build_rows():
         ("CombBLAS-style", Square2DPolicy(), combblas_bc),
     ]:
         machine = Machine(P)
-        eng = DistributedEngine(machine, policy)
+        eng = DistributedEngine(machine, policy=policy)
         runner(g, batch_size=BATCH, max_batches=1, engine=eng)
         bd = machine.ledger.traffic_breakdown()
         total = sum(bd.values())

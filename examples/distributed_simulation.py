@@ -51,7 +51,7 @@ def main() -> None:
         ("CombBLAS-style (2D)", Square2DPolicy(), "combblas"),
     ]:
         machine = Machine(args.p)
-        engine = DistributedEngine(machine, policy)
+        engine = DistributedEngine(machine, policy=policy)
         if runner == "mfbc":
             res = mfbc(
                 g, batch_size=args.batch, engine=engine, max_batches=args.batches

@@ -10,6 +10,8 @@ __all__ = [
     "write_markdown_table",
     "trace_attribution",
     "format_trace_report",
+    "cache_attribution",
+    "format_cache_report",
 ]
 
 
@@ -82,6 +84,61 @@ def trace_attribution(tracer, ledger) -> list[dict]:
     for row in rows:
         row["time_share"] = row["seconds"] / total_time
     return rows
+
+
+def cache_attribution(metrics) -> list[dict]:
+    """Per-algorithm serve-cache event totals from a metrics registry.
+
+    Reads the ``serve.cache.{hit,miss,invalidate}`` counter families the
+    serving layer emits (see :mod:`repro.serve.cache`); one row per
+    algorithm label plus the derived hit rate.  Empty when no cache events
+    were recorded (e.g. a plain ``repro trace`` run with no service).
+    """
+    algorithms: set[str] = set()
+    for name in ("serve.cache.hit", "serve.cache.miss", "serve.cache.invalidate"):
+        for labels in metrics.series(name):
+            algorithms.add(dict(labels).get("algorithm", ""))
+    rows = []
+    for alg in sorted(algorithms):
+        hits = metrics.get_count("serve.cache.hit", algorithm=alg)
+        misses = metrics.get_count("serve.cache.miss", algorithm=alg)
+        invalidated = metrics.get_count("serve.cache.invalidate", algorithm=alg)
+        total = hits + misses
+        rows.append(
+            {
+                "algorithm": alg,
+                "hits": int(hits),
+                "misses": int(misses),
+                "invalidated": int(invalidated),
+                "hit_rate": hits / total if total else 0.0,
+            }
+        )
+    return rows
+
+
+def format_cache_report(metrics) -> str:
+    """Render :func:`cache_attribution` as an aligned text table.
+
+    Returns the empty string when the registry holds no cache events, so
+    callers can print it unconditionally.
+    """
+    rows = cache_attribution(metrics)
+    if not rows:
+        return ""
+    table = format_table(
+        ["algorithm", "hits", "misses", "invalidated", "hit rate"],
+        [
+            [
+                r["algorithm"],
+                r["hits"],
+                r["misses"],
+                r["invalidated"],
+                f"{100.0 * r['hit_rate']:.1f}%",
+            ]
+            for r in rows
+        ],
+    )
+    return "cache events (serve.cache.*):\n" + table
 
 
 def format_trace_report(tracer, ledger) -> str:

@@ -6,6 +6,7 @@ Commands
 ``generate``  write a synthetic graph (R-MAT / uniform / SNAP stand-in)
 ``simulate``  run distributed MFBC on a simulated machine, print the ledger
 ``trace``     like ``simulate``, capturing a Chrome trace + phase timeline
+``serve``     persistent BC-as-a-service HTTP front end over a warm machine
 ``info``      structural statistics of a graph file
 
 Examples
@@ -19,6 +20,7 @@ Examples
         --checkpoint run.ckpt.json
     python -m repro trace g.txt --p 16 --executor thread:8 -o trace.json
     python -m repro trace g.txt --p 16 --faults seed:0,straggle:0.2
+    python -m repro serve g.txt --p 16 --port 8734 --elastic replica
     python -m repro info g.txt
 
 Fault injection (``--faults`` / ``$REPRO_FAULTS``) and per-batch
@@ -194,6 +196,68 @@ def build_parser() -> argparse.ArgumentParser:
         metavar="POLICY",
         help="in-flight rank-failure recovery: replica, replica:STRIDE, or "
         "source (see docs/robustness.md); default: $REPRO_ELASTIC or off",
+    )
+
+    p_srv = sub.add_parser(
+        "serve",
+        help="persistent BC-as-a-service HTTP/JSON front end (docs/serving.md)",
+    )
+    p_srv.add_argument("graph")
+    p_srv.add_argument("--directed", action="store_true")
+    p_srv.add_argument("--p", type=int, default=16, help="simulated ranks")
+    p_srv.add_argument(
+        "--policy", choices=["auto", "ca", "square2d"], default="auto"
+    )
+    p_srv.add_argument("--c", type=int, default=1, help="replication (ca policy)")
+    p_srv.add_argument("--host", default="127.0.0.1")
+    p_srv.add_argument("--port", type=int, default=8734, help="0 picks a free port")
+    p_srv.add_argument(
+        "--max-batch",
+        type=int,
+        default=64,
+        help="maximum coalesced sweep width k",
+    )
+    p_srv.add_argument(
+        "--batch-window",
+        type=float,
+        default=0.002,
+        metavar="SECONDS",
+        help="linger after the first queued query so concurrent requests "
+        "coalesce into one sweep",
+    )
+    p_srv.add_argument(
+        "--cache-capacity", type=int, default=4096, help="score-cache LRU entries"
+    )
+    p_srv.add_argument(
+        "--executor",
+        default=None,
+        metavar="BACKEND[:N]",
+        help="local execution backend (serial/thread/process, e.g. thread:8);"
+        " default: $REPRO_EXECUTOR or serial",
+    )
+    p_srv.add_argument(
+        "--faults",
+        default=None,
+        metavar="SPEC",
+        help="fault-injection plan (see docs/robustness.md); "
+        "default: $REPRO_FAULTS or none",
+    )
+    p_srv.add_argument(
+        "--check",
+        default=None,
+        metavar="LEVEL",
+        help="correctness checking: cheap, full, or sample:N "
+        "(see docs/testing.md); default: $REPRO_CHECK or off",
+    )
+    p_srv.add_argument(
+        "--elastic",
+        default=None,
+        metavar="POLICY",
+        help="in-flight rank-failure recovery: replica, replica:STRIDE, or "
+        "source (see docs/robustness.md); default: $REPRO_ELASTIC or off",
+    )
+    p_srv.add_argument(
+        "--verbose", action="store_true", help="log HTTP requests to stderr"
     )
 
     p_info = sub.add_parser("info", help="graph statistics")
@@ -375,7 +439,7 @@ def _print_check_summary(engine) -> None:
 
 def _cmd_trace(args) -> int:
     from repro import obs
-    from repro.analysis.report import format_trace_report
+    from repro.analysis.report import format_cache_report, format_trace_report
     from repro.core import mfbc
     from repro.dist import DistributedEngine
     from repro.machine import Machine
@@ -431,6 +495,10 @@ def _cmd_trace(args) -> int:
 
         print()
         print(format_fault_report(machine.faults))
+    cache_table = format_cache_report(session.metrics)
+    if cache_table:
+        print()
+        print(cache_table)
     _print_recovery_summary(machine)
     _print_check_summary(engine)
     rec = obs.reconcile(session.tracer, machine.ledger)
@@ -443,6 +511,48 @@ def _cmd_trace(args) -> int:
     print(f"\nwrote Chrome trace to {args.output} (load in ui.perfetto.dev)")
     if args.jsonl:
         print(f"wrote span/metric JSONL to {args.jsonl}")
+    return 0
+
+
+def _cmd_serve(args) -> int:
+    from repro.serve import BCService, serve_http
+    from repro.spgemm import PinnedPolicy, Square2DPolicy
+
+    g = _load(args.graph, args.directed)
+    policy = None
+    if args.policy == "ca":
+        policy = PinnedPolicy.ca_mfbc(args.p, args.c)
+    elif args.policy == "square2d":
+        policy = Square2DPolicy()
+    service = BCService(
+        g,
+        p=args.p,
+        policy=policy,
+        check=args.check,
+        executor=args.executor,
+        faults=args.faults,
+        elastic=args.elastic,
+        max_batch=args.max_batch,
+        batch_window=args.batch_window,
+        cache_capacity=args.cache_capacity,
+    )
+    server = serve_http(service, args.host, args.port, verbose=args.verbose)
+    print(f"serving {g} on {server.address} (p={args.p}, policy={args.policy})")
+    print("endpoints: POST /v1/query, GET /v1/query/<id>, GET /v1/stats, "
+          "POST /v1/graph, GET /v1/healthz")
+    try:
+        server.serve_forever()
+    except KeyboardInterrupt:
+        print("\nshutting down")
+    finally:
+        server.shutdown()
+        service.close()
+        stats = service.stats()
+        print(
+            f"served {stats['completed']} queries in {stats['batches']} sweeps "
+            f"(coalescing factor {stats['coalescing_factor']:.2f}, "
+            f"cache hit-rate {stats['cache']['hit_rate']:.1%})"
+        )
     return 0
 
 
@@ -505,6 +615,7 @@ def main(argv: list[str] | None = None) -> int:
         "generate": _cmd_generate,
         "simulate": _cmd_simulate,
         "trace": _cmd_trace,
+        "serve": _cmd_serve,
         "info": _cmd_info,
         "verify": _cmd_verify,
     }[args.command]

@@ -19,7 +19,7 @@ from repro.core.edge_bc import EdgeBCResult, edge_betweenness_centrality
 from repro.core.engine import Engine, SequentialEngine
 from repro.core.mfbf import mfbf
 from repro.core.mfbr import mfbr
-from repro.core.mfbc import MFBCResult, betweenness_centrality, mfbc
+from repro.core.mfbc import MFBCResult, betweenness_centrality, mfbc, mfbc_per_source
 from repro.core.stats import BatchStats, IterationStats, MFBCStats
 
 __all__ = [
@@ -28,6 +28,7 @@ __all__ = [
     "mfbf",
     "mfbr",
     "mfbc",
+    "mfbc_per_source",
     "MFBCResult",
     "betweenness_centrality",
     "MFBCStats",

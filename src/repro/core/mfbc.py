@@ -56,7 +56,13 @@ from repro.faults.plan import DeadlineExceeded, FaultError, RankFailure
 from repro.graphs.graph import Graph
 from repro.obs import api as obs
 
-__all__ = ["mfbc", "betweenness_centrality", "MFBCResult", "default_batch_size"]
+__all__ = [
+    "mfbc",
+    "mfbc_per_source",
+    "betweenness_centrality",
+    "MFBCResult",
+    "default_batch_size",
+]
 
 _PLUS = PlusMonoid()
 
@@ -313,6 +319,65 @@ def mfbc(
     return MFBCResult(
         scores=scores, stats=stats, batch_size=batch_size, elapsed_seconds=elapsed
     )
+
+
+def mfbc_per_source(
+    graph: Graph,
+    sources: np.ndarray,
+    *,
+    engine: Engine | None = None,
+    adj=None,
+) -> np.ndarray:
+    """One k-wide MFBF + MFBr sweep, split into per-source score rows.
+
+    This is the batch entry point the serving layer's coalescer uses: k
+    concurrent single-source BC queries cost *one* sweep of width k instead
+    of k sweeps.  Returns a dense ``len(sources) × n`` array whose row ``i``
+    equals ``mfbc(graph, sources=[sources[i]]).scores`` bit-identically —
+    rows of the multpath/centpath matrices never interact (every SpGEMM
+    entry ``(i, j)`` depends only on row ``i`` of the frontier), so batching
+    changes neither the values nor the accumulation order within a row.
+
+    Parameters
+    ----------
+    graph:
+        Input graph.
+    sources:
+        The coalesced batch of starting vertices (length ``k``).
+    engine:
+        Execution engine (sequential by default).
+    adj:
+        Optional pre-distributed adjacency matrix in the engine's
+        representation — the serving layer pins this once per graph version
+        so repeated sweeps skip redistribution entirely.
+    """
+    engine = engine or SequentialEngine()
+    sources = np.asarray(sources, dtype=np.int64)
+    if len(sources) == 0:
+        raise ValueError("empty source batch")
+    with obs.span(
+        "mfbc_per_source", cat="run", n=graph.n, sources=len(sources)
+    ):
+        if adj is None:
+            with obs.span("adjacency", cat="phase"):
+                adj = engine.adjacency(graph)
+        with obs.span("mfbf", cat="phase"):
+            t_mat = mfbf(adj, sources, engine=engine)
+        with obs.span("mfbr", cat="phase"):
+            z_mat = mfbr(adj, t_mat, engine=engine)
+        with obs.span("accumulate", cat="phase"):
+            delta = z_mat.zip_map(
+                t_mat,
+                lambda zv, tv: {"w": zv["p"] * tv["m"]},
+                monoid=_PLUS,
+            )
+            local = engine.gather(delta)
+            keep = local.cols != sources[local.rows]
+            out = np.zeros((len(sources), graph.n), dtype=np.float64)
+            # canonical SpMat stores each (row, col) once, so this is a
+            # plain scatter — no accumulation-order concerns
+            out[local.rows[keep], local.cols[keep]] = local.vals["w"][keep]
+    return out
 
 
 def _elastic_recover(engine, machine, failure, plan, batch_index) -> bool:

@@ -13,7 +13,6 @@ vertex relabeling) is what makes these oblivious even splits balanced.
 
 from __future__ import annotations
 
-import warnings
 from typing import Callable
 
 import numpy as np
@@ -153,7 +152,7 @@ class DistMat:
         mat: SpMat,
         machine: Machine,
         ranks2d: np.ndarray,
-        *args,
+        *,
         row_splits: np.ndarray | None = None,
         col_splits: np.ndarray | None = None,
         charge: bool = True,
@@ -173,22 +172,6 @@ class DistMat:
         under ``"source"`` the source matrix is retained for lost-block
         re-materialization at zero steady-state cost.
         """
-        if args:
-            warnings.warn(
-                "passing row_splits/col_splits to DistMat.distribute "
-                "positionally is deprecated; use keyword arguments",
-                DeprecationWarning,
-                stacklevel=2,
-            )
-            if len(args) > 2:
-                raise TypeError(
-                    f"DistMat.distribute() takes at most 5 positional "
-                    f"arguments ({3 + len(args)} given)"
-                )
-            if row_splits is None:
-                row_splits = args[0]
-            if len(args) == 2 and col_splits is None:
-                col_splits = args[1]
         ranks2d = np.asarray(ranks2d, dtype=np.int64)
         pr, pc = ranks2d.shape
         if row_splits is None:

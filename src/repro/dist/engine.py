@@ -14,7 +14,6 @@ cache, reproducing the amortization in the proof of Theorem 5.1.
 
 from __future__ import annotations
 
-import warnings
 from typing import TYPE_CHECKING
 
 import numpy as np
@@ -58,7 +57,7 @@ class DistributedEngine:
     def __new__(
         cls,
         machine: Machine | None = None,
-        *args,
+        *,
         policy: SelectionPolicy | None = None,
         check=None,
     ):
@@ -77,34 +76,19 @@ class DistributedEngine:
         from repro.check.engine import CheckedEngine
 
         # Returning a non-instance skips __init__, so run it by hand.
-        inner.__init__(machine, *args, policy=policy)
+        inner.__init__(machine, policy=policy)
         return CheckedEngine(inner, cfg)
 
     def __init__(
         self,
         machine: Machine,
-        *args,
+        *,
         policy: SelectionPolicy | None = None,
         check=None,
     ):
         if getattr(self, "_initialized", False):
             return  # __new__ already ran __init__ before wrapping
         self._initialized = True
-        if args:
-            # pre-audit signature: DistributedEngine(machine, policy)
-            warnings.warn(
-                "passing policy to DistributedEngine positionally is "
-                "deprecated; use DistributedEngine(machine, policy=...)",
-                DeprecationWarning,
-                stacklevel=2,
-            )
-            if len(args) > 1:
-                raise TypeError(
-                    f"DistributedEngine() takes at most 2 positional "
-                    f"arguments ({1 + len(args)} given)"
-                )
-            if policy is None:
-                policy = args[0]
         self.machine = machine
         self.policy = policy or AutoPolicy()
         # If a capture session is already active without a modeled clock,
@@ -155,6 +139,18 @@ class DistributedEngine:
         self._invariant_bases.append(mat)
         self._invariant_ids.add(id(mat))
         self._invariant_ids.add(id(mat.transpose()))
+
+    def release_invariants(self) -> None:
+        """Forget every registered loop-invariant operand and its replicas.
+
+        The serving layer calls this when the pinned graph is replaced: the
+        old adjacency's replication cache and elastic redundancy would
+        otherwise be kept alive (and grow) across graph versions.
+        """
+        self._invariants.clear()
+        self._invariant_bases.clear()
+        self._invariant_ids.clear()
+        self._replication_cache.clear()
 
     def spgemm(self, a: DistMat, b: DistMat, spec: MatMulSpec) -> tuple[DistMat, int]:
         # deferred import: repro.spgemm.variants itself imports repro.dist

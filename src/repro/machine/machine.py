@@ -17,7 +17,6 @@ amount of data communicated along any dependent sequence of collectives".
 from __future__ import annotations
 
 import math
-import warnings
 from dataclasses import dataclass, field
 
 import numpy as np
@@ -196,7 +195,7 @@ class Machine:
     def __init__(
         self,
         p: int,
-        *args,
+        *,
         cost: CostParams | None = None,
         memory_words: int | None = None,
         executor: "LocalExecutor | str | None" = None,
@@ -205,23 +204,6 @@ class Machine:
         deadline: float | None = None,
         elastic=None,
     ) -> None:
-        if args:
-            # pre-executor signature: Machine(p, cost, memory_words)
-            warnings.warn(
-                "passing cost/memory_words to Machine positionally is "
-                "deprecated; use Machine(p, cost=..., memory_words=...)",
-                DeprecationWarning,
-                stacklevel=2,
-            )
-            if len(args) > 2:
-                raise TypeError(
-                    f"Machine() takes at most 3 positional arguments "
-                    f"({1 + len(args)} given)"
-                )
-            if cost is None:
-                cost = args[0]
-            if len(args) == 2 and memory_words is None:
-                memory_words = args[1]
         if p <= 0:
             raise ValueError(f"p must be positive, got {p}")
         self.p = int(p)

@@ -1,0 +1,49 @@
+"""``repro.serve`` — BC-as-a-service: the runtime serves traffic, not jobs.
+
+The paper amortizes communication by batching many sources into one
+maximal-frontier sweep; this package applies the same economics to a
+*query mix*: a persistent :class:`BCService` pins a distributed graph on a
+warm machine, coalesces compatible concurrent single-source requests into
+shared MFBC batches (:mod:`repro.serve.coalescer`), caches scores by
+``(graph_version, algorithm, params)`` (:mod:`repro.serve.cache`), and
+exposes async submit/poll/cancel plus a stdlib HTTP/JSON front end
+(:mod:`repro.serve.http`).  :mod:`repro.serve.loadgen` is the seeded load
+generator behind ``benchmarks/bench_serve_load.py`` and the CI smoke.
+
+See ``docs/serving.md`` for architecture, coalescing rules, cache-key
+semantics, and HTTP API examples.
+"""
+
+from repro.serve.cache import ScoreCache, cache_key
+from repro.serve.coalescer import Coalescer, Query, QueryState
+from repro.serve.http import ServiceHTTPServer, serve_http
+from repro.serve.service import ALGORITHMS, SOURCE_ALGORITHMS, BCService, QueryError
+
+_LOADGEN_NAMES = {"LoadReport", "generate_queries", "run_load", "DEFAULT_MIX"}
+
+
+def __getattr__(name: str):
+    # lazy: ``python -m repro.serve.loadgen`` must not find the module
+    # already imported by its own package (runpy double-import warning)
+    if name in _LOADGEN_NAMES:
+        from repro.serve import loadgen
+
+        return getattr(loadgen, name)
+    raise AttributeError(f"module {__name__!r} has no attribute {name!r}")
+
+__all__ = [
+    "BCService",
+    "QueryError",
+    "ALGORITHMS",
+    "SOURCE_ALGORITHMS",
+    "Query",
+    "QueryState",
+    "Coalescer",
+    "ScoreCache",
+    "cache_key",
+    "ServiceHTTPServer",
+    "serve_http",
+    "LoadReport",
+    "generate_queries",
+    "run_load",
+]

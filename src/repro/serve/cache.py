@@ -1,0 +1,117 @@
+"""Versioned score cache for the serving layer.
+
+Entries are keyed by ``(graph_version, algorithm, params)`` — the params
+half is a canonical sorted tuple, so label order at the call site never
+matters.  A graph mutation bumps the service's version, after which every
+lookup for the new version misses and recomputes; :meth:`ScoreCache.invalidate`
+then purges the now-unreachable old-version entries.
+
+Every cache event lands in :mod:`repro.obs` as a counter
+(``serve.cache.hit`` / ``serve.cache.miss`` / ``serve.cache.invalidate``,
+labeled by algorithm) when a capture session is active, and always in the
+cache's own thread-safe totals — the `repro trace` summary table and the
+service's ``stats()`` read these respectively.
+"""
+
+from __future__ import annotations
+
+import threading
+from collections import OrderedDict
+
+from repro.obs import api as obs
+
+__all__ = ["ScoreCache", "cache_key"]
+
+
+def cache_key(graph_version: int, algorithm: str, params: dict) -> tuple:
+    """Canonical cache key: version + algorithm + sorted params items."""
+    return (int(graph_version), str(algorithm), tuple(sorted(params.items())))
+
+
+class ScoreCache:
+    """A bounded LRU map from :func:`cache_key` tuples to score payloads.
+
+    Thread-safe: HTTP handler threads consult it on the submit fast path
+    while the dispatcher thread populates it after each sweep.
+    """
+
+    def __init__(self, capacity: int = 4096) -> None:
+        if capacity <= 0:
+            raise ValueError(f"capacity must be positive, got {capacity}")
+        self.capacity = int(capacity)
+        self._entries: OrderedDict[tuple, object] = OrderedDict()
+        self._lock = threading.Lock()
+        self.hits = 0
+        self.misses = 0
+        self.invalidated = 0
+        self.evicted = 0
+
+    def __len__(self) -> int:
+        with self._lock:
+            return len(self._entries)
+
+    def get(self, key: tuple):
+        """The cached payload for ``key``, or None; counts a hit or miss."""
+        algorithm = key[1]
+        with self._lock:
+            value = self._entries.get(key)
+            if value is not None:
+                self._entries.move_to_end(key)
+                self.hits += 1
+            else:
+                self.misses += 1
+        if obs.enabled():
+            if value is not None:
+                obs.count("serve.cache.hit", 1.0, algorithm=algorithm)
+            else:
+                obs.count("serve.cache.miss", 1.0, algorithm=algorithm)
+        return value
+
+    def peek(self, key: tuple):
+        """Like :meth:`get` but counts nothing (re-checks inside a batch)."""
+        with self._lock:
+            return self._entries.get(key)
+
+    def put(self, key: tuple, value) -> None:
+        if value is None:
+            raise ValueError("cache payloads must not be None")
+        with self._lock:
+            self._entries[key] = value
+            self._entries.move_to_end(key)
+            while len(self._entries) > self.capacity:
+                self._entries.popitem(last=False)
+                self.evicted += 1
+
+    def invalidate(self, *, before_version: int | None = None) -> int:
+        """Drop entries older than ``before_version`` (all when None).
+
+        Returns the number of entries dropped and counts each as a
+        ``serve.cache.invalidate`` event.
+        """
+        dropped: list[tuple] = []
+        with self._lock:
+            for key in list(self._entries):
+                if before_version is None or key[0] < before_version:
+                    del self._entries[key]
+                    dropped.append(key)
+            self.invalidated += len(dropped)
+        if obs.enabled():
+            for key in dropped:
+                obs.count("serve.cache.invalidate", 1.0, algorithm=key[1])
+        return len(dropped)
+
+    def hit_rate(self) -> float:
+        total = self.hits + self.misses
+        return self.hits / total if total else 0.0
+
+    def stats(self) -> dict:
+        with self._lock:
+            return {
+                "entries": len(self._entries),
+                "capacity": self.capacity,
+                "hits": self.hits,
+                "misses": self.misses,
+                "invalidated": self.invalidated,
+                "evicted": self.evicted,
+                "hit_rate": self.hit_rate(),
+            }

@@ -1,0 +1,269 @@
+"""Seeded load generator for the serving layer (bench + CI smoke).
+
+Drives a :class:`~repro.serve.BCService` — directly in-process or through
+the HTTP front end — with a deterministic mixed query stream: mostly
+single-source BC (the coalescer's bread and butter) with BFS/SSSP/widest,
+sampled-BC, and whole-graph queries sprinkled in.  Sources are drawn from
+a skewed popularity distribution (a hot set plus a uniform tail), so the
+stream exercises both the cache (repeats) and the coalescer (distinct
+concurrent sources).
+
+Run standalone as the CI smoke::
+
+    python -m repro.serve.loadgen --queries 120 --concurrency 8 \
+        --http --faults seed:3,crash@40:1 --elastic replica
+
+which exits non-zero when any query fails — injected faults must recover
+transparently, never surface to a client.
+"""
+
+from __future__ import annotations
+
+import argparse
+import json
+import sys
+import time
+import urllib.request
+from concurrent.futures import ThreadPoolExecutor
+from dataclasses import dataclass, field
+
+import numpy as np
+
+from repro.serve.service import BCService
+from repro.utils.rng import as_rng
+
+__all__ = ["LoadReport", "generate_queries", "run_load", "main", "DEFAULT_MIX"]
+
+#: default algorithm mix (weights; normalized at draw time)
+DEFAULT_MIX: dict[str, float] = {
+    "bc_source": 0.55,
+    "bfs": 0.15,
+    "sssp": 0.10,
+    "widest": 0.05,
+    "approx_bc": 0.05,
+    "connected": 0.05,
+    "triangles": 0.05,
+}
+
+
+@dataclass
+class LoadReport:
+    """What the load run measured (latencies in wall seconds)."""
+
+    queries: int
+    completed: int
+    failed: int
+    wall_seconds: float
+    latencies: list[float] = field(default_factory=list, repr=False)
+    cache_hit_rate: float = 0.0
+    coalescing_factor: float = 0.0
+    batches: int = 0
+
+    @property
+    def throughput_qps(self) -> float:
+        return self.queries / self.wall_seconds if self.wall_seconds > 0 else 0.0
+
+    def percentile(self, q: float) -> float:
+        if not self.latencies:
+            return 0.0
+        return float(np.percentile(np.asarray(self.latencies), q))
+
+    def summary(self) -> str:
+        return (
+            f"{self.queries} queries in {self.wall_seconds:.2f}s "
+            f"({self.throughput_qps:.1f} q/s); "
+            f"p50 {self.percentile(50) * 1e3:.2f} ms, "
+            f"p99 {self.percentile(99) * 1e3:.2f} ms; "
+            f"{self.failed} failed; "
+            f"cache hit-rate {self.cache_hit_rate:.1%}; "
+            f"coalescing factor {self.coalescing_factor:.2f} "
+            f"({self.batches} sweeps)"
+        )
+
+
+def generate_queries(
+    n_queries: int,
+    n_vertices: int,
+    *,
+    seed: int = 0,
+    mix: dict[str, float] | None = None,
+    hot_fraction: float = 0.05,
+    hot_probability: float = 0.5,
+) -> list[dict]:
+    """A deterministic stream of query specs (dicts for ``submit(**spec)``)."""
+    rng = as_rng(seed)
+    mix = mix or DEFAULT_MIX
+    names = sorted(mix)
+    weights = np.array([mix[k] for k in names], dtype=np.float64)
+    weights = weights / weights.sum()
+    hot = rng.choice(n_vertices, size=max(1, int(n_vertices * hot_fraction)), replace=False)
+    specs: list[dict] = []
+    for _ in range(n_queries):
+        algorithm = names[int(rng.choice(len(names), p=weights))]
+        spec: dict = {"algorithm": algorithm}
+        if algorithm in ("bc_source", "bfs", "sssp", "widest"):
+            if rng.random() < hot_probability:
+                spec["source"] = int(hot[int(rng.integers(len(hot)))])
+            else:
+                spec["source"] = int(rng.integers(n_vertices))
+        elif algorithm == "approx_bc":
+            spec["samples"] = int(min(n_vertices, 8))
+            spec["seed"] = int(rng.integers(4))
+        specs.append(spec)
+    return specs
+
+
+# -- clients ------------------------------------------------------------------
+
+
+class DirectClient:
+    """Submits straight into the service object (in-process load)."""
+
+    def __init__(self, service: BCService, timeout: float = 120.0) -> None:
+        self.service = service
+        self.timeout = timeout
+
+    def run_one(self, spec: dict) -> tuple[float, bool]:
+        t0 = time.perf_counter()
+        qid = self.service.submit(**spec)
+        try:
+            self.service.result(qid, timeout=self.timeout)
+            ok = True
+        except Exception:
+            ok = False
+        return time.perf_counter() - t0, ok
+
+    def stats(self) -> dict:
+        return self.service.stats()
+
+
+class HTTPClient:
+    """Submits through the HTTP front end (end-to-end load)."""
+
+    def __init__(self, base_url: str, timeout: float = 120.0) -> None:
+        self.base_url = base_url.rstrip("/")
+        self.timeout = timeout
+
+    def _request(self, method: str, path: str, body: dict | None = None) -> dict:
+        data = json.dumps(body).encode() if body is not None else None
+        req = urllib.request.Request(
+            self.base_url + path,
+            data=data,
+            method=method,
+            headers={"Content-Type": "application/json"},
+        )
+        with urllib.request.urlopen(req, timeout=self.timeout) as resp:
+            return json.loads(resp.read().decode())
+
+    def run_one(self, spec: dict) -> tuple[float, bool]:
+        t0 = time.perf_counter()
+        try:
+            status = self._request(
+                "POST",
+                "/v1/query",
+                {**spec, "wait": True, "timeout": self.timeout},
+            )
+            ok = status.get("state") == "done"
+        except Exception:
+            ok = False
+        return time.perf_counter() - t0, ok
+
+    def stats(self) -> dict:
+        return self._request("GET", "/v1/stats")
+
+
+def run_load(
+    client,
+    specs: list[dict],
+    *,
+    concurrency: int = 8,
+) -> LoadReport:
+    """Fire ``specs`` at ``client`` from a thread pool; measure latencies."""
+    if concurrency <= 0:
+        raise ValueError(f"concurrency must be positive, got {concurrency}")
+    t0 = time.perf_counter()
+    with ThreadPoolExecutor(max_workers=concurrency) as pool:
+        outcomes = list(pool.map(client.run_one, specs))
+    wall = time.perf_counter() - t0
+    stats = client.stats()
+    cache = stats.get("cache", {})
+    return LoadReport(
+        queries=len(specs),
+        completed=sum(1 for _, ok in outcomes if ok),
+        failed=sum(1 for _, ok in outcomes if not ok),
+        wall_seconds=wall,
+        latencies=[lat for lat, _ in outcomes],
+        cache_hit_rate=float(cache.get("hit_rate", 0.0)),
+        coalescing_factor=float(stats.get("coalescing_factor", 0.0)),
+        batches=int(stats.get("batches", 0)),
+    )
+
+
+# -- CLI entry (the CI smoke) -------------------------------------------------
+
+
+def main(argv: list[str] | None = None) -> int:
+    parser = argparse.ArgumentParser(
+        prog="repro.serve.loadgen",
+        description="seeded load generator / smoke test for repro.serve",
+    )
+    parser.add_argument("--queries", type=int, default=120)
+    parser.add_argument("--concurrency", type=int, default=8)
+    parser.add_argument("--seed", type=int, default=0)
+    parser.add_argument("--scale", type=int, default=8, help="log2 vertices (R-MAT)")
+    parser.add_argument("--degree", type=int, default=8)
+    parser.add_argument("--p", type=int, default=4, help="simulated ranks")
+    parser.add_argument("--max-batch", type=int, default=32)
+    parser.add_argument("--batch-window", type=float, default=0.005)
+    parser.add_argument("--http", action="store_true", help="drive via the HTTP front end")
+    parser.add_argument("--faults", default=None, help="fault-injection spec")
+    parser.add_argument("--elastic", default=None, help="elastic recovery policy")
+    parser.add_argument("--executor", default=None)
+    parser.add_argument("--check", default=None)
+    args = parser.parse_args(argv)
+
+    from repro.graphs import rmat_graph
+
+    graph = rmat_graph(args.scale, args.degree, seed=args.seed)
+    specs = generate_queries(args.queries, graph.n, seed=args.seed)
+    service = BCService(
+        graph,
+        p=args.p,
+        faults=args.faults,
+        elastic=args.elastic,
+        executor=args.executor,
+        check=args.check,
+        max_batch=args.max_batch,
+        batch_window=args.batch_window,
+    )
+    server = None
+    try:
+        if args.http:
+            from repro.serve.http import serve_http
+
+            server = serve_http(service, port=0)
+            server.start_background()
+            client = HTTPClient(server.address)
+            print(f"HTTP front end at {server.address}")
+        else:
+            client = DirectClient(service)
+        report = run_load(client, specs, concurrency=args.concurrency)
+    finally:
+        if server is not None:
+            server.shutdown()
+        service.close()
+    print(report.summary())
+    if service.machine.faults is not None:
+        print(
+            f"faults: {service.machine.faults.injected} injected, "
+            f"{len(service.machine.recoveries)} elastic recoveries"
+        )
+    if report.failed:
+        print(f"FAIL: {report.failed} queries did not complete", file=sys.stderr)
+        return 1
+    print("PASS: zero failed queries")
+    return 0
+
+
+if __name__ == "__main__":  # pragma: no cover - exercised by the CI smoke
+    sys.exit(main())

@@ -1,0 +1,606 @@
+"""``BCService``: betweenness centrality (and friends) as a service.
+
+One-shot CLI/bench runs rebuild the simulated machine, redistribute the
+graph, and compute from scratch on every invocation.  The service instead
+*pins* a distributed graph on a warm :class:`~repro.machine.Machine` —
+replication caches and elastic redundancy stay armed between requests —
+and answers a concurrent query mix:
+
+* ``bc`` — exact betweenness centrality of every vertex;
+* ``bc_source`` — one source's dependency contribution (the unit the
+  coalescer turns into shared MFBC sweeps);
+* ``approx_bc`` — sampled BC (``samples``/``seed`` parameters expose the
+  latency/accuracy knob per request);
+* ``bfs`` / ``sssp`` / ``widest`` — per-source kernels from
+  :mod:`repro.apps`, coalesced the same way;
+* ``connected`` / ``triangles`` — whole-graph kernels, answered from the
+  version cache after the first computation.
+
+Execution is single-flight: one dispatcher thread drains the coalescer and
+runs each batch on the machine, so the ledger stays a coherent single
+timeline while any number of client threads submit/poll/cancel.  Faults
+compose with serving: a :class:`~repro.faults.RankFailure` mid-batch takes
+the existing elastic-recovery path (grid shrink + block repair) and the
+batch transparently re-executes on the survivors; per-query ``deadline``
+budgets reuse ``Machine(deadline=)`` — the strictest member of a batch
+arms the machine's modeled-time guard, and on expiry only the blown
+queries fail while the rest retry.
+"""
+
+from __future__ import annotations
+
+import threading
+from typing import TYPE_CHECKING
+
+import numpy as np
+
+from repro.core.mfbc import mfbc, mfbc_per_source
+from repro.faults.plan import DeadlineExceeded, FaultError, RankFailure
+from repro.graphs.graph import Graph
+from repro.obs import api as obs
+from repro.serve.cache import ScoreCache, cache_key
+from repro.serve.coalescer import Coalescer, Query, QueryState
+
+if TYPE_CHECKING:
+    from repro.machine.machine import Machine
+
+__all__ = ["BCService", "QueryError", "ALGORITHMS", "SOURCE_ALGORITHMS"]
+
+#: queries that carry a ``source`` parameter and coalesce into shared sweeps
+SOURCE_ALGORITHMS = frozenset({"bc_source", "bfs", "sssp", "widest"})
+#: whole-graph queries (no source); identical concurrent requests dedupe
+GRAPH_ALGORITHMS = frozenset({"bc", "approx_bc", "connected", "triangles"})
+ALGORITHMS = SOURCE_ALGORITHMS | GRAPH_ALGORITHMS
+
+
+class QueryError(RuntimeError):
+    """Raised by :meth:`BCService.result` when the query did not succeed."""
+
+    def __init__(self, query_id: str, state: str, message: str) -> None:
+        super().__init__(f"query {query_id} {state}: {message}")
+        self.query_id = query_id
+        self.state = state
+
+
+class BCService:
+    """A persistent query service over one pinned distributed graph.
+
+    Parameters
+    ----------
+    graph:
+        The graph to serve.  Replaceable at runtime via
+        :meth:`update_graph`, which bumps the graph version and invalidates
+        the score cache.
+    machine:
+        A pre-built :class:`~repro.machine.Machine` (keyword-only).  When
+        None, one is built from ``p`` / ``executor`` / ``faults`` /
+        ``elastic`` / ``deadline``.
+    p, policy, check, executor, faults, elastic, deadline:
+        Forwarded to the machine / engine exactly as the CLI does.
+    batch_window:
+        Wall-seconds the dispatcher lingers after the first queued query so
+        concurrent submitters coalesce into the same sweep (0 disables).
+    max_batch:
+        Maximum sweep width ``k`` — the §5.3 time/storage knob applied to
+        the query mix.
+    cache_capacity:
+        LRU capacity of the versioned score cache.
+    retries:
+        Batch re-executions allowed per injected non-rank fault (rank
+        failures take the elastic path first, which never burns retries).
+    """
+
+    def __init__(
+        self,
+        graph: Graph,
+        *,
+        machine: "Machine | None" = None,
+        p: int = 4,
+        policy=None,
+        check=None,
+        executor=None,
+        faults=None,
+        elastic=None,
+        deadline: float | None = None,
+        batch_window: float = 0.002,
+        max_batch: int = 64,
+        cache_capacity: int = 4096,
+        retries: int = 2,
+    ) -> None:
+        # deferred imports: repro.dist pulls in the full engine stack
+        from repro.dist.engine import DistributedEngine
+        from repro.machine.machine import Machine
+
+        if machine is None:
+            machine = Machine(
+                p,
+                executor=executor,
+                faults=faults,
+                elastic=elastic,
+                deadline=deadline,
+            )
+        self.machine = machine
+        self.engine = DistributedEngine(machine, policy=policy, check=check)
+        self.graph = graph
+        self.graph_version = 0
+        self.retries = int(retries)
+        self.cache = ScoreCache(capacity=cache_capacity)
+        self.coalescer = Coalescer(max_batch=max_batch, window=batch_window)
+        self._queries: dict[str, Query] = {}
+        self._registry_lock = threading.Lock()
+        #: serializes batch execution against graph mutation
+        self._exec_lock = threading.Lock()
+        self._pinned: dict[str, object] = {}
+        self._counters: dict[str, float] = {
+            "submitted": 0,
+            "completed": 0,
+            "failed": 0,
+            "expired": 0,
+            "cancelled": 0,
+            "batches": 0,
+            "swept_sources": 0,
+            "recoveries": 0,
+            "retries": 0,
+        }
+        self._closed = False
+        self._dispatcher = threading.Thread(
+            target=self._dispatch_loop, name="bcservice-dispatch", daemon=True
+        )
+        self._dispatcher.start()
+
+    # -- client API ----------------------------------------------------------
+
+    def submit(
+        self,
+        algorithm: str,
+        *,
+        source: int | None = None,
+        samples: int | None = None,
+        seed: int = 0,
+        deadline: float | None = None,
+    ) -> str:
+        """Enqueue a query; returns its id for :meth:`poll` / :meth:`result`.
+
+        ``deadline`` is a modeled-seconds budget for the query's sweep
+        (measured from when its batch starts executing on the machine).
+        A cache hit at the current graph version completes immediately —
+        without touching the machine's ledger.
+        """
+        if self._closed:
+            raise RuntimeError("service is closed")
+        params = self._canonical_params(
+            algorithm, source=source, samples=samples, seed=seed
+        )
+        if deadline is not None and deadline <= 0:
+            raise ValueError(f"deadline must be positive, got {deadline}")
+        query = Query(algorithm=algorithm, params=params, deadline=deadline)
+        with self._registry_lock:
+            self._queries[query.id] = query
+            self._counters["submitted"] += 1
+        cached = self.cache.get(cache_key(self.graph_version, algorithm, params))
+        if cached is not None:
+            query.cache_hit = True
+            query.graph_version = self.graph_version
+            query.finish(QueryState.DONE, result=cached)
+            with self._registry_lock:
+                self._counters["completed"] += 1
+            self._note_query(query)
+            return query.id
+        self.coalescer.put(query)
+        return query.id
+
+    def poll(self, query_id: str) -> dict:
+        """Status snapshot: state plus result/error once terminal."""
+        q = self._get(query_id)
+        out = {
+            "id": q.id,
+            "algorithm": q.algorithm,
+            "params": dict(q.params),
+            "state": q.state.value,
+            "cache_hit": q.cache_hit,
+            "attempts": q.attempts,
+            "batch_size": q.batch_size,
+            "graph_version": q.graph_version,
+            "queue_seconds": q.queue_seconds,
+            "compute_seconds": q.compute_seconds,
+        }
+        if q.state is QueryState.DONE:
+            out["result"] = q.result
+        elif q.state.terminal:
+            out["error"] = q.error
+        return out
+
+    def result(self, query_id: str, timeout: float | None = None):
+        """Block until the query finishes; return its payload or raise."""
+        q = self._get(query_id)
+        if not q.done.wait(timeout):
+            raise TimeoutError(f"query {query_id} still {q.state.value}")
+        if q.state is QueryState.DONE:
+            return q.result
+        raise QueryError(q.id, q.state.value, q.error or "no detail")
+
+    def cancel(self, query_id: str) -> bool:
+        """Withdraw a queued query; running/terminal queries are not touched."""
+        q = self._get(query_id)
+        if q.state is not QueryState.QUEUED:
+            return False
+        q.state = QueryState.CANCELLED
+        self.coalescer.remove(q)
+        q.finish(QueryState.CANCELLED, error="cancelled")
+        with self._registry_lock:
+            self._counters["cancelled"] += 1
+        return True
+
+    def update_graph(self, graph: Graph) -> int:
+        """Replace the served graph; returns the new graph version.
+
+        Queued queries are answered against the new version (queries bind
+        to the version current when their batch executes); the score cache
+        drops every older-version entry and the pinned adjacency layouts
+        are rebuilt lazily on the next sweep.
+        """
+        with self._exec_lock:
+            self.graph = graph
+            self.graph_version += 1
+            self._pinned.clear()
+            self.engine.release_invariants()
+            self.cache.invalidate(before_version=self.graph_version)
+            if obs.enabled():
+                obs.count("serve.graph_updates", 1.0)
+            return self.graph_version
+
+    def stats(self) -> dict:
+        """Service counters + cache stats + coalescing factor."""
+        with self._registry_lock:
+            counters = dict(self._counters)
+        batches = counters["batches"]
+        counters["coalescing_factor"] = (
+            counters["swept_sources"] / batches if batches else 0.0
+        )
+        return {
+            "graph_version": self.graph_version,
+            "queued": len(self.coalescer),
+            "p": self.machine.p,
+            **counters,
+            "cache": self.cache.stats(),
+        }
+
+    def close(self, timeout: float | None = 10.0) -> None:
+        """Drain queued work, stop the dispatcher, and release the machine."""
+        if self._closed:
+            return
+        self._closed = True
+        self.coalescer.close()
+        self._dispatcher.join(timeout)
+        self.machine.executor.close()
+
+    def __enter__(self) -> "BCService":
+        return self
+
+    def __exit__(self, *exc) -> bool:
+        self.close()
+        return False
+
+    # -- dispatch ------------------------------------------------------------
+
+    def _dispatch_loop(self) -> None:
+        while True:
+            batch = self.coalescer.take(timeout=0.05)
+            if batch is None:
+                if self._closed and not len(self.coalescer):
+                    return
+                continue
+            try:
+                self._execute(batch)
+            except Exception as exc:  # defensive: never kill the dispatcher
+                for q in batch:
+                    if not q.state.terminal:
+                        self._fail(q, QueryState.FAILED, f"{type(exc).__name__}: {exc}")
+
+    def _execute(self, batch: list[Query]) -> None:
+        with self._exec_lock:
+            version = self.graph_version
+            algorithm = batch[0].algorithm
+            now = _wall()
+            batch = [q for q in batch if not q.state.terminal]  # late cancels
+            if not batch:
+                return
+            for q in batch:
+                q.state = QueryState.RUNNING
+                q.queue_seconds = now - q.submitted_wall
+            # re-check the cache: an earlier batch may have answered this key
+            remaining: list[Query] = []
+            for q in batch:
+                key = cache_key(version, algorithm, q.params)
+                hit = self.cache.peek(key)
+                if hit is not None:
+                    q.cache_hit = True
+                    self._complete(q, hit, version, batch_size=0)
+                else:
+                    remaining.append(q)
+            if not remaining:
+                return
+            self._execute_live(algorithm, remaining, version)
+
+    def _execute_live(
+        self, algorithm: str, queries: list[Query], version: int
+    ) -> None:
+        """Run one sweep for ``queries`` (all sharing a coalesce key)."""
+        machine = self.machine
+        saved_deadline = machine.deadline
+        budgets = [q.deadline for q in queries if q.deadline is not None]
+        start_modeled = machine.ledger.critical_time()
+        if budgets:
+            batch_budget = start_modeled + min(budgets)
+            machine.deadline = (
+                batch_budget
+                if saved_deadline is None
+                else min(saved_deadline, batch_budget)
+            )
+        for q in queries:
+            q.attempts += 1
+        t0 = _wall()
+        try:
+            with obs.span(
+                "serve.batch",
+                cat="serve",
+                algorithm=algorithm,
+                size=len(queries),
+                version=version,
+            ) as sp:
+                results = self._compute(algorithm, queries, version)
+                if obs.enabled():
+                    sp.set(modeled_cost=machine.ledger.critical_time() - start_modeled)
+                    obs.count("serve.batches", 1.0, algorithm=algorithm)
+                    obs.observe(
+                        "serve.batch_size", float(len(queries)), algorithm=algorithm
+                    )
+        except DeadlineExceeded:
+            elapsed = machine.ledger.critical_time() - start_modeled
+            expired = [
+                q for q in queries if q.deadline is not None and q.deadline <= elapsed
+            ]
+            if not expired:  # the machine's own global deadline tripped
+                for q in queries:
+                    self._fail(q, QueryState.EXPIRED, "machine deadline exceeded")
+                return
+            survivors = [q for q in queries if q not in expired]
+            for q in expired:
+                self._fail(
+                    q,
+                    QueryState.EXPIRED,
+                    f"deadline {q.deadline}s modeled exceeded ({elapsed:.3e}s elapsed)",
+                )
+            if survivors:
+                with self._registry_lock:
+                    self._counters["retries"] += 1
+                for q in survivors:
+                    q.state = QueryState.QUEUED
+                self.coalescer.putback(survivors)
+            return
+        except FaultError as exc:
+            self._handle_fault(queries, exc)
+            return
+        finally:
+            machine.deadline = saved_deadline
+        compute = _wall() - t0
+        with self._registry_lock:
+            self._counters["batches"] += 1
+            self._counters["swept_sources"] += len(queries)
+        for q in queries:
+            q.compute_seconds = compute
+            payload = results[q.id]
+            self.cache.put(cache_key(version, algorithm, q.params), payload)
+            self._complete(q, payload, version, batch_size=len(queries))
+
+    def _handle_fault(self, queries: list[Query], exc: FaultError) -> None:
+        """Recover from an injected fault and transparently retry the batch."""
+        recovered = False
+        if (
+            isinstance(exc, RankFailure)
+            and getattr(self.machine, "elastic", None) is not None
+        ):
+            from repro.elastic.recovery import RecoveryError
+
+            try:
+                self.engine.recover_from(exc)
+                recovered = True
+                with self._registry_lock:
+                    self._counters["recoveries"] += 1
+                if obs.enabled():
+                    obs.count("serve.recoveries", 1.0, mode="elastic")
+            except RecoveryError:
+                recovered = False
+        if not recovered:
+            # plain retry ladder: reset transient engine state, bounded budget
+            max_attempts = self.retries + 1
+            if any(q.attempts >= max_attempts for q in queries):
+                for q in queries:
+                    self._fail(
+                        q,
+                        QueryState.FAILED,
+                        f"{type(exc).__name__} after {q.attempts} attempts",
+                    )
+                return
+            recover = getattr(self.engine, "recover", None)
+            if recover is not None:
+                recover()
+            with self._registry_lock:
+                self._counters["retries"] += 1
+        # requeue: elastic recovery never burns retry budget (each success
+        # strictly shrinks p, so storms terminate — same contract as mfbc)
+        if recovered:
+            for q in queries:
+                q.attempts -= 1
+        for q in queries:
+            q.state = QueryState.QUEUED
+        self.coalescer.putback(queries)
+
+    # -- kernels -------------------------------------------------------------
+
+    def _compute(
+        self, algorithm: str, queries: list[Query], version: int
+    ) -> dict[str, object]:
+        """One sweep answering every query; returns payloads by query id."""
+        graph = self.graph
+        engine = self.engine
+        if algorithm in SOURCE_ALGORITHMS:
+            # dedupe repeated sources within the batch: one sweep column each
+            sources = sorted({int(q.params["source"]) for q in queries})
+            order = {s: i for i, s in enumerate(sources)}
+            src = np.asarray(sources, dtype=np.int64)
+            if algorithm == "bc_source":
+                rows = mfbc_per_source(
+                    graph, src, engine=engine, adj=self._pin("weighted")
+                )
+            elif algorithm == "bfs":
+                from repro.apps import bfs_levels
+
+                rows = bfs_levels(graph, src, engine=engine, adj=self._pin("hops"))
+            elif algorithm == "sssp":
+                from repro.apps import sssp_distances
+
+                rows = sssp_distances(
+                    graph, src, engine=engine, adj=self._pin("weighted")
+                )
+            else:  # widest
+                from repro.apps import widest_path_widths
+
+                rows = widest_path_widths(
+                    graph, src, engine=engine, adj=self._pin("weighted")
+                )
+            return {
+                q.id: rows[order[int(q.params["source"])]].copy() for q in queries
+            }
+        if algorithm == "bc":
+            res = mfbc(graph, engine=engine, retries=0)
+            payload = res.scores
+        elif algorithm == "approx_bc":
+            from repro.core.approx import approximate_bc
+
+            params = queries[0].params
+            payload = approximate_bc(
+                graph,
+                int(params["samples"]),
+                seed=int(params["seed"]),
+                engine=engine,
+            )
+        elif algorithm == "connected":
+            from repro.apps import connected_components
+
+            payload = connected_components(graph, engine=engine)
+        else:  # triangles
+            from repro.apps import triangle_count
+
+            payload = triangle_count(graph, engine=engine)
+        return {q.id: payload for q in queries}
+
+    def _pin(self, flavor: str):
+        """The pinned engine adjacency for this graph version (built once).
+
+        ``"weighted"`` is the tropical adjacency MFBC/SSSP/widest multiply
+        against; ``"hops"`` is the unweighted variant BFS needs.  Pinning
+        registers the matrix as loop-invariant, so the selector amortizes
+        its replication and elastic redundancy stays armed across queries.
+        """
+        mat = self._pinned.get(flavor)
+        if mat is None:
+            if flavor == "hops" and self.graph.weighted:
+                mat = self.engine.adjacency(self.graph.unweighted())
+            else:
+                mat = self.engine.adjacency(self.graph)
+            self._pinned[flavor] = mat
+            if flavor == "hops" and not self.graph.weighted:
+                # unweighted graph: the tropical and hop adjacencies coincide
+                self._pinned["weighted"] = mat
+        return mat
+
+    # -- bookkeeping ---------------------------------------------------------
+
+    def _canonical_params(
+        self,
+        algorithm: str,
+        *,
+        source: int | None,
+        samples: int | None,
+        seed: int,
+    ) -> dict:
+        if algorithm not in ALGORITHMS:
+            raise ValueError(
+                f"unknown algorithm {algorithm!r}; expected one of "
+                f"{sorted(ALGORITHMS)}"
+            )
+        if algorithm in SOURCE_ALGORITHMS:
+            if source is None:
+                raise ValueError(f"{algorithm} requires a source vertex")
+            if not 0 <= int(source) < self.graph.n:
+                raise ValueError(
+                    f"source {source} out of range [0, {self.graph.n})"
+                )
+            return {"source": int(source)}
+        if source is not None:
+            raise ValueError(f"{algorithm} does not take a source")
+        if algorithm == "approx_bc":
+            if samples is None:
+                raise ValueError("approx_bc requires samples")
+            if not 1 <= int(samples) <= self.graph.n:
+                raise ValueError(
+                    f"samples must be in [1, n={self.graph.n}], got {samples}"
+                )
+            return {"samples": int(samples), "seed": int(seed)}
+        return {}
+
+    def _get(self, query_id: str) -> Query:
+        with self._registry_lock:
+            q = self._queries.get(query_id)
+        if q is None:
+            raise KeyError(f"unknown query id {query_id!r}")
+        return q
+
+    def _complete(self, q: Query, payload, version: int, *, batch_size: int) -> None:
+        if q.state.terminal:
+            return  # cancelled while running
+        q.graph_version = version
+        q.batch_size = batch_size
+        q.finish(QueryState.DONE, result=payload)
+        with self._registry_lock:
+            self._counters["completed"] += 1
+        self._note_query(q)
+
+    def _fail(self, q: Query, state: QueryState, message: str) -> None:
+        if q.state.terminal:
+            return
+        q.finish(state, error=message)
+        with self._registry_lock:
+            self._counters[
+                "expired" if state is QueryState.EXPIRED else "failed"
+            ] += 1
+        self._note_query(q)
+
+    def _note_query(self, q: Query) -> None:
+        if not obs.enabled():
+            return
+        obs.count(
+            "serve.queries", 1.0, algorithm=q.algorithm, outcome=q.state.value
+        )
+        obs.complete(
+            "serve.query",
+            cat="serve",
+            wall_dur=q.queue_seconds + q.compute_seconds,
+            args={
+                "id": q.id,
+                "algorithm": q.algorithm,
+                "outcome": q.state.value,
+                "cache_hit": q.cache_hit,
+                "queue_s": q.queue_seconds,
+                "compute_s": q.compute_seconds,
+                "batch": q.batch_size,
+                "attempts": q.attempts,
+            },
+        )
+
+
+def _wall() -> float:
+    import time
+
+    return time.perf_counter()

@@ -269,59 +269,39 @@ class TestSkewReport:
 
 
 # ---------------------------------------------------------------------------
-# keyword-only audit: deprecation shims + Engine protocol
+# keyword-only audit: signatures + Engine protocol
 # ---------------------------------------------------------------------------
 
 
-class TestDeprecationShims:
-    def test_machine_positional_cost_warns(self):
-        cost = CostParams(alpha=1e-6, beta=1e-9)
-        with pytest.warns(DeprecationWarning, match="positionally"):
-            m = Machine(4, cost)
-        assert m.cost is cost
+class TestKeywordOnlySignatures:
+    """The PR-2 deprecation period is over: positional extras now raise."""
 
-    def test_machine_positional_memory_warns(self):
-        with pytest.warns(DeprecationWarning):
-            m = Machine(4, CostParams(), 1_000_000)
-        assert m.memory_words == 1_000_000
+    def test_machine_rejects_positional_cost(self):
+        with pytest.raises(TypeError):
+            Machine(4, CostParams())
 
-    def test_machine_too_many_positionals_raises(self):
-        with pytest.warns(DeprecationWarning):
-            with pytest.raises(TypeError):
-                Machine(4, CostParams(), 1_000_000, "extra")
+    def test_engine_rejects_positional_policy(self):
+        with pytest.raises(TypeError):
+            DistributedEngine(Machine(4), PinnedPolicy.ca_mfbc(4, 1))
 
-    def test_engine_positional_policy_warns(self):
-        machine = Machine(4)
-        policy = PinnedPolicy.ca_mfbc(4, 1)
-        with pytest.warns(DeprecationWarning, match="policy"):
-            eng = DistributedEngine(machine, policy)
-        assert eng.policy is policy
-
-    def test_distribute_positional_splits_warn(self, rng):
+    def test_distribute_rejects_positional_splits(self, rng):
         machine = Machine(4)
         mat = random_weight_spmat(rng, 10, 10, 0.3)
         ranks2d = np.arange(4).reshape(2, 2)
-        row_splits = np.array([0, 5, 10])
-        col_splits = np.array([0, 5, 10])
-        with pytest.warns(DeprecationWarning, match="positional"):
-            d = DistMat.distribute(mat, machine, ranks2d, row_splits, col_splits)
-        ref = DistMat.distribute(
-            mat, machine, ranks2d, row_splits=row_splits, col_splits=col_splits
-        )
-        assert d.gather(charge=False).equals(ref.gather(charge=False))
-
-    def test_keyword_calls_do_not_warn(self, rng):
-        import warnings
-
-        with warnings.catch_warnings():
-            warnings.simplefilter("error", DeprecationWarning)
-            machine = Machine(4, cost=CostParams(), memory_words=None)
-            DistributedEngine(machine, policy=None)
+        with pytest.raises(TypeError):
             DistMat.distribute(
-                random_weight_spmat(rng, 8, 8, 0.3),
-                machine,
-                np.arange(4).reshape(2, 2),
+                mat, machine, ranks2d, np.array([0, 5, 10]), np.array([0, 5, 10])
             )
+
+    def test_keyword_calls_work(self, rng):
+        machine = Machine(4, cost=CostParams(), memory_words=None)
+        eng = DistributedEngine(machine, policy=None)
+        assert eng.machine is machine
+        DistMat.distribute(
+            random_weight_spmat(rng, 8, 8, 0.3),
+            machine,
+            np.arange(4).reshape(2, 2),
+        )
 
 
 class TestEngineProtocol:

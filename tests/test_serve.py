@@ -1,0 +1,700 @@
+"""The serving layer: coalescer, versioned cache, BCService, HTTP, loadgen.
+
+The load-bearing claims (ISSUE 6 acceptance):
+
+* k concurrent single-source BC queries on a pinned graph execute as at
+  most ``ceil(k / max_batch)`` MFBC sweeps, and every response is
+  bit-identical to a per-query run;
+* repeat queries at an unchanged graph version are served from the score
+  cache without touching the machine's ledger;
+* a mid-batch rank failure takes the elastic-recovery path and the batch
+  transparently retries — no query ever observes the fault.
+"""
+
+from __future__ import annotations
+
+import json
+import threading
+import urllib.request
+from concurrent.futures import ThreadPoolExecutor
+
+import numpy as np
+import pytest
+
+from repro import obs
+from repro.core import mfbc
+from repro.core.mfbc import mfbc_per_source
+from repro.dist import DistributedEngine
+from repro.graphs import uniform_random_graph_nm
+from repro.machine import Machine
+from repro.serve import (
+    BCService,
+    Coalescer,
+    Query,
+    QueryError,
+    QueryState,
+    ScoreCache,
+    cache_key,
+    serve_http,
+)
+
+
+@pytest.fixture
+def graph():
+    return uniform_random_graph_nm(36, 4.0, seed=7)
+
+
+def _service(graph, **kw):
+    kw.setdefault("p", 4)
+    kw.setdefault("batch_window", 0.05)
+    return BCService(graph, **kw)
+
+
+def _reference_row(graph, source, p=4):
+    """A per-query single-source run on a fresh machine of the same shape."""
+    engine = DistributedEngine(Machine(p))
+    return mfbc(graph, engine=engine, sources=np.array([source])).scores
+
+
+# ---------------------------------------------------------------------------
+# coalescer
+# ---------------------------------------------------------------------------
+
+
+class TestCoalescer:
+    def _q(self, source, algorithm="bc_source", **kw):
+        return Query(algorithm=algorithm, params={"source": source}, **kw)
+
+    def test_take_batches_compatible_queries(self):
+        c = Coalescer(max_batch=8)
+        qs = [self._q(i) for i in range(5)]
+        for q in qs:
+            c.put(q)
+        assert c.take(timeout=0.5) == qs
+        assert len(c) == 0
+
+    def test_incompatible_algorithms_split(self):
+        c = Coalescer(max_batch=8)
+        a, b, a2 = self._q(0), self._q(1, algorithm="bfs"), self._q(2)
+        for q in (a, b, a2):
+            c.put(q)
+        assert c.take(timeout=0.5) == [a, a2]
+        assert c.take(timeout=0.5) == [b]
+
+    def test_max_batch_bounds_width(self):
+        c = Coalescer(max_batch=3)
+        qs = [self._q(i) for i in range(7)]
+        for q in qs:
+            c.put(q)
+        widths = [len(c.take(timeout=0.5)) for _ in range(3)]
+        assert widths == [3, 3, 1]
+
+    def test_cancelled_queries_dropped(self):
+        c = Coalescer(max_batch=8)
+        keep, gone = self._q(0), self._q(1)
+        c.put(keep)
+        c.put(gone)
+        gone.state = QueryState.CANCELLED
+        assert c.take(timeout=0.5) == [keep]
+
+    def test_putback_goes_to_front(self):
+        c = Coalescer(max_batch=1)
+        first, second = self._q(0), self._q(1)
+        c.put(first)
+        c.put(second)
+        got = c.take(timeout=0.5)
+        c.putback(got)
+        assert c.take(timeout=0.5) == [first]
+        assert c.take(timeout=0.5) == [second]
+
+    def test_take_timeout_and_close(self):
+        c = Coalescer(max_batch=2)
+        assert c.take(timeout=0.01) is None
+        c.close()
+        assert c.take(timeout=0.01) is None
+        with pytest.raises(RuntimeError):
+            c.put(self._q(0))
+
+    def test_window_waits_for_concurrent_submitters(self):
+        c = Coalescer(max_batch=4, window=0.5)
+        c.put(self._q(0))
+        t = threading.Timer(0.05, lambda: [c.put(self._q(i)) for i in (1, 2, 3)])
+        t.start()
+        try:
+            batch = c.take(timeout=1.0)
+        finally:
+            t.join()
+        assert len(batch) == 4
+
+    def test_invalid_construction(self):
+        with pytest.raises(ValueError):
+            Coalescer(max_batch=0)
+        with pytest.raises(ValueError):
+            Coalescer(window=-1.0)
+
+    def test_coalesce_key_ignores_source_only(self):
+        a = Query(algorithm="approx_bc", params={"samples": 4, "seed": 0})
+        b = Query(algorithm="approx_bc", params={"samples": 4, "seed": 1})
+        assert a.coalesce_key != b.coalesce_key
+        s0 = self._q(0)
+        s1 = self._q(1)
+        assert s0.coalesce_key == s1.coalesce_key
+
+
+# ---------------------------------------------------------------------------
+# versioned score cache
+# ---------------------------------------------------------------------------
+
+
+class TestScoreCache:
+    def test_hit_miss_counting(self):
+        c = ScoreCache(capacity=4)
+        k = cache_key(0, "bc_source", {"source": 3})
+        assert c.get(k) is None
+        c.put(k, np.ones(3))
+        assert np.array_equal(c.get(k), np.ones(3))
+        assert (c.hits, c.misses) == (1, 1)
+        assert c.hit_rate() == 0.5
+
+    def test_peek_counts_nothing(self):
+        c = ScoreCache(capacity=4)
+        k = cache_key(0, "bc", {})
+        assert c.peek(k) is None
+        c.put(k, 1.0)
+        assert c.peek(k) == 1.0
+        assert (c.hits, c.misses) == (0, 0)
+
+    def test_lru_eviction(self):
+        c = ScoreCache(capacity=2)
+        keys = [cache_key(0, "bc_source", {"source": i}) for i in range(3)]
+        c.put(keys[0], "a")
+        c.put(keys[1], "b")
+        c.get(keys[0])  # refresh 0 so 1 is the LRU entry
+        c.put(keys[2], "c")
+        assert c.peek(keys[1]) is None
+        assert c.peek(keys[0]) == "a"
+        assert c.evicted == 1
+
+    def test_invalidate_before_version(self):
+        c = ScoreCache(capacity=8)
+        old = cache_key(0, "bc", {})
+        new = cache_key(1, "bc", {})
+        c.put(old, "old")
+        c.put(new, "new")
+        assert c.invalidate(before_version=1) == 1
+        assert c.peek(old) is None
+        assert c.peek(new) == "new"
+        assert c.invalidate() == 1  # drop everything
+
+    def test_none_payload_rejected(self):
+        c = ScoreCache()
+        with pytest.raises(ValueError):
+            c.put(cache_key(0, "bc", {}), None)
+
+    def test_key_canonicalizes_param_order(self):
+        a = cache_key(1, "approx_bc", {"samples": 4, "seed": 2})
+        b = cache_key(1, "approx_bc", {"seed": 2, "samples": 4})
+        assert a == b
+
+    def test_obs_counters_emitted(self):
+        c = ScoreCache()
+        k = cache_key(0, "bc_source", {"source": 1})
+        session = obs.enable()
+        try:
+            c.get(k)
+            c.put(k, 1.0)
+            c.get(k)
+            c.invalidate()
+        finally:
+            obs.disable()
+        m = session.metrics
+        assert m.get_count("serve.cache.miss", algorithm="bc_source") == 1
+        assert m.get_count("serve.cache.hit", algorithm="bc_source") == 1
+        assert m.get_count("serve.cache.invalidate", algorithm="bc_source") == 1
+
+
+# ---------------------------------------------------------------------------
+# the service: coalescing, bit-identity, cache, lifecycle
+# ---------------------------------------------------------------------------
+
+
+class TestServiceCoalescing:
+    @pytest.mark.parametrize("executor", ["serial", "thread"])
+    def test_concurrent_bc_source_coalesces_and_is_bit_identical(
+        self, graph, executor
+    ):
+        """The acceptance criterion, under REPRO_CHECK=cheap semantics."""
+        k, max_batch = 10, 4
+        sources = list(range(k))
+        with _service(
+            graph,
+            executor=executor,
+            check="cheap",
+            max_batch=max_batch,
+            batch_window=0.2,
+        ) as svc:
+            with ThreadPoolExecutor(max_workers=k) as pool:
+                ids = list(
+                    pool.map(
+                        lambda s: svc.submit("bc_source", source=s), sources
+                    )
+                )
+            results = [svc.result(qid, timeout=60.0) for qid in ids]
+            stats = svc.stats()
+        assert stats["batches"] <= -(-k // max_batch)  # ceil(k / max_batch)
+        assert stats["swept_sources"] == k
+        assert stats["completed"] == k
+        for s, row in zip(sources, results):
+            assert np.array_equal(row, _reference_row(graph, s)), s
+
+    def test_duplicate_sources_in_one_batch_dedupe(self, graph):
+        with _service(graph, batch_window=0.2) as svc:
+            ids = [svc.submit("bc_source", source=5) for _ in range(4)]
+            ids.append(svc.submit("bc_source", source=6))
+            results = [svc.result(qid, timeout=60.0) for qid in ids]
+            stats = svc.stats()
+        assert stats["batches"] == 1
+        for r in results[:4]:
+            assert np.array_equal(r, results[0])
+        assert not np.array_equal(results[0], results[4])
+
+    def test_coalesced_matches_mfbc_per_source(self, graph):
+        src = np.array([2, 9, 17])
+        expected = mfbc_per_source(graph, src, engine=DistributedEngine(Machine(4)))
+        with _service(graph, batch_window=0.2) as svc:
+            ids = [svc.submit("bc_source", source=int(s)) for s in src]
+            rows = [svc.result(qid, timeout=60.0) for qid in ids]
+        for i in range(len(src)):
+            assert np.array_equal(rows[i], expected[i])
+
+
+class TestServiceCache:
+    def test_repeat_query_served_from_cache_without_ledger_touch(self, graph):
+        with _service(graph) as svc:
+            first = svc.submit("bc_source", source=3)
+            res1 = svc.result(first, timeout=60.0)
+            before = svc.machine.ledger.snapshot()
+            second = svc.submit("bc_source", source=3)
+            res2 = svc.result(second, timeout=60.0)
+            after = svc.machine.ledger.snapshot()
+            status = svc.poll(second)
+        assert np.array_equal(res1, res2)
+        assert before == after
+        assert status["cache_hit"] is True
+        assert status["batch_size"] == 0
+
+    def test_update_graph_bumps_version_and_invalidates(self, graph):
+        other = uniform_random_graph_nm(36, 4.0, seed=8)
+        with _service(graph) as svc:
+            res_old = svc.result(svc.submit("bc_source", source=1), timeout=60.0)
+            assert svc.graph_version == 0
+            version = svc.update_graph(other)
+            assert version == 1
+            res_new = svc.result(svc.submit("bc_source", source=1), timeout=60.0)
+            status = svc.poll(svc.submit("bc_source", source=1))
+            assert svc.cache.invalidated >= 1
+        assert not np.array_equal(res_old, res_new)
+        assert np.array_equal(res_new, _reference_row(other, 1))
+        assert status["cache_hit"] is True  # new version re-cached
+        assert status["graph_version"] == 1
+
+    def test_whole_graph_queries_cache_and_dedupe(self, graph):
+        with _service(graph) as svc:
+            a = svc.result(svc.submit("connected"), timeout=60.0)
+            before = svc.machine.ledger.snapshot()
+            b = svc.result(svc.submit("connected"), timeout=60.0)
+            assert svc.machine.ledger.snapshot() == before
+            assert np.array_equal(a, b)
+
+    def test_approx_bc_params_key_the_cache(self, graph):
+        with _service(graph) as svc:
+            a = svc.result(svc.submit("approx_bc", samples=4, seed=0), timeout=60.0)
+            b = svc.result(svc.submit("approx_bc", samples=4, seed=1), timeout=60.0)
+            c = svc.result(svc.submit("approx_bc", samples=4, seed=0), timeout=60.0)
+            stats = svc.stats()
+        assert np.array_equal(a, c)
+        assert not np.array_equal(a, b)
+        assert stats["cache"]["hits"] >= 1
+
+
+class TestServiceAlgorithms:
+    def test_all_algorithms_complete(self, graph):
+        with _service(graph) as svc:
+            specs = [
+                ("bc", {}),
+                ("bc_source", {"source": 0}),
+                ("approx_bc", {"samples": 4}),
+                ("bfs", {"source": 1}),
+                ("sssp", {"source": 2}),
+                ("widest", {"source": 3}),
+                ("connected", {}),
+                ("triangles", {}),
+            ]
+            ids = [svc.submit(alg, **kw) for alg, kw in specs]
+            results = {
+                alg: svc.result(qid, timeout=120.0)
+                for (alg, _), qid in zip(specs, ids)
+            }
+        assert results["bc"].shape == (graph.n,)
+        assert results["bc_source"].shape == (graph.n,)
+        assert results["approx_bc"].shape == (graph.n,)
+        assert results["bfs"].shape == (graph.n,)
+        assert results["sssp"].shape == (graph.n,)
+        assert results["widest"].shape == (graph.n,)
+        assert results["connected"].shape == (graph.n,)
+        assert isinstance(results["triangles"], (int, np.integer))
+
+    def test_bfs_row_matches_direct_run(self, graph):
+        from repro.apps import bfs_levels
+
+        expected = bfs_levels(graph, np.array([4]))
+        with _service(graph) as svc:
+            row = svc.result(svc.submit("bfs", source=4), timeout=60.0)
+        assert np.array_equal(row, expected[0])
+
+    def test_validation_errors(self, graph):
+        with _service(graph) as svc:
+            with pytest.raises(ValueError, match="unknown algorithm"):
+                svc.submit("pagerank")
+            with pytest.raises(ValueError, match="requires a source"):
+                svc.submit("bc_source")
+            with pytest.raises(ValueError, match="out of range"):
+                svc.submit("bfs", source=graph.n)
+            with pytest.raises(ValueError, match="does not take a source"):
+                svc.submit("bc", source=0)
+            with pytest.raises(ValueError, match="requires samples"):
+                svc.submit("approx_bc")
+            with pytest.raises(ValueError, match="samples"):
+                svc.submit("approx_bc", samples=0)
+            with pytest.raises(ValueError, match="deadline"):
+                svc.submit("bc_source", source=0, deadline=-1.0)
+
+
+class TestServiceLifecycle:
+    def test_cancel_queued_query(self, graph):
+        with _service(graph, batch_window=0.5) as svc:
+            blocker = svc.submit("bc_source", source=0)
+            victim = svc.submit("bc_source", source=1, deadline=None)
+            cancelled = svc.cancel(victim)
+            status = svc.poll(victim)
+            svc.result(blocker, timeout=60.0)
+        if cancelled:  # racy by design: dispatcher may have grabbed it first
+            assert status["state"] == "cancelled"
+            with pytest.raises(QueryError, match="cancelled"):
+                svc.result(victim, timeout=5.0)
+        assert svc.cancel(blocker) is False  # terminal: not cancellable
+
+    def test_unknown_query_id(self, graph):
+        with _service(graph) as svc:
+            with pytest.raises(KeyError):
+                svc.poll("q999999")
+            with pytest.raises(KeyError):
+                svc.result("nope")
+
+    def test_result_timeout(self, graph):
+        with _service(graph, batch_window=1.0) as svc:
+            qid = svc.submit("bc_source", source=0)
+            with pytest.raises(TimeoutError):
+                svc.result(qid, timeout=0.01)
+            svc.result(qid, timeout=60.0)
+
+    def test_closed_service_rejects_submissions(self, graph):
+        svc = _service(graph)
+        svc.close()
+        with pytest.raises(RuntimeError, match="closed"):
+            svc.submit("bc_source", source=0)
+        svc.close()  # idempotent
+
+    def test_stats_shape(self, graph):
+        with _service(graph) as svc:
+            svc.result(svc.submit("bc_source", source=0), timeout=60.0)
+            stats = svc.stats()
+        for key in (
+            "graph_version",
+            "queued",
+            "p",
+            "submitted",
+            "completed",
+            "batches",
+            "coalescing_factor",
+            "cache",
+        ):
+            assert key in stats, key
+        assert stats["submitted"] == stats["completed"] == 1
+
+
+# ---------------------------------------------------------------------------
+# deadlines and faults mid-batch
+# ---------------------------------------------------------------------------
+
+
+class TestServiceDeadlines:
+    def test_tiny_deadline_expires(self, graph):
+        with _service(graph) as svc:
+            qid = svc.submit("bc_source", source=0, deadline=1e-12)
+            with pytest.raises(QueryError, match="expired"):
+                svc.result(qid, timeout=60.0)
+            assert svc.poll(qid)["state"] == "expired"
+            assert svc.stats()["expired"] == 1
+
+    def test_mixed_budgets_expire_only_the_blown_query(self, graph):
+        with _service(graph, batch_window=0.3) as svc:
+            with ThreadPoolExecutor(max_workers=2) as pool:
+                tight = pool.submit(
+                    svc.submit, "bc_source", source=0, deadline=1e-12
+                ).result()
+                loose = pool.submit(
+                    svc.submit, "bc_source", source=1, deadline=1e6
+                ).result()
+            with pytest.raises(QueryError, match="expired"):
+                svc.result(tight, timeout=60.0)
+            row = svc.result(loose, timeout=60.0)
+        assert np.array_equal(row, _reference_row(graph, 1))
+
+    def test_deadline_restores_machine_global_deadline(self, graph):
+        machine = Machine(4, deadline=1e9)
+        with _service(graph, machine=machine) as svc:
+            svc.result(svc.submit("bc_source", source=0, deadline=1e6), timeout=60.0)
+            assert machine.deadline == 1e9
+
+
+class TestServiceFaults:
+    def test_rank_failure_mid_batch_recovers_elastically(self, graph):
+        with _service(
+            graph, faults="seed:3,crash@10:1", elastic="replica"
+        ) as svc:
+            ids = [svc.submit("bc_source", source=s) for s in range(3)]
+            rows = [svc.result(qid, timeout=120.0) for qid in ids]
+            stats = svc.stats()
+            assert svc.machine.faults.injected >= 1
+            assert len(svc.machine.recoveries) >= 1
+            assert stats["recoveries"] >= 1
+            assert stats["failed"] == 0
+        # answers survive the grid shrink bit-identically
+        for s, row in zip(range(3), rows):
+            assert np.array_equal(row, _reference_row(graph, s)), s
+
+    def test_fault_without_elastic_takes_retry_ladder(self, graph):
+        # a rank crash with elastic recovery off falls back to plain retries
+        with _service(graph, faults="seed:5,crash@8", retries=3) as svc:
+            row = svc.result(svc.submit("bc_source", source=2), timeout=120.0)
+            stats = svc.stats()
+            assert svc.machine.faults.injected >= 1
+        assert stats["retries"] >= 1
+        assert stats["failed"] == 0
+        assert np.array_equal(row, _reference_row(graph, 2))
+
+    def test_exhausted_retries_fail_the_batch(self, graph):
+        # an unconditional crash storm: every batch attempt faults
+        with _service(graph, faults="seed:1,crash:1.0", retries=1) as svc:
+            qid = svc.submit("bc_source", source=0)
+            with pytest.raises(QueryError, match="failed"):
+                svc.result(qid, timeout=120.0)
+            assert svc.stats()["failed"] == 1
+
+
+# ---------------------------------------------------------------------------
+# HTTP front end
+# ---------------------------------------------------------------------------
+
+
+@pytest.fixture
+def http_service(graph):
+    svc = BCService(graph, p=4, batch_window=0.02)
+    server = serve_http(svc, port=0)
+    server.start_background()
+    try:
+        yield svc, server.address
+    finally:
+        server.shutdown()
+        svc.close()
+
+
+def _http(method, url, body=None, timeout=60.0):
+    data = json.dumps(body).encode() if body is not None else None
+    req = urllib.request.Request(
+        url, data=data, method=method, headers={"Content-Type": "application/json"}
+    )
+    try:
+        with urllib.request.urlopen(req, timeout=timeout) as resp:
+            return resp.status, json.loads(resp.read().decode())
+    except urllib.error.HTTPError as exc:
+        return exc.code, json.loads(exc.read().decode())
+
+
+class TestHTTP:
+    def test_healthz_and_stats(self, http_service):
+        _, base = http_service
+        code, body = _http("GET", f"{base}/v1/healthz")
+        assert code == 200 and body["ok"] is True
+        code, body = _http("GET", f"{base}/v1/stats")
+        assert code == 200 and "cache" in body
+
+    def test_submit_wait_roundtrip(self, graph, http_service):
+        _, base = http_service
+        code, body = _http(
+            "POST",
+            f"{base}/v1/query",
+            {"algorithm": "bc_source", "source": 3, "wait": True},
+        )
+        assert code == 200
+        assert body["state"] == "done"
+        assert np.array_equal(
+            np.asarray(body["result"]), _reference_row(graph, 3)
+        )
+
+    def test_submit_poll_roundtrip(self, http_service):
+        _, base = http_service
+        code, body = _http(
+            "POST", f"{base}/v1/query", {"algorithm": "bfs", "source": 0}
+        )
+        assert code in (200, 202)
+        qid = body["id"]
+        for _ in range(600):
+            code, status = _http("GET", f"{base}/v1/query/{qid}")
+            if status["state"] in ("done", "failed", "expired"):
+                break
+            import time
+
+            time.sleep(0.05)
+        assert status["state"] == "done"
+
+    def test_cached_resubmit_returns_200_with_result(self, http_service):
+        _, base = http_service
+        _http(
+            "POST",
+            f"{base}/v1/query",
+            {"algorithm": "bc_source", "source": 5, "wait": True},
+        )
+        code, body = _http(
+            "POST", f"{base}/v1/query", {"algorithm": "bc_source", "source": 5}
+        )
+        assert code == 200  # submit-time cache hit carries the answer
+        assert body["cache_hit"] is True and "result" in body
+
+    def test_graph_update_over_http(self, http_service):
+        svc, base = http_service
+        code, body = _http(
+            "POST",
+            f"{base}/v1/graph",
+            {"n": 4, "edges": [[0, 1], [1, 2], [2, 3]], "directed": False},
+        )
+        assert code == 200
+        assert body["graph_version"] == 1
+        assert svc.graph.n == 4
+        code, body = _http(
+            "POST",
+            f"{base}/v1/query",
+            {"algorithm": "bc_source", "source": 1, "wait": True},
+        )
+        assert code == 200 and body["graph_version"] == 1
+
+    def test_errors(self, http_service):
+        _, base = http_service
+        code, body = _http("POST", f"{base}/v1/query", {"source": 1})
+        assert code == 400 and "algorithm" in body["error"]
+        code, body = _http(
+            "POST", f"{base}/v1/query", {"algorithm": "nope", "source": 1}
+        )
+        assert code == 400
+        code, _ = _http("GET", f"{base}/v1/query/q999999")
+        assert code == 404
+        code, _ = _http("GET", f"{base}/v1/nothing")
+        assert code == 404
+
+    def test_infinite_floats_survive_json(self, graph, http_service):
+        # a disconnected vertex's SSSP distance is modeled +inf
+        _, base = http_service
+        code, body = _http(
+            "POST",
+            f"{base}/v1/query",
+            {"algorithm": "sssp", "source": 0, "wait": True},
+        )
+        assert code == 200  # json.dumps would have raised on bare Infinity
+
+
+# ---------------------------------------------------------------------------
+# load generator (the CI smoke's engine) + CLI wiring
+# ---------------------------------------------------------------------------
+
+
+class TestLoadgen:
+    def test_generate_queries_is_deterministic_and_valid(self):
+        from repro.serve.loadgen import generate_queries
+
+        a = generate_queries(50, 100, seed=3)
+        b = generate_queries(50, 100, seed=3)
+        assert a == b
+        for spec in a:
+            if spec["algorithm"] in ("bc_source", "bfs", "sssp", "widest"):
+                assert 0 <= spec["source"] < 100
+            elif spec["algorithm"] == "approx_bc":
+                assert spec["samples"] >= 1
+
+    def test_direct_smoke_exits_zero(self, capsys):
+        from repro.serve.loadgen import main
+
+        rc = main(
+            [
+                "--queries",
+                "30",
+                "--concurrency",
+                "4",
+                "--scale",
+                "5",
+                "--p",
+                "4",
+            ]
+        )
+        out = capsys.readouterr().out
+        assert rc == 0
+        assert "PASS: zero failed queries" in out
+
+    def test_run_load_reports(self, graph):
+        from repro.serve.loadgen import DirectClient, generate_queries, run_load
+
+        with _service(graph) as svc:
+            specs = generate_queries(20, graph.n, seed=1)
+            report = run_load(DirectClient(svc), specs, concurrency=4)
+        assert report.queries == 20
+        assert report.failed == 0
+        assert report.completed == 20
+        assert report.percentile(99) >= report.percentile(50) >= 0
+        assert "queries" in report.summary()
+
+
+class TestCLI:
+    def test_serve_subcommand_registered(self):
+        from repro.cli import main
+
+        with pytest.raises(SystemExit) as exc:
+            main(["serve", "--help"])
+        assert exc.value.code == 0
+
+
+# ---------------------------------------------------------------------------
+# trace-report surfacing of the cache counters (satellite 3)
+# ---------------------------------------------------------------------------
+
+
+class TestCacheReport:
+    def test_cache_events_render_in_report(self, graph):
+        from repro.analysis.report import cache_attribution, format_cache_report
+
+        session = obs.enable()
+        try:
+            with _service(graph) as svc:
+                svc.result(svc.submit("bc_source", source=0), timeout=60.0)
+                svc.result(svc.submit("bc_source", source=0), timeout=60.0)
+        finally:
+            obs.disable()
+        rows = cache_attribution(session.metrics)
+        assert any(r["algorithm"] == "bc_source" and r["hits"] >= 1 for r in rows)
+        text = format_cache_report(session.metrics)
+        assert "serve.cache" in text and "bc_source" in text
+
+    def test_empty_metrics_render_empty(self):
+        from repro.analysis.report import format_cache_report
+        from repro.obs.metrics import Metrics
+
+        assert format_cache_report(Metrics()) == ""
