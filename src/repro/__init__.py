@@ -23,14 +23,17 @@ Distributed (simulated) execution:
 
 from repro.algebra import (
     CENTPATH,
+    MAX_MIN,
     MULTPATH,
     REAL_PLUS_TIMES,
     TROPICAL,
     MatMulSpec,
     Monoid,
     Semiring,
+    SemiringAction,
     bellman_ford_action,
     brandes_action,
+    left_project,
 )
 from repro.analysis import (
     edge_weak_scaling,
@@ -118,7 +121,19 @@ from repro.machine import (
     resolve_executor,
 )
 from repro import obs
-from repro.sparse import SpMat, spgemm
+from repro.sparse import (
+    KERNEL_ENV,
+    KERNEL_MODES,
+    KernelTraits,
+    SpGemmResult,
+    SpMat,
+    count_ops,
+    recognize,
+    register_fast_path,
+    resolve_kernel_mode,
+    set_default_kernel_mode,
+    spgemm,
+)
 from repro.tensor import SpTensor, contract
 from repro.spgemm import (
     AutoPolicy,
@@ -138,13 +153,26 @@ __all__ = [
     "CENTPATH",
     "TROPICAL",
     "REAL_PLUS_TIMES",
+    "MAX_MIN",
+    "SemiringAction",
     "bellman_ford_action",
     "brandes_action",
+    "left_project",
     # sparse / tensor
     "SpMat",
     "spgemm",
+    "SpGemmResult",
+    "count_ops",
     "SpTensor",
     "contract",
+    # kernel dispatch tier
+    "KERNEL_ENV",
+    "KERNEL_MODES",
+    "KernelTraits",
+    "recognize",
+    "register_fast_path",
+    "resolve_kernel_mode",
+    "set_default_kernel_mode",
     # core
     "mfbc",
     "mfbf",

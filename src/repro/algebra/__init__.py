@@ -39,7 +39,14 @@ from repro.algebra.laws import (
     check_monoid_laws,
 )
 from repro.algebra.matmul import MatMulSpec
-from repro.algebra.semiring import Semiring, TROPICAL, REAL_PLUS_TIMES
+from repro.algebra.semiring import (
+    MAX_MIN,
+    REAL_PLUS_TIMES,
+    Semiring,
+    SemiringAction,
+    TROPICAL,
+    left_project,
+)
 
 __all__ = [
     "concat_fields",
@@ -60,8 +67,11 @@ __all__ = [
     "brandes_action",
     "MatMulSpec",
     "Semiring",
+    "SemiringAction",
+    "left_project",
     "TROPICAL",
     "REAL_PLUS_TIMES",
+    "MAX_MIN",
     "check_monoid_laws",
     "check_action_compatibility",
     "MonoidLawError",

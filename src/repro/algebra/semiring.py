@@ -16,9 +16,16 @@ import numpy as np
 
 from repro.algebra.fields import FieldArray
 from repro.algebra.matmul import MatMulSpec
-from repro.algebra.monoid import MinMonoid, Monoid, PlusMonoid
+from repro.algebra.monoid import MaxMonoid, MinMonoid, Monoid, PlusMonoid
 
-__all__ = ["Semiring", "TROPICAL", "REAL_PLUS_TIMES"]
+__all__ = [
+    "Semiring",
+    "SemiringAction",
+    "left_project",
+    "TROPICAL",
+    "REAL_PLUS_TIMES",
+    "MAX_MIN",
+]
 
 
 @dataclass(frozen=True)
@@ -39,21 +46,30 @@ class Semiring:
     multiply: Callable[[np.ndarray, np.ndarray], np.ndarray]
     name: str = "semiring"
 
-    def matmul_spec(self, field: str = "w") -> MatMulSpec:
-        """The :class:`MatMulSpec` computing ``C = A •⟨⊕,⊗⟩ B``."""
+    def matmul_spec(self, field: str = "w", name: str | None = None) -> MatMulSpec:
+        """The :class:`MatMulSpec` computing ``C = A •⟨⊕,⊗⟩ B``.
+
+        ``name`` overrides the diagnostic label (e.g. an app using the
+        tropical semiring under its own phase name) without losing the
+        structural :class:`SemiringAction` the kernel dispatcher recognizes.
+        """
         return MatMulSpec(
             monoid=self.add_monoid,
-            f=_SemiringAction(self.multiply, field),
-            name=self.name,
+            f=SemiringAction(self.multiply, field),
+            name=self.name if name is None else name,
         )
 
 
 @dataclass(frozen=True)
-class _SemiringAction:
+class SemiringAction:
     """Picklable ``f(a, b) = {field: a.field ⊗ b.field}``.
 
     A closure would do for in-process execution, but specs must cross the
     :class:`~repro.machine.executor.ProcessExecutor` boundary by pickle.
+    The structural form is also what makes a spec *recognizable*: the kernel
+    dispatcher (:mod:`repro.sparse.dispatch`) routes any spec whose ``f`` is
+    a :class:`SemiringAction` over a single-field plus/min/max monoid to a
+    specialized structure-of-arrays fast path.
     """
 
     multiply: Callable[[np.ndarray, np.ndarray], np.ndarray]
@@ -63,8 +79,24 @@ class _SemiringAction:
         return {self.field: self.multiply(a[self.field], b[self.field])}
 
 
+#: Backward-compatible private alias (pre-dispatch-tier name).
+_SemiringAction = SemiringAction
+
+
+def left_project(a: np.ndarray, b: np.ndarray) -> np.ndarray:
+    """``⊗`` keeping the left operand — label/frontier propagation.
+
+    Connected components propagates the smallest reachable label with
+    ``min``/``left_project``; the right operand only supplies structure.
+    """
+    return a
+
+
 #: The tropical semiring (W, min, +): shortest-path relaxation (§2.3).
 TROPICAL = Semiring(add_monoid=MinMonoid(), multiply=np.add, name="tropical")
 
 #: The ordinary (R, +, ×) semiring: path counting / numeric SpGEMM.
 REAL_PLUS_TIMES = Semiring(add_monoid=PlusMonoid(), multiply=np.multiply, name="real")
+
+#: The bottleneck (max, min) semiring: widest-path / maximum-capacity routing.
+MAX_MIN = Semiring(add_monoid=MaxMonoid(), multiply=np.minimum, name="max-min")

@@ -28,9 +28,11 @@ class RecordingEngine(SequentialEngine):
         self._tracer = Tracer()
         self._metrics = Metrics()
 
-    def spgemm(self, a, b, spec):
+    def spgemm(self, a, b, spec, *, mask=None, mask_complement=False):
         with obs.use(tracer=self._tracer, metrics=self._metrics):
-            return super().spgemm(a, b, spec)
+            return super().spgemm(
+                a, b, spec, mask=mask, mask_complement=mask_complement
+            )
 
     @property
     def records(self) -> list[IterationStats]:

@@ -10,15 +10,17 @@ from __future__ import annotations
 
 import numpy as np
 
-from repro.algebra.matmul import MatMulSpec
 from repro.algebra.monoid import MinMonoid
+from repro.algebra.semiring import TROPICAL
 from repro.core.engine import Engine, SequentialEngine
 from repro.graphs.graph import Graph
 
 __all__ = ["bfs_levels"]
 
 _MIN = MinMonoid()
-_SPEC = MatMulSpec(_MIN, lambda a, b: {"w": a["w"] + b["w"]}, name="bfs")
+# min-plus as a named semiring action so the kernel-dispatch tier
+# recognizes it (and repro.check can serialize it by name)
+_SPEC = TROPICAL.matmul_spec(name="bfs")
 
 
 def bfs_levels(
@@ -57,9 +59,11 @@ def bfs_levels(
     for _ in range(n + 1):
         if frontier.nnz == 0:
             return engine.gather(levels).to_dense("w")
-        product, _ = engine.spgemm(frontier, adj, _SPEC)
-        # screen (§2.3): keep only vertices not labeled in any earlier
-        # iteration — in BFS a label, once set, is final
-        frontier = product.zip_filter(levels, lambda pv, lv: pv["w"] < lv["w"])
+        # screen (§2.3) as a complemented mask: a BFS label, once set, is
+        # final, so only unlabeled vertices can join the frontier — and
+        # their products are never even formed
+        frontier, _ = engine.spgemm(
+            frontier, adj, _SPEC, mask=levels, mask_complement=True
+        )
         levels = levels.combine(frontier)
     raise RuntimeError("BFS failed to converge — inconsistent adjacency")

@@ -10,16 +10,19 @@ from __future__ import annotations
 
 import numpy as np
 
-from repro.algebra.matmul import MatMulSpec
 from repro.algebra.monoid import MinMonoid
+from repro.algebra.semiring import Semiring, left_project
 from repro.core.engine import Engine, SequentialEngine
 from repro.graphs.graph import Graph
 
 __all__ = ["connected_components"]
 
 _MIN = MinMonoid()
-#: action: a frontier label crosses an edge unchanged
-_SPEC = MatMulSpec(_MIN, lambda a, b: {"w": a["w"]}, name="cc")
+#: action: a frontier label crosses an edge unchanged — the (min, left)
+#: semiring, named so the kernel-dispatch tier recognizes it
+_SPEC = Semiring(
+    add_monoid=_MIN, multiply=left_project, name="cc"
+).matmul_spec()
 
 
 def connected_components(

@@ -9,15 +9,18 @@ from __future__ import annotations
 
 import numpy as np
 
-from repro.algebra.matmul import MatMulSpec
 from repro.algebra.monoid import MinMonoid
+from repro.algebra.semiring import TROPICAL
 from repro.core.engine import Engine, SequentialEngine
 from repro.graphs.graph import Graph
 
 __all__ = ["sssp_distances"]
 
 _MIN = MinMonoid()
-_SPEC = MatMulSpec(_MIN, lambda a, b: {"w": a["w"] + b["w"]}, name="sssp")
+# min-plus as a named semiring action so the kernel-dispatch tier
+# recognizes it (Bellman-Ford relaxations may *improve* stored distances,
+# so — unlike BFS — the product is deliberately not masked)
+_SPEC = TROPICAL.matmul_spec(name="sssp")
 
 
 def sssp_distances(

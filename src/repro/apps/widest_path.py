@@ -14,17 +14,17 @@ from __future__ import annotations
 
 import numpy as np
 
-from repro.algebra.matmul import MatMulSpec
 from repro.algebra.monoid import MaxMonoid
+from repro.algebra.semiring import MAX_MIN
 from repro.core.engine import Engine, SequentialEngine
 from repro.graphs.graph import Graph
 
 __all__ = ["widest_path_widths"]
 
 _MAX = MaxMonoid()
-_SPEC = MatMulSpec(
-    _MAX, lambda a, b: {"w": np.minimum(a["w"], b["w"])}, name="widest"
-)
+# max-min as a named semiring action so the kernel-dispatch tier
+# recognizes it (relaxations may widen stored entries: not maskable)
+_SPEC = MAX_MIN.matmul_spec(name="widest")
 
 
 def widest_path_widths(

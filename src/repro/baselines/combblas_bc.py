@@ -131,12 +131,15 @@ def _one_batch(engine, adj, adj_t, batch, n, scores, result) -> None:
     # ---- forward: batched BFS accumulating path counts per level.
     with obs.span("forward", cat="phase") as fwd:
         while True:
-            product, ops = engine.spgemm(fringe, adj, _SPEC)
+            # Complemented mask: only unvisited vertices (no nsp entry yet —
+            # every stored count is positive) are expanded, so the settled
+            # part of the frontier never even forms its products.  This is
+            # the ``mxmm_msa_cmask`` idiom of GraphBLAS BC.
+            fringe, ops = engine.spgemm(
+                fringe, adj, _SPEC, mask=nsp, mask_complement=True
+            )
             result.matmuls += 1
             result.ops += ops
-            # Mask: only unvisited vertices stay in the fringe (their nsp
-            # entry is still the identity 0).
-            fringe = product.zip_filter(nsp, lambda pv, sv: sv["w"] == 0.0)
             if fringe.nnz == 0:
                 break
             nsp = nsp.combine(fringe)
@@ -158,7 +161,9 @@ def _one_batch(engine, adj, adj_t, batch, n, scores, result) -> None:
                 w1 = lvl.zip_map(
                     delta, lambda lv, dv: {"w": (1.0 + dv["w"]) / lv["w"]}
                 )
-            back, ops = engine.spgemm(w1, adj_t, _SPEC)
+            # Only contributions landing on the previous level survive the
+            # zip_map below (its support is levels[d-1]), so mask to it.
+            back, ops = engine.spgemm(w1, adj_t, _SPEC, mask=levels[d - 1])
             result.matmuls += 1
             result.ops += ops
             # Keep contributions landing on the previous level, scale by

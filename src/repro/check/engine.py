@@ -51,7 +51,7 @@ from repro.check.invariants import (
 )
 from repro.check.replay import ReplayCase, emit_case, matrices_match
 from repro.obs import api as obs
-from repro.sparse.spgemm import spgemm_with_ops
+from repro.sparse.spgemm import spgemm
 from repro.sparse.spmatrix import SpMat
 
 __all__ = [
@@ -245,15 +245,17 @@ class CheckedEngine:
         self._validate_ledger()
         return out
 
-    def spgemm(self, a, b, spec):
+    def spgemm(self, a, b, spec, *, mask=None, mask_complement=False):
         self._validate(a, "spgemm.operand_a")
         self._validate(b, "spgemm.operand_b")
-        out, ops = self.engine.spgemm(a, b, spec)
+        out, ops = self.engine.spgemm(
+            a, b, spec, mask=mask, mask_complement=mask_complement
+        )
         self.products += 1
         self._validate(out, "spgemm.result")
         self._validate_ledger()
         if self._should_replay():
-            self._replay(a, b, spec, out, ops)
+            self._replay(a, b, spec, out, ops, mask, mask_complement)
         return out, ops
 
     def recover(self) -> None:
@@ -273,16 +275,22 @@ class CheckedEngine:
             return False
         return self.products % self.config.sample == 0
 
-    def _replay(self, a, b, spec, out, ops) -> None:
+    def _replay(self, a, b, spec, out, ops, mask=None, mask_complement=False) -> None:
         ga, gb, gout = self._local(a), self._local(b), self._local(out)
-        ref = spgemm_with_ops(ga, gb, spec)
+        gmask = None if mask is None else self._local(mask)
+        # reference via the *generic* kernel: the dispatch tier's fast paths
+        # are among the things differential replay must be able to indict
+        ref = spgemm(
+            ga, gb, spec, mask=gmask, mask_complement=mask_complement,
+            kernel="generic",
+        )
         self.stats["replayed"] += 1
         if matrices_match(ref.matrix, gout) and int(ref.ops) == int(ops):
             return
         self.stats["mismatches"] += 1
-        self._fail(ga, gb, spec, gout, int(ops), ref)
+        self._fail(ga, gb, spec, gout, int(ops), ref, gmask, mask_complement)
 
-    def _diverges(self, ca: SpMat, cb: SpMat, spec):
+    def _diverges(self, ca: SpMat, cb: SpMat, spec, mask, mask_complement):
         """Re-run a candidate through the inner engine.
 
         Returns ``(got, ops)`` when the candidate still diverges from the
@@ -290,16 +298,26 @@ class CheckedEngine:
         ``ops = -1``), or ``None`` when the candidate behaves.
         """
         try:
-            got, ops = self.engine.spgemm(_fresh(self.engine, ca), _fresh(self.engine, cb), spec)
+            dmask = None if mask is None else _fresh(self.engine, mask)
+            got, ops = self.engine.spgemm(
+                _fresh(self.engine, ca),
+                _fresh(self.engine, cb),
+                spec,
+                mask=dmask,
+                mask_complement=mask_complement,
+            )
             gout = self._local(got)
         except Exception:
             return SpMat.empty(ca.nrows, cb.ncols, spec.monoid), -1
-        ref = spgemm_with_ops(ca, cb, spec)
+        ref = spgemm(
+            ca, cb, spec, mask=mask, mask_complement=mask_complement,
+            kernel="generic",
+        )
         if matrices_match(ref.matrix, gout) and int(ref.ops) == int(ops):
             return None
         return gout, int(ops)
 
-    def _minimize(self, ga, gb, spec, got, ops, budget: int = 48):
+    def _minimize(self, ga, gb, spec, got, ops, mask, mask_complement, budget: int = 48):
         """Greedy ddmin-style shrink: drop entry blocks while still diverging."""
         a, b = ga, gb
         for sel in ("a", "b"):
@@ -313,7 +331,7 @@ class CheckedEngine:
                     cand = _subset(mat, keep)
                     ca, cb = (cand, b) if sel == "a" else (a, cand)
                     budget -= 1
-                    res = self._diverges(ca, cb, spec)
+                    res = self._diverges(ca, cb, spec, mask, mask_complement)
                     if res is not None:
                         mat = cand
                         if sel == "a":
@@ -328,7 +346,7 @@ class CheckedEngine:
                     chunk //= 2
         return a, b, got, ops
 
-    def _fail(self, ga, gb, spec, gout, ops, ref) -> None:
+    def _fail(self, ga, gb, spec, gout, ops, ref, mask=None, mask_complement=False) -> None:
         if obs.enabled():
             obs.complete(
                 "check.mismatch",
@@ -344,7 +362,9 @@ class CheckedEngine:
             )
             obs.count("check.mismatches", 1.0, spec=spec.name)
         try:
-            ma, mb, mgot, mops = self._minimize(ga, gb, spec, gout, ops)
+            ma, mb, mgot, mops = self._minimize(
+                ga, gb, spec, gout, ops, mask, mask_complement
+            )
         except Exception:  # minimization is best-effort, never load-bearing
             ma, mb, mgot, mops = ga, gb, gout, ops
         case = ReplayCase(
@@ -359,6 +379,8 @@ class CheckedEngine:
                 "original_nnz": {"a": ga.nnz, "b": gb.nnz},
                 "minimized_nnz": {"a": ma.nnz, "b": mb.nnz},
             },
+            mask=mask,
+            mask_complement=mask_complement,
         )
         case_path = script_path = None
         artifact_note = ""

@@ -25,7 +25,7 @@ import numpy as np
 
 from repro.algebra.matmul import MatMulSpec
 from repro.algebra.monoid import Monoid
-from repro.sparse.spgemm import spgemm_with_ops
+from repro.sparse.spgemm import spgemm
 from repro.sparse.spmatrix import SpMat
 
 __all__ = [
@@ -70,7 +70,9 @@ def matrices_match(
             return False
     return True
 
-CASE_VERSION = 1
+#: version 2 added the optional output mask (``mask`` / ``mask_complement``);
+#: version-1 archives still load (they simply have no mask).
+CASE_VERSION = 2
 
 
 # ---------------------------------------------------------------------------
@@ -93,16 +95,28 @@ def _monoid_registry() -> dict[str, Monoid]:
 
 
 def _spec_registry() -> dict[str, MatMulSpec]:
-    from repro.algebra.semiring import REAL_PLUS_TIMES, TROPICAL
+    from repro.algebra.semiring import MAX_MIN, REAL_PLUS_TIMES, TROPICAL
     from repro.core.specs import BELLMAN_FORD_SPEC, BRANDES_SPEC
 
-    return {
+    reg = {
         "tropical": TROPICAL.matmul_spec(),
         "real": REAL_PLUS_TIMES.matmul_spec(),
+        "max-min": MAX_MIN.matmul_spec(),
         "bellman-ford": BELLMAN_FORD_SPEC,
         "bf": BELLMAN_FORD_SPEC,
         "brandes": BRANDES_SPEC,
     }
+    # the apps' renamed semiring specs (same operators, diagnostic names)
+    from repro.algebra.monoid import MinMonoid
+    from repro.algebra.semiring import Semiring, left_project
+
+    reg["bfs"] = TROPICAL.matmul_spec(name="bfs")
+    reg["sssp"] = TROPICAL.matmul_spec(name="sssp")
+    reg["widest"] = MAX_MIN.matmul_spec(name="widest")
+    reg["cc"] = Semiring(
+        add_monoid=MinMonoid(), multiply=left_project, name="cc"
+    ).matmul_spec()
+    return reg
 
 
 def resolve_spec(name: str) -> MatMulSpec:
@@ -140,6 +154,8 @@ class ReplayCase:
     got: SpMat  #: the divergent product matrix, as the checked engine saw it
     got_ops: int  #: the divergent elementary-product count
     info: dict = field(default_factory=dict)  #: engine description, indices…
+    mask: SpMat | None = None  #: structural output mask, when the product had one
+    mask_complement: bool = False
 
     @property
     def spec(self) -> MatMulSpec:
@@ -220,11 +236,14 @@ def save_case(case: ReplayCase, path) -> None:
         "version": CASE_VERSION,
         "spec": case.spec_name,
         "got_ops": int(case.got_ops),
+        "mask_complement": bool(case.mask_complement),
         "info": case.info,
     }
     _pack(case.a, "a", arrays, meta)
     _pack(case.b, "b", arrays, meta)
     _pack(case.got, "g", arrays, meta)
+    if case.mask is not None:
+        _pack(case.mask, "m", arrays, meta)
     atomic_save_npz(path, arrays, meta=meta)
 
 
@@ -232,7 +251,7 @@ def load_case(path) -> ReplayCase:
     """Load a case previously written by :func:`save_case`."""
     with np.load(os.fspath(path)) as archive:
         meta = json.loads(bytes(archive["meta"]).decode())
-        if meta.get("version") != CASE_VERSION:
+        if meta.get("version") not in (1, CASE_VERSION):
             raise ValueError(
                 f"unsupported repro-case version {meta.get('version')}"
             )
@@ -243,12 +262,25 @@ def load_case(path) -> ReplayCase:
             got=_unpack(archive, "g", meta),
             got_ops=int(meta["got_ops"]),
             info=dict(meta.get("info", {})),
+            mask=_unpack(archive, "m", meta) if "m" in meta else None,
+            mask_complement=bool(meta.get("mask_complement", False)),
         )
 
 
 def replay(case: ReplayCase) -> ReplayReport:
-    """Recompute the sequential reference and compare to the stored result."""
-    ref = spgemm_with_ops(case.a, case.b, case.spec)
+    """Recompute the sequential reference and compare to the stored result.
+
+    The reference always runs the *generic* kernel: the dispatch tier's fast
+    paths are among the things a replay must be able to indict.
+    """
+    ref = spgemm(
+        case.a,
+        case.b,
+        case.spec,
+        mask=case.mask,
+        mask_complement=case.mask_complement,
+        kernel="generic",
+    )
     matrix_match = matrices_match(ref.matrix, case.got)
     ops_match = int(ref.ops) == int(case.got_ops)
     return ReplayReport(

@@ -65,6 +65,13 @@ def build_parser() -> argparse.ArgumentParser:
         help="checkpoint scores after every batch; resumes from PATH if it "
         "already holds a compatible checkpoint (.npz binary, else JSON)",
     )
+    p_bc.add_argument(
+        "--kernel",
+        choices=["generic", "auto", "fast"],
+        default=None,
+        help="SpGEMM kernel-dispatch mode (see docs/performance_model.md); "
+        "default: $REPRO_KERNEL or auto",
+    )
 
     p_gen = sub.add_parser("generate", help="generate a synthetic graph")
     p_gen.add_argument(
@@ -133,6 +140,13 @@ def build_parser() -> argparse.ArgumentParser:
         help="in-flight rank-failure recovery: replica, replica:STRIDE, or "
         "source (see docs/robustness.md); default: $REPRO_ELASTIC or off",
     )
+    p_sim.add_argument(
+        "--kernel",
+        choices=["generic", "auto", "fast"],
+        default=None,
+        help="SpGEMM kernel-dispatch mode (see docs/performance_model.md); "
+        "default: $REPRO_KERNEL or auto",
+    )
 
     p_tr = sub.add_parser(
         "trace",
@@ -197,6 +211,13 @@ def build_parser() -> argparse.ArgumentParser:
         help="in-flight rank-failure recovery: replica, replica:STRIDE, or "
         "source (see docs/robustness.md); default: $REPRO_ELASTIC or off",
     )
+    p_tr.add_argument(
+        "--kernel",
+        choices=["generic", "auto", "fast"],
+        default=None,
+        help="SpGEMM kernel-dispatch mode (see docs/performance_model.md); "
+        "default: $REPRO_KERNEL or auto",
+    )
 
     p_srv = sub.add_parser(
         "serve",
@@ -257,6 +278,13 @@ def build_parser() -> argparse.ArgumentParser:
         "source (see docs/robustness.md); default: $REPRO_ELASTIC or off",
     )
     p_srv.add_argument(
+        "--kernel",
+        choices=["generic", "auto", "fast"],
+        default=None,
+        help="SpGEMM kernel-dispatch mode (see docs/performance_model.md); "
+        "default: $REPRO_KERNEL or auto",
+    )
+    p_srv.add_argument(
         "--verbose", action="store_true", help="log HTTP requests to stderr"
     )
 
@@ -309,17 +337,23 @@ def _checkpoint_kwargs(path: str | None) -> dict:
 
 
 def _cmd_bc(args) -> int:
-    from repro.core import approximate_bc, mfbc
+    from repro.core import SequentialEngine, approximate_bc, mfbc
 
     g = _load(args.graph, args.directed)
+    engine = (
+        SequentialEngine(kernel=args.kernel) if args.kernel is not None else None
+    )
     if args.samples is not None:
         scores = approximate_bc(
-            g, args.samples, seed=args.seed, batch_size=args.batch
+            g, args.samples, seed=args.seed, batch_size=args.batch, engine=engine
         )
         print(f"approximate BC from {args.samples} sampled sources")
     else:
         res = mfbc(
-            g, batch_size=args.batch, **_checkpoint_kwargs(args.checkpoint)
+            g,
+            batch_size=args.batch,
+            engine=engine,
+            **_checkpoint_kwargs(args.checkpoint),
         )
         scores = res.scores
         print(
@@ -378,6 +412,7 @@ def _cmd_simulate(args) -> int:
         faults=args.faults,
         deadline=args.deadline,
         elastic=args.elastic,
+        kernel=args.kernel,
     )
     policy = None
     if args.policy == "ca":
@@ -452,6 +487,7 @@ def _cmd_trace(args) -> int:
         faults=args.faults,
         deadline=args.deadline,
         elastic=args.elastic,
+        kernel=args.kernel,
     )
     policy = None
     if args.policy == "ca":
@@ -532,6 +568,7 @@ def _cmd_serve(args) -> int:
         executor=args.executor,
         faults=args.faults,
         elastic=args.elastic,
+        kernel=args.kernel,
         max_batch=args.max_batch,
         batch_window=args.batch_window,
         cache_capacity=args.cache_capacity,

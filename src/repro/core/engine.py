@@ -23,7 +23,7 @@ import numpy as np
 from repro.algebra.matmul import MatMulSpec
 from repro.algebra.monoid import Monoid
 from repro.obs import api as obs
-from repro.sparse.spgemm import spgemm_with_ops
+from repro.sparse.spgemm import spgemm
 from repro.sparse.spmatrix import SpMat
 
 __all__ = ["Engine", "SequentialEngine"]
@@ -60,12 +60,18 @@ class Engine(Protocol):
         that depends only on its identity (replication, transposes)."""
         ...
 
-    def spgemm(self, a, b, spec: MatMulSpec) -> tuple[object, int]:
+    def spgemm(
+        self, a, b, spec: MatMulSpec, *, mask=None, mask_complement: bool = False
+    ) -> tuple[object, int]:
         """``(a •⟨⊕,f⟩ b, elementary product count)``.
 
         The unified return contract across engines: the product matrix in
         this engine's representation, and the number of elementary nonzero
-        products formed (``ops(A, B)`` of §5.1).
+        products formed (``ops(A, B)`` of §5.1; with a mask, only the
+        products surviving the mask).  ``mask`` is an optional structural
+        output mask in this engine's matrix representation;
+        ``mask_complement`` inverts its support (the GraphBLAS
+        complemented-mask idiom).
         """
         ...
 
@@ -75,7 +81,24 @@ class Engine(Protocol):
 
 
 class SequentialEngine:
-    """Single-node engine: matrices are plain :class:`SpMat`."""
+    """Single-node engine: matrices are plain :class:`SpMat`.
+
+    Parameters
+    ----------
+    kernel:
+        Kernel mode for the dispatch tier (``"generic"`` / ``"auto"`` /
+        ``"fast"``), resolved at construction; ``None`` defers to the
+        process default and ``$REPRO_KERNEL`` per product.
+    """
+
+    #: class-level default so subclasses that skip ``__init__`` still work
+    kernel: str | None = None
+
+    def __init__(self, *, kernel: str | None = None) -> None:
+        if kernel is not None:
+            from repro.sparse.dispatch import resolve_kernel_mode
+
+            self.kernel = resolve_kernel_mode(kernel)
 
     def matrix(self, nrows, ncols, rows, cols, vals, monoid) -> SpMat:
         return SpMat(nrows, ncols, rows, cols, vals, monoid)
@@ -86,16 +109,30 @@ class SequentialEngine:
     def register_invariant(self, mat: SpMat) -> None:
         """No-op: a single-node engine has no replication to amortize."""
 
-    def spgemm(self, a: SpMat, b: SpMat, spec: MatMulSpec) -> tuple[SpMat, int]:
+    def spgemm(
+        self,
+        a: SpMat,
+        b: SpMat,
+        spec: MatMulSpec,
+        *,
+        mask: SpMat | None = None,
+        mask_complement: bool = False,
+    ) -> tuple[SpMat, int]:
         """``(a •⟨⊕,f⟩ b, elementary product count)`` — the unified
         :class:`Engine` contract."""
         if not obs.enabled():  # unguarded fast path: no span, no kwargs dict
-            result = spgemm_with_ops(a, b, spec)
+            result = spgemm(
+                a, b, spec, mask=mask, mask_complement=mask_complement,
+                kernel=self.kernel,
+            )
             return result.matrix, result.ops
         with obs.span(
             "spgemm", cat="spgemm", phase=spec.name, frontier_nnz=a.nnz
         ) as sp:
-            result = spgemm_with_ops(a, b, spec)
+            result = spgemm(
+                a, b, spec, mask=mask, mask_complement=mask_complement,
+                kernel=self.kernel,
+            )
             sp.set(product_nnz=result.matrix.nnz, ops=result.ops)
             obs.count("spgemm.products", 1.0, variant="sequential", phase=spec.name)
             obs.count(

@@ -75,7 +75,11 @@ def mfbr(
         lambda tv: {"w": tv["w"], "p": np.zeros(len(tv["w"])), "c": np.ones(len(tv["w"]), dtype=np.int64)},
         monoid=CENTPATH,
     )
-    cand, ops0 = engine.spgemm(seed, adj_t, BRANDES_SPEC)
+    # Only candidates landing on T's support can survive the zip_filter
+    # below, so the product is masked to it — masked-out products are never
+    # formed (the GraphBLAS idiom; values are untouched because masking
+    # drops whole output coordinates before the reduction).
+    cand, ops0 = engine.spgemm(seed, adj_t, BRANDES_SPEC, mask=t_mat)
     if stats is not None:
         stats.iterations.append(IterationStats("mfbr", seed.nnz, cand.nnz, ops0))
     # Keep only candidates matching the true distance: their tie-count is
@@ -117,8 +121,10 @@ def mfbr(
     for _ in range(max_iterations):
         if frontier.nnz == 0:
             return z_mat
-        # Back-propagate the frontier of centralities (line 6).
-        product, ops = engine.spgemm(frontier, adj_t, BRANDES_SPEC)
+        # Back-propagate the frontier of centralities (line 6), masked to
+        # Z's support: contributions elsewhere cannot tie with a finalized
+        # weight, so they would be dropped by the zip_filter anyway.
+        product, ops = engine.spgemm(frontier, adj_t, BRANDES_SPEC, mask=z_mat)
         if stats is not None:
             stats.iterations.append(
                 IterationStats("mfbr", frontier.nnz, product.nnz, ops)

@@ -152,10 +152,27 @@ class DistributedEngine:
         self._invariant_ids.clear()
         self._replication_cache.clear()
 
-    def spgemm(self, a: DistMat, b: DistMat, spec: MatMulSpec) -> tuple[DistMat, int]:
+    def spgemm(
+        self,
+        a: DistMat,
+        b: DistMat,
+        spec: MatMulSpec,
+        *,
+        mask=None,
+        mask_complement: bool = False,
+    ) -> tuple[DistMat, int]:
         # deferred import: repro.spgemm.variants itself imports repro.dist
         from repro.spgemm.variants import execute_plan
 
+        # The variant executor slices per-frame sub-masks from a node-local
+        # mask.  No communication is charged for it: the mask is always a
+        # matrix already resting in the home layout (a previous product's
+        # output), and each sub-mask is consumed by the rank that assembles
+        # the matching C frame — the mask travels with output ownership,
+        # like the stationary-mask convention of GraphBLAS runtimes.
+        local_mask = None
+        if mask is not None:
+            local_mask = mask.gather(charge=False) if isinstance(mask, DistMat) else mask
         amortized = frozenset(
             (["A"] if id(a) in self._invariant_ids else [])
             + (["B"] if id(b) in self._invariant_ids else [])
@@ -192,7 +209,14 @@ class DistributedEngine:
                 else None
             )
             out, ops = execute_plan(
-                plan, a, b, spec, self.home_ranks2d, replication_cache=cache
+                plan,
+                a,
+                b,
+                spec,
+                self.home_ranks2d,
+                mask=local_mask,
+                mask_complement=mask_complement,
+                replication_cache=cache,
             )
             # fixed per-product setup overhead on every rank (see CostParams)
             self.machine.charge_overhead(self.machine.cost.product_overhead)

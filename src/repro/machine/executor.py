@@ -66,7 +66,7 @@ import numpy as np
 
 from repro.faults.plan import WorkerPoolDied
 from repro.obs import api as obs
-from repro.sparse.spgemm import SpGemmResult, count_ops, spgemm_with_ops
+from repro.sparse.spgemm import SpGemmResult, count_ops, spgemm
 from repro.sparse.spmatrix import SpMat
 
 __all__ = [
@@ -139,6 +139,8 @@ class LocalExecutor:
     fallback_chain: tuple[str, ...] = ()
     #: fault plan consulted before each fanned-out batch (set by Machine)
     fault_plan = None
+    #: kernel-dispatch mode forwarded to every local product (set by Machine)
+    kernel_mode: str | None = None
     #: replacement backend after degradation; batches delegate to it
     _successor: "LocalExecutor | None" = None
 
@@ -190,33 +192,65 @@ class LocalExecutor:
         pairs: Sequence[tuple[SpMat, SpMat]],
         spec,
         *,
+        masks: Sequence[SpMat | None] | None = None,
+        mask_complement: bool = False,
         site: str = "spgemm",
         ranks: Sequence[int] | None = None,
     ) -> list[SpGemmResult]:
         """Run a batch of independent local products ``C_t = A_t • B_t``.
 
-        The work estimate is the exact elementary-product count
-        (:func:`count_ops`), computed only when fan-out is possible at all.
-        A pool failure mid-batch degrades to the fallback backend and
-        re-runs the whole batch there.
+        ``masks`` (aligned with ``pairs``; ``None`` entries unmasked) are
+        per-task structural output masks, all sharing ``mask_complement``.
+        The work estimate is the unmasked elementary-product count
+        (:func:`count_ops`) — an upper bound under a mask, computed only
+        when fan-out is possible at all.  A pool failure mid-batch degrades
+        to the fallback backend and re-runs the whole batch there.
         """
+        if masks is None:
+            masks = [None] * len(pairs)
         if self._successor is not None:
-            return self._successor.run_spgemm(pairs, spec, site=site, ranks=ranks)
+            return self._successor.run_spgemm(
+                pairs,
+                spec,
+                masks=masks,
+                mask_complement=mask_complement,
+                site=site,
+                ranks=ranks,
+            )
         if self.workers > 1 and len(pairs) > 1:
             est_work = float(sum(count_ops(x, y) for x, y in pairs))
             if self.should_fanout(len(pairs), est_work):
                 try:
                     self._maybe_inject_pool_fault(site)
                     return self._fanout(
-                        site, ranks, lambda: self._submit_spgemm(list(pairs), spec)
+                        site,
+                        ranks,
+                        lambda: self._submit_spgemm(
+                            list(pairs), spec, list(masks), mask_complement
+                        ),
                     )
                 except POOL_FAILURES as exc:
                     fallback = self._degrade(exc, site)
                     return fallback.run_spgemm(
-                        pairs, spec, site=site, ranks=ranks
+                        pairs,
+                        spec,
+                        masks=masks,
+                        mask_complement=mask_complement,
+                        site=site,
+                        ranks=ranks,
                     )
         self._note_inline(site, len(pairs))
-        return [spgemm_with_ops(x, y, spec) for x, y in pairs]
+        return [
+            spgemm(
+                x,
+                y,
+                spec,
+                mask=mk,
+                mask_complement=mask_complement,
+                kernel=self.kernel_mode,
+            )
+            for (x, y), mk in zip(pairs, masks)
+        ]
 
     # -- fault injection + graceful degradation ------------------------------
 
@@ -253,6 +287,7 @@ class LocalExecutor:
             fanout_min_work=self.fanout_min_work,
         )
         fallback.fault_plan = self.fault_plan
+        fallback.kernel_mode = self.kernel_mode
         self._successor = fallback
         if self.fault_plan is not None:
             self.fault_plan.note(
@@ -290,7 +325,9 @@ class LocalExecutor:
         """Run callables concurrently → ``[(result, wall_seconds), ...]``."""
         raise NotImplementedError
 
-    def _submit_spgemm(self, pairs: list, spec) -> list[tuple[object, float]]:
+    def _submit_spgemm(
+        self, pairs: list, spec, masks: list, mask_complement: bool
+    ) -> list[tuple[object, float]]:
         """Run products concurrently → ``[(SpGemmResult, wall_seconds), ...]``."""
         raise NotImplementedError
 
@@ -349,9 +386,16 @@ def _timed_call(fn) -> tuple[object, float]:
     return out, time.perf_counter() - t0
 
 
-def _timed_spgemm(x: SpMat, y: SpMat, spec) -> tuple[SpGemmResult, float]:
+def _timed_spgemm(
+    x: SpMat,
+    y: SpMat,
+    spec,
+    mask: SpMat | None = None,
+    mask_complement: bool = False,
+    kernel: str | None = None,
+) -> tuple[SpGemmResult, float]:
     t0 = time.perf_counter()
-    out = spgemm_with_ops(x, y, spec)
+    out = spgemm(x, y, spec, mask=mask, mask_complement=mask_complement, kernel=kernel)
     return out, time.perf_counter() - t0
 
 
@@ -384,9 +428,16 @@ class ThreadExecutor(LocalExecutor):
         futures = [pool.submit(_timed_call, fn) for fn in thunks]
         return [f.result() for f in futures]
 
-    def _submit_spgemm(self, pairs: list, spec) -> list[tuple[object, float]]:
+    def _submit_spgemm(
+        self, pairs: list, spec, masks: list, mask_complement: bool
+    ) -> list[tuple[object, float]]:
         pool = self._ensure_pool()
-        futures = [pool.submit(_timed_spgemm, x, y, spec) for x, y in pairs]
+        futures = [
+            pool.submit(
+                _timed_spgemm, x, y, spec, mk, mask_complement, self.kernel_mode
+            )
+            for (x, y), mk in zip(pairs, masks)
+        ]
         return [f.result() for f in futures]
 
     def close(self) -> None:
@@ -481,18 +532,28 @@ def _release(shm, *, unlink: bool) -> None:
             shm.unlink()
 
 
-def _spgemm_shm_worker(a_manifest, b_manifest, spec):
+def _spgemm_shm_worker(
+    a_manifest, b_manifest, spec, mask_manifest=None, mask_complement=False, kernel=None
+):
     """Worker-side product: attach operands, compute, export the result."""
     a, a_shm = _import_spmat(a_manifest, copy=False)
     b, b_shm = _import_spmat(b_manifest, copy=False)
+    mask, mask_shm = (
+        _import_spmat(mask_manifest, copy=False)
+        if mask_manifest is not None
+        else (None, None)
+    )
     try:
         t0 = time.perf_counter()
-        res = spgemm_with_ops(a, b, spec)
+        res = spgemm(
+            a, b, spec, mask=mask, mask_complement=mask_complement, kernel=kernel
+        )
         dt = time.perf_counter() - t0
     finally:
-        del a, b  # drop the zero-copy views before detaching
+        del a, b, mask  # drop the zero-copy views before detaching
         _release(a_shm, unlink=False)
         _release(b_shm, unlink=False)
+        _release(mask_shm, unlink=False)
     out_manifest, out_shm = _export_spmat(res.matrix)
     _release(out_shm, unlink=False)  # parent copies out, then unlinks
     return out_manifest, res.ops, dt
@@ -537,13 +598,15 @@ class ProcessExecutor(LocalExecutor):
             )
         return self._pool
 
-    def _submit_spgemm(self, pairs: list, spec) -> list[tuple[object, float]]:
+    def _submit_spgemm(
+        self, pairs: list, spec, masks: list, mask_complement: bool
+    ) -> list[tuple[object, float]]:
         pool = self._ensure_pool()
         # export each distinct operand once, even when it appears in many
         # tasks (replicated adjacency matrices do, every batch)
         exported: dict[int, tuple[dict, object]] = {}
-        for x, y in pairs:
-            for mat in (x, y):
+        for (x, y), mk in zip(pairs, masks):
+            for mat in (x, y) + (() if mk is None else (mk,)):
                 if id(mat) not in exported:
                     exported[id(mat)] = _export_spmat(mat)
         try:
@@ -553,8 +616,11 @@ class ProcessExecutor(LocalExecutor):
                     exported[id(x)][0],
                     exported[id(y)][0],
                     spec,
+                    None if mk is None else exported[id(mk)][0],
+                    mask_complement,
+                    self.kernel_mode,
                 )
-                for x, y in pairs
+                for (x, y), mk in zip(pairs, masks)
             ]
             out: list[tuple[object, float]] = []
             try:

@@ -190,6 +190,12 @@ class Machine:
         environment variable.  The machine only stores the resolved
         policy; :class:`~repro.dist.DistributedEngine` maintains the
         redundancy and the MFBC driver triggers the recovery.
+    kernel:
+        Kernel-dispatch mode for the local SpGEMM tier (keyword-only):
+        ``"generic"`` / ``"auto"`` / ``"fast"``, or ``None`` to defer to
+        the process default and the ``REPRO_KERNEL`` environment variable
+        per product (see :mod:`repro.sparse.dispatch`).  Every mode is
+        bit-identical; only host wall-clock time changes.
     """
 
     def __init__(
@@ -203,6 +209,7 @@ class Machine:
         check=None,
         deadline: float | None = None,
         elastic=None,
+        kernel: str | None = None,
     ) -> None:
         if p <= 0:
             raise ValueError(f"p must be positive, got {p}")
@@ -219,6 +226,12 @@ class Machine:
         self.executor = resolve_executor(executor)
         if self._fault_hook is not None:
             self.executor.fault_plan = self.faults
+        if kernel is not None:
+            from repro.sparse.dispatch import resolve_kernel_mode
+
+            kernel = resolve_kernel_mode(kernel)
+            self.executor.kernel_mode = kernel
+        self.kernel = kernel
         if check is not None:
             # deferred import: repro.check imports repro.dist → this module
             from repro.check.engine import resolve_check_config
@@ -460,7 +473,8 @@ class Machine:
         faults = f", faults={self.faults.describe()}" if self.faults else ""
         deadline = f", deadline={self.deadline}" if self.deadline is not None else ""
         elastic = f", elastic={self.elastic.describe()}" if self.elastic else ""
+        kernel = f", kernel={self.kernel}" if self.kernel is not None else ""
         return (
             f"Machine(p={self.p}, M={self.memory_words}, "
-            f"executor={self.executor.name}{faults}{deadline}{elastic})"
+            f"executor={self.executor.name}{faults}{deadline}{elastic}{kernel})"
         )

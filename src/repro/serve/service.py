@@ -75,7 +75,7 @@ class BCService:
         A pre-built :class:`~repro.machine.Machine` (keyword-only).  When
         None, one is built from ``p`` / ``executor`` / ``faults`` /
         ``elastic`` / ``deadline``.
-    p, policy, check, executor, faults, elastic, deadline:
+    p, policy, check, executor, faults, elastic, deadline, kernel:
         Forwarded to the machine / engine exactly as the CLI does.
     batch_window:
         Wall-seconds the dispatcher lingers after the first queued query so
@@ -102,6 +102,7 @@ class BCService:
         faults=None,
         elastic=None,
         deadline: float | None = None,
+        kernel: str | None = None,
         batch_window: float = 0.002,
         max_batch: int = 64,
         cache_capacity: int = 4096,
@@ -118,6 +119,7 @@ class BCService:
                 faults=faults,
                 elastic=elastic,
                 deadline=deadline,
+                kernel=kernel,
             )
         self.machine = machine
         self.engine = DistributedEngine(machine, policy=policy, check=check)

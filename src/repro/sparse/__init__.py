@@ -5,10 +5,35 @@ are columnar field arrays drawn from a monoid's carrier set — the node-local
 building block that both the sequential MFBC engine and the per-rank blocks
 of the distributed engine are made of.  The generalized SpGEMM kernel in
 :mod:`repro.sparse.spgemm` implements ``C = A •⟨⊕,f⟩ B`` for any
-:class:`~repro.algebra.matmul.MatMulSpec` with vectorized join + reduce.
+:class:`~repro.algebra.matmul.MatMulSpec` with vectorized join + reduce,
+with optional GraphBLAS-style output masks; :mod:`repro.sparse.dispatch`
+routes recognized specs (plus-times, min-plus, max-min, multpath/centpath)
+to bit-identical specialized fast paths.
 """
 
+from repro.sparse.dispatch import (
+    KERNEL_ENV,
+    KERNEL_MODES,
+    KernelTraits,
+    recognize,
+    register_fast_path,
+    resolve_kernel_mode,
+    set_default_kernel_mode,
+)
+from repro.sparse.spgemm import SpGemmResult, count_ops, spgemm, spgemm_with_ops
 from repro.sparse.spmatrix import SpMat
-from repro.sparse.spgemm import SpGemmResult, spgemm, spgemm_with_ops
 
-__all__ = ["SpMat", "spgemm", "spgemm_with_ops", "SpGemmResult"]
+__all__ = [
+    "SpMat",
+    "spgemm",
+    "spgemm_with_ops",
+    "SpGemmResult",
+    "count_ops",
+    "KERNEL_ENV",
+    "KERNEL_MODES",
+    "KernelTraits",
+    "recognize",
+    "register_fast_path",
+    "resolve_kernel_mode",
+    "set_default_kernel_mode",
+]

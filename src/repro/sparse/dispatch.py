@@ -1,0 +1,454 @@
+"""Kernel dispatch tier: semiring-recognizing fast paths for SpGEMM.
+
+The generalized monoid kernel in :mod:`repro.sparse.spgemm` pays a
+"generality tax" — field-array dict plumbing, schema validation, and a
+monoid-dispatch reduction — on every product.  This module recognizes
+structure in a :class:`~repro.algebra.matmul.MatMulSpec` and routes it to a
+specialized kernel, playing the role MKL's compiled sparse BLAS plays in the
+paper's stack (§6.2):
+
+* **plus-times** (:class:`PlusMonoid` + ``np.multiply`` semiring action) →
+  scipy's compiled ``csr @ csr`` when eligible, else a structure-of-arrays
+  path;
+* **any single-field semiring action over plus/min/max** (tropical min-plus,
+  bottleneck max-min, label-propagation min/left, …) → a structure-of-arrays
+  path that skips the field-array plumbing;
+* **multpath / centpath** (the Bellman-Ford and Brandes actions of §4.1/§4.2)
+  → a fused path that replaces the generic sort-then-resort reduction with a
+  single ``lexsort``.
+
+Every fast path is **bit-identical** to the generic kernel after
+canonicalization: it consumes the exact expansion chunks the generic kernel
+would (:func:`repro.sparse.spgemm._expansion_chunks`, including in-expansion
+mask filtering) and reduces them with the same primitive in the same order.
+``repro.check`` differential replay recomputes references with
+``kernel="generic"``, making the generic kernel the oracle for this tier.
+
+The mode knob — ``spgemm(kernel=...)``, ``Machine(kernel=...)``, CLI
+``--kernel``, or ``$REPRO_KERNEL`` — selects:
+
+* ``generic``: never dispatch (the pure oracle kernel);
+* ``auto`` (default): dispatch recognized specs, with a small-product guard
+  on the scipy conversion;
+* ``fast``: dispatch recognized specs unconditionally.
+"""
+
+from __future__ import annotations
+
+import os
+from dataclasses import dataclass
+from typing import Callable
+
+import numpy as np
+import scipy.sparse
+
+from repro.algebra.centpath import CentpathMonoid, brandes_action
+from repro.algebra.fields import FieldArray, concat_fields, take_fields
+from repro.algebra.matmul import MatMulSpec
+from repro.algebra.monoid import MaxMonoid, MinMonoid, PlusMonoid
+from repro.algebra.multpath import MultpathMonoid, bellman_ford_action
+from repro.algebra.semiring import SemiringAction
+from repro.obs import api as obs
+from repro.sparse.spgemm import SpGemmResult, _expansion_chunks, count_ops
+from repro.sparse.spmatrix import SpMat
+
+__all__ = [
+    "KERNEL_ENV",
+    "KERNEL_MODES",
+    "KernelTraits",
+    "recognize",
+    "register_fast_path",
+    "resolve_kernel_mode",
+    "set_default_kernel_mode",
+    "dispatch_spgemm",
+]
+
+#: Environment variable supplying the ambient kernel mode.
+KERNEL_ENV = "REPRO_KERNEL"
+
+#: Valid kernel modes, weakest dispatch first.
+KERNEL_MODES = ("generic", "auto", "fast")
+
+#: Below this ops count ``auto`` skips the scipy conversion (its fixed
+#: CSR-build cost outweighs the compiled multiply on trivial products).
+_SCIPY_MIN_OPS = 4096
+
+_default_mode: str | None = None
+
+
+def resolve_kernel_mode(mode: str | None = None) -> str:
+    """Resolve a kernel mode: explicit > process default > env > ``auto``."""
+    if mode is None:
+        mode = _default_mode
+    if mode is None:
+        mode = os.environ.get(KERNEL_ENV) or "auto"
+    mode = str(mode).strip().lower()
+    if mode not in KERNEL_MODES:
+        raise ValueError(
+            f"unknown kernel mode {mode!r}; expected one of {KERNEL_MODES}"
+        )
+    return mode
+
+
+def set_default_kernel_mode(mode: str | None) -> None:
+    """Set (or with ``None`` clear) the process-wide default kernel mode.
+
+    The default sits between explicit ``kernel=`` arguments and the
+    ``$REPRO_KERNEL`` environment variable.
+    """
+    global _default_mode
+    _default_mode = None if mode is None else resolve_kernel_mode(mode)
+
+
+@dataclass(frozen=True)
+class KernelTraits:
+    """What the dispatcher recognized about a :class:`MatMulSpec`.
+
+    Attributes
+    ----------
+    path:
+        Registered fast-path name (``"plus-times"``, ``"soa-min"``,
+        ``"soa-max"``, ``"soa-plus"``, ``"multpath"``, ``"centpath"``, or an
+        extension's name).
+    field:
+        The single carrier field for semiring paths, ``None`` otherwise.
+    """
+
+    path: str
+    field: str | None = None
+
+
+#: impl(a, b, spec, traits, *, mask_keys, mask_complement, chunk, mode)
+#: returning a result or ``None`` to decline (caller falls back to generic).
+KernelImpl = Callable[..., "SpGemmResult | None"]
+
+#: recognizer(spec) returning :class:`KernelTraits` or ``None``.
+Recognizer = Callable[[MatMulSpec], "KernelTraits | None"]
+
+_FAST_PATHS: list[tuple[Recognizer, KernelImpl]] = []
+
+
+def register_fast_path(recognizer: Recognizer, impl: KernelImpl) -> None:
+    """Extension hook: add a recognizer + kernel pair to the dispatch table.
+
+    Later registrations are consulted after the built-ins.  A registered
+    kernel MUST be bit-identical (post-canonicalization) to the generic
+    kernel — ``repro.check`` replays will fail otherwise.
+    """
+    _FAST_PATHS.append((recognizer, impl))
+
+
+def recognize(spec: MatMulSpec) -> KernelTraits | None:
+    """The traits of the first fast path claiming ``spec``, if any."""
+    for recognizer, _ in _FAST_PATHS:
+        traits = recognizer(spec)
+        if traits is not None:
+            return traits
+    return None
+
+
+def dispatch_spgemm(
+    a: SpMat,
+    b: SpMat,
+    spec: MatMulSpec,
+    *,
+    mask_keys: np.ndarray | None,
+    mask_complement: bool,
+    chunk: int,
+    mode: str,
+) -> SpGemmResult | None:
+    """Route one product through the fast-path table.
+
+    Returns ``None`` when no fast path applies — the caller runs the generic
+    kernel.  Emits a ``kernel.dispatch`` counter per decision.
+    """
+    if a.nnz == 0 or b.nnz == 0:
+        return None  # the generic empty path is already optimal
+    for recognizer, impl in _FAST_PATHS:
+        traits = recognizer(spec)
+        if traits is None:
+            continue
+        result = impl(
+            a,
+            b,
+            spec,
+            traits,
+            mask_keys=mask_keys,
+            mask_complement=mask_complement,
+            chunk=chunk,
+            mode=mode,
+        )
+        if result is not None:
+            _count_dispatch(traits.path, "hit", spec.name)
+            return result
+        _count_dispatch(traits.path, "declined", spec.name)
+        return None
+    _count_dispatch("generic", "unrecognized", spec.name)
+    return None
+
+
+def _count_dispatch(kernel: str, outcome: str, phase: str) -> None:
+    if obs.enabled():
+        obs.count("kernel.dispatch", 1.0, kernel=kernel, outcome=outcome, phase=phase)
+
+
+# -- recognition (built-ins) -------------------------------------------------
+
+
+def _recognize_semiring(spec: MatMulSpec) -> KernelTraits | None:
+    f = spec.f
+    if not isinstance(f, SemiringAction):
+        return None
+    monoid = spec.monoid
+    if monoid.field_names != (f.field,):
+        return None
+    if isinstance(monoid, PlusMonoid):
+        if f.multiply is np.multiply:
+            return KernelTraits("plus-times", field=f.field)
+        return KernelTraits("soa-plus", field=f.field)
+    if isinstance(monoid, MinMonoid):
+        return KernelTraits("soa-min", field=f.field)
+    if isinstance(monoid, MaxMonoid):
+        return KernelTraits("soa-max", field=f.field)
+    return None
+
+
+def _recognize_pathsum(spec: MatMulSpec) -> KernelTraits | None:
+    if spec.f is bellman_ford_action and isinstance(spec.monoid, MultpathMonoid):
+        return KernelTraits("multpath")
+    if spec.f is brandes_action and isinstance(spec.monoid, CentpathMonoid):
+        return KernelTraits("centpath")
+    return None
+
+
+# -- kernels -----------------------------------------------------------------
+
+
+_SOA_REDUCERS = {
+    "plus-times": np.add,
+    "soa-plus": np.add,
+    "soa-min": np.minimum,
+    "soa-max": np.maximum,
+}
+
+
+def _semiring_kernel(
+    a: SpMat,
+    b: SpMat,
+    spec: MatMulSpec,
+    traits: KernelTraits,
+    *,
+    mask_keys: np.ndarray | None,
+    mask_complement: bool,
+    chunk: int,
+    mode: str,
+) -> SpGemmResult | None:
+    if traits.path == "plus-times":
+        result = _scipy_plus_times(
+            a, b, spec, traits, mask_keys=mask_keys, chunk=chunk, mode=mode
+        )
+        if result is not None:
+            return result
+    return _soa_semiring(
+        a,
+        b,
+        spec,
+        traits,
+        mask_keys=mask_keys,
+        mask_complement=mask_complement,
+        chunk=chunk,
+    )
+
+
+def _scipy_plus_times(
+    a: SpMat,
+    b: SpMat,
+    spec: MatMulSpec,
+    traits: KernelTraits,
+    *,
+    mask_keys: np.ndarray | None,
+    chunk: int,
+    mode: str,
+) -> SpGemmResult | None:
+    """Compiled ``csr @ csr`` for the (R, +, ×) semiring.
+
+    Bit-identity with the generic kernel holds because scipy accumulates
+    each C(i,j) over k ascending exactly as the generic single-chunk
+    ``add.reduceat`` does (an initial ``+0.0`` can only differ on the sign
+    of a zero, and zero results are pruned by both sides); it therefore
+    declines multi-chunk products, whose per-chunk partial sums group
+    differently, and masked products, which the SoA path handles
+    in-expansion.
+    """
+    if mask_keys is not None:
+        return None
+    if spec.monoid.field_spec[0][1] != np.dtype(np.float64):
+        return None
+    total = count_ops(a, b)
+    if total > chunk or (mode == "auto" and total < _SCIPY_MIN_OPS):
+        return None
+    field = traits.field
+    sa = scipy.sparse.csr_matrix(
+        (a.vals[field], (a.rows, a.cols)), shape=a.shape
+    )
+    sb = scipy.sparse.csr_matrix(
+        (b.vals[field], (b.rows, b.cols)), shape=b.shape
+    )
+    c = sa @ sb
+    # canonicalize: the CSC round-trip is two linear counting-sort passes,
+    # measurably faster than csr_sort_indices' per-row comparison sorts on
+    # the dense products this path exists for (and bit-identical to them)
+    c = c.tocsc().tocsr()
+    c.eliminate_zeros()
+    coo = c.tocoo()
+    mat = SpMat(
+        a.nrows,
+        b.ncols,
+        coo.row.astype(np.int64),
+        coo.col.astype(np.int64),
+        {field: coo.data.astype(np.float64, copy=False)},
+        spec.monoid,
+        canonical=True,
+    )
+    return SpGemmResult(mat, total)
+
+
+def _soa_semiring(
+    a: SpMat,
+    b: SpMat,
+    spec: MatMulSpec,
+    traits: KernelTraits,
+    *,
+    mask_keys: np.ndarray | None,
+    mask_complement: bool,
+    chunk: int,
+) -> SpGemmResult:
+    """Structure-of-arrays path for single-field semiring actions.
+
+    Mirrors the generic kernel chunk-for-chunk — same expansion, same stable
+    key sort, same ``reduceat`` — on bare value columns instead of
+    field-array dicts, so the result is bitwise the generic one.
+    """
+    monoid = spec.monoid
+    field = traits.field
+    dtype = monoid.field_spec[0][1]
+    reducer = _SOA_REDUCERS[traits.path]
+    multiply = spec.f.multiply
+    av, bv = a.vals[field], b.vals[field]
+    ops_done = 0
+    parts_k: list[np.ndarray] = []
+    parts_v: list[FieldArray] = []
+    for a_idx, b_idx, keys in _expansion_chunks(
+        a, b, mask_keys, mask_complement, chunk
+    ):
+        ops_done += len(keys)
+        if len(keys) == 0:
+            continue
+        vals = np.asarray(multiply(av[a_idx], bv[b_idx]))
+        order = np.argsort(keys, kind="stable")
+        keys = keys[order]
+        vals = vals[order]
+        uniq, starts = np.unique(keys, return_index=True)
+        red = reducer.reduceat(vals, starts).astype(dtype, copy=False)
+        parts_k.append(uniq)
+        parts_v.append({field: red})
+    return _assemble(a.nrows, b.ncols, parts_k, parts_v, monoid, ops_done)
+
+
+def _pathsum_kernel(
+    a: SpMat,
+    b: SpMat,
+    spec: MatMulSpec,
+    traits: KernelTraits,
+    *,
+    mask_keys: np.ndarray | None,
+    mask_complement: bool,
+    chunk: int,
+    mode: str,
+) -> SpGemmResult:
+    """Fused path for the multpath/centpath monoids (MFBF/MFBr hot loop).
+
+    The generic reduction stable-sorts by key and then re-sorts each key
+    group by weight; both sorts are stable, so their composition equals one
+    ``lexsort((weight, key))`` on the raw expansion — ordering by (key,
+    weight, original position) either way.  This path does that single
+    lexsort and applies the same best-weight / tie-sum ``reduceat`` the
+    monoid would, bitwise identically.
+    """
+    monoid = spec.monoid
+    wf = monoid.weight_field
+    negate = spec.f is brandes_action
+    select_min = monoid.select == "min"
+    dtypes = dict(monoid.field_spec)
+    aw, bw = a.vals[wf], b.vals[wf]
+    ops_done = 0
+    parts_k: list[np.ndarray] = []
+    parts_v: list[FieldArray] = []
+    for a_idx, b_idx, keys in _expansion_chunks(
+        a, b, mask_keys, mask_complement, chunk
+    ):
+        ops_done += len(keys)
+        if len(keys) == 0:
+            continue
+        w = aw[a_idx] - bw[b_idx] if negate else aw[a_idx] + bw[b_idx]
+        w_order = w if select_min else -w
+        order = np.lexsort((w_order, keys))
+        keys_s = keys[order]
+        w_s = w[order]
+        uniq, starts = np.unique(keys_s, return_index=True)
+        best_w = w_s[starts]
+        seg_id = np.searchsorted(starts, np.arange(len(keys_s)), side="right") - 1
+        tied = w_s == best_w[seg_id]
+        out: FieldArray = {wf: best_w}
+        a_sorted = a_idx[order]
+        for name in monoid.sum_fields:
+            col = np.where(tied, a.vals[name][a_sorted], 0)
+            out[name] = np.add.reduceat(col, starts).astype(dtypes[name], copy=False)
+        parts_k.append(uniq)
+        parts_v.append(out)
+    return _assemble(a.nrows, b.ncols, parts_k, parts_v, monoid, ops_done)
+
+
+def _assemble(
+    nrows: int,
+    ncols: int,
+    parts_k: list[np.ndarray],
+    parts_v: list[FieldArray],
+    monoid,
+    ops: int,
+) -> SpGemmResult:
+    """Final construction, matching the generic kernel's output exactly.
+
+    Single-chunk partials are already key-unique and sorted, so the generic
+    constructor's second reduce is the identity — skip it and prune identity
+    entries directly.  Multi-chunk partials go through the canonicalizing
+    constructor exactly as the generic kernel's do.
+    """
+    if not parts_k:
+        return SpGemmResult(SpMat.empty(nrows, ncols, monoid), ops)
+    divisor = np.int64(ncols)
+    if len(parts_k) == 1:
+        keys, vals = parts_k[0], parts_v[0]
+        keep = ~monoid.is_identity(vals)
+        if not keep.all():
+            idx = keep.nonzero()[0]
+            keys = keys[idx]
+            vals = take_fields(vals, idx)
+        mat = SpMat(
+            nrows,
+            ncols,
+            keys // divisor,
+            keys % divisor,
+            vals,
+            monoid,
+            canonical=True,
+        )
+        return SpGemmResult(mat, ops)
+    keys = np.concatenate(parts_k)
+    vals = concat_fields(parts_v)
+    mat = SpMat(nrows, ncols, keys // divisor, keys % divisor, vals, monoid)
+    return SpGemmResult(mat, ops)
+
+
+register_fast_path(_recognize_semiring, _semiring_kernel)
+register_fast_path(_recognize_pathsum, _pathsum_kernel)

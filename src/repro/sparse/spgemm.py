@@ -4,24 +4,34 @@ This is the blockwise kernel that plays the role of MKL's sparse BLAS in the
 paper's stack (§6.2): every distributed algorithm variant ultimately calls it
 on local blocks, and the sequential MFBC engine calls it on whole matrices.
 
-Algorithm: a sort-free hash-free *expansion join* —
+Algorithm (the *generic* kernel): a sort-free hash-free *expansion join* —
 
 1. B is canonical (row-major sorted), so a row pointer is recovered with
    ``searchsorted``;
 2. every nonzero ``A(i,k)`` is joined against all nonzeros of B's row ``k``
    by vectorized repetition (this enumerates exactly the ``ops(A, B)``
    nonzero products of the paper's cost model);
-3. ``f`` maps the joined value pairs;
-4. the monoid's ``reduce_by_key`` folds products landing on the same
+3. an optional GraphBLAS-style output mask drops joined pairs whose output
+   coordinate falls outside (or, complemented, inside) the mask's support
+   *before* any value work — masked-out products are never formed;
+4. ``f`` maps the surviving joined value pairs;
+5. the monoid's ``reduce_by_key`` folds products landing on the same
    ``C(i,j)``.
 
 Large expansions are processed in bounded chunks so peak memory stays
 proportional to ``chunk`` rather than ``ops(A, B)``.
+
+The public :func:`spgemm` entry point routes recognized specs through the
+kernel-dispatch tier (:mod:`repro.sparse.dispatch`) — scipy's compiled
+plus-times path and structure-of-arrays specializations — all of which are
+bit-identical (post-canonicalization) to the generic kernel here.
 """
 
 from __future__ import annotations
 
+import warnings
 from dataclasses import dataclass
+from typing import Iterator
 
 import numpy as np
 
@@ -38,7 +48,15 @@ class SpGemmResult:
 
     matrix: SpMat
     #: number of nonzero elementary products formed — ``ops(A, B)`` in §5.1.
-    ops: int
+    #: With a mask this counts only the products that survive the mask (the
+    #: saved work is the point of masking).  ``None`` when the caller passed
+    #: ``want_ops=False``.
+    ops: int | None
+
+    def __iter__(self):
+        """Unpack like the historical ``(matrix, ops)`` tuple."""
+        yield self.matrix
+        yield self.ops
 
 
 def count_ops(a: SpMat, b: SpMat) -> int:
@@ -51,14 +69,18 @@ def count_ops(a: SpMat, b: SpMat) -> int:
     return int((ptr[a.cols + 1] - ptr[a.cols]).sum())
 
 
-def spgemm_with_ops(
+def spgemm(
     a: SpMat,
     b: SpMat,
     spec: MatMulSpec,
     *,
+    mask: SpMat | None = None,
+    mask_complement: bool = False,
+    want_ops: bool = True,
     chunk: int = 1 << 22,
+    kernel: str | None = None,
 ) -> SpGemmResult:
-    """Compute ``C = A •⟨⊕,f⟩ B`` and report the elementary-product count.
+    """Compute ``C = A •⟨⊕,f⟩ B``, optionally masked, via the kernel tier.
 
     Parameters
     ----------
@@ -67,28 +89,114 @@ def spgemm_with_ops(
         elements of ``f``'s first domain, ``b`` of its second.
     spec:
         The ``•⟨⊕,f⟩`` operator; the output matrix lives over ``spec.monoid``.
+    mask:
+        Optional structural output mask with C's shape.  Only output
+        coordinates in ``mask``'s support are computed (``mask_complement``
+        inverts this: only coordinates *outside* the support — the
+        ``mxmm_msa_cmask`` idiom that keeps frontier expansion from
+        materializing settled vertices).  Values of ``mask`` are ignored.
+    mask_complement:
+        Complement the mask's support (requires ``mask``).
+    want_ops:
+        When False, ``result.ops`` is ``None`` (callers that only need the
+        matrix).
     chunk:
         Upper bound on the number of joined pairs materialized at once.
+    kernel:
+        Kernel mode ``"generic"`` / ``"auto"`` / ``"fast"``; ``None`` falls
+        back to the process default and then ``$REPRO_KERNEL`` (default
+        ``auto``).  Every non-generic path is bit-identical to the generic
+        kernel post-canonicalization.
     """
     if a.ncols != b.nrows:
         raise ValueError(f"inner dimension mismatch: {a.shape} × {b.shape}")
-    monoid = spec.monoid
+    if mask_complement and mask is None:
+        raise ValueError("mask_complement=True requires a mask")
     out_shape = (a.nrows, b.ncols)
-    if a.nnz == 0 or b.nnz == 0:
-        return SpGemmResult(SpMat.empty(*out_shape, monoid), 0)
+    if mask is not None and mask.shape != out_shape:
+        raise ValueError(
+            f"mask shape {mask.shape} != output shape {out_shape}"
+        )
+    # A non-complemented empty mask annihilates the product outright.
+    if mask is not None and mask.nnz == 0 and not mask_complement:
+        return SpGemmResult(
+            SpMat.empty(*out_shape, spec.monoid), 0 if want_ops else None
+        )
+    # An empty complemented mask excludes nothing: treat as unmasked.
+    mask_keys = mask.keys() if (mask is not None and mask.nnz) else None
 
+    # deferred import: dispatch imports this module's internals
+    from repro.sparse import dispatch
+
+    mode = dispatch.resolve_kernel_mode(kernel)
+    if mode != "generic":
+        result = dispatch.dispatch_spgemm(
+            a,
+            b,
+            spec,
+            mask_keys=mask_keys,
+            mask_complement=mask_complement,
+            chunk=chunk,
+            mode=mode,
+        )
+        if result is not None:
+            return result if want_ops else SpGemmResult(result.matrix, None)
+    result = _spgemm_generic(
+        a, b, spec, mask_keys=mask_keys, mask_complement=mask_complement, chunk=chunk
+    )
+    return result if want_ops else SpGemmResult(result.matrix, None)
+
+
+def spgemm_with_ops(
+    a: SpMat,
+    b: SpMat,
+    spec: MatMulSpec,
+    *,
+    chunk: int = 1 << 22,
+) -> SpGemmResult:
+    """Deprecated alias for :func:`spgemm` (which now always reports ops)."""
+    warnings.warn(
+        "spgemm_with_ops is deprecated; call spgemm(a, b, spec) — it returns "
+        "SpGemmResult directly",
+        DeprecationWarning,
+        stacklevel=2,
+    )
+    return spgemm(a, b, spec, chunk=chunk)
+
+
+def _mask_keep(
+    keys: np.ndarray, mask_keys: np.ndarray, complement: bool
+) -> np.ndarray:
+    """Membership mask of ``keys`` against the sorted ``mask_keys`` support."""
+    if len(mask_keys) == 0:
+        member = np.zeros(len(keys), dtype=bool)
+    else:
+        pos = np.searchsorted(mask_keys, keys)
+        pos_clipped = np.minimum(pos, len(mask_keys) - 1)
+        member = mask_keys[pos_clipped] == keys
+    return ~member if complement else member
+
+
+def _expansion_chunks(
+    a: SpMat,
+    b: SpMat,
+    mask_keys: np.ndarray | None,
+    mask_complement: bool,
+    chunk: int,
+) -> Iterator[tuple[np.ndarray, np.ndarray, np.ndarray]]:
+    """Yield the (a_idx, b_idx, keys) expansion join in bounded chunks.
+
+    The single source of truth for join enumeration and in-expansion mask
+    filtering: the generic kernel and every structure-of-arrays fast path in
+    :mod:`repro.sparse.dispatch` iterate these exact chunks, which is what
+    makes their per-chunk reductions bit-identical.
+    """
     ptr = b.row_pointer()
     b_start = ptr[a.cols]
     counts = ptr[a.cols + 1] - b_start
-    total_ops = int(counts.sum())
-    if total_ops == 0:
-        return SpGemmResult(SpMat.empty(*out_shape, monoid), 0)
-
-    # Split A's nonzeros into chunks whose expansions fit the budget.
-    bounds = _chunk_bounds(counts, chunk)
-    partial_keys: list[np.ndarray] = []
-    partial_vals = []
-    for lo, hi in bounds:
+    if int(counts.sum()) == 0:
+        return
+    for lo, hi in _chunk_bounds(counts, chunk):
         c = counts[lo:hi]
         nz = c.nonzero()[0] + lo
         if len(nz) == 0:
@@ -100,25 +208,52 @@ def spgemm_with_ops(
             np.cumsum(reps) - reps, reps
         )
         b_idx = b_start[a_idx] + offs
-        vals = spec.apply_f(take_fields(a.vals, a_idx), take_fields(b.vals, b_idx))
         keys = a.rows[a_idx] * np.int64(b.ncols) + b.cols[b_idx]
+        if mask_keys is not None:
+            keep = _mask_keep(keys, mask_keys, mask_complement)
+            if not keep.all():
+                idx = keep.nonzero()[0]
+                a_idx, b_idx, keys = a_idx[idx], b_idx[idx], keys[idx]
+        yield a_idx, b_idx, keys
+
+
+def _spgemm_generic(
+    a: SpMat,
+    b: SpMat,
+    spec: MatMulSpec,
+    *,
+    mask_keys: np.ndarray | None = None,
+    mask_complement: bool = False,
+    chunk: int = 1 << 22,
+) -> SpGemmResult:
+    """The generic expansion-join kernel — correct for any MatMulSpec."""
+    monoid = spec.monoid
+    out_shape = (a.nrows, b.ncols)
+    if a.nnz == 0 or b.nnz == 0:
+        return SpGemmResult(SpMat.empty(*out_shape, monoid), 0)
+
+    ops_done = 0
+    partial_keys: list[np.ndarray] = []
+    partial_vals = []
+    for a_idx, b_idx, keys in _expansion_chunks(
+        a, b, mask_keys, mask_complement, chunk
+    ):
+        ops_done += len(keys)
+        if len(keys) == 0:
+            continue
+        vals = spec.apply_f(take_fields(a.vals, a_idx), take_fields(b.vals, b_idx))
         keys, vals = monoid.reduce_by_key(keys, vals)
         partial_keys.append(keys)
         partial_vals.append(vals)
 
     if not partial_keys:
-        return SpGemmResult(SpMat.empty(*out_shape, monoid), total_ops)
+        return SpGemmResult(SpMat.empty(*out_shape, monoid), ops_done)
     keys = np.concatenate(partial_keys)
     vals = concat_fields(partial_vals)
     rows = keys // np.int64(b.ncols)
     cols = keys % np.int64(b.ncols)
     c_mat = SpMat(out_shape[0], out_shape[1], rows, cols, vals, monoid)
-    return SpGemmResult(c_mat, total_ops)
-
-
-def spgemm(a: SpMat, b: SpMat, spec: MatMulSpec, *, chunk: int = 1 << 22) -> SpMat:
-    """Convenience wrapper returning only the product matrix."""
-    return spgemm_with_ops(a, b, spec, chunk=chunk).matrix
+    return SpGemmResult(c_mat, ops_done)
 
 
 def _chunk_bounds(counts: np.ndarray, chunk: int) -> list[tuple[int, int]]:

@@ -40,7 +40,7 @@ from repro.algebra.matmul import MatMulSpec
 from repro.dist.distmat import DistMat, even_splits
 from repro.machine.machine import Machine
 from repro.obs import api as obs
-from repro.sparse.spgemm import spgemm_with_ops
+from repro.sparse.spgemm import spgemm
 from repro.sparse.spmatrix import SpMat
 from repro.spgemm.plan import Plan
 
@@ -54,28 +54,44 @@ def execute_plan(
     spec: MatMulSpec,
     home_ranks2d: np.ndarray,
     *,
+    mask: SpMat | None = None,
+    mask_complement: bool = False,
     replication_cache: dict | None = None,
 ) -> tuple[DistMat, int]:
     """Run ``C = A •⟨⊕,f⟩ B`` under ``plan``; return C on the home grid.
 
     ``home_ranks2d`` is the machine-wide 2D rank grid that inputs live on
     and the output is returned on (the engine's resting layout).
+
+    ``mask`` is an optional node-local structural output mask with C's
+    *global* shape (``mask_complement`` inverts its support).  Each variant
+    slices the exact sub-mask covering every local product's output frame,
+    so masked results — and masked ``ops`` totals, because the join pairs
+    are partitioned disjointly and each pair's survival is decided by the
+    same global mask — are identical across all plans.
     """
     machine = a.machine
     if plan.p != machine.p:
         raise ValueError(f"plan {plan} does not cover machine p={machine.p}")
     if a.ncols != b.nrows:
         raise ValueError(f"inner dimension mismatch: {a.shape} × {b.shape}")
+    if mask is not None and mask.shape != (a.nrows, b.ncols):
+        raise ValueError(
+            f"mask shape {mask.shape} != output shape {(a.nrows, b.ncols)}"
+        )
     kind = plan.kind
     if kind == "1d":
-        c, ops = _exec_1d(plan.x, machine, a, b, spec, replication_cache)
+        c, ops = _exec_1d(
+            plan.x, machine, a, b, spec, mask, mask_complement, replication_cache
+        )
     elif kind == "2d":
         ranks2d = np.arange(machine.p).reshape(plan.p2, plan.p3)
-        c, ops = _exec_2d(plan.yz, ranks2d, machine, a, b, spec)
+        c, ops = _exec_2d(plan.yz, ranks2d, machine, a, b, spec, mask, mask_complement)
     else:
         ranks3d = np.arange(machine.p).reshape(plan.p1, plan.p2, plan.p3)
         c, ops = _exec_3d(
-            plan.x, plan.yz, ranks3d, machine, a, b, spec, replication_cache
+            plan.x, plan.yz, ranks3d, machine, a, b, spec,
+            mask, mask_complement, replication_cache,
         )
     if not (
         np.array_equal(c.ranks2d, home_ranks2d)
@@ -91,14 +107,31 @@ def execute_plan(
 # ---------------------------------------------------------------------------
 
 
-def _local_mul(machine: Machine, rank: int, x: SpMat, y: SpMat, spec) -> tuple[SpMat, int]:
-    res = spgemm_with_ops(x, y, spec)
+def _local_mul(
+    machine: Machine,
+    rank: int,
+    x: SpMat,
+    y: SpMat,
+    spec,
+    *,
+    mask: SpMat | None = None,
+    mask_complement: bool = False,
+) -> tuple[SpMat, int]:
+    res = spgemm(
+        x, y, spec, mask=mask, mask_complement=mask_complement,
+        kernel=machine.executor.kernel_mode,
+    )
     machine.charge_compute([rank], float(res.ops))
     return res.matrix, res.ops
 
 
 def _local_mul_batch(
-    machine: Machine, tasks: list[tuple[int, SpMat, SpMat]], spec
+    machine: Machine,
+    tasks: list[tuple[int, SpMat, SpMat]],
+    spec,
+    *,
+    masks: list[SpMat | None] | None = None,
+    mask_complement: bool = False,
 ) -> list[tuple[SpMat, int]]:
     """Run independent local products ``[(rank, x, y), ...]``.
 
@@ -107,11 +140,14 @@ def _local_mul_batch(
     (when the work amortizes the dispatch overhead).  Results come back in
     task order and ledger charges are applied on the simulation thread in
     that same order, so matrices and ledger totals are bit-identical to
-    calling :func:`_local_mul` in a loop.
+    calling :func:`_local_mul` in a loop.  ``masks[i]`` is the structural
+    output mask for task ``i`` (already sliced to the task's output frame).
     """
     results = machine.executor.run_spgemm(
         [(x, y) for _, x, y in tasks],
         spec,
+        masks=masks,
+        mask_complement=mask_complement,
         ranks=[rank for rank, _, _ in tasks],
     )
     out = []
@@ -165,6 +201,8 @@ def _exec_1d(
     a: DistMat,
     b: DistMat,
     spec,
+    mask: SpMat | None,
+    mask_complement: bool,
     cache: dict | None,
 ) -> tuple[DistMat, int]:
     p = machine.p
@@ -186,8 +224,20 @@ def _exec_1d(
 
         a_full, _ = _replicate_cached(cache, ("1dA", id(a)), build)
         b1 = b.redistribute(row1)
+        # C is column-blocked like B: each rank's output frame is a column
+        # stripe, so it sees the matching column slice of the mask.
+        masks = None
+        if mask is not None:
+            masks = [
+                mask.block(0, m, int(b1.col_splits[j]), int(b1.col_splits[j + 1]))
+                for j in range(p)
+            ]
         outs = _local_mul_batch(
-            machine, [(j, a_full, b1.blocks[0][j]) for j in range(p)], spec
+            machine,
+            [(j, a_full, b1.blocks[0][j]) for j in range(p)],
+            spec,
+            masks=masks,
+            mask_complement=mask_complement,
         )
         c_blocks = []
         for blk, ops in outs:
@@ -209,8 +259,19 @@ def _exec_1d(
 
         b_full, _ = _replicate_cached(cache, ("1dB", id(b)), build)
         a1 = a.redistribute(col1)
+        # C is row-blocked like A: each rank sees its row stripe of the mask.
+        masks = None
+        if mask is not None:
+            masks = [
+                mask.block(int(a1.row_splits[i]), int(a1.row_splits[i + 1]), 0, n)
+                for i in range(p)
+            ]
         outs = _local_mul_batch(
-            machine, [(i, a1.blocks[i][0], b_full) for i in range(p)], spec
+            machine,
+            [(i, a1.blocks[i][0], b_full) for i in range(p)],
+            spec,
+            masks=masks,
+            mask_complement=mask_complement,
         )
         c_blocks = []
         for blk, ops in outs:
@@ -224,8 +285,15 @@ def _exec_1d(
     # x == "C": block A by columns and B by rows; sparse-reduce full partials.
     a1 = a.redistribute(row1)  # (m × k) split along k
     b1 = b.redistribute(col1)  # (k × n) split along k
+    # every rank forms a full-shape partial, so every rank masks with the
+    # full mask; the masked ops total is still partition-invariant because
+    # the k-slices partition the join pairs disjointly.
     outs = _local_mul_batch(
-        machine, [(r, a1.blocks[0][r], b1.blocks[r][0]) for r in range(p)], spec
+        machine,
+        [(r, a1.blocks[0][r], b1.blocks[r][0]) for r in range(p)],
+        spec,
+        masks=None if mask is None else [mask] * p,
+        mask_complement=mask_complement,
     )
     partial = None
     for blk, ops in outs:
@@ -259,6 +327,8 @@ def _exec_2d(
     a: DistMat,
     b: DistMat,
     spec,
+    mask: SpMat | None = None,
+    mask_complement: bool = False,
 ) -> tuple[DistMat, int]:
     pr, pc = ranks2d.shape
     m, k, n = a.nrows, a.ncols, b.ncols
@@ -278,6 +348,22 @@ def _exec_2d(
             ) for j in range(pc)]
             for i in range(pr)
         ]
+        # every step's (i, j) product lands on C's stationary (i, j) block,
+        # so the per-cell mask slices are loop-invariant: cut them once.
+        mask_cells = None
+        if mask is not None:
+            mask_cells = [
+                [
+                    mask.block(
+                        int(a_n.row_splits[i]),
+                        int(a_n.row_splits[i + 1]),
+                        int(b_n.col_splits[j]),
+                        int(b_n.col_splits[j + 1]),
+                    )
+                    for j in range(pc)
+                ]
+                for i in range(pr)
+            ]
         for t in range(lcm):
             t_lo, t_hi = int(ks[t]), int(ks[t + 1])
             ja = t // (lcm // pc)
@@ -315,6 +401,9 @@ def _exec_2d(
                 machine,
                 [(int(ranks2d[i, j]), a_pieces[i], b_pieces[j]) for i, j in cells],
                 spec,
+                masks=None if mask_cells is None
+                else [mask_cells[i][j] for i, j in cells],
+                mask_complement=mask_complement,
             )
             for (i, j), (prod, ops) in zip(cells, outs):
                 total_ops += ops
@@ -360,6 +449,19 @@ def _exec_2d(
                 for j in range(pc)
                 if b_pieces[j].nnz and a_n.blocks[i][j].nnz
             ]
+            # each product covers C's (row stripe i) × (column chunk t):
+            # slice that frame's sub-mask, shared by all j in grid row i.
+            mask_rows = None
+            if mask is not None:
+                mask_rows = [
+                    mask.block(
+                        int(a_n.row_splits[i]),
+                        int(a_n.row_splits[i + 1]),
+                        t_lo,
+                        t_hi,
+                    )
+                    for i in range(pr)
+                ]
             outs = dict(
                 zip(
                     cells,
@@ -370,6 +472,9 @@ def _exec_2d(
                             for i, j in cells
                         ],
                         spec,
+                        masks=None if mask_rows is None
+                        else [mask_rows[i] for i, j in cells],
+                        mask_complement=mask_complement,
                     ),
                 )
             )
@@ -437,6 +542,19 @@ def _exec_2d(
                 for i in range(pr)
                 if a_pieces[i].nnz and b_n.blocks[i][j].nnz
             ]
+            # each product covers C's (row chunk t) × (column stripe j):
+            # slice that frame's sub-mask, shared by all i in grid column j.
+            mask_cols = None
+            if mask is not None:
+                mask_cols = [
+                    mask.block(
+                        t_lo,
+                        t_hi,
+                        int(b_n.col_splits[j]),
+                        int(b_n.col_splits[j + 1]),
+                    )
+                    for j in range(pc)
+                ]
             outs = dict(
                 zip(
                     cells,
@@ -447,6 +565,9 @@ def _exec_2d(
                             for j, i in cells
                         ],
                         spec,
+                        masks=None if mask_cols is None
+                        else [mask_cols[j] for j, i in cells],
+                        mask_complement=mask_complement,
                     ),
                 )
             )
@@ -498,6 +619,8 @@ def _exec_3d(
     a: DistMat,
     b: DistMat,
     spec,
+    mask: SpMat | None,
+    mask_complement: bool,
     cache: dict | None,
 ) -> tuple[DistMat, int]:
     p1, p2, p3 = ranks3d.shape
@@ -532,7 +655,15 @@ def _exec_3d(
         pieces = []
         for l in range(p1):
             b_l = b.extract_col_range(int(bs[l]), int(bs[l + 1])).redistribute(layers[l])
-            c_l, ops = _exec_2d(yz, layers[l], machine, a_layers[l], b_l, spec)
+            # layer l owns C's column range [bs[l], bs[l+1]): its sub-mask
+            mask_l = (
+                None if mask is None
+                else mask.block(0, m, int(bs[l]), int(bs[l + 1]))
+            )
+            c_l, ops = _exec_2d(
+                yz, layers[l], machine, a_layers[l], b_l, spec,
+                mask_l, mask_complement,
+            )
             total_ops += ops
             pieces.append((c_l, 0, int(bs[l])))
         return _reassemble(machine, pieces, m, n, monoid), total_ops
@@ -543,7 +674,15 @@ def _exec_3d(
         pieces = []
         for l in range(p1):
             a_l = a.extract_row_range(int(as_[l]), int(as_[l + 1])).redistribute(layers[l])
-            c_l, ops = _exec_2d(yz, layers[l], machine, a_l, b_layers[l], spec)
+            # layer l owns C's row range [as_[l], as_[l+1]): its sub-mask
+            mask_l = (
+                None if mask is None
+                else mask.block(int(as_[l]), int(as_[l + 1]), 0, n)
+            )
+            c_l, ops = _exec_2d(
+                yz, layers[l], machine, a_l, b_layers[l], spec,
+                mask_l, mask_complement,
+            )
             total_ops += ops
             pieces.append((c_l, int(as_[l]), 0))
         return _reassemble(machine, pieces, m, n, monoid), total_ops
@@ -554,7 +693,10 @@ def _exec_3d(
     for l in range(p1):
         a_l = a.extract_col_range(int(ks[l]), int(ks[l + 1])).redistribute(layers[l])
         b_l = b.extract_row_range(int(ks[l]), int(ks[l + 1])).redistribute(layers[l])
-        c_l, ops = _exec_2d(yz, layers[l], machine, a_l, b_l, spec)
+        # every layer's partial spans all of C: mask with the full mask
+        c_l, ops = _exec_2d(
+            yz, layers[l], machine, a_l, b_l, spec, mask, mask_complement
+        )
         total_ops += ops
         partials.append(c_l)
     # reduce across layers, block position by block position (fiber groups)

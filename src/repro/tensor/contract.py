@@ -15,7 +15,7 @@ generalized SpGEMM kernel, and *fold* the result back.
 from __future__ import annotations
 
 from repro.algebra.matmul import MatMulSpec
-from repro.sparse.spgemm import spgemm_with_ops
+from repro.sparse.spgemm import spgemm
 from repro.tensor.sptensor import SpTensor
 
 __all__ = ["contract", "contract_with_ops"]
@@ -84,7 +84,7 @@ def contract_with_ops(
         ib = k + "".join(b_free)
     b_mat = b.unfold([ib.index(k)])
 
-    res = spgemm_with_ops(a_mat, b_mat, spec)
+    res = spgemm(a_mat, b_mat, spec)
     a_free_shape = [a.shape[ia.index(c)] for c in a_free]
     b_free_shape = [b.shape[ib.index(c)] for c in b_free]
     folded = SpTensor.fold(res.matrix, a_free_shape or [1], b_free_shape or [1])

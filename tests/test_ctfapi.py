@@ -30,7 +30,7 @@ class TestIndexNotation:
         C = Matrix(12, 12, W)
         K = Kernel(W, TROPICAL.matmul_spec().f, "minplus")
         C["ij"] = K(A["ik"], B["kj"])
-        assert C.read().equals(spgemm(a, b, TROPICAL.matmul_spec()))
+        assert C.read().equals(spgemm(a, b, TROPICAL.matmul_spec()).matrix)
 
     def test_contraction_transposed_operand(self, ab):
         """C["ij"] = K(A["ik"], B["jk"]) contracts against Bᵀ."""
@@ -40,7 +40,7 @@ class TestIndexNotation:
         C = Matrix(12, 12, W)
         K = Kernel(W, TROPICAL.matmul_spec().f)
         C["ij"] = K(A["ik"], B["jk"])
-        ref = spgemm(a, b.transpose(), TROPICAL.matmul_spec())
+        ref = spgemm(a, b.transpose(), TROPICAL.matmul_spec()).matrix
         assert C.read().equals(ref)
 
     def test_contraction_swapped_order(self, ab):
@@ -52,7 +52,7 @@ class TestIndexNotation:
         C = Matrix(12, 12, W)
         K = Kernel(W, TROPICAL.matmul_spec().f)
         C["ij"] = K(B["kj"], A["ik"])
-        assert C.read().equals(spgemm(a, b, TROPICAL.matmul_spec()))
+        assert C.read().equals(spgemm(a, b, TROPICAL.matmul_spec()).matrix)
 
     def test_transpose_assignment(self, ab):
         a, _ = ab
@@ -101,7 +101,7 @@ class TestIndexNotation:
         Z["ij"] = BF(Z["ik"], A["kj"])
         from repro.algebra import MatMulSpec
 
-        ref = spgemm(z0, adj, MatMulSpec(MULTPATH, bellman_ford_action))
+        ref = spgemm(z0, adj, MatMulSpec(MULTPATH, bellman_ford_action)).matrix
         assert Z.read().equals(ref)
 
 
@@ -206,6 +206,6 @@ class TestDistributedBackend:
         C = Matrix(12, 12, W, engine=engine)
         K = Kernel(W, TROPICAL.matmul_spec().f)
         C["ij"] = K(A["ik"], B["kj"])
-        ref = spgemm(a, b, TROPICAL.matmul_spec())
+        ref = spgemm(a, b, TROPICAL.matmul_spec()).matrix
         assert C.read().equals(ref)
         assert engine.machine.ledger.critical_words() > 0

@@ -30,7 +30,7 @@ from repro.machine.executor import (
 )
 from repro.obs import api as obs
 from repro.sparse import SpMat
-from repro.sparse.spgemm import spgemm_with_ops
+from repro.sparse.spgemm import spgemm
 from repro.spgemm.selector import PinnedPolicy
 
 from conftest import WEIGHT, random_weight_spmat
@@ -178,7 +178,7 @@ class TestThreadExecutor:
 
     def test_run_spgemm_matches_serial_kernel(self, rng):
         pairs = pairs_for(rng, 5)
-        ref = [spgemm_with_ops(x, y, SPEC) for x, y in pairs]
+        ref = [spgemm(x, y, SPEC) for x, y in pairs]
         with ThreadExecutor(2, fanout_min_work=0) as ex:
             out = ex.run_spgemm(pairs, SPEC)
         for got, want in zip(out, ref):
@@ -207,7 +207,7 @@ class TestProcessExecutor:
         pairs = pairs_for(rng, 3)
         # repeated operand exercises the export-once dedupe path
         pairs.append((pairs[0][0], pairs[1][1]))
-        ref = [spgemm_with_ops(x, y, SPEC) for x, y in pairs]
+        ref = [spgemm(x, y, SPEC) for x, y in pairs]
         with ProcessExecutor(2, fanout_min_work=0) as ex:
             out = ex.run_spgemm(pairs, SPEC)
         for got, want in zip(out, ref):

@@ -30,7 +30,7 @@ from repro.faults.plan import FAULTS_ENV
 from repro.graphs import uniform_random_graph_nm
 from repro.machine import Group, Machine, MemoryLimitExceeded
 from repro.machine.executor import ProcessExecutor, SerialExecutor, ThreadExecutor
-from repro.sparse.spgemm import spgemm_with_ops
+from repro.sparse.spgemm import spgemm
 
 from conftest import random_weight_spmat
 
@@ -334,7 +334,7 @@ class TestStragglersAndMemory:
 class TestExecutorDegradation:
     def test_thread_degrades_to_serial_bit_identical(self, rng):
         pairs = spgemm_pairs(rng)
-        ref = [spgemm_with_ops(x, y, SPEC) for x, y in pairs]
+        ref = [spgemm(x, y, SPEC) for x, y in pairs]
         ex = ThreadExecutor(2, fanout_min_work=0)
         ex.fault_plan = FaultPlan(0, poolkill=1.0, limit=1)
         out = ex.run_spgemm(pairs, SPEC)
@@ -349,7 +349,7 @@ class TestExecutorDegradation:
         thread (→ serial after a second injection) with no intervention and
         bit-identical results."""
         pairs = spgemm_pairs(rng)
-        ref = [spgemm_with_ops(x, y, SPEC) for x, y in pairs]
+        ref = [spgemm(x, y, SPEC) for x, y in pairs]
         ex = ProcessExecutor(2, fanout_min_work=0)
         ex.fault_plan = FaultPlan(0, poolkill=1.0, limit=2)
         try:
@@ -371,7 +371,7 @@ class TestExecutorDegradation:
         ex.fault_plan = FaultPlan(0, poolkill=1.0, limit=1)
         pairs = spgemm_pairs(rng)
         ex.run_spgemm(pairs, SPEC)  # degrades here
-        ref = [spgemm_with_ops(x, y, SPEC) for x, y in pairs]
+        ref = [spgemm(x, y, SPEC) for x, y in pairs]
         out = ex.run_spgemm(pairs, SPEC)  # runs on the serial successor
         assert_results_equal(out, ref)
         assert ex.fault_plan.events[-1].action == "degraded"  # no new faults
@@ -424,7 +424,7 @@ class TestExecutorDegradation:
         ex = SerialExecutor()
         ex.fault_plan = FaultPlan(0, poolkill=1.0)
         pairs = spgemm_pairs(rng)
-        ref = [spgemm_with_ops(x, y, SPEC) for x, y in pairs]
+        ref = [spgemm(x, y, SPEC) for x, y in pairs]
         assert_results_equal(ex.run_spgemm(pairs, SPEC), ref)
 
 

@@ -45,7 +45,7 @@ class TestAllPlansMatchSequential:
     def test_square_operands(self, rng, p):
         machine = Machine(p)
         a, b, da, db = dist_pair(rng, machine, 26, 26, 26)
-        ref = spgemm(a, b, SPEC)
+        ref = spgemm(a, b, SPEC).matrix
         for plan in enumerate_plans(p):
             c, ops = execute_plan(plan, da, db, SPEC, home(p))
             assert c.gather(charge=False).equals(ref), plan.describe()
@@ -55,7 +55,7 @@ class TestAllPlansMatchSequential:
     def test_rectangular_operands(self, rng, p):
         machine = Machine(p)
         a, b, da, db = dist_pair(rng, machine, 7, 33, 19)
-        ref = spgemm(a, b, SPEC)
+        ref = spgemm(a, b, SPEC).matrix
         for plan in enumerate_plans(p):
             c, _ = execute_plan(plan, da, db, SPEC, home(p))
             assert c.gather(charge=False).equals(ref), plan.describe()
@@ -69,7 +69,7 @@ class TestAllPlansMatchSequential:
         rows = np.zeros(3, dtype=np.int64)
         cols = np.array([2, 7, 11])
         f = SpMat(1, n, rows, cols, MULTPATH.make([1.0, 2.0, 2.0], [1, 1, 2]), MULTPATH)
-        ref = spgemm(f, adj, BF)
+        ref = spgemm(f, adj, BF).matrix
         h = home(p)
         df = DistMat.distribute(f, machine, h, charge=False)
         dadj = DistMat.distribute(adj, machine, h, charge=False)
