@@ -12,6 +12,8 @@ __all__ = [
     "format_trace_report",
     "cache_attribution",
     "format_cache_report",
+    "overload_attribution",
+    "format_overload_report",
 ]
 
 
@@ -139,6 +141,57 @@ def format_cache_report(metrics) -> str:
         ],
     )
     return "cache events (serve.cache.*):\n" + table
+
+
+#: the labeled overload counter families the serving layer emits
+_OVERLOAD_COUNTERS: tuple[tuple[str, str], ...] = (
+    ("serve.overload.shed", "reason"),
+    ("serve.overload.degraded", "algorithm"),
+    ("serve.overload.stale", "algorithm"),
+    ("serve.overload.infeasible", "algorithm"),
+    ("serve.overload.breaker_fastfail", "algorithm"),
+    ("serve.overload.breaker", "state"),
+    ("serve.overload.state", "transition"),
+    ("serve.overload.dispatcher_restart", ""),
+    ("serve.overload.dispatcher_stall", ""),
+)
+
+
+def overload_attribution(metrics) -> list[dict]:
+    """Per-label overload event totals from a metrics registry.
+
+    Reads the ``serve.overload.*`` counter families the admission
+    controller, watermark governor, circuit breaker, and watchdog emit
+    (see :mod:`repro.serve.overload`); one row per (event, label) pair.
+    Empty when no overload events were recorded — a service that never
+    came under pressure produces an empty table, not a zero-filled one.
+    """
+    rows = []
+    for name, label_key in _OVERLOAD_COUNTERS:
+        short = name.removeprefix("serve.overload.")
+        for labels in metrics.series(name):
+            label = dict(labels).get(label_key, "") if label_key else ""
+            count = metrics.get_count(name, **dict(labels))
+            if count:
+                rows.append({"event": short, "label": label, "count": int(count)})
+    return rows
+
+
+def format_overload_report(metrics) -> str:
+    """Render :func:`overload_attribution` as an aligned text table.
+
+    Returns the empty string when the registry holds no overload events,
+    so callers can print it unconditionally (mirrors
+    :func:`format_cache_report`).
+    """
+    rows = overload_attribution(metrics)
+    if not rows:
+        return ""
+    table = format_table(
+        ["event", "label", "count"],
+        [[r["event"], r["label"], r["count"]] for r in rows],
+    )
+    return "overload events (serve.overload.*):\n" + table
 
 
 def format_trace_report(tracer, ledger) -> str:

@@ -287,6 +287,42 @@ def build_parser() -> argparse.ArgumentParser:
     p_srv.add_argument(
         "--verbose", action="store_true", help="log HTTP requests to stderr"
     )
+    p_srv.add_argument(
+        "--max-queued",
+        type=int,
+        default=1024,
+        help="admission bound: queued query count (docs/serving.md overload)",
+    )
+    p_srv.add_argument(
+        "--max-queued-seconds",
+        type=float,
+        default=None,
+        metavar="SECONDS",
+        help="admission bound: total modeled seconds of queued work "
+        "(cost-aware; default unbounded)",
+    )
+    p_srv.add_argument(
+        "--rate-limit",
+        type=float,
+        default=None,
+        metavar="QPS",
+        help="per-client token-bucket refill rate (X-Client-Id principal)",
+    )
+    p_srv.add_argument(
+        "--rate-burst",
+        type=float,
+        default=20.0,
+        metavar="N",
+        help="per-client burst capacity",
+    )
+    p_srv.add_argument(
+        "--drain-timeout",
+        type=float,
+        default=10.0,
+        metavar="SECONDS",
+        help="graceful-drain budget on SIGTERM/shutdown before queued "
+        "work is abandoned",
+    )
 
     p_info = sub.add_parser("info", help="graph statistics")
     p_info.add_argument("graph")
@@ -474,7 +510,11 @@ def _print_check_summary(engine) -> None:
 
 def _cmd_trace(args) -> int:
     from repro import obs
-    from repro.analysis.report import format_cache_report, format_trace_report
+    from repro.analysis.report import (
+        format_cache_report,
+        format_overload_report,
+        format_trace_report,
+    )
     from repro.core import mfbc
     from repro.dist import DistributedEngine
     from repro.machine import Machine
@@ -535,6 +575,10 @@ def _cmd_trace(args) -> int:
     if cache_table:
         print()
         print(cache_table)
+    overload_table = format_overload_report(session.metrics)
+    if overload_table:
+        print()
+        print(overload_table)
     _print_recovery_summary(machine)
     _print_check_summary(engine)
     rec = obs.reconcile(session.tracer, machine.ledger)
@@ -551,7 +595,10 @@ def _cmd_trace(args) -> int:
 
 
 def _cmd_serve(args) -> int:
-    from repro.serve import BCService, serve_http
+    import signal
+    import threading
+
+    from repro.serve import BCService, OverloadConfig, serve_http
     from repro.spgemm import PinnedPolicy, Square2DPolicy
 
     g = _load(args.graph, args.directed)
@@ -560,6 +607,12 @@ def _cmd_serve(args) -> int:
         policy = PinnedPolicy.ca_mfbc(args.p, args.c)
     elif args.policy == "square2d":
         policy = Square2DPolicy()
+    overload = OverloadConfig(
+        max_queued=args.max_queued,
+        max_queued_seconds=args.max_queued_seconds,
+        client_rate=args.rate_limit,
+        client_burst=args.rate_burst,
+    )
     service = BCService(
         g,
         p=args.p,
@@ -572,23 +625,34 @@ def _cmd_serve(args) -> int:
         max_batch=args.max_batch,
         batch_window=args.batch_window,
         cache_capacity=args.cache_capacity,
+        overload=overload,
     )
     server = serve_http(service, args.host, args.port, verbose=args.verbose)
     print(f"serving {g} on {server.address} (p={args.p}, policy={args.policy})")
     print("endpoints: POST /v1/query, GET /v1/query/<id>, GET /v1/stats, "
           "POST /v1/graph, GET /v1/healthz")
+
+    # SIGTERM → graceful drain: stop admitting, finish queued work within
+    # --drain-timeout, then shut the HTTP front end down
+    def _terminate(signum, frame):  # pragma: no cover - signal path
+        print("\nSIGTERM: draining", flush=True)
+        threading.Thread(target=server.shutdown, daemon=True).start()
+
+    previous = signal.signal(signal.SIGTERM, _terminate)
     try:
         server.serve_forever()
     except KeyboardInterrupt:
         print("\nshutting down")
     finally:
+        signal.signal(signal.SIGTERM, previous)
         server.shutdown()
-        service.close()
+        service.close(drain_timeout=args.drain_timeout)
         stats = service.stats()
         print(
             f"served {stats['completed']} queries in {stats['batches']} sweeps "
             f"(coalescing factor {stats['coalescing_factor']:.2f}, "
-            f"cache hit-rate {stats['cache']['hit_rate']:.1%})"
+            f"cache hit-rate {stats['cache']['hit_rate']:.1%}); "
+            f"{stats['shed']} shed, {stats['degraded']} degraded"
         )
     return 0
 

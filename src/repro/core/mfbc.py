@@ -113,6 +113,7 @@ def mfbc(
     resume_from: "CheckpointStore | str | None" = None,
     retries: int = 2,
     retry_backoff: float = 0.05,
+    retry_jitter_seed: int | None = 0,
 ) -> MFBCResult:
     """Compute betweenness centrality of every vertex of ``graph``.
 
@@ -151,8 +152,16 @@ def mfbc(
         :class:`~repro.faults.FaultError` before giving up.  Each retry
         first calls the engine's ``recover()`` hook (when it has one).
     retry_backoff:
-        Base backoff in modeled seconds, doubled per attempt and charged
-        to the machine via ``charge_overhead`` — restarts are not free.
+        Base backoff in modeled seconds, charged to the machine via
+        ``charge_overhead`` — restarts are not free.
+    retry_jitter_seed:
+        Seed for the decorrelated-jitter backoff: each retry sleeps
+        ``min(cap, U[base, 3·prev])`` with the RNG keyed on
+        ``(seed, batch_index)``, so concurrent coalesced ladders (many
+        service batches retrying the same fault storm) desynchronize
+        instead of hammering the machine in lockstep, while a fixed seed
+        keeps every run bit-reproducible.  ``None`` restores the legacy
+        jitter-free ``base·2^(attempt-1)`` schedule.
 
     Returns
     -------
@@ -231,6 +240,12 @@ def mfbc(
         for lo in range(cursor, len(sources), batch_size):
             batch = sources[lo : lo + batch_size]
             attempt = 0
+            jitter_rng = (
+                None
+                if retry_jitter_seed is None
+                else np.random.default_rng([retry_jitter_seed, batch_index])
+            )
+            prev_backoff = retry_backoff
             while True:
                 batch_stats = BatchStats(sources=len(batch))
                 try:
@@ -283,7 +298,21 @@ def mfbc(
                     recover = getattr(engine, "recover", None)
                     if recover is not None:
                         recover()
-                    backoff = retry_backoff * (2.0 ** (attempt - 1))
+                    if jitter_rng is None:
+                        backoff = retry_backoff * (2.0 ** (attempt - 1))
+                    else:
+                        # decorrelated jitter: draw from [base, 3·prev],
+                        # capped at the legacy ladder's final rung
+                        cap = retry_backoff * (2.0 ** max(retries - 1, 0))
+                        backoff = min(
+                            cap,
+                            float(
+                                jitter_rng.uniform(
+                                    retry_backoff, prev_backoff * 3.0
+                                )
+                            ),
+                        )
+                        prev_backoff = backoff
                     if machine is not None and backoff > 0:
                         machine.charge_overhead(backoff)
                     if plan is not None:

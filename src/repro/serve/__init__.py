@@ -10,13 +10,32 @@ exposes async submit/poll/cancel plus a stdlib HTTP/JSON front end
 (:mod:`repro.serve.http`).  :mod:`repro.serve.loadgen` is the seeded load
 generator behind ``benchmarks/bench_serve_load.py`` and the CI smoke.
 
+:mod:`repro.serve.overload` keeps the service alive under load-driven
+failure: cost-aware admission control (queue bounds in queries *and*
+modeled seconds, per-client token buckets), watermark-based brownout and
+load shedding with hysteresis, a circuit breaker around the
+fault-recovery ladder, and the watchdog/health model behind
+``/v1/healthz``.  ``scripts/soak.py`` is the chaos-soak harness that
+drives it past saturation with armed fault plans.
+
 See ``docs/serving.md`` for architecture, coalescing rules, cache-key
-semantics, and HTTP API examples.
+semantics, overload behavior, and HTTP API examples.
 """
 
 from repro.serve.cache import ScoreCache, cache_key
 from repro.serve.coalescer import Coalescer, Query, QueryState
 from repro.serve.http import ServiceHTTPServer, serve_http
+from repro.serve.overload import (
+    AdmissionController,
+    AdmissionError,
+    BreakerState,
+    CircuitBreaker,
+    CircuitOpen,
+    CostEstimator,
+    OverloadConfig,
+    ServiceState,
+    TokenBucket,
+)
 from repro.serve.service import ALGORITHMS, SOURCE_ALGORITHMS, BCService, QueryError
 
 _LOADGEN_NAMES = {"LoadReport", "generate_queries", "run_load", "DEFAULT_MIX"}
@@ -46,4 +65,13 @@ __all__ = [
     "LoadReport",
     "generate_queries",
     "run_load",
+    "OverloadConfig",
+    "AdmissionController",
+    "AdmissionError",
+    "CircuitOpen",
+    "CircuitBreaker",
+    "BreakerState",
+    "CostEstimator",
+    "TokenBucket",
+    "ServiceState",
 ]

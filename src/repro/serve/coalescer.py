@@ -61,6 +61,18 @@ class Query:
     graph_version: int | None = None  # version the answer was computed at
     attempts: int = 0
     batch_size: int = 0  # width of the sweep that answered it
+    #: a-priori modeled-seconds cost charged to the admission controller
+    cost_estimate: float = 0.0
+    #: True when answered in brownout (downgraded algorithm or stale cache)
+    degraded: bool = False
+    #: the algorithm the client asked for, when brownout rewrote it
+    requested_algorithm: str | None = None
+    #: graph version a stale brownout answer was computed at, if any
+    stale_version: int | None = None
+    #: rate-limit principal (HTTP X-Client-Id / remote address)
+    client: str | None = None
+    #: admission accounting latch — set once the cost has been released
+    admission_released: bool = field(default=False, repr=False)
     submitted_wall: float = field(default_factory=time.perf_counter)
     queue_seconds: float = 0.0
     compute_seconds: float = 0.0
@@ -139,6 +151,13 @@ class Coalescer:
         with self._cond:
             self._closed = True
             self._cond.notify_all()
+
+    def drain(self) -> list[Query]:
+        """Atomically empty the queue (the drain-timeout abandonment path)."""
+        with self._cond:
+            out = list(self._pending)
+            self._pending.clear()
+            return out
 
     def take(self, timeout: float | None = None) -> list[Query] | None:
         """The next compatible batch, or None on timeout / closed-and-empty."""

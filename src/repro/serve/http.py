@@ -12,7 +12,21 @@ Endpoints (all JSON):
   [[0, 1], [1, 2, 0.5], ...], "directed": false}``.  Bumps the version and
   invalidates the cache.
 * ``GET /v1/stats`` — service counters, cache stats, coalescing factor.
-* ``GET /v1/healthz`` — liveness + graph version.
+* ``GET /v1/healthz`` — the truthful health model: 200 with the full
+  :meth:`~repro.serve.BCService.health` body while the service is live
+  (``ok``/``degraded``), 503 when it is not (``overloaded``/``draining``/
+  ``dead`` — e.g. the dispatcher thread died and the watchdog has not yet
+  revived it).
+
+Overload surfaces here as **HTTP 503 + Retry-After**: a shed submission
+(:class:`~repro.serve.overload.AdmissionError`) returns
+``{"error": ..., "reason": "overloaded|queue_full|queue_seconds|"
+"rate_limited|circuit_open|draining", "retry_after": seconds}`` with the
+``Retry-After`` header set from the admission controller's drain-rate
+estimate.  Brownout-degraded answers carry ``degraded: true`` (plus
+``requested_algorithm``/``stale_version``) in the query status.  The
+``X-Client-Id`` request header (falling back to the peer address) names
+the per-client rate-limit principal.
 
 The server is a ``ThreadingHTTPServer``: handler threads only enqueue,
 poll, and read the cache — all actual computation stays on the service's
@@ -28,6 +42,7 @@ from http.server import BaseHTTPRequestHandler, ThreadingHTTPServer
 
 import numpy as np
 
+from repro.serve.overload import AdmissionError
 from repro.serve.service import BCService, QueryState
 
 __all__ = ["ServiceHTTPServer", "serve_http"]
@@ -74,11 +89,15 @@ class _Handler(BaseHTTPRequestHandler):
 
     # -- plumbing ------------------------------------------------------------
 
-    def _send(self, status: int, payload: dict) -> None:
+    def _send(
+        self, status: int, payload: dict, headers: dict[str, str] | None = None
+    ) -> None:
         body = json.dumps(_sanitize_floats(_jsonable(payload))).encode()
         self.send_response(status)
         self.send_header("Content-Type", "application/json")
         self.send_header("Content-Length", str(len(body)))
+        for name, value in (headers or {}).items():
+            self.send_header(name, value)
         self.end_headers()
         self.wfile.write(body)
 
@@ -100,10 +119,9 @@ class _Handler(BaseHTTPRequestHandler):
     def do_GET(self) -> None:
         try:
             if self.path == "/v1/healthz":
-                self._send(
-                    200,
-                    {"ok": True, "graph_version": self.service.graph_version},
-                )
+                health = self.service.health()
+                health["ok"] = health["live"]
+                self._send(200 if health["live"] else 503, health)
             elif self.path == "/v1/stats":
                 self._send(200, self.service.stats())
             elif self.path.startswith("/v1/query/"):
@@ -144,13 +162,30 @@ class _Handler(BaseHTTPRequestHandler):
         algorithm = body.get("algorithm")
         if not algorithm:
             raise ValueError("missing required field: algorithm")
-        qid = self.service.submit(
-            str(algorithm),
-            source=body.get("source"),
-            samples=body.get("samples"),
-            seed=int(body.get("seed", 0)),
-            deadline=body.get("deadline"),
-        )
+        client = self.headers.get("X-Client-Id") or self.client_address[0]
+        try:
+            qid = self.service.submit(
+                str(algorithm),
+                source=body.get("source"),
+                samples=body.get("samples"),
+                seed=int(body.get("seed", 0)),
+                deadline=body.get("deadline"),
+                client=client,
+            )
+        except AdmissionError as exc:
+            headers = {}
+            if exc.retry_after is not None:
+                headers["Retry-After"] = f"{max(exc.retry_after, 0.0):.3f}"
+            self._send(
+                503,
+                {
+                    "error": str(exc),
+                    "reason": exc.reason,
+                    "retry_after": exc.retry_after,
+                },
+                headers,
+            )
+            return
         if body.get("wait"):
             timeout = float(body.get("timeout", 60.0))
             self.service._get(qid).done.wait(timeout)

@@ -32,7 +32,14 @@ import numpy as np
 from repro.serve.service import BCService
 from repro.utils.rng import as_rng
 
-__all__ = ["LoadReport", "generate_queries", "run_load", "main", "DEFAULT_MIX"]
+__all__ = [
+    "LoadReport",
+    "generate_queries",
+    "run_load",
+    "main",
+    "DEFAULT_MIX",
+    "OUTCOMES",
+]
 
 #: default algorithm mix (weights; normalized at draw time)
 DEFAULT_MIX: dict[str, float] = {
@@ -46,9 +53,22 @@ DEFAULT_MIX: dict[str, float] = {
 }
 
 
+#: per-query outcome labels clients classify into
+OUTCOMES = ("done", "degraded", "shed", "expired", "failed")
+
+
 @dataclass
 class LoadReport:
-    """What the load run measured (latencies in wall seconds)."""
+    """What the load run measured (latencies in wall seconds).
+
+    ``completed`` counts every answered query (exact *and* degraded);
+    ``degraded`` is the brownout subset of those.  ``shed`` submissions
+    were rejected by admission control (HTTP 503 / ``AdmissionError``) —
+    they are the overload design working, not failures — and ``expired``
+    queries blew their deadline.  Latency percentiles are computed over
+    completed queries only, so sheds (which return in microseconds) never
+    flatter the tail.
+    """
 
     queries: int
     completed: int
@@ -58,10 +78,19 @@ class LoadReport:
     cache_hit_rate: float = 0.0
     coalescing_factor: float = 0.0
     batches: int = 0
+    shed: int = 0
+    degraded: int = 0
+    expired: int = 0
+    offered_qps: float | None = None
 
     @property
     def throughput_qps(self) -> float:
         return self.queries / self.wall_seconds if self.wall_seconds > 0 else 0.0
+
+    @property
+    def goodput_qps(self) -> float:
+        """Answered queries per second (degraded answers still count)."""
+        return self.completed / self.wall_seconds if self.wall_seconds > 0 else 0.0
 
     def percentile(self, q: float) -> float:
         if not self.latencies:
@@ -71,10 +100,12 @@ class LoadReport:
     def summary(self) -> str:
         return (
             f"{self.queries} queries in {self.wall_seconds:.2f}s "
-            f"({self.throughput_qps:.1f} q/s); "
+            f"({self.throughput_qps:.1f} q/s offered, "
+            f"{self.goodput_qps:.1f} q/s goodput); "
             f"p50 {self.percentile(50) * 1e3:.2f} ms, "
             f"p99 {self.percentile(99) * 1e3:.2f} ms; "
-            f"{self.failed} failed; "
+            f"{self.failed} failed, {self.shed} shed, "
+            f"{self.degraded} degraded, {self.expired} expired; "
             f"cache hit-rate {self.cache_hit_rate:.1%}; "
             f"coalescing factor {self.coalescing_factor:.2f} "
             f"({self.batches} sweeps)"
@@ -119,19 +150,31 @@ def generate_queries(
 class DirectClient:
     """Submits straight into the service object (in-process load)."""
 
-    def __init__(self, service: BCService, timeout: float = 120.0) -> None:
+    def __init__(
+        self, service: BCService, timeout: float = 120.0, client: str | None = None
+    ) -> None:
         self.service = service
         self.timeout = timeout
+        self.client = client
 
-    def run_one(self, spec: dict) -> tuple[float, bool]:
+    def run_one(self, spec: dict) -> tuple[float, str]:
+        from repro.serve.overload import AdmissionError
+        from repro.serve.service import QueryError
+
         t0 = time.perf_counter()
-        qid = self.service.submit(**spec)
+        try:
+            qid = self.service.submit(**spec, client=self.client)
+        except AdmissionError:
+            return time.perf_counter() - t0, "shed"
         try:
             self.service.result(qid, timeout=self.timeout)
-            ok = True
+            status = self.service.poll(qid)
+            outcome = "degraded" if status.get("degraded") else "done"
+        except QueryError as exc:
+            outcome = "expired" if exc.state == "expired" else "failed"
         except Exception:
-            ok = False
-        return time.perf_counter() - t0, ok
+            outcome = "failed"
+        return time.perf_counter() - t0, outcome
 
     def stats(self) -> dict:
         return self.service.stats()
@@ -140,22 +183,30 @@ class DirectClient:
 class HTTPClient:
     """Submits through the HTTP front end (end-to-end load)."""
 
-    def __init__(self, base_url: str, timeout: float = 120.0) -> None:
+    def __init__(
+        self, base_url: str, timeout: float = 120.0, client: str | None = None
+    ) -> None:
         self.base_url = base_url.rstrip("/")
         self.timeout = timeout
+        self.client = client
 
     def _request(self, method: str, path: str, body: dict | None = None) -> dict:
         data = json.dumps(body).encode() if body is not None else None
+        headers = {"Content-Type": "application/json"}
+        if self.client is not None:
+            headers["X-Client-Id"] = self.client
         req = urllib.request.Request(
             self.base_url + path,
             data=data,
             method=method,
-            headers={"Content-Type": "application/json"},
+            headers=headers,
         )
         with urllib.request.urlopen(req, timeout=self.timeout) as resp:
             return json.loads(resp.read().decode())
 
-    def run_one(self, spec: dict) -> tuple[float, bool]:
+    def run_one(self, spec: dict) -> tuple[float, str]:
+        import urllib.error
+
         t0 = time.perf_counter()
         try:
             status = self._request(
@@ -163,10 +214,18 @@ class HTTPClient:
                 "/v1/query",
                 {**spec, "wait": True, "timeout": self.timeout},
             )
-            ok = status.get("state") == "done"
+            state = status.get("state")
+            if state == "done":
+                outcome = "degraded" if status.get("degraded") else "done"
+            elif state == "expired":
+                outcome = "expired"
+            else:
+                outcome = "failed"
+        except urllib.error.HTTPError as exc:
+            outcome = "shed" if exc.code == 503 else "failed"
         except Exception:
-            ok = False
-        return time.perf_counter() - t0, ok
+            outcome = "failed"
+        return time.perf_counter() - t0, outcome
 
     def stats(self) -> dict:
         return self._request("GET", "/v1/stats")
@@ -177,25 +236,55 @@ def run_load(
     specs: list[dict],
     *,
     concurrency: int = 8,
+    offered_qps: float | None = None,
 ) -> LoadReport:
-    """Fire ``specs`` at ``client`` from a thread pool; measure latencies."""
+    """Fire ``specs`` at ``client`` from a thread pool; measure latencies.
+
+    Closed-loop by default: ``concurrency`` workers each issue the next
+    query as soon as their previous one returns (throughput self-limits to
+    what the service can drain).  With ``offered_qps`` the run is paced
+    open-loop: query *i* is released at ``t0 + i/offered_qps`` regardless
+    of completions, which is how you push a service past saturation — the
+    overload soak's arrival model.
+    """
     if concurrency <= 0:
         raise ValueError(f"concurrency must be positive, got {concurrency}")
+    if offered_qps is not None and offered_qps <= 0:
+        raise ValueError(f"offered_qps must be positive, got {offered_qps}")
     t0 = time.perf_counter()
     with ThreadPoolExecutor(max_workers=concurrency) as pool:
-        outcomes = list(pool.map(client.run_one, specs))
+        if offered_qps is None:
+            outcomes = list(pool.map(client.run_one, specs))
+        else:
+            futures = []
+            for i, spec in enumerate(specs):
+                release = t0 + i / offered_qps
+                delay = release - time.perf_counter()
+                if delay > 0:
+                    time.sleep(delay)
+                futures.append(pool.submit(client.run_one, spec))
+            outcomes = [f.result() for f in futures]
     wall = time.perf_counter() - t0
     stats = client.stats()
     cache = stats.get("cache", {})
+    tally = {k: 0 for k in OUTCOMES}
+    for _, outcome in outcomes:
+        tally[outcome] = tally.get(outcome, 0) + 1
     return LoadReport(
         queries=len(specs),
-        completed=sum(1 for _, ok in outcomes if ok),
-        failed=sum(1 for _, ok in outcomes if not ok),
+        completed=tally["done"] + tally["degraded"],
+        failed=tally["failed"],
         wall_seconds=wall,
-        latencies=[lat for lat, _ in outcomes],
+        latencies=[
+            lat for lat, outcome in outcomes if outcome in ("done", "degraded")
+        ],
         cache_hit_rate=float(cache.get("hit_rate", 0.0)),
         coalescing_factor=float(stats.get("coalescing_factor", 0.0)),
         batches=int(stats.get("batches", 0)),
+        shed=tally["shed"],
+        degraded=tally["degraded"],
+        expired=tally["expired"],
+        offered_qps=offered_qps,
     )
 
 

@@ -1,0 +1,522 @@
+"""Overload robustness for the serving layer: admit, shed, degrade, break.
+
+The robustness ladder (retry → degrade → recover → restart → abort,
+``docs/robustness.md``) defends against *fault*-driven failure; this module
+defends against *load*-driven failure — the congestion collapse an
+unbounded FIFO plus jitter-free retries produce under sustained
+over-subscription.  Four cooperating pieces:
+
+* :class:`AdmissionController` — bounds the queue by **query count and
+  total modeled seconds** of queued work, enforces per-client token-bucket
+  rate limits, and rejects with a structured :class:`AdmissionError`
+  carrying a ``Retry-After`` hint.  The α-β cost model gives the service
+  something real deployments rarely have: an accurate *a-priori* per-query
+  cost estimate (:class:`CostEstimator`), so admission is cost-aware — one
+  whole-graph BC query and one BFS row are not the same unit of work.
+* **Watermark governor** (inside the controller) — two hysteresis bands
+  over queue pressure.  Crossing the *brownout* high watermark arms
+  degraded service (stale cache reads, exact ``bc`` downgraded to
+  fixed-pivot ``approx_bc``); crossing the *shed* high watermark rejects
+  new work outright.  Each band re-arms only below its low watermark, so
+  the service never flaps at a boundary.
+* :class:`CircuitBreaker` — wraps the fault-recovery/retry ladder.
+  Repeated recovery failures open the circuit: queued batches fail fast
+  with a structured error instead of grinding the machine, and a half-open
+  probe admits one batch after the reset timeout to test the waters.
+* :class:`CostEstimator` — Theorem 5.1's closed-form α-β cost seeded with
+  the machine's constants, corrected online by an EWMA of the modeled cost
+  the ledger actually charged per swept source.
+
+Everything here is deliberately clock-injectable (``clock=``) so tests run
+deterministic; the service wires ``time.monotonic``.
+"""
+
+from __future__ import annotations
+
+import math
+import threading
+import time
+from dataclasses import dataclass
+from enum import Enum
+
+from repro.obs import api as obs
+
+__all__ = [
+    "ServiceState",
+    "OverloadConfig",
+    "AdmissionError",
+    "TokenBucket",
+    "AdmissionController",
+    "CircuitBreaker",
+    "BreakerState",
+    "CircuitOpen",
+    "CostEstimator",
+]
+
+
+class ServiceState(str, Enum):
+    """The health model: what ``/v1/healthz`` truthfully reports."""
+
+    OK = "ok"  # admitting, serving exact answers
+    DEGRADED = "degraded"  # brownout armed (or circuit open): degraded answers
+    OVERLOADED = "overloaded"  # shedding new work (or dispatcher stalled)
+    DRAINING = "draining"  # close() in progress: finishing queued work only
+    DEAD = "dead"  # dispatcher thread died (watchdog restart pending)
+
+    @property
+    def live(self) -> bool:
+        """True when the endpoint should answer 200 (still taking traffic)."""
+        return self in (ServiceState.OK, ServiceState.DEGRADED)
+
+
+@dataclass(frozen=True)
+class OverloadConfig:
+    """Knobs for admission, brownout/shedding watermarks, and the breaker.
+
+    Pressure is ``max(queued_count / max_queued,
+    queued_seconds / max_queued_seconds)`` — the count bound protects
+    latency under many cheap queries, the modeled-seconds bound under few
+    expensive ones.  Watermarks are fractions of that pressure.
+    """
+
+    #: queue bound by query count
+    max_queued: int = 1024
+    #: queue bound by total modeled seconds of admitted-but-unswept work
+    #: (None disables the cost-aware bound)
+    max_queued_seconds: float | None = None
+    #: per-client token-bucket refill rate in queries/second (None disables)
+    client_rate: float | None = None
+    #: per-client burst capacity (bucket size)
+    client_burst: float = 20.0
+    #: brownout band: degrade above high, recover below low
+    brownout_high: float = 0.60
+    brownout_low: float = 0.30
+    #: shed band: reject above high, re-admit below low
+    shed_high: float = 0.90
+    shed_low: float = 0.50
+    #: fixed-pivot sample count for brownout-degraded ``bc`` answers
+    brownout_samples: int = 8
+    #: pivot seed for degraded answers (fixed → degraded answers cache)
+    brownout_seed: int = 0
+    #: graph-version generations kept for stale-while-degraded serving
+    stale_depth: int = 1
+    #: consecutive fault-ladder failures that open the circuit
+    breaker_threshold: int = 5
+    #: wall seconds the circuit stays open before a half-open probe
+    breaker_reset: float = 5.0
+    #: watchdog poll interval (dispatcher liveness), wall seconds
+    watchdog_interval: float = 0.2
+    #: heartbeat age that flags the dispatcher as stalled, wall seconds
+    stall_timeout: float = 30.0
+    #: Retry-After clamp (wall seconds)
+    retry_after_floor: float = 0.05
+    retry_after_cap: float = 30.0
+
+    def __post_init__(self) -> None:
+        if self.max_queued <= 0:
+            raise ValueError(f"max_queued must be positive, got {self.max_queued}")
+        if self.max_queued_seconds is not None and self.max_queued_seconds <= 0:
+            raise ValueError(
+                f"max_queued_seconds must be positive, got {self.max_queued_seconds}"
+            )
+        for name, high, low in (
+            ("brownout", self.brownout_high, self.brownout_low),
+            ("shed", self.shed_high, self.shed_low),
+        ):
+            if not 0 < low < high:
+                raise ValueError(
+                    f"{name} watermarks need 0 < low < high, got "
+                    f"low={low}, high={high}"
+                )
+        if self.brownout_high > self.shed_high:
+            raise ValueError("brownout_high must not exceed shed_high")
+        if self.breaker_threshold <= 0:
+            raise ValueError(
+                f"breaker_threshold must be positive, got {self.breaker_threshold}"
+            )
+        if self.brownout_samples <= 0:
+            raise ValueError(
+                f"brownout_samples must be positive, got {self.brownout_samples}"
+            )
+        if self.stale_depth < 0:
+            raise ValueError(f"stale_depth must be >= 0, got {self.stale_depth}")
+
+
+class AdmissionError(RuntimeError):
+    """Submission rejected before queueing (shed, rate limit, queue bound).
+
+    ``reason`` is one of ``queue_full`` / ``queue_seconds`` /
+    ``rate_limited`` / ``overloaded`` / ``circuit_open`` / ``draining``;
+    ``retry_after`` is the wall-seconds hint surfaced as the HTTP
+    ``Retry-After`` header (None when retrying cannot help soon).
+    """
+
+    def __init__(self, reason: str, message: str, retry_after: float | None) -> None:
+        super().__init__(message)
+        self.reason = reason
+        self.retry_after = retry_after
+
+
+class CircuitOpen(AdmissionError):
+    """Fail-fast rejection while the fault circuit is open."""
+
+    def __init__(self, message: str, retry_after: float | None) -> None:
+        super().__init__("circuit_open", message, retry_after)
+
+
+class TokenBucket:
+    """Classic token bucket: ``rate`` tokens/second up to ``burst``."""
+
+    def __init__(self, rate: float, burst: float, clock=time.monotonic) -> None:
+        if rate <= 0:
+            raise ValueError(f"rate must be positive, got {rate}")
+        if burst < 1:
+            raise ValueError(f"burst must be >= 1, got {burst}")
+        self.rate = float(rate)
+        self.burst = float(burst)
+        self._clock = clock
+        self._tokens = float(burst)
+        self._stamp = clock()
+
+    def try_take(self) -> tuple[bool, float]:
+        """Take one token; returns ``(ok, seconds_until_next_token)``."""
+        now = self._clock()
+        self._tokens = min(self.burst, self._tokens + (now - self._stamp) * self.rate)
+        self._stamp = now
+        if self._tokens >= 1.0:
+            self._tokens -= 1.0
+            return True, 0.0
+        return False, (1.0 - self._tokens) / self.rate
+
+
+class AdmissionController:
+    """Cost-aware queue bounds, per-client rate limits, and the governor.
+
+    The service calls :meth:`admit` at submit time, :meth:`release` when a
+    query leaves the queue (its batch started, or it was cancelled), and
+    :meth:`readmit` when retry/deadline survivors are put back — readmits
+    never re-run the checks, so retries cannot be shed by their own queue.
+    """
+
+    def __init__(self, config: OverloadConfig, clock=time.monotonic) -> None:
+        self.config = config
+        self._clock = clock
+        self._lock = threading.Lock()
+        self.queued_count = 0
+        self.queued_seconds = 0.0
+        self.peak_queued = 0
+        self.brownout_active = False
+        self.shedding_active = False
+        self._buckets: dict[str, TokenBucket] = {}
+        #: EWMA of wall seconds the dispatcher needed per drained query —
+        #: the drain rate behind the Retry-After hint
+        self._wall_per_query = 0.01
+
+    # -- pressure and the watermark governor ---------------------------------
+
+    def pressure(self) -> float:
+        with self._lock:
+            return self._pressure_locked()
+
+    def _pressure_locked(self) -> float:
+        p = self.queued_count / self.config.max_queued
+        if self.config.max_queued_seconds is not None:
+            p = max(p, self.queued_seconds / self.config.max_queued_seconds)
+        return p
+
+    def _update_state_locked(self) -> None:
+        cfg = self.config
+        p = self._pressure_locked()
+        shed, brown = self.shedding_active, self.brownout_active
+        if p >= cfg.shed_high:
+            self.shedding_active = True
+        elif self.shedding_active and p <= cfg.shed_low:
+            self.shedding_active = False
+        if p >= cfg.brownout_high:
+            self.brownout_active = True
+        elif (
+            self.brownout_active
+            and p <= cfg.brownout_low
+            and not self.shedding_active
+        ):
+            self.brownout_active = False
+        if obs.enabled():
+            obs.gauge("serve.overload.pressure", p)
+            if self.shedding_active != shed:
+                obs.count(
+                    "serve.overload.state",
+                    1.0,
+                    transition="shed_on" if self.shedding_active else "shed_off",
+                )
+            if self.brownout_active != brown:
+                obs.count(
+                    "serve.overload.state",
+                    1.0,
+                    transition=(
+                        "brownout_on" if self.brownout_active else "brownout_off"
+                    ),
+                )
+
+    # -- admit / release ------------------------------------------------------
+
+    def admit(self, cost_seconds: float, client: str | None = None) -> None:
+        """Admit one query of modeled cost ``cost_seconds`` or raise.
+
+        Check order: shed state → count bound → modeled-seconds bound →
+        per-client rate limit.  On success the queue accounting is already
+        charged when this returns.
+        """
+        cfg = self.config
+        with self._lock:
+            if self.shedding_active:
+                raise AdmissionError(
+                    "overloaded",
+                    "service is shedding load (queue pressure above the shed "
+                    "watermark)",
+                    self._retry_after_locked(),
+                )
+            if self.queued_count + 1 > cfg.max_queued:
+                raise AdmissionError(
+                    "queue_full",
+                    f"queue full ({self.queued_count}/{cfg.max_queued} queries)",
+                    self._retry_after_locked(),
+                )
+            if (
+                cfg.max_queued_seconds is not None
+                and self.queued_seconds + cost_seconds > cfg.max_queued_seconds
+            ):
+                raise AdmissionError(
+                    "queue_seconds",
+                    f"queued work at {self.queued_seconds:.3e}s modeled "
+                    f"(+{cost_seconds:.3e}s would exceed the "
+                    f"{cfg.max_queued_seconds:.3e}s budget)",
+                    self._retry_after_locked(),
+                )
+            if cfg.client_rate is not None:
+                key = client or ""
+                bucket = self._buckets.get(key)
+                if bucket is None:
+                    bucket = self._buckets[key] = TokenBucket(
+                        cfg.client_rate, cfg.client_burst, self._clock
+                    )
+                ok, wait = bucket.try_take()
+                if not ok:
+                    raise AdmissionError(
+                        "rate_limited",
+                        f"client {key or '(anonymous)'} over its "
+                        f"{cfg.client_rate}/s rate limit",
+                        max(wait, cfg.retry_after_floor),
+                    )
+            self.queued_count += 1
+            self.queued_seconds += cost_seconds
+            self.peak_queued = max(self.peak_queued, self.queued_count)
+            self._update_state_locked()
+
+    def release(self, cost_seconds: float) -> None:
+        """A query left the queue (batch started / cancelled / drained)."""
+        with self._lock:
+            self.queued_count = max(0, self.queued_count - 1)
+            self.queued_seconds = max(0.0, self.queued_seconds - cost_seconds)
+            self._update_state_locked()
+
+    def readmit(self, cost_seconds: float) -> None:
+        """Re-charge a putback (retry / deadline survivor); never rejects."""
+        with self._lock:
+            self.queued_count += 1
+            self.queued_seconds += cost_seconds
+            self.peak_queued = max(self.peak_queued, self.queued_count)
+            self._update_state_locked()
+
+    def observe_drain(self, n_queries: int, wall_seconds: float) -> None:
+        """Feed the drain-rate EWMA behind the Retry-After hint."""
+        if n_queries <= 0:
+            return
+        per = wall_seconds / n_queries
+        with self._lock:
+            self._wall_per_query += 0.3 * (per - self._wall_per_query)
+
+    def retry_after(self) -> float:
+        with self._lock:
+            return self._retry_after_locked()
+
+    def _retry_after_locked(self) -> float:
+        cfg = self.config
+        est = self.queued_count * self._wall_per_query
+        return min(max(est, cfg.retry_after_floor), cfg.retry_after_cap)
+
+    def snapshot(self) -> dict:
+        with self._lock:
+            return {
+                "queued_count": self.queued_count,
+                "queued_seconds": self.queued_seconds,
+                "peak_queued": self.peak_queued,
+                "pressure": self._pressure_locked(),
+                "brownout": self.brownout_active,
+                "shedding": self.shedding_active,
+            }
+
+
+class BreakerState(str, Enum):
+    CLOSED = "closed"
+    OPEN = "open"
+    HALF_OPEN = "half_open"
+
+
+class CircuitBreaker:
+    """Fail fast after repeated fault-ladder failures; probe to recover.
+
+    ``record_failure`` is called once per batch that entered the
+    fault-recovery ladder and did not come back clean; ``record_success``
+    once per batch the machine completed.  ``threshold`` consecutive
+    failures open the circuit; after ``reset_timeout`` wall seconds one
+    probe batch is allowed through (half-open) — its outcome closes or
+    re-opens the circuit.
+    """
+
+    def __init__(
+        self, threshold: int = 5, reset_timeout: float = 5.0, clock=time.monotonic
+    ) -> None:
+        if threshold <= 0:
+            raise ValueError(f"threshold must be positive, got {threshold}")
+        if reset_timeout <= 0:
+            raise ValueError(f"reset_timeout must be positive, got {reset_timeout}")
+        self.threshold = int(threshold)
+        self.reset_timeout = float(reset_timeout)
+        self._clock = clock
+        self._lock = threading.Lock()
+        self._state = BreakerState.CLOSED
+        self._failures = 0
+        self._opened_at = 0.0
+        self._probe_inflight = False
+        self.opened_total = 0
+
+    @property
+    def state(self) -> BreakerState:
+        with self._lock:
+            return self._state
+
+    def allow(self) -> bool:
+        """May a batch execute now?  Transitions open → half-open when due."""
+        with self._lock:
+            if self._state is BreakerState.CLOSED:
+                return True
+            now = self._clock()
+            if self._state is BreakerState.OPEN:
+                if now - self._opened_at < self.reset_timeout:
+                    return False
+                self._transition_locked(BreakerState.HALF_OPEN)
+                self._probe_inflight = True
+                return True
+            # half-open: exactly one probe at a time
+            if self._probe_inflight:
+                return False
+            self._probe_inflight = True
+            return True
+
+    def record_success(self) -> None:
+        with self._lock:
+            self._failures = 0
+            self._probe_inflight = False
+            if self._state is not BreakerState.CLOSED:
+                self._transition_locked(BreakerState.CLOSED)
+
+    def record_failure(self) -> None:
+        with self._lock:
+            self._failures += 1
+            self._probe_inflight = False
+            if self._state is BreakerState.HALF_OPEN or (
+                self._state is BreakerState.CLOSED
+                and self._failures >= self.threshold
+            ):
+                self._opened_at = self._clock()
+                self.opened_total += 1
+                self._transition_locked(BreakerState.OPEN)
+
+    def retry_after(self) -> float:
+        with self._lock:
+            if self._state is not BreakerState.OPEN:
+                return 0.0
+            return max(0.0, self.reset_timeout - (self._clock() - self._opened_at))
+
+    def _transition_locked(self, state: BreakerState) -> None:
+        self._state = state
+        if obs.enabled():
+            obs.count("serve.overload.breaker", 1.0, state=state.value)
+
+
+class CostEstimator:
+    """A-priori modeled-seconds cost per query, corrected online.
+
+    The seed estimate prices one source sweep from Theorem 5.1's α-β cost
+    at the machine's constants (bandwidth + latency terms per source, plus
+    ~``m·log₂n`` elementary operations and the per-product overhead over a
+    ``log₂n``-deep frontier evolution).  Every completed batch then feeds
+    the ledger's *actually charged* modeled cost back through a
+    per-algorithm EWMA, so the estimate converges on the served graph's
+    real frontier behavior within a few sweeps.
+    """
+
+    def __init__(self, machine, graph, *, smoothing: float = 0.3) -> None:
+        self.machine = machine
+        self.smoothing = float(smoothing)
+        self._lock = threading.Lock()
+        self._per_unit: dict[str, float] = {}
+        self.rebind(graph)
+
+    def rebind(self, graph) -> None:
+        """Point at a new graph (version swap); learned rates reset."""
+        with self._lock:
+            self._n = int(graph.n)
+            self._m = max(int(graph.nnz_adjacency), 1)
+            self._per_unit.clear()
+
+    def _baseline_per_source(self) -> float:
+        from repro.analysis.theory import (
+            mfbc_bandwidth_words,
+            mfbc_latency_messages,
+        )
+
+        n, m = self._n, self._m
+        p = max(int(self.machine.p), 1)
+        cost = self.machine.cost
+        depth = max(math.log2(max(n, 2)), 1.0)
+        words = mfbc_bandwidth_words(n, m, p) / max(n, 1)
+        msgs = mfbc_latency_messages(n, m, p) / max(n, 1)
+        ops = m * depth
+        overhead = 2.0 * depth * cost.product_overhead
+        return (
+            words * cost.beta
+            + msgs * cost.alpha
+            + ops / cost.compute_rate
+            + overhead
+        )
+
+    def units(self, algorithm: str, params: dict) -> float:
+        """How many source-sweep equivalents the query costs."""
+        if algorithm == "bc":
+            return float(self._n)
+        if algorithm == "approx_bc":
+            return float(params.get("samples", 1))
+        return 1.0
+
+    def estimate(self, algorithm: str, params: dict) -> float:
+        """Modeled seconds this query will charge to the ledger."""
+        with self._lock:
+            rate = self._per_unit.get(algorithm)
+        if rate is None:
+            rate = self._baseline_per_source()
+        return self.units(algorithm, params) * rate
+
+    def observe(
+        self, algorithm: str, units: float, modeled_seconds: float
+    ) -> None:
+        """Fold one completed batch's charged cost into the EWMA."""
+        if units <= 0 or modeled_seconds < 0:
+            return
+        per = modeled_seconds / units
+        with self._lock:
+            prev = self._per_unit.get(algorithm)
+            if prev is None:
+                self._per_unit[algorithm] = per
+            else:
+                self._per_unit[algorithm] = prev + self.smoothing * (per - prev)

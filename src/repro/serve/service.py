@@ -25,11 +25,24 @@ batch transparently re-executes on the survivors; per-query ``deadline``
 budgets reuse ``Machine(deadline=)`` — the strictest member of a batch
 arms the machine's modeled-time guard, and on expiry only the blown
 queries fail while the rest retry.
+
+Overload composes with both (:mod:`repro.serve.overload`): every
+submission passes a cost-aware :class:`~repro.serve.overload.AdmissionController`
+(queue bounds in queries *and* modeled seconds, per-client token buckets,
+deadline-infeasibility rejection), watermark pressure arms brownout
+(stale cache reads, exact ``bc`` downgraded to fixed-pivot ``approx_bc``
+with ``degraded: true``) and then load shedding
+(:class:`~repro.serve.overload.AdmissionError` → HTTP 503 + Retry-After),
+a :class:`~repro.serve.overload.CircuitBreaker` fails batches fast during
+fault-recovery storms, and a watchdog restarts a dead dispatcher while
+:meth:`BCService.health` reports the truthful
+``ok``/``degraded``/``overloaded``/``draining`` state.
 """
 
 from __future__ import annotations
 
 import threading
+import time
 from typing import TYPE_CHECKING
 
 import numpy as np
@@ -40,6 +53,15 @@ from repro.graphs.graph import Graph
 from repro.obs import api as obs
 from repro.serve.cache import ScoreCache, cache_key
 from repro.serve.coalescer import Coalescer, Query, QueryState
+from repro.serve.overload import (
+    AdmissionController,
+    AdmissionError,
+    CircuitBreaker,
+    CircuitOpen,
+    CostEstimator,
+    OverloadConfig,
+    ServiceState,
+)
 
 if TYPE_CHECKING:
     from repro.machine.machine import Machine
@@ -88,6 +110,13 @@ class BCService:
     retries:
         Batch re-executions allowed per injected non-rank fault (rank
         failures take the elastic path first, which never burns retries).
+    overload:
+        An :class:`~repro.serve.overload.OverloadConfig` tuning admission
+        bounds, brownout/shed watermarks, the circuit breaker, and the
+        watchdog.  The defaults admit generously (1024 queued queries, no
+        modeled-seconds bound, no rate limit) so light traffic never sees
+        the machinery; production configs tighten them (see
+        ``docs/serving.md``).
     """
 
     def __init__(
@@ -107,6 +136,7 @@ class BCService:
         max_batch: int = 64,
         cache_capacity: int = 4096,
         retries: int = 2,
+        overload: OverloadConfig | None = None,
     ) -> None:
         # deferred imports: repro.dist pulls in the full engine stack
         from repro.dist.engine import DistributedEngine
@@ -128,6 +158,12 @@ class BCService:
         self.retries = int(retries)
         self.cache = ScoreCache(capacity=cache_capacity)
         self.coalescer = Coalescer(max_batch=max_batch, window=batch_window)
+        self.overload = overload or OverloadConfig()
+        self.admission = AdmissionController(self.overload)
+        self.breaker = CircuitBreaker(
+            self.overload.breaker_threshold, self.overload.breaker_reset
+        )
+        self.estimator = CostEstimator(machine, graph)
         self._queries: dict[str, Query] = {}
         self._registry_lock = threading.Lock()
         #: serializes batch execution against graph mutation
@@ -143,12 +179,27 @@ class BCService:
             "swept_sources": 0,
             "recoveries": 0,
             "retries": 0,
+            "shed": 0,
+            "degraded": 0,
+            "stale": 0,
+            "infeasible": 0,
+            "breaker_fastfail": 0,
+            "dispatcher_restarts": 0,
         }
         self._closed = False
+        self._draining = False
+        self._stalled = False
+        self._inflight = 0
+        self._heartbeat = time.monotonic()
+        self._stop = threading.Event()
         self._dispatcher = threading.Thread(
             target=self._dispatch_loop, name="bcservice-dispatch", daemon=True
         )
         self._dispatcher.start()
+        self._watchdog = threading.Thread(
+            target=self._watchdog_loop, name="bcservice-watchdog", daemon=True
+        )
+        self._watchdog.start()
 
     # -- client API ----------------------------------------------------------
 
@@ -160,13 +211,20 @@ class BCService:
         samples: int | None = None,
         seed: int = 0,
         deadline: float | None = None,
+        client: str | None = None,
     ) -> str:
         """Enqueue a query; returns its id for :meth:`poll` / :meth:`result`.
 
         ``deadline`` is a modeled-seconds budget for the query's sweep
         (measured from when its batch starts executing on the machine).
         A cache hit at the current graph version completes immediately —
-        without touching the machine's ledger.
+        without touching the machine's ledger — and bypasses admission
+        entirely.  A query whose *a-priori* modeled cost already exceeds
+        its deadline is finished ``expired`` at submit time and never
+        burns a sweep.  Under overload the submission may raise
+        :class:`~repro.serve.overload.AdmissionError` (shed) instead of
+        queueing; ``client`` names the rate-limit principal when
+        per-client token buckets are configured.
         """
         if self._closed:
             raise RuntimeError("service is closed")
@@ -175,19 +233,104 @@ class BCService:
         )
         if deadline is not None and deadline <= 0:
             raise ValueError(f"deadline must be positive, got {deadline}")
-        query = Query(algorithm=algorithm, params=params, deadline=deadline)
+        cfg = self.overload
+        version = self.graph_version
+        requested = algorithm
+        degraded = False
+        if self.admission.brownout_active and algorithm == "bc":
+            # brownout: answer exact-BC traffic with cheap fixed-pivot
+            # sampling (van der Grinten & Meyerhenke's degrade-don't-fail)
+            algorithm = "approx_bc"
+            params = {
+                "samples": min(cfg.brownout_samples, self.graph.n),
+                "seed": cfg.brownout_seed,
+            }
+            degraded = True
+        cached = self.cache.get(cache_key(version, algorithm, params))
+        if cached is not None:
+            return self._finish_fast(
+                algorithm,
+                params,
+                requested,
+                result=cached,
+                version=version,
+                degraded=degraded,
+                cache_hit=True,
+            )
+        if self.admission.brownout_active and cfg.stale_depth:
+            # brownout: a stale answer beats a shed one — look back through
+            # the retained generations before charging the queue
+            for v in range(version - 1, max(version - 1 - cfg.stale_depth, -1), -1):
+                hit = self.cache.peek(cache_key(v, algorithm, params))
+                if hit is not None:
+                    if obs.enabled():
+                        obs.count(
+                            "serve.overload.stale", 1.0, algorithm=requested
+                        )
+                    with self._registry_lock:
+                        self._counters["stale"] += 1
+                    return self._finish_fast(
+                        algorithm,
+                        params,
+                        requested,
+                        result=hit,
+                        version=v,
+                        degraded=True,
+                        cache_hit=True,
+                        stale_version=v,
+                    )
+        estimate = self.estimator.estimate(algorithm, params)
+        if deadline is not None and estimate > deadline:
+            if obs.enabled():
+                obs.count("serve.overload.infeasible", 1.0, algorithm=requested)
+            with self._registry_lock:
+                self._counters["infeasible"] += 1
+            query = Query(
+                algorithm=algorithm,
+                params=params,
+                deadline=deadline,
+                degraded=degraded,
+                requested_algorithm=requested if degraded else None,
+                client=client,
+            )
+            with self._registry_lock:
+                self._queries[query.id] = query
+                self._counters["submitted"] += 1
+            self._fail(
+                query,
+                QueryState.EXPIRED,
+                f"deadline infeasible: modeled cost estimate {estimate:.3e}s "
+                f"exceeds the {deadline:.3e}s budget before queueing",
+            )
+            return query.id
+        if self._draining:
+            self._count_shed("draining")
+            raise AdmissionError(
+                "draining", "service is draining; not accepting new work", None
+            )
+        breaker_wait = self.breaker.retry_after()
+        if breaker_wait > 0:
+            self._count_shed("circuit_open")
+            raise CircuitOpen(
+                f"fault circuit open; retry in {breaker_wait:.2f}s", breaker_wait
+            )
+        try:
+            self.admission.admit(estimate, client)
+        except AdmissionError as exc:
+            self._count_shed(exc.reason)
+            raise
+        query = Query(
+            algorithm=algorithm,
+            params=params,
+            deadline=deadline,
+            cost_estimate=estimate,
+            degraded=degraded,
+            requested_algorithm=requested if degraded else None,
+            client=client,
+        )
         with self._registry_lock:
             self._queries[query.id] = query
             self._counters["submitted"] += 1
-        cached = self.cache.get(cache_key(self.graph_version, algorithm, params))
-        if cached is not None:
-            query.cache_hit = True
-            query.graph_version = self.graph_version
-            query.finish(QueryState.DONE, result=cached)
-            with self._registry_lock:
-                self._counters["completed"] += 1
-            self._note_query(query)
-            return query.id
         self.coalescer.put(query)
         return query.id
 
@@ -200,12 +343,17 @@ class BCService:
             "params": dict(q.params),
             "state": q.state.value,
             "cache_hit": q.cache_hit,
+            "degraded": q.degraded,
             "attempts": q.attempts,
             "batch_size": q.batch_size,
             "graph_version": q.graph_version,
             "queue_seconds": q.queue_seconds,
             "compute_seconds": q.compute_seconds,
         }
+        if q.requested_algorithm is not None:
+            out["requested_algorithm"] = q.requested_algorithm
+        if q.stale_version is not None:
+            out["stale_version"] = q.stale_version
         if q.state is QueryState.DONE:
             out["result"] = q.result
         elif q.state.terminal:
@@ -228,6 +376,7 @@ class BCService:
             return False
         q.state = QueryState.CANCELLED
         self.coalescer.remove(q)
+        self._release_admission(q)
         q.finish(QueryState.CANCELLED, error="cancelled")
         with self._registry_lock:
             self._counters["cancelled"] += 1
@@ -237,19 +386,59 @@ class BCService:
         """Replace the served graph; returns the new graph version.
 
         Queued queries are answered against the new version (queries bind
-        to the version current when their batch executes); the score cache
-        drops every older-version entry and the pinned adjacency layouts
-        are rebuilt lazily on the next sweep.
+        to the version current when their batch executes); the pinned
+        adjacency layouts are rebuilt lazily on the next sweep.  The score
+        cache retains the newest ``overload.stale_depth`` older generations
+        for brownout stale serving and purges everything beyond them.
         """
         with self._exec_lock:
             self.graph = graph
             self.graph_version += 1
             self._pinned.clear()
             self.engine.release_invariants()
-            self.cache.invalidate(before_version=self.graph_version)
+            self.estimator.rebind(graph)
+            self.cache.invalidate(
+                before_version=self.graph_version - self.overload.stale_depth
+            )
             if obs.enabled():
                 obs.count("serve.graph_updates", 1.0)
             return self.graph_version
+
+    def health(self) -> dict:
+        """The truthful health model behind ``GET /v1/healthz``.
+
+        States: ``ok`` (admitting, exact answers) → ``degraded`` (brownout
+        armed or fault circuit open; degraded answers flagged) →
+        ``overloaded`` (shedding new work, or dispatcher stalled) →
+        ``draining`` (close in progress) — plus ``dead`` when the
+        dispatcher thread died and the watchdog has not yet revived it.
+        ``live`` is True for ``ok``/``degraded`` only; the HTTP endpoint
+        maps not-live states to 503.
+        """
+        snap = self.admission.snapshot()
+        breaker = self.breaker.state
+        if self._closed or self._draining:
+            state = ServiceState.DRAINING
+        elif not self._dispatcher.is_alive():
+            state = ServiceState.DEAD
+        elif snap["shedding"] or self._stalled:
+            state = ServiceState.OVERLOADED
+        elif snap["brownout"] or breaker.value != "closed":
+            state = ServiceState.DEGRADED
+        else:
+            state = ServiceState.OK
+        return {
+            "state": state.value,
+            "live": state.live,
+            "graph_version": self.graph_version,
+            "queued": snap["queued_count"],
+            "queued_seconds": snap["queued_seconds"],
+            "pressure": snap["pressure"],
+            "brownout": snap["brownout"],
+            "shedding": snap["shedding"],
+            "breaker": breaker.value,
+            "dispatcher_alive": self._dispatcher.is_alive(),
+        }
 
     def stats(self) -> dict:
         """Service counters + cache stats + coalescing factor."""
@@ -263,17 +452,48 @@ class BCService:
             "graph_version": self.graph_version,
             "queued": len(self.coalescer),
             "p": self.machine.p,
+            "health": self.health()["state"],
             **counters,
+            "admission": self.admission.snapshot(),
+            "breaker": self.breaker.state.value,
             "cache": self.cache.stats(),
         }
 
-    def close(self, timeout: float | None = 10.0) -> None:
-        """Drain queued work, stop the dispatcher, and release the machine."""
+    def close(self, drain_timeout: float | None = 10.0) -> None:
+        """Drain queued work, stop the dispatcher, and release the machine.
+
+        While draining, :meth:`health` reports ``draining`` and new
+        submissions are rejected with ``AdmissionError("draining")``.
+        Queued work is given ``drain_timeout`` wall seconds to finish
+        (None waits indefinitely); whatever remains is finished
+        ``cancelled`` with a drain message.  Idempotent.
+        """
         if self._closed:
             return
+        self._draining = True
+        deadline = (
+            None if drain_timeout is None else time.monotonic() + drain_timeout
+        )
+        while len(self.coalescer) or self._inflight:
+            if deadline is not None and time.monotonic() >= deadline:
+                break
+            if not self._dispatcher.is_alive() and not len(self.coalescer):
+                break
+            time.sleep(0.01)
         self._closed = True
+        self._stop.set()
         self.coalescer.close()
-        self._dispatcher.join(timeout)
+        for q in self.coalescer.drain():
+            self._release_admission(q)
+            if not q.state.terminal:
+                q.finish(
+                    QueryState.CANCELLED,
+                    error="service draining: query abandoned at drain timeout",
+                )
+                with self._registry_lock:
+                    self._counters["cancelled"] += 1
+        self._dispatcher.join(5.0)
+        self._watchdog.join(5.0)
         self.machine.executor.close()
 
     def __enter__(self) -> "BCService":
@@ -287,20 +507,54 @@ class BCService:
 
     def _dispatch_loop(self) -> None:
         while True:
+            self._heartbeat = time.monotonic()
             batch = self.coalescer.take(timeout=0.05)
             if batch is None:
                 if self._closed and not len(self.coalescer):
                     return
                 continue
+            with self._registry_lock:
+                self._inflight += 1
             try:
                 self._execute(batch)
             except Exception as exc:  # defensive: never kill the dispatcher
                 for q in batch:
                     if not q.state.terminal:
                         self._fail(q, QueryState.FAILED, f"{type(exc).__name__}: {exc}")
+            finally:
+                with self._registry_lock:
+                    self._inflight -= 1
+
+    def _watchdog_loop(self) -> None:
+        """Supervise the dispatcher: restart it dead, flag it stalled."""
+        while not self._stop.wait(self.overload.watchdog_interval):
+            if self._closed:
+                return
+            if not self._dispatcher.is_alive():
+                with self._registry_lock:
+                    self._counters["dispatcher_restarts"] += 1
+                if obs.enabled():
+                    obs.count("serve.overload.dispatcher_restart", 1.0)
+                self._heartbeat = time.monotonic()
+                self._dispatcher = threading.Thread(
+                    target=self._dispatch_loop,
+                    name="bcservice-dispatch",
+                    daemon=True,
+                )
+                self._dispatcher.start()
+                continue
+            stalled = (
+                len(self.coalescer) > 0
+                and time.monotonic() - self._heartbeat > self.overload.stall_timeout
+            )
+            if stalled and not self._stalled and obs.enabled():
+                obs.count("serve.overload.dispatcher_stall", 1.0)
+            self._stalled = stalled
 
     def _execute(self, batch: list[Query]) -> None:
         with self._exec_lock:
+            for q in batch:
+                self._release_admission(q)
             version = self.graph_version
             algorithm = batch[0].algorithm
             now = _wall()
@@ -321,6 +575,24 @@ class BCService:
                 else:
                     remaining.append(q)
             if not remaining:
+                return
+            if not self.breaker.allow():
+                wait = self.breaker.retry_after()
+                with self._registry_lock:
+                    self._counters["breaker_fastfail"] += len(remaining)
+                if obs.enabled():
+                    obs.count(
+                        "serve.overload.breaker_fastfail",
+                        float(len(remaining)),
+                        algorithm=algorithm,
+                    )
+                for q in remaining:
+                    self._fail(
+                        q,
+                        QueryState.FAILED,
+                        "circuit open after repeated fault-recovery failures; "
+                        f"retry in {wait:.2f}s",
+                    )
                 return
             self._execute_live(algorithm, remaining, version)
 
@@ -351,13 +623,15 @@ class BCService:
                 version=version,
             ) as sp:
                 results = self._compute(algorithm, queries, version)
+                modeled_cost = machine.ledger.critical_time() - start_modeled
                 if obs.enabled():
-                    sp.set(modeled_cost=machine.ledger.critical_time() - start_modeled)
+                    sp.set(modeled_cost=modeled_cost)
                     obs.count("serve.batches", 1.0, algorithm=algorithm)
                     obs.observe(
                         "serve.batch_size", float(len(queries)), algorithm=algorithm
                     )
         except DeadlineExceeded:
+            self.breaker.record_success()  # the machine itself is healthy
             elapsed = machine.ledger.critical_time() - start_modeled
             expired = [
                 q for q in queries if q.deadline is not None and q.deadline <= elapsed
@@ -376,9 +650,7 @@ class BCService:
             if survivors:
                 with self._registry_lock:
                     self._counters["retries"] += 1
-                for q in survivors:
-                    q.state = QueryState.QUEUED
-                self.coalescer.putback(survivors)
+                self._requeue(survivors)
             return
         except FaultError as exc:
             self._handle_fault(queries, exc)
@@ -386,6 +658,11 @@ class BCService:
         finally:
             machine.deadline = saved_deadline
         compute = _wall() - t0
+        self.breaker.record_success()
+        self.estimator.observe(
+            algorithm, self._batch_units(algorithm, queries), modeled_cost
+        )
+        self.admission.observe_drain(len(queries), compute)
         with self._registry_lock:
             self._counters["batches"] += 1
             self._counters["swept_sources"] += len(queries)
@@ -397,6 +674,7 @@ class BCService:
 
     def _handle_fault(self, queries: list[Query], exc: FaultError) -> None:
         """Recover from an injected fault and transparently retry the batch."""
+        self.breaker.record_failure()
         recovered = False
         if (
             isinstance(exc, RankFailure)
@@ -434,8 +712,14 @@ class BCService:
         if recovered:
             for q in queries:
                 q.attempts -= 1
+        self._requeue(queries)
+
+    def _requeue(self, queries: list[Query]) -> None:
+        """Putback survivors at the queue front, re-charging admission."""
         for q in queries:
             q.state = QueryState.QUEUED
+            self.admission.readmit(q.cost_estimate)
+            q.admission_released = False
         self.coalescer.putback(queries)
 
     # -- kernels -------------------------------------------------------------
@@ -492,10 +776,19 @@ class BCService:
 
             payload = connected_components(graph, engine=engine)
         else:  # triangles
-            from repro.apps import triangle_count
-
-            payload = triangle_count(graph, engine=engine)
+            payload = self._triangles()
         return {q.id: payload for q in queries}
+
+    def _triangles(self):
+        from repro.apps import triangle_count
+
+        return triangle_count(self.graph, engine=self.engine)
+
+    def _batch_units(self, algorithm: str, queries: list[Query]) -> float:
+        """Source-sweep equivalents a batch charged (estimator feedback)."""
+        if algorithm in SOURCE_ALGORITHMS:
+            return float(len({int(q.params["source"]) for q in queries}))
+        return self.estimator.units(algorithm, queries[0].params)
 
     def _pin(self, flavor: str):
         """The pinned engine adjacency for this graph version (built once).
@@ -559,6 +852,55 @@ class BCService:
             raise KeyError(f"unknown query id {query_id!r}")
         return q
 
+    def _finish_fast(
+        self,
+        algorithm: str,
+        params: dict,
+        requested: str,
+        *,
+        result,
+        version: int,
+        degraded: bool,
+        cache_hit: bool,
+        stale_version: int | None = None,
+    ) -> str:
+        """Register and immediately complete a submit-time answer."""
+        query = Query(
+            algorithm=algorithm,
+            params=params,
+            degraded=degraded,
+            requested_algorithm=requested if degraded else None,
+            stale_version=stale_version,
+        )
+        query.cache_hit = cache_hit
+        query.graph_version = version
+        with self._registry_lock:
+            self._queries[query.id] = query
+            self._counters["submitted"] += 1
+        query.finish(QueryState.DONE, result=result)
+        with self._registry_lock:
+            self._counters["completed"] += 1
+            if degraded:
+                self._counters["degraded"] += 1
+        if degraded and obs.enabled():
+            obs.count("serve.overload.degraded", 1.0, algorithm=requested)
+        self._note_query(query)
+        return query.id
+
+    def _count_shed(self, reason: str) -> None:
+        with self._registry_lock:
+            self._counters["shed"] += 1
+        if obs.enabled():
+            obs.count("serve.overload.shed", 1.0, reason=reason)
+
+    def _release_admission(self, q: Query) -> None:
+        """Un-charge a query's cost from the queue accounting exactly once."""
+        with self._registry_lock:
+            if q.admission_released or q.cost_estimate <= 0:
+                return
+            q.admission_released = True
+        self.admission.release(q.cost_estimate)
+
     def _complete(self, q: Query, payload, version: int, *, batch_size: int) -> None:
         if q.state.terminal:
             return  # cancelled while running
@@ -567,6 +909,14 @@ class BCService:
         q.finish(QueryState.DONE, result=payload)
         with self._registry_lock:
             self._counters["completed"] += 1
+            if q.degraded:
+                self._counters["degraded"] += 1
+        if q.degraded and obs.enabled():
+            obs.count(
+                "serve.overload.degraded",
+                1.0,
+                algorithm=q.requested_algorithm or q.algorithm,
+            )
         self._note_query(q)
 
     def _fail(self, q: Query, state: QueryState, message: str) -> None:
@@ -594,6 +944,7 @@ class BCService:
                 "algorithm": q.algorithm,
                 "outcome": q.state.value,
                 "cache_hit": q.cache_hit,
+                "degraded": q.degraded,
                 "queue_s": q.queue_seconds,
                 "compute_s": q.compute_seconds,
                 "batch": q.batch_size,
@@ -603,6 +954,4 @@ class BCService:
 
 
 def _wall() -> float:
-    import time
-
     return time.perf_counter()

@@ -1,0 +1,772 @@
+"""Overload robustness: admission, shedding, brownout, breaker, watchdog.
+
+Unit-level pieces run against an injected fake clock so watermark and
+breaker transitions are deterministic; service-level tests use the same
+tiny graph as ``test_serve.py`` and force states directly (the soak
+harness in ``scripts/soak.py`` exercises the emergent behavior under real
+overload).
+"""
+
+from __future__ import annotations
+
+import threading
+import time
+import urllib.error
+import urllib.request
+
+import numpy as np
+import pytest
+
+from repro.graphs import uniform_random_graph_nm
+from repro.serve import (
+    AdmissionController,
+    AdmissionError,
+    BCService,
+    CircuitBreaker,
+    CircuitOpen,
+    CostEstimator,
+    OverloadConfig,
+    QueryError,
+    ServiceState,
+    TokenBucket,
+)
+from repro.serve.overload import BreakerState
+
+
+@pytest.fixture(scope="module")
+def graph():
+    return uniform_random_graph_nm(36, 4.0, seed=7)
+
+
+def _service(graph, **kw):
+    kw.setdefault("p", 4)
+    kw.setdefault("batch_window", 0.05)
+    return BCService(graph, **kw)
+
+
+def _reference_row(graph, source, p=4):
+    from repro.core.mfbc import mfbc_per_source
+    from repro.dist.engine import DistributedEngine
+    from repro.machine.machine import Machine
+
+    engine = DistributedEngine(Machine(p))
+    rows = mfbc_per_source(graph, np.array([source]), engine=engine)
+    return rows[0]
+
+
+class FakeClock:
+    def __init__(self, t=0.0):
+        self.t = t
+
+    def __call__(self):
+        return self.t
+
+    def advance(self, dt):
+        self.t += dt
+
+
+# ---------------------------------------------------------------------------
+# config validation + health states
+# ---------------------------------------------------------------------------
+
+
+class TestConfig:
+    def test_defaults_valid(self):
+        cfg = OverloadConfig()
+        assert cfg.max_queued == 1024
+        assert cfg.max_queued_seconds is None
+
+    @pytest.mark.parametrize(
+        "kw",
+        [
+            {"max_queued": 0},
+            {"max_queued_seconds": -1.0},
+            {"brownout_high": 0.2, "brownout_low": 0.5},
+            {"shed_high": 0.0, "shed_low": 0.0},
+            {"brownout_high": 0.95},  # above shed_high
+            {"breaker_threshold": 0},
+            {"brownout_samples": 0},
+            {"stale_depth": -1},
+        ],
+    )
+    def test_invalid_rejected(self, kw):
+        with pytest.raises(ValueError):
+            OverloadConfig(**kw)
+
+    def test_service_state_liveness(self):
+        assert ServiceState.OK.live and ServiceState.DEGRADED.live
+        for s in (ServiceState.OVERLOADED, ServiceState.DRAINING, ServiceState.DEAD):
+            assert not s.live
+
+
+# ---------------------------------------------------------------------------
+# token bucket
+# ---------------------------------------------------------------------------
+
+
+class TestTokenBucket:
+    def test_burst_then_starve_then_refill(self):
+        clock = FakeClock()
+        bucket = TokenBucket(rate=2.0, burst=3.0, clock=clock)
+        assert [bucket.try_take()[0] for _ in range(3)] == [True] * 3
+        ok, wait = bucket.try_take()
+        assert not ok and wait == pytest.approx(0.5)
+        clock.advance(0.5)  # one token refilled
+        assert bucket.try_take()[0]
+
+    def test_validation(self):
+        with pytest.raises(ValueError):
+            TokenBucket(rate=0.0, burst=1.0)
+        with pytest.raises(ValueError):
+            TokenBucket(rate=1.0, burst=0.5)
+
+
+# ---------------------------------------------------------------------------
+# admission controller + watermark governor
+# ---------------------------------------------------------------------------
+
+
+class TestAdmission:
+    def test_count_bound(self):
+        # watermarks above 1.0 never arm, isolating the hard count bound
+        ctl = AdmissionController(
+            OverloadConfig(
+                max_queued=2, shed_high=5.0, shed_low=1.0,
+                brownout_high=4.0, brownout_low=1.0,
+            )
+        )
+        ctl.admit(0.1)
+        ctl.admit(0.1)
+        with pytest.raises(AdmissionError) as exc:
+            ctl.admit(0.1)
+        assert exc.value.reason == "queue_full"
+        assert exc.value.retry_after is not None
+        ctl.release(0.1)
+        ctl.admit(0.1)  # bound frees up
+
+    def test_modeled_seconds_bound(self):
+        ctl = AdmissionController(
+            OverloadConfig(max_queued=100, max_queued_seconds=1.0)
+        )
+        ctl.admit(0.8)
+        with pytest.raises(AdmissionError) as exc:
+            ctl.admit(0.3)
+        assert exc.value.reason == "queue_seconds"
+        ctl.admit(0.1)  # still fits
+
+    def test_rate_limit_per_client(self):
+        clock = FakeClock()
+        ctl = AdmissionController(
+            OverloadConfig(client_rate=1.0, client_burst=2.0), clock=clock
+        )
+        ctl.admit(0.0, client="a")
+        ctl.admit(0.0, client="a")
+        with pytest.raises(AdmissionError) as exc:
+            ctl.admit(0.0, client="a")
+        assert exc.value.reason == "rate_limited"
+        ctl.admit(0.0, client="b")  # buckets are per client
+        clock.advance(1.0)
+        ctl.admit(0.0, client="a")  # refilled
+
+    def test_hysteresis_bands(self):
+        cfg = OverloadConfig(
+            max_queued=10,
+            brownout_high=0.60, brownout_low=0.30,
+            shed_high=0.90, shed_low=0.50,
+        )
+        ctl = AdmissionController(cfg)
+        for _ in range(6):  # pressure 0.6 → brownout arms
+            ctl.admit(0.0)
+        assert ctl.brownout_active and not ctl.shedding_active
+        for _ in range(3):  # pressure 0.9 → shedding arms
+            ctl.admit(0.0)
+        assert ctl.shedding_active
+        with pytest.raises(AdmissionError) as exc:
+            ctl.admit(0.0)
+        assert exc.value.reason == "overloaded"
+        for _ in range(4):  # pressure 0.5 → shed re-arms (low watermark)
+            ctl.release(0.0)
+        assert not ctl.shedding_active
+        assert ctl.brownout_active  # still above its own low watermark
+        for _ in range(3):  # pressure 0.2 < 0.3 → brownout recovers
+            ctl.release(0.0)
+        assert not ctl.brownout_active
+        # no flapping: 0.4 is inside both bands → neither re-arms
+        for _ in range(2):
+            ctl.admit(0.0)
+        assert not ctl.brownout_active and not ctl.shedding_active
+
+    def test_readmit_never_rejects(self):
+        ctl = AdmissionController(OverloadConfig(max_queued=1))
+        ctl.admit(0.5)
+        ctl.readmit(0.5)  # retry putback: over the bound, still accepted
+        assert ctl.queued_count == 2
+        assert ctl.queued_seconds == pytest.approx(1.0)
+
+    def test_retry_after_tracks_queue_depth(self):
+        cfg = OverloadConfig(retry_after_floor=0.05, retry_after_cap=2.0)
+        ctl = AdmissionController(cfg)
+        assert ctl.retry_after() == pytest.approx(0.05)  # empty → floor
+        ctl.observe_drain(1, 1.0)  # ~0.7s per query after one EWMA step
+        for _ in range(5):
+            ctl.admit(0.0)
+        assert 0.05 < ctl.retry_after() <= 2.0
+        for _ in range(1000):
+            ctl.readmit(0.0)
+        assert ctl.retry_after() == pytest.approx(2.0)  # clamped at cap
+
+    def test_snapshot_shape(self):
+        ctl = AdmissionController(OverloadConfig())
+        ctl.admit(0.25)
+        snap = ctl.snapshot()
+        assert snap["queued_count"] == 1
+        assert snap["queued_seconds"] == pytest.approx(0.25)
+        assert snap["peak_queued"] == 1
+        assert 0 <= snap["pressure"] <= 1
+        assert snap["brownout"] is False and snap["shedding"] is False
+
+
+# ---------------------------------------------------------------------------
+# circuit breaker
+# ---------------------------------------------------------------------------
+
+
+class TestBreaker:
+    def test_opens_after_threshold_consecutive_failures(self):
+        clock = FakeClock()
+        brk = CircuitBreaker(threshold=3, reset_timeout=5.0, clock=clock)
+        brk.record_failure()
+        brk.record_failure()
+        brk.record_success()  # success resets the consecutive count
+        for _ in range(2):
+            brk.record_failure()
+        assert brk.state is BreakerState.CLOSED
+        brk.record_failure()
+        assert brk.state is BreakerState.OPEN
+        assert not brk.allow()
+        assert brk.retry_after() == pytest.approx(5.0)
+
+    def test_half_open_single_probe_then_close(self):
+        clock = FakeClock()
+        brk = CircuitBreaker(threshold=1, reset_timeout=5.0, clock=clock)
+        brk.record_failure()
+        assert not brk.allow()
+        clock.advance(5.0)
+        assert brk.allow()  # the probe
+        assert brk.state is BreakerState.HALF_OPEN
+        assert not brk.allow()  # exactly one probe at a time
+        brk.record_success()
+        assert brk.state is BreakerState.CLOSED
+        assert brk.allow()
+
+    def test_probe_failure_reopens(self):
+        clock = FakeClock()
+        brk = CircuitBreaker(threshold=1, reset_timeout=5.0, clock=clock)
+        brk.record_failure()
+        clock.advance(5.0)
+        assert brk.allow()
+        brk.record_failure()
+        assert brk.state is BreakerState.OPEN
+        assert brk.opened_total == 2
+        assert not brk.allow()
+
+
+# ---------------------------------------------------------------------------
+# cost estimator
+# ---------------------------------------------------------------------------
+
+
+class TestEstimator:
+    def test_baseline_scales_with_units(self, graph):
+        from repro.machine.machine import Machine
+
+        est = CostEstimator(Machine(4), graph)
+        one = est.estimate("bc_source", {"source": 0})
+        assert one > 0
+        assert est.estimate("bc", {}) == pytest.approx(one * graph.n)
+        assert est.estimate("approx_bc", {"samples": 5, "seed": 0}) == (
+            pytest.approx(one * 5)
+        )
+
+    def test_observe_corrects_the_estimate(self, graph):
+        from repro.machine.machine import Machine
+
+        est = CostEstimator(Machine(4), graph, smoothing=0.5)
+        baseline = est.estimate("bc_source", {"source": 0})
+        est.observe("bc_source", units=1.0, modeled_seconds=baseline * 10)
+        first = est.estimate("bc_source", {"source": 0})
+        assert first == pytest.approx(baseline * 10)  # first sample adopted
+        est.observe("bc_source", units=1.0, modeled_seconds=baseline * 10)
+        assert est.estimate("bc_source", {"source": 0}) == pytest.approx(
+            baseline * 10
+        )
+
+    def test_rebind_resets_learned_rates(self, graph):
+        from repro.machine.machine import Machine
+
+        est = CostEstimator(Machine(4), graph)
+        baseline = est.estimate("bc_source", {"source": 0})
+        est.observe("bc_source", units=1.0, modeled_seconds=baseline * 100)
+        est.rebind(graph)
+        assert est.estimate("bc_source", {"source": 0}) == pytest.approx(baseline)
+
+
+# ---------------------------------------------------------------------------
+# service integration: shed / brownout / stale / infeasible
+# ---------------------------------------------------------------------------
+
+
+class TestServiceOverload:
+    def test_queue_bound_sheds_and_recovers(self, graph):
+        cfg = OverloadConfig(max_queued=2, shed_high=0.9, shed_low=0.4)
+        with _service(graph, overload=cfg, batch_window=0.0) as svc:
+            with svc._exec_lock:  # park the dispatcher so the queue fills
+                ids = [svc.submit("bc_source", source=i) for i in range(2)]
+                with pytest.raises(AdmissionError) as exc:
+                    svc.submit("bc_source", source=5)
+                assert exc.value.reason in ("overloaded", "queue_full")
+                assert svc.health()["state"] == "overloaded"
+                assert svc.stats()["shed"] == 1
+            for qid in ids:
+                svc.result(qid, timeout=60.0)
+            assert svc.health()["state"] in ("ok", "degraded")
+            svc.submit("bc_source", source=6)  # admitting again
+
+    def test_brownout_downgrades_bc_and_marks_degraded(self, graph):
+        with _service(graph) as svc:
+            svc.admission.brownout_active = True
+            qid = svc.submit("bc")
+            degraded = svc.result(qid, timeout=60.0)
+            status = svc.poll(qid)
+            svc.admission.brownout_active = False
+            exact = svc.result(svc.submit("bc"), timeout=60.0)
+        assert status["degraded"] is True
+        assert status["requested_algorithm"] == "bc"
+        assert status["algorithm"] == "approx_bc"
+        assert not np.array_equal(degraded, exact)
+
+    def test_brownout_answers_cache_under_approx_key(self, graph):
+        cfg = OverloadConfig(brownout_samples=6, brownout_seed=3)
+        with _service(graph, overload=cfg) as svc:
+            svc.admission.brownout_active = True
+            a = svc.result(svc.submit("bc"), timeout=60.0)
+            b = svc.result(
+                svc.submit("approx_bc", samples=6, seed=3), timeout=60.0
+            )
+            svc.admission.brownout_active = False
+            exact = svc.result(svc.submit("bc"), timeout=60.0)
+        assert np.array_equal(a, b)  # degraded bc == the approx key it used
+        assert not np.array_equal(exact, a)  # exact bc never polluted
+
+    def test_brownout_serves_stale_generation(self, graph):
+        other = uniform_random_graph_nm(36, 4.0, seed=8)
+        with _service(graph, overload=OverloadConfig(stale_depth=1)) as svc:
+            old = svc.result(svc.submit("bc_source", source=1), timeout=60.0)
+            svc.update_graph(other)
+            svc.admission.brownout_active = True
+            qid = svc.submit("bc_source", source=1)
+            stale = svc.result(qid, timeout=60.0)
+            status = svc.poll(qid)
+            svc.admission.brownout_active = False
+            fresh = svc.result(svc.submit("bc_source", source=1), timeout=60.0)
+        assert np.array_equal(stale, old)  # version-0 answer served
+        assert status["degraded"] is True
+        assert status["stale_version"] == 0
+        assert status["cache_hit"] is True
+        assert not np.array_equal(fresh, stale)
+
+    def test_infeasible_deadline_expires_at_submit(self, graph):
+        with _service(graph) as svc:
+            before = svc.stats()["batches"]
+            qid = svc.submit("bc", deadline=1e-15)
+            status = svc.poll(qid)
+            with pytest.raises(QueryError, match="expired"):
+                svc.result(qid, timeout=5.0)
+            stats = svc.stats()
+        assert status["state"] == "expired"
+        assert "infeasible" in status["error"]
+        assert stats["infeasible"] == 1
+        assert stats["batches"] == before  # never burned a sweep
+
+    def test_rate_limited_client_sheds(self, graph):
+        cfg = OverloadConfig(client_rate=0.001, client_burst=1.0)
+        with _service(graph, overload=cfg) as svc:
+            svc.submit("bc_source", source=1, client="alice")
+            with pytest.raises(AdmissionError) as exc:
+                svc.submit("bc_source", source=2, client="alice")
+            assert exc.value.reason == "rate_limited"
+            svc.submit("bc_source", source=2, client="bob")  # unaffected
+
+
+# ---------------------------------------------------------------------------
+# service integration: circuit breaker
+# ---------------------------------------------------------------------------
+
+
+class TestServiceBreaker:
+    def test_open_circuit_sheds_submissions(self, graph):
+        cfg = OverloadConfig(breaker_threshold=1, breaker_reset=60.0)
+        with _service(graph, overload=cfg) as svc:
+            svc.breaker.record_failure()
+            with pytest.raises(CircuitOpen) as exc:
+                svc.submit("bc_source", source=1)
+            assert exc.value.reason == "circuit_open"
+            assert exc.value.retry_after > 0
+            assert svc.health()["state"] == "degraded"
+
+    def test_queued_batch_fails_fast_when_circuit_opens(self, graph):
+        cfg = OverloadConfig(breaker_threshold=1, breaker_reset=60.0)
+        with _service(graph, overload=cfg, batch_window=0.0) as svc:
+            with svc._exec_lock:
+                qid = svc.submit("bc_source", source=1)
+                svc.breaker.record_failure()  # opens while the query queues
+            with pytest.raises(QueryError, match="circuit open"):
+                svc.result(qid, timeout=30.0)
+            stats = svc.stats()
+        assert stats["breaker_fastfail"] == 1
+        assert stats["failed"] == 1
+
+    def test_storm_opens_circuit_then_probe_recovers(self, graph):
+        # exhaust retries on every batch: each fault-ladder entry records a
+        # failure; threshold 2 opens after the second failed attempt
+        clock = FakeClock()
+        cfg = OverloadConfig(breaker_threshold=2, breaker_reset=5.0)
+        with _service(
+            graph,
+            overload=cfg,
+            retries=1,
+            faults="seed:1,crash:1.0,limit:2",
+            elastic="off",
+            batch_window=0.0,
+        ) as svc:
+            svc.breaker._clock = clock
+            with pytest.raises(QueryError):
+                svc.result(svc.submit("bc_source", source=1), timeout=60.0)
+            assert svc.breaker.state is BreakerState.OPEN
+            # fault plan exhausted (limit:2) → the probe batch will succeed
+            clock.advance(5.0)
+            out = svc.result(svc.submit("bc_source", source=2), timeout=60.0)
+            assert svc.breaker.state is BreakerState.CLOSED
+        assert np.array_equal(out, _reference_row(graph, 2))
+
+
+# ---------------------------------------------------------------------------
+# service integration: watchdog, drain, health over HTTP
+# ---------------------------------------------------------------------------
+
+
+class TestSupervision:
+    # the first two tests kill the dispatcher on purpose; the escaping
+    # synthetic exception is the mechanism, not a leak
+    @pytest.mark.filterwarnings(
+        "ignore::pytest.PytestUnhandledThreadExceptionWarning"
+    )
+    def test_watchdog_restarts_dead_dispatcher(self, graph):
+        cfg = OverloadConfig(watchdog_interval=0.05)
+        with _service(graph, overload=cfg, batch_window=0.0) as svc:
+            real_take = svc.coalescer.take
+            tripped = threading.Event()
+
+            def bomb(timeout=None):
+                if not tripped.is_set():
+                    tripped.set()
+                    raise RuntimeError("synthetic dispatcher death")
+                return real_take(timeout)
+
+            svc.coalescer.take = bomb
+            deadline = time.monotonic() + 10.0
+            while not tripped.is_set() and time.monotonic() < deadline:
+                time.sleep(0.01)
+            while (
+                svc.stats()["dispatcher_restarts"] < 1
+                and time.monotonic() < deadline
+            ):
+                time.sleep(0.02)
+            assert svc.stats()["dispatcher_restarts"] >= 1
+            # the revived dispatcher still serves correct answers
+            out = svc.result(svc.submit("bc_source", source=3), timeout=60.0)
+            assert svc.health()["dispatcher_alive"]
+        assert np.array_equal(out, _reference_row(graph, 3))
+
+    @pytest.mark.filterwarnings(
+        "ignore::pytest.PytestUnhandledThreadExceptionWarning"
+    )
+    def test_dead_dispatcher_reports_dead_without_watchdog(self, graph):
+        # a huge watchdog interval means no revival: health must say so
+        cfg = OverloadConfig(watchdog_interval=3600.0)
+        svc = _service(graph, overload=cfg, batch_window=0.0)
+        try:
+            def bomb(timeout=None):
+                raise RuntimeError("synthetic dispatcher death")
+
+            svc.coalescer.take = bomb
+            deadline = time.monotonic() + 10.0
+            while svc._dispatcher.is_alive() and time.monotonic() < deadline:
+                time.sleep(0.01)
+            health = svc.health()
+            assert health["state"] == "dead"
+            assert health["live"] is False
+        finally:
+            del svc.coalescer.take  # restore for a clean close
+            svc.close(drain_timeout=1.0)
+
+    def test_drain_finishes_queued_work(self, graph):
+        with _service(graph, batch_window=0.0) as svc:
+            ids = [svc.submit("bc_source", source=i) for i in range(4)]
+            svc.close(drain_timeout=30.0)
+            for qid in ids:
+                assert svc.poll(qid)["state"] == "done"
+
+    def test_drain_timeout_abandons_leftovers(self, graph):
+        # a long linger window parks the batch in the coalescer, so a short
+        # drain timeout must abandon it with a structured cancel
+        svc = _service(graph, batch_window=30.0)
+        qid = svc.submit("bc_source", source=1)
+        t0 = time.monotonic()
+        svc.close(drain_timeout=0.3)
+        assert time.monotonic() - t0 < 10.0
+        status = svc.poll(qid)
+        assert status["state"] == "cancelled"
+        assert "drain" in status["error"]
+        assert svc.admission.snapshot()["queued_count"] == 0
+
+    def test_submit_while_draining_is_shed(self, graph):
+        svc = _service(graph, batch_window=0.0)
+        svc._draining = True
+        try:
+            with pytest.raises(AdmissionError) as exc:
+                svc.submit("bc_source", source=1)
+            assert exc.value.reason == "draining"
+            assert svc.health()["state"] == "draining"
+        finally:
+            svc._draining = False
+            svc.close()
+
+    def test_healthz_503_when_not_live_and_shed_503_with_retry_after(self, graph):
+        from repro.serve.http import serve_http
+
+        cfg = OverloadConfig(max_queued=1, shed_high=0.9, shed_low=0.4)
+        svc = _service(graph, overload=cfg, batch_window=0.0)
+        server = serve_http(svc, port=0)
+        server.start_background()
+        base = server.address
+        try:
+            with urllib.request.urlopen(base + "/v1/healthz", timeout=10) as resp:
+                assert resp.status == 200
+            with svc._exec_lock:
+                svc.submit("bc_source", source=1)  # queue full → shedding
+                req = urllib.request.Request(
+                    base + "/v1/query",
+                    data=b'{"algorithm": "bc_source", "source": 2}',
+                    headers={"Content-Type": "application/json"},
+                    method="POST",
+                )
+                with pytest.raises(urllib.error.HTTPError) as exc:
+                    urllib.request.urlopen(req, timeout=10)
+                assert exc.value.code == 503
+                assert float(exc.value.headers["Retry-After"]) > 0
+                with pytest.raises(urllib.error.HTTPError) as hexc:
+                    urllib.request.urlopen(base + "/v1/healthz", timeout=10)
+                assert hexc.value.code == 503
+        finally:
+            server.shutdown()
+            svc.close()
+
+
+# ---------------------------------------------------------------------------
+# satellite: update_graph racing in-flight queries; cancel mid-batch
+# ---------------------------------------------------------------------------
+
+
+class TestRaces:
+    def test_update_graph_racing_inflight_queries(self, graph):
+        """Every answer matches the reference for the version it reports."""
+        other = uniform_random_graph_nm(36, 4.0, seed=9)
+        graphs = {0: graph, 1: other}
+        with _service(graph, batch_window=0.01, max_batch=4) as svc:
+            ids = []
+            swapped = threading.Event()
+
+            def swap():
+                time.sleep(0.05)  # mid-stream
+                svc.update_graph(other)
+                swapped.set()
+
+            t = threading.Thread(target=swap)
+            t.start()
+            for i in range(18):
+                ids.append(svc.submit("bc_source", source=i % graph.n))
+                time.sleep(0.01)
+            t.join()
+            assert swapped.is_set()
+            seen_versions = set()
+            for qid in ids:
+                svc.result(qid, timeout=60.0)
+                status = svc.poll(qid)
+                v = status["graph_version"]
+                seen_versions.add(v)
+                expected = _reference_row(graphs[v], status["params"]["source"])
+                assert np.array_equal(status["result"], expected)
+        # the stream actually straddled the swap
+        assert seen_versions == {0, 1}
+
+    def test_cancel_mid_batch_releases_admission_once(self, graph):
+        with _service(graph, batch_window=0.0) as svc:
+            with svc._exec_lock:
+                qid = svc.submit("bc_source", source=1)
+                # wait for the dispatcher to claim the batch (queue empties)
+                deadline = time.monotonic() + 10.0
+                while len(svc.coalescer) and time.monotonic() < deadline:
+                    time.sleep(0.005)
+                assert len(svc.coalescer) == 0
+                # cancel lands after take() but before execution
+                assert svc.cancel(qid) is True
+            with pytest.raises(QueryError, match="cancelled"):
+                svc.result(qid, timeout=30.0)
+            deadline = time.monotonic() + 10.0
+            while svc._inflight and time.monotonic() < deadline:
+                time.sleep(0.005)
+            snap = svc.admission.snapshot()
+        assert snap["queued_count"] == 0  # released exactly once, not twice
+        assert snap["queued_seconds"] == pytest.approx(0.0)
+
+    def test_cancel_racing_batch_never_double_releases(self, graph):
+        # hammer submit/cancel against a live dispatcher: accounting must
+        # land at zero with no negative excursions baked into the snapshot
+        with _service(graph, batch_window=0.005) as svc:
+            ids = [svc.submit("bc_source", source=i % graph.n) for i in range(12)]
+            for qid in ids[::2]:
+                svc.cancel(qid)
+            for qid in ids:
+                q = svc._get(qid)
+                q.done.wait(60.0)
+            deadline = time.monotonic() + 10.0
+            while (
+                len(svc.coalescer) or svc._inflight
+            ) and time.monotonic() < deadline:
+                time.sleep(0.01)
+            snap = svc.admission.snapshot()
+            stats = svc.stats()
+        assert snap["queued_count"] == 0
+        assert snap["queued_seconds"] == pytest.approx(0.0, abs=1e-12)
+        assert stats["completed"] + stats["cancelled"] == 12
+
+
+# ---------------------------------------------------------------------------
+# obs counters surfaced by `repro trace`
+# ---------------------------------------------------------------------------
+
+
+class TestOverloadReport:
+    def test_overload_events_render_in_report(self, graph):
+        from repro import obs
+        from repro.analysis.report import (
+            format_overload_report,
+            overload_attribution,
+        )
+
+        cfg = OverloadConfig(max_queued=1, shed_high=0.9, shed_low=0.4)
+        session = obs.enable()
+        try:
+            with _service(graph, overload=cfg, batch_window=0.0) as svc:
+                with svc._exec_lock:
+                    qid = svc.submit("bc_source", source=0)
+                    with pytest.raises(AdmissionError):
+                        svc.submit("bc_source", source=1)
+                svc.result(qid, timeout=60.0)
+                svc.admission.brownout_active = True
+                svc.result(svc.submit("bc"), timeout=60.0)
+                svc.admission.brownout_active = False
+        finally:
+            obs.disable()
+        rows = overload_attribution(session.metrics)
+        events = {r["event"] for r in rows}
+        assert "shed" in events and "degraded" in events
+        text = format_overload_report(session.metrics)
+        assert "serve.overload" in text and "shed" in text
+
+    def test_empty_metrics_render_empty(self):
+        from repro.analysis.report import format_overload_report
+        from repro.obs.metrics import Metrics
+
+        assert format_overload_report(Metrics()) == ""
+
+
+# ---------------------------------------------------------------------------
+# satellite: decorrelated jitter in the mfbc retry backoff
+# ---------------------------------------------------------------------------
+
+
+class TestRetryJitter:
+    def _flaky_machine_run(self, graph, monkeypatch, fail_times, **kw):
+        import sys
+
+        from repro.dist.engine import DistributedEngine
+        from repro.machine.machine import Machine
+
+        mfbc_mod = sys.modules["repro.core.mfbc"]
+        real_mfbf = mfbc_mod.mfbf
+        calls = {"n": 0}
+
+        def flaky(*args, **kwargs):
+            calls["n"] += 1
+            if calls["n"] <= fail_times:
+                from repro.faults.plan import RankFailure
+
+                raise RankFailure(0, 0, "mfbf")
+            return real_mfbf(*args, **kwargs)
+
+        monkeypatch.setattr(mfbc_mod, "mfbf", flaky)
+        m = Machine(4, faults="off", elastic="off")
+        mfbc_mod.mfbc(
+            graph,
+            batch_size=graph.n,
+            engine=DistributedEngine(m),
+            max_batches=1,
+            **kw,
+        )
+        return m.ledger.critical_time()
+
+    def test_jittered_backoff_is_deterministic(self, graph, monkeypatch):
+        a = self._flaky_machine_run(
+            graph, monkeypatch, 2, retries=3, retry_backoff=1.0, retry_jitter_seed=7
+        )
+        b = self._flaky_machine_run(
+            graph, monkeypatch, 2, retries=3, retry_backoff=1.0, retry_jitter_seed=7
+        )
+        assert a == b
+
+    def test_different_seeds_decorrelate(self, graph, monkeypatch):
+        a = self._flaky_machine_run(
+            graph, monkeypatch, 2, retries=3, retry_backoff=1.0, retry_jitter_seed=1
+        )
+        b = self._flaky_machine_run(
+            graph, monkeypatch, 2, retries=3, retry_backoff=1.0, retry_jitter_seed=2
+        )
+        assert a != b
+
+    def test_none_restores_legacy_exponential(self, graph, monkeypatch):
+        charged = self._flaky_machine_run(
+            graph,
+            monkeypatch,
+            2,
+            retries=3,
+            retry_backoff=1.0,
+            retry_jitter_seed=None,
+        )
+        baseline = self._flaky_machine_run(
+            graph, monkeypatch, 0, retries=3, retry_backoff=1.0
+        )
+        # two legacy rungs: 1.0·2⁰ + 1.0·2¹ = 3.0 modeled seconds
+        assert charged - baseline == pytest.approx(3.0)
+
+    def test_jitter_stays_within_ladder_bounds(self, graph, monkeypatch):
+        charged = self._flaky_machine_run(
+            graph, monkeypatch, 2, retries=3, retry_backoff=1.0, retry_jitter_seed=5
+        )
+        baseline = self._flaky_machine_run(
+            graph, monkeypatch, 0, retries=3, retry_backoff=1.0
+        )
+        extra = charged - baseline
+        # each of the two sleeps is in [base, base·2^(retries-1)] = [1, 4]
+        assert 2.0 <= extra <= 8.0

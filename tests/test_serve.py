@@ -292,6 +292,10 @@ class TestServiceCache:
             assert version == 1
             res_new = svc.result(svc.submit("bc_source", source=1), timeout=60.0)
             status = svc.poll(svc.submit("bc_source", source=1))
+            # the default overload config retains stale_depth=1 generation
+            # for brownout stale serving; a second swap purges version 0
+            assert svc.cache.invalidated == 0
+            svc.update_graph(graph)
             assert svc.cache.invalidated >= 1
         assert not np.array_equal(res_old, res_new)
         assert np.array_equal(res_new, _reference_row(other, 1))
