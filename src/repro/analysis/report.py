@@ -14,6 +14,8 @@ __all__ = [
     "format_cache_report",
     "overload_attribution",
     "format_overload_report",
+    "approx_attribution",
+    "format_approx_report",
 ]
 
 
@@ -192,6 +194,63 @@ def format_overload_report(metrics) -> str:
         [[r["event"], r["label"], r["count"]] for r in rows],
     )
     return "overload events (serve.overload.*):\n" + table
+
+
+def approx_attribution(metrics) -> list[dict]:
+    """Per-algorithm adaptive-sampling totals from a metrics registry.
+
+    Reads the ``approx.*`` counter/gauge families the adaptive sampler
+    emits (see :func:`repro.core.approx.adaptive_bc`): batches executed,
+    samples drawn, the last certified confidence width, and how many runs
+    converged versus hit their sample cap.  One row per algorithm label;
+    empty when no sampling ran under an active obs session.
+    """
+    algorithms: set[str] = set()
+    for name in ("approx.batches", "approx.samples", "approx.runs"):
+        for labels in metrics.series(name):
+            algorithms.add(dict(labels).get("algorithm", ""))
+    rows = []
+    for alg in sorted(algorithms):
+        converged = metrics.get_count("approx.runs", algorithm=alg, converged="true")
+        capped = metrics.get_count("approx.runs", algorithm=alg, converged="false")
+        rows.append(
+            {
+                "algorithm": alg,
+                "runs": int(converged + capped),
+                "converged": int(converged),
+                "batches": int(metrics.get_count("approx.batches", algorithm=alg)),
+                "samples": int(metrics.get_count("approx.samples", algorithm=alg)),
+                "last_width": metrics.get_gauge("approx.width", algorithm=alg),
+            }
+        )
+    return rows
+
+
+def format_approx_report(metrics) -> str:
+    """Render :func:`approx_attribution` as an aligned text table.
+
+    Returns the empty string when the registry holds no sampling events,
+    so callers can print it unconditionally (mirrors
+    :func:`format_cache_report`).
+    """
+    rows = approx_attribution(metrics)
+    if not rows:
+        return ""
+    table = format_table(
+        ["algorithm", "runs", "converged", "batches", "samples", "last width"],
+        [
+            [
+                r["algorithm"],
+                r["runs"],
+                r["converged"],
+                r["batches"],
+                r["samples"],
+                "-" if r["last_width"] is None else r["last_width"],
+            ]
+            for r in rows
+        ],
+    )
+    return "adaptive sampling (approx.*):\n" + table
 
 
 def format_trace_report(tracer, ledger) -> str:

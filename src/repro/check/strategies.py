@@ -51,6 +51,8 @@ __all__ = [
     "survivor_sets",
     "matmul_specs",
     "pipelines",
+    "sampler_states",
+    "epsilon_delta_params",
 ]
 
 #: the single-field tropical weight monoid most tests operate over.
@@ -272,6 +274,58 @@ def survivor_sets(
         )
     )
     return p, tuple(sorted(dead))
+
+
+@st.composite
+def epsilon_delta_params(draw) -> tuple[float, float]:
+    """An ``(epsilon, delta)`` accuracy target for the adaptive sampler.
+
+    Drawn from the practically relevant ranges (ε in [0.01, 1], δ in
+    (0, 0.5]); both are finite and positive, so
+    :func:`repro.core.approx.validate_epsilon_delta` always accepts them.
+    """
+    epsilon = draw(
+        st.floats(0.01, 1.0, allow_nan=False, allow_infinity=False)
+    )
+    delta = draw(
+        st.floats(0.001, 0.5, allow_nan=False, allow_infinity=False)
+    )
+    return float(epsilon), float(delta)
+
+
+@st.composite
+def sampler_states(
+    draw,
+    max_n: int = 10,
+    max_shards: int = 4,
+    max_samples: int = 12,
+) -> "SamplerState":
+    """A populated adaptive-sampler state (running sums over shards).
+
+    Vertex values are small dyadic rationals (multiples of 1/4), so sums
+    and sums-of-squares are exact in binary floating point — merge-order
+    and serialization round-trip properties can assert bit identity.
+    The state may be empty (zero samples folded in).
+    """
+    from repro.core.approx import SamplerState
+
+    n = draw(st.integers(3, max_n))
+    shards = draw(st.integers(1, max_shards))
+    k = draw(st.integers(0, max_samples))
+    rows = np.array(
+        draw(
+            st.lists(
+                st.lists(st.integers(0, 8), min_size=n, max_size=n),
+                min_size=k,
+                max_size=k,
+            )
+        ),
+        dtype=np.float64,
+    ).reshape(k, n) / 4.0
+    start = draw(st.integers(0, 64))
+    state = SamplerState.empty(n, shards)
+    state.update(rows, start)
+    return state
 
 
 def matmul_specs() -> st.SearchStrategy[MatMulSpec]:

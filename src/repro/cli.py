@@ -14,6 +14,7 @@ Examples
     python -m repro generate rmat --scale 10 --degree 8 -o g.txt
     python -m repro bc g.txt --top 10
     python -m repro bc g.txt --samples 128 --seed 0
+    python -m repro bc g.txt --epsilon 0.05 --delta 0.1
     python -m repro simulate g.txt --p 16 --policy auto --batch 64
     python -m repro simulate g.txt --p 16 --executor thread
     python -m repro simulate g.txt --p 16 --faults seed:3,crash:0.05,limit:2 \\
@@ -53,6 +54,26 @@ def build_parser() -> argparse.ArgumentParser:
     p_bc.add_argument("--batch", type=int, default=None, help="batch size nb")
     p_bc.add_argument(
         "--samples", type=int, default=None, help="sampled sources (approximate BC)"
+    )
+    p_bc.add_argument(
+        "--epsilon",
+        type=float,
+        default=None,
+        help="adaptive sampling: absolute error target on normalized BC; "
+        "samples until the empirical-Bernstein bound certifies it",
+    )
+    p_bc.add_argument(
+        "--delta",
+        type=float,
+        default=0.1,
+        metavar="DELTA",
+        help="adaptive sampling: failure probability for the (ε, δ) bound",
+    )
+    p_bc.add_argument(
+        "--max-samples",
+        type=int,
+        default=None,
+        help="adaptive sampling: hard cap on drawn sources",
     )
     p_bc.add_argument("--seed", type=int, default=0)
     p_bc.add_argument("--top", type=int, default=10, help="print this many vertices")
@@ -316,6 +337,25 @@ def build_parser() -> argparse.ArgumentParser:
         help="per-client burst capacity",
     )
     p_srv.add_argument(
+        "--brownout-algorithm",
+        choices=["approx_bc", "adaptive_bc"],
+        default="approx_bc",
+        help="what exact bc degrades to under brownout: fixed-pivot "
+        "sampling or the (ε, δ)-bounded adaptive sampler",
+    )
+    p_srv.add_argument(
+        "--brownout-epsilon",
+        type=float,
+        default=0.1,
+        help="error target when brownout downgrades to adaptive_bc",
+    )
+    p_srv.add_argument(
+        "--brownout-delta",
+        type=float,
+        default=0.1,
+        help="failure probability when brownout downgrades to adaptive_bc",
+    )
+    p_srv.add_argument(
         "--drain-timeout",
         type=float,
         default=10.0,
@@ -373,13 +413,34 @@ def _checkpoint_kwargs(path: str | None) -> dict:
 
 
 def _cmd_bc(args) -> int:
-    from repro.core import SequentialEngine, approximate_bc, mfbc
+    from repro.core import SequentialEngine, adaptive_bc, approximate_bc, mfbc
 
     g = _load(args.graph, args.directed)
     engine = (
         SequentialEngine(kernel=args.kernel) if args.kernel is not None else None
     )
-    if args.samples is not None:
+    if args.epsilon is not None:
+        if args.samples is not None:
+            print("error: --samples and --epsilon are mutually exclusive")
+            return 2
+        res = adaptive_bc(
+            g,
+            epsilon=args.epsilon,
+            delta=args.delta,
+            seed=args.seed,
+            batch_size=args.batch,
+            max_samples=args.max_samples,
+            engine=engine,
+            **_checkpoint_kwargs(args.checkpoint),
+        )
+        scores = res.scores
+        verdict = "converged" if res.converged else "hit sample cap"
+        print(
+            f"adaptive BC (ε={res.epsilon:g}, δ={res.delta:g}): {verdict} after "
+            f"{res.samples_used} samples in {res.batches} batches "
+            f"(final width {res.width:.4g}, {res.elapsed_seconds:.2f}s)"
+        )
+    elif args.samples is not None:
         scores = approximate_bc(
             g, args.samples, seed=args.seed, batch_size=args.batch, engine=engine
         )
@@ -511,6 +572,7 @@ def _print_check_summary(engine) -> None:
 def _cmd_trace(args) -> int:
     from repro import obs
     from repro.analysis.report import (
+        format_approx_report,
         format_cache_report,
         format_overload_report,
         format_trace_report,
@@ -579,6 +641,10 @@ def _cmd_trace(args) -> int:
     if overload_table:
         print()
         print(overload_table)
+    approx_table = format_approx_report(session.metrics)
+    if approx_table:
+        print()
+        print(approx_table)
     _print_recovery_summary(machine)
     _print_check_summary(engine)
     rec = obs.reconcile(session.tracer, machine.ledger)
@@ -612,6 +678,9 @@ def _cmd_serve(args) -> int:
         max_queued_seconds=args.max_queued_seconds,
         client_rate=args.rate_limit,
         client_burst=args.rate_burst,
+        brownout_algorithm=args.brownout_algorithm,
+        brownout_epsilon=args.brownout_epsilon,
+        brownout_delta=args.brownout_delta,
     )
     service = BCService(
         g,

@@ -13,7 +13,14 @@
   machine.
 """
 
-from repro.core.approx import AdaptiveEstimate, adaptive_vertex_bc, approximate_bc
+from repro.core.approx import (
+    AdaptiveBCResult,
+    AdaptiveEstimate,
+    SamplerState,
+    adaptive_bc,
+    adaptive_vertex_bc,
+    approximate_bc,
+)
 from repro.core.ca_mfbc import ca_engine, ca_mfbc
 from repro.core.edge_bc import EdgeBCResult, edge_betweenness_centrality
 from repro.core.engine import Engine, SequentialEngine
@@ -35,8 +42,11 @@ __all__ = [
     "BatchStats",
     "IterationStats",
     "approximate_bc",
+    "adaptive_bc",
     "adaptive_vertex_bc",
+    "AdaptiveBCResult",
     "AdaptiveEstimate",
+    "SamplerState",
     "ca_mfbc",
     "ca_engine",
     "edge_betweenness_centrality",

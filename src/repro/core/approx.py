@@ -2,32 +2,154 @@
 
 The paper cites Bader, Kintali, Madduri & Mihail [4] for approximating BC;
 production deployments virtually always sample sources because exact BC is
-Θ(n) SSSP sweeps.  Two estimators are provided:
+Θ(n) SSSP sweeps.  Three estimators are provided:
 
-* :func:`approximate_bc` — the uniform estimator: run MFBC from ``k``
-  sampled sources and scale by ``n/k`` (unbiased for every vertex, error
-  ~ O(n/√k) in dependency mass);
+* :func:`approximate_bc` — the uniform fixed-pivot estimator: run MFBC from
+  ``k`` sampled sources and scale by ``n/k`` (unbiased for every vertex,
+  error ~ O(n/√k) in dependency mass);
+* :func:`adaptive_bc` — the adaptive (ε, δ) sampler in the style of
+  van der Grinten & Meyerhenke's MPI-based adaptive sampling: draw source
+  batches through the distributed MFBC driver, maintain per-shard running
+  sums and sums-of-squares of the normalized per-source dependencies, and
+  stop as soon as an empirical-Bernstein confidence bound certifies that
+  every vertex's normalized score is within ε with probability ≥ 1 − δ;
 * :func:`adaptive_vertex_bc` — Bader et al.'s adaptive estimator for one
   vertex of interest: sample sources until the accumulated dependency mass
   exceeds ``c·n``, giving a multiplicative guarantee for high-centrality
   vertices with very few samples.
 
-Both run on any engine (sequential or simulated-distributed) since they
-delegate to :func:`repro.core.mfbc.mfbc`.
+All run on any engine (sequential or simulated-distributed) since they
+delegate to :mod:`repro.core.mfbc`.
+
+Estimator and guarantee of :func:`adaptive_bc`
+----------------------------------------------
+
+Draw sources ``s_1, s_2, ...`` i.i.d. uniform (with replacement).  Each
+sample contributes, per vertex ``v``, the normalized dependency
+
+    ``x_i(v) = δ_{s_i}(v) · n / ((n−1)(n−2)) ∈ [0, R]``,  ``R = n/(n−1)``,
+
+whose expectation is exactly the normalized betweenness
+``b(v) = λ(v)/((n−1)(n−2))`` — so the running mean is unbiased after any
+number of samples.  After round ``r`` (``k`` samples total) the driver
+computes the per-vertex empirical-Bernstein half-width
+(Audibert–Munos–Szepesvári)
+
+    ``w(v) = sqrt(2·V_k(v)·L_r / k) + 3·R·L_r / k``,
+
+with ``V_k`` the per-vertex sample variance and the failure budget split
+``L_r = ln(3·n·r(r+1)/δ)`` — a union bound over the ``n`` vertices and the
+round schedule ``δ_r = δ/(r(r+1))`` (``Σ_r δ_r = δ``), so testing the
+stopping condition after *every* batch costs no statistical validity.  The
+run stops when ``max_v w(v) ≤ ε``; at that point
+``P(∃v: |b̂(v) − b(v)| > ε) ≤ δ``.
 """
 
 from __future__ import annotations
 
-from dataclasses import dataclass
+import math
+import time
+from dataclasses import dataclass, field
 
 import numpy as np
 
-from repro.core.engine import Engine
-from repro.core.mfbc import mfbc
+from repro.core.engine import Engine, SequentialEngine
+from repro.core.mfbc import (
+    default_batch_size,
+    mfbc,
+    mfbc_per_source,
+    run_batch_with_recovery,
+)
+from repro.faults.checkpoint import (
+    CheckpointState,
+    CheckpointStore,
+    resolve_checkpoint_store,
+    sources_checksum,
+)
 from repro.graphs.graph import Graph
+from repro.obs import api as obs
 from repro.utils.rng import as_rng
 
-__all__ = ["approximate_bc", "adaptive_vertex_bc", "AdaptiveEstimate"]
+__all__ = [
+    "approximate_bc",
+    "adaptive_bc",
+    "adaptive_vertex_bc",
+    "AdaptiveEstimate",
+    "AdaptiveBCResult",
+    "SamplerState",
+    "bernstein_half_width",
+    "planned_sample_bound",
+    "validate_sample_count",
+    "validate_epsilon_delta",
+    "normalize_seed",
+]
+
+
+# ---------------------------------------------------------------------------
+# shared parameter validation (single source of truth for the library and
+# the serving layer — identical messages everywhere)
+# ---------------------------------------------------------------------------
+
+
+def validate_sample_count(n_samples, n: int, *, name: str = "n_samples") -> int:
+    """Validate a sample-count parameter against an ``n``-vertex graph.
+
+    Accepts anything integral, rejects non-integers and values outside
+    ``[1, n]`` with the same message the core estimators raise — the
+    serving layer funnels through here too, so a bad ``samples=`` query
+    param reads identically to a bad library call.
+    """
+    try:
+        count = int(n_samples)
+    except (TypeError, ValueError):
+        raise ValueError(
+            f"{name} must be an integer, got {n_samples!r}"
+        ) from None
+    if count != n_samples:  # reject 3.5 without rejecting 3.0 / np.int64(3)
+        raise ValueError(f"{name} must be an integer, got {n_samples!r}")
+    if not 1 <= count <= n:
+        raise ValueError(f"{name} must be in [1, n={n}], got {count}")
+    return count
+
+
+def validate_epsilon_delta(epsilon, delta) -> tuple[float, float]:
+    """Validate an (ε, δ) accuracy target: ``ε > 0`` and ``0 < δ < 1``."""
+    epsilon = float(epsilon)
+    delta = float(delta)
+    if not (epsilon > 0.0 and math.isfinite(epsilon)):
+        raise ValueError(f"epsilon must be positive, got {epsilon}")
+    if not 0.0 < delta < 1.0:
+        raise ValueError(f"delta must be in (0, 1), got {delta}")
+    return epsilon, delta
+
+
+def normalize_seed(seed, *, name: str = "seed") -> int:
+    """Normalize a seed to a plain int (``None`` → 0).
+
+    The adaptive driver re-derives its source schedule from
+    ``(seed, batch_index)`` so a checkpointed run can resume bit-identically
+    without persisting generator state — which rules out passing a live
+    ``np.random.Generator`` (its state cannot be re-derived).
+    """
+    if seed is None:
+        return 0
+    if isinstance(seed, np.random.Generator):
+        raise ValueError(
+            f"{name} must be an integer (the source schedule is re-derived "
+            f"from it on checkpoint resume), got a Generator"
+        )
+    try:
+        value = int(seed)
+    except (TypeError, ValueError):
+        raise ValueError(f"{name} must be an integer, got {seed!r}") from None
+    if value != seed:
+        raise ValueError(f"{name} must be an integer, got {seed!r}")
+    return value
+
+
+# ---------------------------------------------------------------------------
+# fixed-pivot estimator
+# ---------------------------------------------------------------------------
 
 
 def approximate_bc(
@@ -43,16 +165,522 @@ def approximate_bc(
     Runs MFBC from ``n_samples`` sources drawn uniformly without replacement
     and scales the partial sums by ``n / n_samples``.
     """
-    if not 1 <= n_samples <= graph.n:
-        raise ValueError(
-            f"n_samples must be in [1, n={graph.n}], got {n_samples}"
-        )
+    n_samples = validate_sample_count(n_samples, graph.n)
     rng = as_rng(seed)
     sources = rng.choice(graph.n, size=n_samples, replace=False)
     result = mfbc(
         graph, batch_size=batch_size, sources=sources, engine=engine
     )
     return result.scores * (graph.n / n_samples)
+
+
+# ---------------------------------------------------------------------------
+# adaptive (ε, δ) sampler
+# ---------------------------------------------------------------------------
+
+
+@dataclass
+class SamplerState:
+    """Per-shard running moments of the normalized dependency samples.
+
+    The adaptive run's mutable statistical state is ``Σ x_i(v)`` and
+    ``Σ x_i(v)²`` per vertex, split across ``shards`` logical shards —
+    shard ``i % shards`` owns sample ``i``, a machine-size-independent
+    assignment, so elastic shrink mid-run never reshuffles which partial a
+    sample lives in.  :meth:`merged` folds the shards in canonical index
+    order, which makes the global moments independent of how the shards
+    were physically distributed; :meth:`merge` combines per-rank partial
+    states and is exactly order-independent whenever the partials occupy
+    disjoint shards (the distributed layout) because adding a zero shard
+    is float-exact.
+    """
+
+    n: int
+    shards: int
+    counts: np.ndarray  # (shards,) samples folded into each shard
+    sums: np.ndarray  # (shards, n) per-shard Σ x_i(v)
+    sumsqs: np.ndarray  # (shards, n) per-shard Σ x_i(v)²
+
+    @classmethod
+    def empty(cls, n: int, shards: int) -> "SamplerState":
+        if shards < 1:
+            raise ValueError(f"shards must be positive, got {shards}")
+        return cls(
+            n=int(n),
+            shards=int(shards),
+            counts=np.zeros(shards, dtype=np.int64),
+            sums=np.zeros((shards, n), dtype=np.float64),
+            sumsqs=np.zeros((shards, n), dtype=np.float64),
+        )
+
+    @property
+    def total_samples(self) -> int:
+        return int(self.counts.sum())
+
+    def update(self, x_rows: np.ndarray, start_index: int) -> None:
+        """Fold a batch of per-sample rows; row ``i`` is global sample
+        ``start_index + i`` and lands in shard ``(start_index + i) % shards``."""
+        x_rows = np.asarray(x_rows, dtype=np.float64)
+        for i, row in enumerate(x_rows):
+            shard = (start_index + i) % self.shards
+            self.counts[shard] += 1
+            self.sums[shard] += row
+            self.sumsqs[shard] += row * row
+
+    def merged(self) -> tuple[int, np.ndarray, np.ndarray]:
+        """Global ``(k, Σx, Σx²)`` via a left fold in shard index order."""
+        total = np.zeros(self.n, dtype=np.float64)
+        totalsq = np.zeros(self.n, dtype=np.float64)
+        for shard in range(self.shards):
+            total += self.sums[shard]
+            totalsq += self.sumsqs[shard]
+        return self.total_samples, total, totalsq
+
+    def mean_and_variance(self) -> tuple[np.ndarray, np.ndarray]:
+        """Per-vertex sample mean and (clipped, k−1 denominator) variance."""
+        k, total, totalsq = self.merged()
+        if k == 0:
+            return np.zeros(self.n), np.zeros(self.n)
+        mean = total / k
+        if k < 2:
+            return mean, np.zeros(self.n)
+        var = np.maximum(totalsq - total * mean, 0.0) / (k - 1)
+        return mean, var
+
+    @classmethod
+    def merge(cls, parts) -> "SamplerState":
+        """Combine per-rank partial states by per-shard addition.
+
+        All partials must agree on ``(n, shards)``.  When the partials
+        occupy disjoint shards (each sample's moments live in exactly one
+        partial — the distributed layout) the result is bit-identical in
+        any merge order, since the only float additions are with zeros.
+        """
+        parts = list(parts)
+        if not parts:
+            raise ValueError("cannot merge zero sampler states")
+        first = parts[0]
+        out = cls.empty(first.n, first.shards)
+        for part in parts:
+            if (part.n, part.shards) != (first.n, first.shards):
+                raise ValueError(
+                    f"cannot merge sampler states with different shapes: "
+                    f"(n={part.n}, shards={part.shards}) vs "
+                    f"(n={first.n}, shards={first.shards})"
+                )
+            out.counts += part.counts
+            out.sums += part.sums
+            out.sumsqs += part.sumsqs
+        return out
+
+    def to_payload(self) -> dict:
+        """JSON-compatible dict; floats round-trip exactly through JSON."""
+        return {
+            "n": int(self.n),
+            "shards": int(self.shards),
+            "counts": [int(c) for c in self.counts],
+            "sums": [[float(x) for x in row] for row in self.sums],
+            "sumsqs": [[float(x) for x in row] for row in self.sumsqs],
+        }
+
+    @classmethod
+    def from_payload(cls, payload: dict) -> "SamplerState":
+        state = cls(
+            n=int(payload["n"]),
+            shards=int(payload["shards"]),
+            counts=np.asarray(payload["counts"], dtype=np.int64),
+            sums=np.asarray(payload["sums"], dtype=np.float64),
+            sumsqs=np.asarray(payload["sumsqs"], dtype=np.float64),
+        )
+        if state.sums.shape != (state.shards, state.n) or state.sumsqs.shape != (
+            state.shards,
+            state.n,
+        ):
+            raise ValueError("sampler payload shape mismatch")
+        return state
+
+
+def planned_sample_bound(n: int, epsilon: float, delta: float) -> int:
+    """A-priori estimate of the samples an adaptive run needs.
+
+    Drops the (usually negligible) variance term of the stopping rule and
+    solves ``3·R·L/k ≤ ε/2`` for ``k``, with one fixed-point pass on the
+    round schedule inside ``L`` — a planning number for admission pricing
+    and benchmark sizing, not a guarantee (the run itself stops on the
+    real empirical-Bernstein bound, and is capped by ``max_samples``).
+    """
+    epsilon, delta = validate_epsilon_delta(epsilon, delta)
+    if n < 3:
+        return 0
+    value_range = n / (n - 1)
+    rounds = 2.0
+    k = 1.0
+    for _ in range(2):
+        log_term = math.log(3.0 * n * rounds * (rounds + 1.0) / delta)
+        k = 6.0 * value_range * log_term / epsilon
+        rounds = max(k / 32.0, 1.0)
+    return int(min(math.ceil(k), max(4 * n, 256)))
+
+
+def bernstein_half_width(
+    var: np.ndarray, count: int, *, failure: float, value_range: float
+) -> np.ndarray:
+    """Empirical-Bernstein confidence half-width (Audibert et al. 2009).
+
+    For ``count`` i.i.d. samples in ``[0, value_range]`` with sample
+    variance ``var``, the mean is within the returned half-width of the
+    true expectation with probability ≥ 1 − ``failure``.
+    """
+    if count < 1:
+        return np.full_like(np.asarray(var, dtype=np.float64), np.inf)
+    log_term = math.log(3.0 / failure)
+    return (
+        np.sqrt(2.0 * np.asarray(var, dtype=np.float64) * log_term / count)
+        + 3.0 * value_range * log_term / count
+    )
+
+
+@dataclass
+class AdaptiveBCResult:
+    """Adaptive-sampling estimate plus convergence metadata.
+
+    ``scores`` are on the same raw λ scale as :func:`repro.core.mfbc.mfbc`
+    (ordered source/target pairs); ``width`` and ``epsilon`` live on the
+    normalized scale ``λ/((n−1)(n−2))`` the guarantee is stated on.
+    """
+
+    scores: np.ndarray
+    epsilon: float
+    delta: float
+    samples_used: int
+    batches: int
+    converged: bool
+    width: float  # final max per-vertex half-width (normalized scale)
+    width_history: list = field(default_factory=list)
+    batch_size: int = 0
+    elapsed_seconds: float = 0.0
+
+    @property
+    def normalized_scores(self) -> np.ndarray:
+        """Scores divided by ``(n−1)(n−2)`` — the scale of the ε bound."""
+        n = len(self.scores)
+        denom = (n - 1) * (n - 2)
+        return self.scores / denom if denom > 0 else self.scores.copy()
+
+
+def _schedule_crc(n: int, seed: int, batch_size: int, shards: int) -> int:
+    """Checksum of everything that pins the adaptive source schedule."""
+    return sources_checksum(
+        np.array([n, seed, batch_size, shards], dtype=np.int64)
+    )
+
+
+def _charge_state_reduction(machine, n: int) -> None:
+    """Charge the allreduce that merges per-rank sampler partials.
+
+    The simulation folds shards locally (so values are independent of the
+    physical rank layout) but the modeled machine still pays for the
+    collective: ``2n + 1`` words per rank (sums, sums-of-squares, count)
+    through a reduce + broadcast, the same weight-2 pair
+    :meth:`repro.machine.collectives.Group.allreduce` charges.  Routed
+    through ``charge_collective`` so fault plans can crash ranks inside
+    the reduction like any other collective.
+    """
+    if machine is None or machine.p <= 1:
+        return
+    ranks = np.arange(machine.p)
+    words = 2.0 * n + 1.0
+    machine.charge_collective(ranks, words, weight=2.0, category="reduce")
+    machine.charge_collective(ranks, words, weight=2.0, category="bcast")
+
+
+def adaptive_bc(
+    graph: Graph,
+    *,
+    epsilon: float = 0.1,
+    delta: float = 0.1,
+    seed: int | None = 0,
+    batch_size: int | None = None,
+    max_samples: int | None = None,
+    shards: int | None = None,
+    engine: Engine | None = None,
+    max_batches: int | None = None,
+    checkpoint: "CheckpointStore | str | None" = None,
+    resume_from: "CheckpointStore | str | None" = None,
+    retries: int = 2,
+    retry_backoff: float = 0.05,
+    retry_jitter_seed: int | None = 0,
+) -> AdaptiveBCResult:
+    """Adaptive-sampling BC with a provable (ε, δ) error bound.
+
+    Samples sources uniformly with replacement in batches, runs each batch
+    through the distributed MFBC machinery (one k-wide MFBF + MFBr sweep
+    per batch), and stops as soon as the empirical-Bernstein bound
+    certifies ``|b̂(v) − b(v)| ≤ ε`` simultaneously for every vertex with
+    probability ≥ 1 − δ, where ``b`` is the normalized centrality
+    ``λ/((n−1)(n−2))`` (see the module docstring for the estimator).
+
+    Parameters
+    ----------
+    graph:
+        Input graph.
+    epsilon, delta:
+        Accuracy target: additive error ≤ ``epsilon`` on the normalized
+        scale for all vertices, with probability ≥ 1 − ``delta``.
+    seed:
+        Integer schedule seed.  Batch ``i``'s sources are drawn from an RNG
+        keyed on ``(seed, i)``, so a resumed run re-derives the identical
+        schedule; live generators are rejected (see :func:`normalize_seed`).
+    batch_size:
+        Sources per sweep; defaults to :func:`~repro.core.mfbc.default_batch_size`.
+    max_samples:
+        Hard sample budget; the run returns unconverged (with its best
+        estimate and honest final width) when the budget is exhausted
+        before the bound is met.  Default ``max(4n, 256)``.
+    shards:
+        Logical sampler-state shards (defaults to the machine size, or 1
+        sequentially); fixed for the whole run so elastic shrink never
+        reshuffles sample-to-shard assignment.
+    engine:
+        Execution engine (sequential by default).
+    max_batches:
+        Stop after this many batches *in this call* (checkpoint-driven
+        tests and partial runs); the run is then unconverged unless the
+        bound was already met.
+    checkpoint, resume_from:
+        Same contract as :func:`~repro.core.mfbc.mfbc`; the persisted state
+        additionally carries the sampler moments, and a resumed run is
+        bit-identical to an uninterrupted one.
+    retries, retry_backoff, retry_jitter_seed:
+        The per-batch recovery ladder, exactly as on
+        :func:`~repro.core.mfbc.mfbc` (elastic recovery included).
+    """
+    engine = engine or SequentialEngine()
+    epsilon, delta = validate_epsilon_delta(epsilon, delta)
+    seed = normalize_seed(seed)
+    if retries < 0:
+        raise ValueError(f"retries must be non-negative, got {retries}")
+    if retry_backoff < 0:
+        raise ValueError(f"retry_backoff must be non-negative, got {retry_backoff}")
+    n = graph.n
+    machine = getattr(engine, "machine", None)
+    plan = getattr(machine, "faults", None)
+
+    if n < 3:
+        # no vertex can mediate an ordered pair; every score is exactly 0
+        return AdaptiveBCResult(
+            scores=np.zeros(n, dtype=np.float64),
+            epsilon=epsilon,
+            delta=delta,
+            samples_used=0,
+            batches=0,
+            converged=True,
+            width=0.0,
+            batch_size=0,
+        )
+
+    if shards is None:
+        shards = int(machine.p) if machine is not None else 1
+    if shards < 1:
+        raise ValueError(f"shards must be positive, got {shards}")
+    if max_samples is None:
+        max_samples = max(4 * n, 256)
+    if max_samples < 1:
+        raise ValueError(f"max_samples must be positive, got {max_samples}")
+
+    store = None if checkpoint is None else resolve_checkpoint_store(checkpoint)
+    state = None
+    if resume_from is not None:
+        resume_store = resolve_checkpoint_store(resume_from)
+        state = resume_store.load()
+        if state is None and not isinstance(resume_from, CheckpointStore):
+            raise FileNotFoundError(
+                f"no checkpoint to resume from at {resume_from!r}"
+            )
+    if state is not None:
+        if state.sampler is None:
+            raise ValueError(
+                "checkpoint carries no sampler state — not an adaptive_bc run"
+            )
+        if state.n != n:
+            raise ValueError(
+                f"checkpoint is for a {state.n}-vertex graph, not {n}"
+            )
+        if batch_size is None:
+            batch_size = state.batch_size
+        elif batch_size != state.batch_size:
+            raise ValueError(
+                f"checkpoint used batch_size={state.batch_size}, "
+                f"cannot resume with batch_size={batch_size}"
+            )
+        meta = state.sampler
+        if (float(meta["epsilon"]), float(meta["delta"])) != (epsilon, delta):
+            raise ValueError(
+                f"checkpoint targeted (epsilon={meta['epsilon']}, "
+                f"delta={meta['delta']}), cannot resume with "
+                f"(epsilon={epsilon}, delta={delta})"
+            )
+    if batch_size is None:
+        batch_size = default_batch_size(graph)
+    if batch_size <= 0:
+        raise ValueError(f"batch_size must be positive, got {batch_size}")
+
+    crc = _schedule_crc(n, seed, batch_size, shards)
+    scale = n / ((n - 1) * (n - 2))  # per-sample normalization of δ_s
+    value_range = n / (n - 1)  # x_i(v) ∈ [0, R]
+
+    sampler = SamplerState.empty(n, shards)
+    cursor = 0  # samples drawn so far
+    batch_index = 0
+    width = math.inf
+    width_history: list[float] = []
+    if state is not None:
+        if state.sources_crc != crc:
+            raise ValueError(
+                "checkpoint was taken with a different sampling schedule "
+                "(seed, batch size, or shard count)"
+            )
+        sampler = SamplerState.from_payload(state.sampler["state"])
+        if sampler.n != n or sampler.shards != shards:
+            raise ValueError(
+                "checkpoint sampler state does not match this run's shape"
+            )
+        cursor = int(state.cursor)
+        batch_index = int(state.batch_index)
+        width_history = [float(w) for w in state.sampler.get("width_history", [])]
+        width = width_history[-1] if width_history else math.inf
+        if plan is not None:
+            plan.note(
+                "batch",
+                "resumed",
+                site="adaptive_bc",
+                cursor=cursor,
+                index=batch_index,
+            )
+        elif obs.enabled():
+            obs.count("faults.resumed", 1.0, kind="batch")
+
+    raw_denom = (n - 1) * (n - 2)
+    converged = width <= epsilon
+    executed = 0
+    t0 = time.perf_counter()
+    with obs.span(
+        "adaptive_bc",
+        cat="run",
+        n=n,
+        m=graph.nnz_adjacency,
+        batch_size=batch_size,
+        epsilon=epsilon,
+        delta=delta,
+    ):
+        with obs.span("adjacency", cat="phase"):
+            adj = engine.adjacency(graph)
+        while not converged and cursor < max_samples:
+            if max_batches is not None and executed >= max_batches:
+                break
+            count = min(batch_size, max_samples - cursor)
+            # schedule keyed on (seed, batch index): resumable by construction
+            batch = np.random.default_rng([seed, batch_index]).integers(
+                0, n, size=count, dtype=np.int64
+            )
+
+            def attempt_batch(attempt, batch=batch, batch_index=batch_index):
+                with obs.span(
+                    "batch",
+                    cat="batch",
+                    index=batch_index,
+                    sources=len(batch),
+                    attempt=attempt,
+                ):
+                    rows = mfbc_per_source(graph, batch, engine=engine, adj=adj)
+                    # merging the per-rank partials is paid for (and can
+                    # fail) like any collective, so it sits inside the
+                    # recovery ladder with the sweep itself
+                    with obs.span("reduce_state", cat="phase"):
+                        _charge_state_reduction(machine, n)
+                return rows
+
+            rows = run_batch_with_recovery(
+                attempt_batch,
+                engine=engine,
+                batch_index=batch_index,
+                retries=retries,
+                retry_backoff=retry_backoff,
+                retry_jitter_seed=retry_jitter_seed,
+                site="adaptive_bc",
+            )
+            # fold exactly once per completed batch — retries and elastic
+            # re-executions above never reach this line twice
+            sampler.update(rows * scale, cursor)
+            cursor += count
+            batch_index += 1
+            executed += 1
+
+            mean, var = sampler.mean_and_variance()
+            # round budget δ_r = δ/(r(r+1)) (Σ_r = δ), split over n vertices
+            round_failure = delta / (n * batch_index * (batch_index + 1))
+            width = float(
+                bernstein_half_width(
+                    var,
+                    sampler.total_samples,
+                    failure=round_failure,
+                    value_range=value_range,
+                ).max()
+            )
+            width_history.append(width)
+            converged = width <= epsilon
+            if obs.enabled():
+                obs.count("approx.batches", 1.0, algorithm="adaptive_bc")
+                obs.count(
+                    "approx.samples", float(count), algorithm="adaptive_bc"
+                )
+                obs.gauge("approx.width", width, algorithm="adaptive_bc")
+
+            if store is not None:
+                store.save(
+                    CheckpointState(
+                        cursor=cursor,
+                        batch_index=batch_index,
+                        batch_size=batch_size,
+                        n=n,
+                        sources_crc=crc,
+                        scores=mean * raw_denom,
+                        stats=[],
+                        sampler={
+                            "epsilon": epsilon,
+                            "delta": delta,
+                            "seed": seed,
+                            "width_history": width_history,
+                            "state": sampler.to_payload(),
+                        },
+                    )
+                )
+
+    mean, _ = sampler.mean_and_variance()
+    if obs.enabled():
+        obs.count(
+            "approx.runs",
+            1.0,
+            algorithm="adaptive_bc",
+            converged=str(bool(converged)).lower(),
+        )
+    return AdaptiveBCResult(
+        scores=mean * raw_denom,
+        epsilon=epsilon,
+        delta=delta,
+        samples_used=sampler.total_samples,
+        batches=batch_index,
+        converged=bool(converged),
+        width=float(width),
+        width_history=width_history,
+        batch_size=batch_size,
+        elapsed_seconds=time.perf_counter() - t0,
+    )
+
+
+# ---------------------------------------------------------------------------
+# Bader et al. single-vertex estimator
+# ---------------------------------------------------------------------------
 
 
 @dataclass(frozen=True)
@@ -87,10 +715,15 @@ def adaptive_vertex_bc(
         raise ValueError(f"vertex {vertex} out of range")
     if c <= 0:
         raise ValueError(f"c must be positive, got {c}")
+    if batch_size <= 0:
+        raise ValueError(f"batch_size must be positive, got {batch_size}")
     rng = as_rng(seed)
     if max_samples is None:
         max_samples = graph.n
-    max_samples = min(max_samples, graph.n)
+    else:
+        max_samples = validate_sample_count(
+            max_samples, graph.n, name="max_samples"
+        )
 
     order = rng.permutation(graph.n)
     mass = 0.0

@@ -60,6 +60,7 @@ __all__ = [
     "mfbc",
     "mfbc_per_source",
     "betweenness_centrality",
+    "run_batch_with_recovery",
     "MFBCResult",
     "default_batch_size",
 ]
@@ -239,92 +240,32 @@ def mfbc(
         executed = 0
         for lo in range(cursor, len(sources), batch_size):
             batch = sources[lo : lo + batch_size]
-            attempt = 0
-            jitter_rng = (
-                None
-                if retry_jitter_seed is None
-                else np.random.default_rng([retry_jitter_seed, batch_index])
-            )
-            prev_backoff = retry_backoff
-            while True:
+
+            def attempt_batch(attempt, batch=batch, batch_index=batch_index):
                 batch_stats = BatchStats(sources=len(batch))
-                try:
-                    with obs.span(
-                        "batch",
-                        cat="batch",
-                        index=batch_index,
-                        sources=len(batch),
-                        attempt=attempt,
-                    ):
-                        with obs.span("mfbf", cat="phase"):
-                            t_mat = mfbf(adj, batch, engine=engine, stats=batch_stats)
-                        with obs.span("mfbr", cat="phase"):
-                            z_mat = mfbr(adj, t_mat, engine=engine, stats=batch_stats)
-                        with obs.span("accumulate", cat="phase"):
-                            delta = _accumulate(engine, graph.n, batch, t_mat, z_mat)
-                    break
-                except FaultError as exc:
-                    if isinstance(exc, DeadlineExceeded):
-                        if plan is not None:
-                            plan.note(
-                                "batch",
-                                "abandoned",
-                                site="mfbc",
-                                index=batch_index,
-                                attempts=attempt + 1,
-                                error="DeadlineExceeded",
-                            )
-                        raise
-                    if (
-                        isinstance(exc, RankFailure)
-                        and machine is not None
-                        and getattr(machine, "elastic", None) is not None
-                        and getattr(engine, "recover_from", None) is not None
-                        and _elastic_recover(engine, machine, exc, plan, batch_index)
-                    ):
-                        continue  # re-execute only this batch on the survivors
-                    attempt += 1
-                    if attempt > retries:
-                        if plan is not None:
-                            plan.note(
-                                "batch",
-                                "abandoned",
-                                site="mfbc",
-                                index=batch_index,
-                                attempts=attempt,
-                                error=type(exc).__name__,
-                            )
-                        raise
-                    recover = getattr(engine, "recover", None)
-                    if recover is not None:
-                        recover()
-                    if jitter_rng is None:
-                        backoff = retry_backoff * (2.0 ** (attempt - 1))
-                    else:
-                        # decorrelated jitter: draw from [base, 3·prev],
-                        # capped at the legacy ladder's final rung
-                        cap = retry_backoff * (2.0 ** max(retries - 1, 0))
-                        backoff = min(
-                            cap,
-                            float(
-                                jitter_rng.uniform(
-                                    retry_backoff, prev_backoff * 3.0
-                                )
-                            ),
-                        )
-                        prev_backoff = backoff
-                    if machine is not None and backoff > 0:
-                        machine.charge_overhead(backoff)
-                    if plan is not None:
-                        plan.note(
-                            "batch",
-                            "recovered",
-                            site="mfbc",
-                            index=batch_index,
-                            attempt=attempt,
-                            backoff_s=backoff,
-                            error=type(exc).__name__,
-                        )
+                with obs.span(
+                    "batch",
+                    cat="batch",
+                    index=batch_index,
+                    sources=len(batch),
+                    attempt=attempt,
+                ):
+                    with obs.span("mfbf", cat="phase"):
+                        t_mat = mfbf(adj, batch, engine=engine, stats=batch_stats)
+                    with obs.span("mfbr", cat="phase"):
+                        z_mat = mfbr(adj, t_mat, engine=engine, stats=batch_stats)
+                    with obs.span("accumulate", cat="phase"):
+                        delta = _accumulate(engine, graph.n, batch, t_mat, z_mat)
+                return delta, batch_stats
+
+            delta, batch_stats = run_batch_with_recovery(
+                attempt_batch,
+                engine=engine,
+                batch_index=batch_index,
+                retries=retries,
+                retry_backoff=retry_backoff,
+                retry_jitter_seed=retry_jitter_seed,
+            )
             scores += delta
             stats.batches.append(batch_stats)
             batch_index += 1
@@ -409,7 +350,104 @@ def mfbc_per_source(
     return out
 
 
-def _elastic_recover(engine, machine, failure, plan, batch_index) -> bool:
+def run_batch_with_recovery(
+    run_batch,
+    *,
+    engine: Engine,
+    batch_index: int,
+    retries: int = 2,
+    retry_backoff: float = 0.05,
+    retry_jitter_seed: int | None = 0,
+    site: str = "mfbc",
+):
+    """Execute one batch under the driver's full recovery ladder.
+
+    ``run_batch(attempt)`` is called until it returns without raising a
+    :class:`~repro.faults.FaultError`; its return value passes through.
+    The ladder is the one documented on :func:`mfbc` — elastic recovery
+    for :class:`~repro.faults.RankFailure` when the machine carries a
+    policy (never burns a retry), then up to ``retries`` re-runs with
+    decorrelated-jitter backoff charged to the machine's modeled clock,
+    :class:`~repro.faults.DeadlineExceeded` always terminal.  Shared by
+    ``mfbc`` and the adaptive sampler
+    (:func:`repro.core.approx.adaptive_bc`); ``site`` tags the fault-plan
+    notes with the calling driver.
+    """
+    machine = getattr(engine, "machine", None)
+    plan = getattr(machine, "faults", None)
+    attempt = 0
+    jitter_rng = (
+        None
+        if retry_jitter_seed is None
+        else np.random.default_rng([retry_jitter_seed, batch_index])
+    )
+    prev_backoff = retry_backoff
+    while True:
+        try:
+            return run_batch(attempt)
+        except FaultError as exc:
+            if isinstance(exc, DeadlineExceeded):
+                if plan is not None:
+                    plan.note(
+                        "batch",
+                        "abandoned",
+                        site=site,
+                        index=batch_index,
+                        attempts=attempt + 1,
+                        error="DeadlineExceeded",
+                    )
+                raise
+            if (
+                isinstance(exc, RankFailure)
+                and machine is not None
+                and getattr(machine, "elastic", None) is not None
+                and getattr(engine, "recover_from", None) is not None
+                and _elastic_recover(engine, machine, exc, plan, batch_index, site)
+            ):
+                continue  # re-execute only this batch on the survivors
+            attempt += 1
+            if attempt > retries:
+                if plan is not None:
+                    plan.note(
+                        "batch",
+                        "abandoned",
+                        site=site,
+                        index=batch_index,
+                        attempts=attempt,
+                        error=type(exc).__name__,
+                    )
+                raise
+            recover = getattr(engine, "recover", None)
+            if recover is not None:
+                recover()
+            if jitter_rng is None:
+                backoff = retry_backoff * (2.0 ** (attempt - 1))
+            else:
+                # decorrelated jitter: draw from [base, 3·prev],
+                # capped at the legacy ladder's final rung
+                cap = retry_backoff * (2.0 ** max(retries - 1, 0))
+                backoff = min(
+                    cap,
+                    float(jitter_rng.uniform(retry_backoff, prev_backoff * 3.0)),
+                )
+                prev_backoff = backoff
+            if machine is not None and backoff > 0:
+                machine.charge_overhead(backoff)
+            if plan is not None:
+                plan.note(
+                    "batch",
+                    "recovered",
+                    site=site,
+                    index=batch_index,
+                    attempt=attempt,
+                    backoff_s=backoff,
+                    error=type(exc).__name__,
+                )
+
+
+def _elastic_recover(
+    engine, machine, failure, plan, batch_index, site="mfbc"
+) -> bool:
     """One elastic recovery attempt; True means the batch can re-execute."""
     # deferred import: the coordinator pulls in repro.dist
     from repro.elastic.recovery import RecoveryError
@@ -421,7 +459,7 @@ def _elastic_recover(engine, machine, failure, plan, batch_index) -> bool:
             plan.note(
                 "crash",
                 "degraded",
-                site="mfbc",
+                site=site,
                 rank=getattr(failure, "rank", None),
                 reason=str(err),
             )
@@ -432,7 +470,7 @@ def _elastic_recover(engine, machine, failure, plan, batch_index) -> bool:
         plan.note(
             "batch",
             "recovered",
-            site="mfbc",
+            site=site,
             index=batch_index,
             mode="elastic",
             p=report.p_after,

@@ -75,11 +75,13 @@ def atomic_save_npz(path, arrays: dict, meta: dict | None = None) -> None:
             os.remove(tmp)
 
 #: bump when the persisted layout changes incompatibly.
-#: v2 added ``scores_crc`` (load-time integrity check); v1 files — the same
-#: layout minus the checksum — still load.
-CHECKPOINT_VERSION = 2
+#: v2 added ``scores_crc`` (load-time integrity check); v3 added the
+#: optional ``sampler`` blob (adaptive-sampling state, see
+#: :mod:`repro.core.approx`).  v1/v2 files — the same layout minus those
+#: fields — still load.
+CHECKPOINT_VERSION = 3
 
-_COMPATIBLE_VERSIONS = (1, 2)
+_COMPATIBLE_VERSIONS = (1, 2, 3)
 
 
 class CorruptCheckpoint(ValueError):
@@ -120,6 +122,11 @@ class CheckpointState:
     sources_crc: int  # checksum of the full source list
     scores: np.ndarray  # accumulated λ over completed batches
     stats: list = field(default_factory=list)  # serialized BatchStats rows
+    #: adaptive-sampling state (sums / sums-of-squares per shard, see
+    #: :meth:`repro.core.approx.SamplerState.to_payload`); ``None`` for
+    #: plain mfbc runs.  JSON floats round-trip exactly, so a restored
+    #: sampler resumes bit-identically.
+    sampler: dict | None = None
     version: int = CHECKPOINT_VERSION
 
     def to_payload(self) -> dict:
@@ -134,6 +141,7 @@ class CheckpointState:
             "scores_crc": _scores_checksum(np.asarray(self.scores)),
             "scores": [float(x) for x in self.scores],
             "stats": self.stats,
+            "sampler": self.sampler,
         }
 
     @classmethod
@@ -161,6 +169,7 @@ class CheckpointState:
             sources_crc=int(payload["sources_crc"]),
             scores=scores,
             stats=list(payload.get("stats", [])),
+            sampler=payload.get("sampler"),  # absent in v1/v2 files
             version=version,
         )
 
@@ -249,6 +258,14 @@ class MemoryCheckpointStore(CheckpointStore):
             sources_crc=state.sources_crc,
             scores=np.array(state.scores, dtype=np.float64, copy=True),
             stats=[dict(row) for row in state.stats],
+            # deep-copy through JSON: the driver mutates its sampler arrays
+            # in place after every batch, and an aliased dict would let
+            # those writes leak into the "persisted" snapshot
+            sampler=(
+                None
+                if state.sampler is None
+                else json.loads(json.dumps(state.sampler))
+            ),
             version=state.version,
         )
 

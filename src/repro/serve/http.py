@@ -4,6 +4,7 @@ Endpoints (all JSON):
 
 * ``POST /v1/query`` — submit.  Body: ``{"algorithm": "bc_source",
   "source": 3}`` plus optional ``samples``/``seed`` (approx_bc),
+  ``epsilon``/``delta``/``seed`` (adaptive_bc),
   ``deadline`` (modeled-seconds budget), and ``"wait": true`` to block for
   the result instead of polling.  Returns ``{"id": "q7", "state": ...}``.
 * ``GET /v1/query/<id>`` — poll; terminal states carry ``result``/``error``.
@@ -169,6 +170,8 @@ class _Handler(BaseHTTPRequestHandler):
                 source=body.get("source"),
                 samples=body.get("samples"),
                 seed=int(body.get("seed", 0)),
+                epsilon=body.get("epsilon"),
+                delta=body.get("delta"),
                 deadline=body.get("deadline"),
                 client=client,
             )

@@ -94,10 +94,18 @@ class OverloadConfig:
     #: shed band: reject above high, re-admit below low
     shed_high: float = 0.90
     shed_low: float = 0.50
+    #: how brownout answers exact ``bc`` traffic: ``"approx_bc"`` runs the
+    #: fixed-pivot estimator (``brownout_samples`` pivots, no error bound),
+    #: ``"adaptive_bc"`` runs the (ε, δ) adaptive sampler — costlier but the
+    #: degraded answer still carries a provable error bound
+    brownout_algorithm: str = "approx_bc"
     #: fixed-pivot sample count for brownout-degraded ``bc`` answers
     brownout_samples: int = 8
     #: pivot seed for degraded answers (fixed → degraded answers cache)
     brownout_seed: int = 0
+    #: accuracy target for ``brownout_algorithm="adaptive_bc"`` answers
+    brownout_epsilon: float = 0.1
+    brownout_delta: float = 0.1
     #: graph-version generations kept for stale-while-degraded serving
     stale_depth: int = 1
     #: consecutive fault-ladder failures that open the circuit
@@ -138,6 +146,14 @@ class OverloadConfig:
             raise ValueError(
                 f"brownout_samples must be positive, got {self.brownout_samples}"
             )
+        if self.brownout_algorithm not in ("approx_bc", "adaptive_bc"):
+            raise ValueError(
+                f"brownout_algorithm must be 'approx_bc' or 'adaptive_bc', "
+                f"got {self.brownout_algorithm!r}"
+            )
+        from repro.core.approx import validate_epsilon_delta
+
+        validate_epsilon_delta(self.brownout_epsilon, self.brownout_delta)
         if self.stale_depth < 0:
             raise ValueError(f"stale_depth must be >= 0, got {self.stale_depth}")
 
@@ -497,6 +513,19 @@ class CostEstimator:
             return float(self._n)
         if algorithm == "approx_bc":
             return float(params.get("samples", 1))
+        if algorithm == "adaptive_bc":
+            from repro.core.approx import planned_sample_bound
+
+            return float(
+                max(
+                    planned_sample_bound(
+                        self._n,
+                        float(params.get("epsilon", 0.1)),
+                        float(params.get("delta", 0.1)),
+                    ),
+                    1,
+                )
+            )
         return 1.0
 
     def estimate(self, algorithm: str, params: dict) -> float:

@@ -9,8 +9,12 @@ and answers a concurrent query mix:
 * ``bc`` — exact betweenness centrality of every vertex;
 * ``bc_source`` — one source's dependency contribution (the unit the
   coalescer turns into shared MFBC sweeps);
-* ``approx_bc`` — sampled BC (``samples``/``seed`` parameters expose the
-  latency/accuracy knob per request);
+* ``approx_bc`` — fixed-pivot sampled BC (``samples``/``seed`` parameters
+  expose the latency/accuracy knob per request);
+* ``adaptive_bc`` — adaptive-sampling BC with a provable (ε, δ) error
+  bound (:func:`repro.core.approx.adaptive_bc`); concurrent requests
+  coalesce on their ``(epsilon, delta, seed)`` accuracy key, so identical
+  targets share one sampling run and its cache entry;
 * ``bfs`` / ``sssp`` / ``widest`` — per-source kernels from
   :mod:`repro.apps`, coalesced the same way;
 * ``connected`` / ``triangles`` — whole-graph kernels, answered from the
@@ -31,7 +35,9 @@ submission passes a cost-aware :class:`~repro.serve.overload.AdmissionController
 (queue bounds in queries *and* modeled seconds, per-client token buckets,
 deadline-infeasibility rejection), watermark pressure arms brownout
 (stale cache reads, exact ``bc`` downgraded to fixed-pivot ``approx_bc``
-with ``degraded: true``) and then load shedding
+or the (ε, δ)-bounded ``adaptive_bc`` per
+:attr:`~repro.serve.overload.OverloadConfig.brownout_algorithm`, with
+``degraded: true``) and then load shedding
 (:class:`~repro.serve.overload.AdmissionError` → HTTP 503 + Retry-After),
 a :class:`~repro.serve.overload.CircuitBreaker` fails batches fast during
 fault-recovery storms, and a watchdog restarts a dead dispatcher while
@@ -71,7 +77,9 @@ __all__ = ["BCService", "QueryError", "ALGORITHMS", "SOURCE_ALGORITHMS"]
 #: queries that carry a ``source`` parameter and coalesce into shared sweeps
 SOURCE_ALGORITHMS = frozenset({"bc_source", "bfs", "sssp", "widest"})
 #: whole-graph queries (no source); identical concurrent requests dedupe
-GRAPH_ALGORITHMS = frozenset({"bc", "approx_bc", "connected", "triangles"})
+GRAPH_ALGORITHMS = frozenset(
+    {"bc", "approx_bc", "adaptive_bc", "connected", "triangles"}
+)
 ALGORITHMS = SOURCE_ALGORITHMS | GRAPH_ALGORITHMS
 
 
@@ -210,6 +218,8 @@ class BCService:
         source: int | None = None,
         samples: int | None = None,
         seed: int = 0,
+        epsilon: float | None = None,
+        delta: float | None = None,
         deadline: float | None = None,
         client: str | None = None,
     ) -> str:
@@ -229,7 +239,12 @@ class BCService:
         if self._closed:
             raise RuntimeError("service is closed")
         params = self._canonical_params(
-            algorithm, source=source, samples=samples, seed=seed
+            algorithm,
+            source=source,
+            samples=samples,
+            seed=seed,
+            epsilon=epsilon,
+            delta=delta,
         )
         if deadline is not None and deadline <= 0:
             raise ValueError(f"deadline must be positive, got {deadline}")
@@ -238,13 +253,23 @@ class BCService:
         requested = algorithm
         degraded = False
         if self.admission.brownout_active and algorithm == "bc":
-            # brownout: answer exact-BC traffic with cheap fixed-pivot
-            # sampling (van der Grinten & Meyerhenke's degrade-don't-fail)
-            algorithm = "approx_bc"
-            params = {
-                "samples": min(cfg.brownout_samples, self.graph.n),
-                "seed": cfg.brownout_seed,
-            }
+            # brownout: answer exact-BC traffic with cheaper sampling
+            # (van der Grinten & Meyerhenke's degrade-don't-fail); the
+            # config picks fixed-pivot or the (ε, δ)-bounded adaptive
+            # sampler as the downgrade target
+            if cfg.brownout_algorithm == "adaptive_bc":
+                algorithm = "adaptive_bc"
+                params = {
+                    "epsilon": float(cfg.brownout_epsilon),
+                    "delta": float(cfg.brownout_delta),
+                    "seed": cfg.brownout_seed,
+                }
+            else:
+                algorithm = "approx_bc"
+                params = {
+                    "samples": min(cfg.brownout_samples, self.graph.n),
+                    "seed": cfg.brownout_seed,
+                }
             degraded = True
         cached = self.cache.get(cache_key(version, algorithm, params))
         if cached is not None:
@@ -771,6 +796,19 @@ class BCService:
                 seed=int(params["seed"]),
                 engine=engine,
             )
+        elif algorithm == "adaptive_bc":
+            from repro.core.approx import adaptive_bc
+
+            params = queries[0].params
+            # raw λ-scale scores: a drop-in for clients expecting ``bc``
+            # arrays (brownout downgrades swap algorithms transparently)
+            payload = adaptive_bc(
+                graph,
+                epsilon=float(params["epsilon"]),
+                delta=float(params["delta"]),
+                seed=int(params["seed"]),
+                engine=engine,
+            ).scores
         elif algorithm == "connected":
             from repro.apps import connected_components
 
@@ -819,7 +857,15 @@ class BCService:
         source: int | None,
         samples: int | None,
         seed: int,
+        epsilon: float | None = None,
+        delta: float | None = None,
     ) -> dict:
+        from repro.core.approx import (
+            normalize_seed,
+            validate_epsilon_delta,
+            validate_sample_count,
+        )
+
         if algorithm not in ALGORITHMS:
             raise ValueError(
                 f"unknown algorithm {algorithm!r}; expected one of "
@@ -838,11 +884,14 @@ class BCService:
         if algorithm == "approx_bc":
             if samples is None:
                 raise ValueError("approx_bc requires samples")
-            if not 1 <= int(samples) <= self.graph.n:
-                raise ValueError(
-                    f"samples must be in [1, n={self.graph.n}], got {samples}"
-                )
-            return {"samples": int(samples), "seed": int(seed)}
+            count = validate_sample_count(samples, self.graph.n, name="samples")
+            return {"samples": count, "seed": normalize_seed(seed)}
+        if algorithm == "adaptive_bc":
+            eps, dlt = validate_epsilon_delta(
+                0.1 if epsilon is None else epsilon,
+                0.1 if delta is None else delta,
+            )
+            return {"epsilon": eps, "delta": dlt, "seed": normalize_seed(seed)}
         return {}
 
     def _get(self, query_id: str) -> Query:

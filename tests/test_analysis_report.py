@@ -56,3 +56,38 @@ class TestMarkdown:
         text = p.read_text()
         assert "## T1" in text and "## T2" in text
         assert "| x |" in text and "| 1 |" in text
+
+
+class TestApproxReport:
+    def test_empty_registry_renders_nothing(self):
+        from repro.analysis.report import approx_attribution, format_approx_report
+        from repro.obs.metrics import Metrics
+
+        reg = Metrics()
+        assert approx_attribution(reg) == []
+        assert format_approx_report(reg) == ""
+
+    def test_counters_from_a_real_run(self):
+        from repro import obs
+        from repro.analysis.report import approx_attribution, format_approx_report
+        from repro.core.approx import adaptive_bc
+        from repro.graphs import uniform_random_graph_nm
+
+        g = uniform_random_graph_nm(24, 3.0, seed=2)
+        session = obs.enable()
+        try:
+            res = adaptive_bc(g, epsilon=0.3, delta=0.2, seed=0, batch_size=8)
+        finally:
+            obs.disable()
+        rows = approx_attribution(session.metrics)
+        assert len(rows) == 1
+        row = rows[0]
+        assert row["algorithm"] == "adaptive_bc"
+        assert row["runs"] == 1
+        assert row["converged"] == int(res.converged)
+        assert row["batches"] == res.batches
+        assert row["samples"] == res.samples_used
+        assert row["last_width"] == pytest.approx(res.width)
+        out = format_approx_report(session.metrics)
+        assert "adaptive sampling (approx.*)" in out
+        assert "adaptive_bc" in out

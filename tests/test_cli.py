@@ -51,6 +51,37 @@ class TestBC:
         path, _ = graph_file
         assert main(["bc", path, "--normalized", "--top", "1"]) == 0
 
+    def test_adaptive(self, graph_file, tmp_path, capsys):
+        path, n = graph_file
+        out_file = tmp_path / "scores.txt"
+        assert (
+            main(
+                ["bc", path, "--epsilon", "0.3", "--delta", "0.2",
+                 "--seed", "1", "-o", str(out_file)]
+            )
+            == 0
+        )
+        out = capsys.readouterr().out
+        assert "adaptive BC (ε=0.3, δ=0.2)" in out
+        assert "converged" in out
+        assert len(np.loadtxt(out_file)) == n
+
+    def test_adaptive_checkpoint_resume(self, graph_file, tmp_path, capsys):
+        path, _ = graph_file
+        ck = str(tmp_path / "ad.ckpt.json")
+        args = ["bc", path, "--epsilon", "0.3", "--delta", "0.2", "--seed",
+                "1", "--checkpoint", ck]
+        assert main(args) == 0
+        first = capsys.readouterr().out
+        assert main(args) == 0  # resumes from the converged checkpoint
+        second = capsys.readouterr().out
+        assert first.splitlines()[-3:] == second.splitlines()[-3:]
+
+    def test_adaptive_excludes_samples(self, graph_file, capsys):
+        path, _ = graph_file
+        assert main(["bc", path, "--epsilon", "0.3", "--samples", "5"]) == 2
+        assert "mutually exclusive" in capsys.readouterr().out
+
 
 class TestGenerate:
     @pytest.mark.parametrize("family", ["rmat", "uniform"])

@@ -405,3 +405,71 @@ class TestRecoveryDifferential:
         res = scores_of(graph, m, checkpoint=str(tmp_path / "ck.json"))
         assert np.array_equal(res, ref)
         assert len(m.recoveries) == 1
+
+# ---------------------------------------------------------------------------
+# adaptive sampler × elastic recovery
+# ---------------------------------------------------------------------------
+
+
+class TestAdaptiveRecovery:
+    """The adaptive (ε, δ) sampler rides the same recovery ladder as mfbc:
+    an injected crash is absorbed by elastic recovery (or the retry rung),
+    the run terminates with its bound intact, and no batch is ever folded
+    into the sampler twice — the faulted run is bit-identical to the
+    fault-free one, sample for sample."""
+
+    ADAPTIVE_KW = dict(epsilon=0.25, delta=0.2, seed=0, batch_size=8)
+
+    def _run(self, graph, machine, **kw):
+        from repro.core.approx import adaptive_bc
+
+        merged = {**self.ADAPTIVE_KW, **kw}
+        return adaptive_bc(
+            graph, engine=DistributedEngine(machine), **merged
+        )
+
+    def test_elastic_recovery_bit_identical(self, graph):
+        ref = self._run(graph, quiet(6))
+        assert ref.converged
+        m = Machine(6, faults=ONE_CRASH, elastic="replica")
+        res = self._run(graph, m)
+        assert np.array_equal(res.scores, ref.scores)
+        assert res.width_history == ref.width_history
+        # no double-counted batch: exactly the fault-free sample count
+        assert res.samples_used == ref.samples_used
+        assert res.converged and res.width <= res.epsilon
+        assert [(r.p_before, r.p_after) for r in m.recoveries] == [(6, 5)]
+        assert m.faults.injected == 1
+
+    def test_retry_rung_bit_identical_without_elastic(self, graph):
+        ref = self._run(graph, quiet(6))
+        m = Machine(6, faults=ONE_CRASH, elastic="off")
+        res = self._run(graph, m, retries=2)
+        assert np.array_equal(res.scores, ref.scores)
+        assert res.samples_used == ref.samples_used
+        assert m.recoveries == []
+        # the recovery note carries the adaptive driver's site tag
+        assert ("batch", "recovered", "adaptive_bc") in [
+            (e.kind, e.action, e.site) for e in m.faults.events
+        ]
+
+    def test_crash_without_any_ladder_aborts(self, graph):
+        m = Machine(6, faults=ONE_CRASH, elastic="off")
+        with pytest.raises(RankFailure):
+            self._run(graph, m, retries=0)
+
+    def test_checkpoint_composes_with_recovery(self, graph, tmp_path):
+        from repro.core.approx import adaptive_bc
+
+        ref = self._run(graph, quiet(6))
+        m = Machine(6, faults=ONE_CRASH, elastic="replica")
+        res = self._run(graph, m, checkpoint=str(tmp_path / "ad.json"))
+        assert np.array_equal(res.scores, ref.scores)
+        assert len(m.recoveries) == 1
+        # the persisted sampler state resumes to the same converged answer
+        # (even sequentially — shards are logical, pinned by the schedule)
+        resumed = adaptive_bc(
+            graph, resume_from=str(tmp_path / "ad.json"), shards=6,
+            **self.ADAPTIVE_KW
+        )
+        assert np.array_equal(resumed.scores, ref.scores)

@@ -186,3 +186,41 @@ class TestCollectiveWiring:
         g = self._group(2)
         with pytest.raises(TypeError, match="cannot size payload"):
             g.bcast([object(), None])
+
+
+class TestAdaptiveSamplerFaults:
+    """The adaptive (ε, δ) sampler under injected faults: probabilistic
+    crashes are absorbed without double-counting a batch, and a blown
+    deadline is terminal through the same ladder as mfbc."""
+
+    KW = dict(epsilon=0.25, delta=0.2, seed=0, batch_size=8)
+
+    def test_probabilistic_crashes_keep_bound_intact(self):
+        from repro.core.approx import adaptive_bc
+        from repro.graphs import uniform_random_graph_nm
+
+        g = uniform_random_graph_nm(40, 4.0, seed=1)
+        quiet = Machine(6, faults="off", elastic="off")
+        ref = adaptive_bc(g, engine=DistributedEngine(quiet), **self.KW)
+        m = Machine(6, faults="seed:5,crash:0.02,limit:2", elastic="replica")
+        res = adaptive_bc(g, engine=DistributedEngine(m), **self.KW)
+        assert m.faults.injected == 2
+        assert [(r.p_before, r.p_after) for r in m.recoveries] == [(6, 5), (5, 4)]
+        # bound intact and no batch folded twice: bit-identical, sample
+        # for sample, to the fault-free run
+        assert res.converged and res.width <= res.epsilon
+        assert np.array_equal(res.scores, ref.scores)
+        assert res.samples_used == ref.samples_used
+
+    def test_deadline_is_terminal_in_adaptive(self):
+        from repro.core.approx import adaptive_bc
+        from repro.faults import DeadlineExceeded
+        from repro.graphs import uniform_random_graph_nm
+
+        g = uniform_random_graph_nm(40, 4.0, seed=1)
+        m = Machine(4, deadline=1e-4, faults="seed:0", elastic="replica")
+        with pytest.raises(DeadlineExceeded):
+            adaptive_bc(g, engine=DistributedEngine(m), retries=3, **self.KW)
+        actions = [(e.kind, e.action, e.site) for e in m.faults.events]
+        assert ("batch", "abandoned", "adaptive_bc") in actions
+        assert m.recoveries == []

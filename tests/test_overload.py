@@ -87,6 +87,9 @@ class TestConfig:
             {"breaker_threshold": 0},
             {"brownout_samples": 0},
             {"stale_depth": -1},
+            {"brownout_algorithm": "pagerank"},
+            {"brownout_algorithm": "adaptive_bc", "brownout_epsilon": 0.0},
+            {"brownout_algorithm": "adaptive_bc", "brownout_delta": 1.5},
         ],
     )
     def test_invalid_rejected(self, kw):
@@ -288,6 +291,22 @@ class TestEstimator:
             pytest.approx(one * 5)
         )
 
+    def test_adaptive_units_follow_planned_bound(self, graph):
+        from repro.core.approx import planned_sample_bound
+        from repro.machine.machine import Machine
+
+        est = CostEstimator(Machine(4), graph)
+        one = est.estimate("bc_source", {"source": 0})
+        planned = planned_sample_bound(graph.n, 0.1, 0.1)
+        assert planned >= 1
+        assert est.estimate(
+            "adaptive_bc", {"epsilon": 0.1, "delta": 0.1, "seed": 0}
+        ) == pytest.approx(one * planned)
+        # a looser target prices cheaper
+        assert est.units(
+            "adaptive_bc", {"epsilon": 0.5, "delta": 0.1}
+        ) <= planned
+
     def test_observe_corrects_the_estimate(self, graph):
         from repro.machine.machine import Machine
 
@@ -344,6 +363,32 @@ class TestServiceOverload:
         assert status["requested_algorithm"] == "bc"
         assert status["algorithm"] == "approx_bc"
         assert not np.array_equal(degraded, exact)
+
+    def test_brownout_downgrades_to_adaptive_when_configured(self, graph):
+        cfg = OverloadConfig(
+            brownout_algorithm="adaptive_bc",
+            brownout_epsilon=0.4,
+            brownout_delta=0.2,
+            brownout_seed=3,
+        )
+        with _service(graph, overload=cfg) as svc:
+            svc.admission.brownout_active = True
+            qid = svc.submit("bc")
+            degraded = svc.result(qid, timeout=60.0)
+            status = svc.poll(qid)
+            # the degraded answer shares the adaptive cache key
+            same = svc.result(
+                svc.submit("adaptive_bc", epsilon=0.4, delta=0.2, seed=3),
+                timeout=60.0,
+            )
+            svc.admission.brownout_active = False
+            exact = svc.result(svc.submit("bc"), timeout=60.0)
+        assert status["degraded"] is True
+        assert status["requested_algorithm"] == "bc"
+        assert status["algorithm"] == "adaptive_bc"
+        assert np.array_equal(degraded, same)
+        assert not np.array_equal(degraded, exact)
+        assert degraded.shape == exact.shape  # drop-in λ-scale payload
 
     def test_brownout_answers_cache_under_approx_key(self, graph):
         cfg = OverloadConfig(brownout_samples=6, brownout_seed=3)

@@ -328,6 +328,7 @@ class TestServiceAlgorithms:
                 ("bc", {}),
                 ("bc_source", {"source": 0}),
                 ("approx_bc", {"samples": 4}),
+                ("adaptive_bc", {"epsilon": 0.4, "delta": 0.2}),
                 ("bfs", {"source": 1}),
                 ("sssp", {"source": 2}),
                 ("widest", {"source": 3}),
@@ -342,6 +343,7 @@ class TestServiceAlgorithms:
         assert results["bc"].shape == (graph.n,)
         assert results["bc_source"].shape == (graph.n,)
         assert results["approx_bc"].shape == (graph.n,)
+        assert results["adaptive_bc"].shape == (graph.n,)
         assert results["bfs"].shape == (graph.n,)
         assert results["sssp"].shape == (graph.n,)
         assert results["widest"].shape == (graph.n,)
@@ -372,6 +374,68 @@ class TestServiceAlgorithms:
                 svc.submit("approx_bc", samples=0)
             with pytest.raises(ValueError, match="deadline"):
                 svc.submit("bc_source", source=0, deadline=-1.0)
+            with pytest.raises(ValueError, match="epsilon must be positive"):
+                svc.submit("adaptive_bc", epsilon=0.0)
+            with pytest.raises(ValueError, match=r"delta must be in \(0, 1\)"):
+                svc.submit("adaptive_bc", delta=2.0)
+
+
+class TestServiceAdaptive:
+    """adaptive_bc as a service algorithm: drop-in λ-scale payload,
+    coalescing keyed on the (ε, δ, seed) accuracy target, cache reuse."""
+
+    def test_result_matches_direct_run(self, graph):
+        from repro.core.approx import adaptive_bc
+
+        expected = adaptive_bc(
+            graph,
+            epsilon=0.3,
+            delta=0.2,
+            seed=5,
+            engine=DistributedEngine(Machine(4)),
+        ).scores
+        with _service(graph) as svc:
+            got = svc.result(
+                svc.submit("adaptive_bc", epsilon=0.3, delta=0.2, seed=5),
+                timeout=120.0,
+            )
+        assert np.array_equal(got, expected)
+
+    def test_identical_targets_coalesce_and_cache(self, graph):
+        with _service(graph) as svc:
+            kw = dict(epsilon=0.4, delta=0.2, seed=1)
+            with svc._exec_lock:  # park the dispatcher so both queue
+                a = svc.submit("adaptive_bc", **kw)
+                b = svc.submit("adaptive_bc", **kw)
+            ra = svc.result(a, timeout=120.0)
+            rb = svc.result(b, timeout=120.0)
+            batches = svc.stats()["batches"]
+            # same key → one sweep; a third submit is a submit-time hit
+            c = svc.submit("adaptive_bc", **kw)
+            rc = svc.result(c, timeout=120.0)
+            assert svc.poll(c)["cache_hit"] is True
+            assert svc.stats()["batches"] == batches
+        assert np.array_equal(ra, rb) and np.array_equal(ra, rc)
+        assert batches == 1
+
+    def test_distinct_targets_do_not_share(self, graph):
+        from repro.serve import Query
+
+        q1 = Query(algorithm="adaptive_bc",
+                   params={"epsilon": 0.3, "delta": 0.2, "seed": 0})
+        q2 = Query(algorithm="adaptive_bc",
+                   params={"epsilon": 0.3, "delta": 0.2, "seed": 1})
+        q3 = Query(algorithm="adaptive_bc",
+                   params={"epsilon": 0.2, "delta": 0.2, "seed": 0})
+        assert q1.coalesce_key != q2.coalesce_key
+        assert q1.coalesce_key != q3.coalesce_key
+
+    def test_defaults_applied_when_unspecified(self, graph):
+        with _service(graph) as svc:
+            qid = svc.submit("adaptive_bc")
+            svc.result(qid, timeout=120.0)
+            params = svc._get(qid).params
+        assert params == {"epsilon": 0.1, "delta": 0.1, "seed": 0}
 
 
 class TestServiceLifecycle:
@@ -562,6 +626,19 @@ class TestHTTP:
 
             time.sleep(0.05)
         assert status["state"] == "done"
+
+    def test_adaptive_epsilon_delta_pass_through(self, http_service):
+        svc, base = http_service
+        code, body = _http(
+            "POST",
+            f"{base}/v1/query",
+            {"algorithm": "adaptive_bc", "epsilon": 0.4, "delta": 0.2,
+             "seed": 2, "wait": True},
+        )
+        assert code == 200 and body["state"] == "done"
+        assert svc._get(body["id"]).params == {
+            "epsilon": 0.4, "delta": 0.2, "seed": 2,
+        }
 
     def test_cached_resubmit_returns_200_with_result(self, http_service):
         _, base = http_service
