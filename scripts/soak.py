@@ -28,8 +28,14 @@ on — then asserts the liveness invariants the overload design promises:
 Run the CI smoke configuration::
 
     python scripts/soak.py --duration 60 --factor 4 \
-        --faults "seed:3,crash@25:1,corrupt:0.02,checksum:1,limit:6" \
-        --elastic replica --check cheap
+        --faults "seed:3,crash@25:1,corrupt:0.02,checksum:1,tear:0.05,limit:6" \
+        --elastic replica --check cheap --memory-words 30000
+
+``--memory-words`` arms the memory ladder under the storm: the soak
+service runs inside a per-rank budget (with ``tear:RATE`` injecting torn
+spill-segment writes), so admission control, elastic recovery, and the
+spill/shrink ladder all defend the same run — still with zero non-shed
+failures and bit-identical post-storm answers.
 
 Exit code 0 when every invariant held.
 """
@@ -99,6 +105,8 @@ def soak(graph, capacity_qps: float, args) -> tuple[dict, int]:
         elastic=args.elastic,
         check=args.check,
         overload=cfg,
+        memory_words=args.memory_words,
+        spill_dir=args.spill_dir,
     )
     offered = args.factor * capacity_qps
     n_queries = max(int(offered * args.duration), args.concurrency)
@@ -266,6 +274,14 @@ def soak(graph, capacity_qps: float, args) -> tuple[dict, int]:
         f"{stats['dispatcher_restarts']} dispatcher restarts, "
         f"peak queue {stats['admission']['peak_queued']}"
     )
+    if args.memory_words is not None:
+        mem = service.machine.memory.snapshot()
+        print(
+            f"  memory: peak {service.machine.memory_peak()} words/rank "
+            f"(budget {args.memory_words}), {mem['reliefs']} reliefs, "
+            f"{mem.get('spilled_blocks', 0)} blocks spilled, "
+            f"{mem.get('torn_writes', 0)} torn writes absorbed"
+        )
     record = {
         "factor": args.factor,
         "offered_qps": offered,
@@ -326,6 +342,16 @@ def main(argv: list[str] | None = None) -> int:
     parser.add_argument("--max-queued", type=int, default=64)
     parser.add_argument("--max-queued-seconds", type=float, default=None)
     parser.add_argument("--faults", default=None)
+    parser.add_argument(
+        "--memory-words",
+        type=int,
+        default=None,
+        help="per-rank memory budget for the soak service (words); arms "
+        "the spill/shrink ladder under the storm (calibration stays clean)",
+    )
+    parser.add_argument(
+        "--spill-dir", default=None, help="spill-segment directory"
+    )
     parser.add_argument("--elastic", default=None)
     parser.add_argument("--check", default=None)
     parser.add_argument("--calibrate-queries", type=int, default=150)

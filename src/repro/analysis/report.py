@@ -16,6 +16,8 @@ __all__ = [
     "format_overload_report",
     "approx_attribution",
     "format_approx_report",
+    "memory_attribution",
+    "format_memory_report",
 ]
 
 
@@ -251,6 +253,83 @@ def format_approx_report(metrics) -> str:
         ],
     )
     return "adaptive sampling (approx.*):\n" + table
+
+
+def memory_attribution(metrics) -> list[dict]:
+    """Per-site memory-pressure event totals from a metrics registry.
+
+    Reads the ``memory.*`` counter families the spill store, memory
+    manager, and OOM ladder emit (:mod:`repro.memory`): spill/unspill/stage
+    traffic with word volumes, torn writes, relief evictions, and the
+    ladder rungs taken.  Empty when the run never came under memory
+    pressure.
+    """
+    rows: list[dict] = []
+    combos: set[tuple[str, str]] = set()
+    for name in ("memory.spill.events", "memory.spill.words"):
+        for labels in metrics.series(name):
+            d = dict(labels)
+            combos.add((d.get("op", ""), d.get("site", "")))
+    for op, site in sorted(combos):
+        rows.append(
+            {
+                "event": f"spill.{op}",
+                "site": site,
+                "count": int(
+                    metrics.get_count("memory.spill.events", op=op, site=site)
+                ),
+                "words": int(
+                    metrics.get_count("memory.spill.words", op=op, site=site)
+                ),
+            }
+        )
+    for name, prefix in (
+        ("memory.spill.torn", "spill.torn"),
+        ("memory.reliefs", "relief"),
+    ):
+        for labels in sorted(metrics.series(name)):
+            site = dict(labels).get("site", "")
+            rows.append(
+                {
+                    "event": prefix,
+                    "site": site,
+                    "count": int(metrics.get_count(name, site=site)),
+                    "words": 0,
+                }
+            )
+    for labels in sorted(metrics.series("memory.ladder")):
+        d = dict(labels)
+        rows.append(
+            {
+                "event": f"ladder.{d.get('rung', '')}",
+                "site": d.get("site", ""),
+                "count": int(
+                    metrics.get_count(
+                        "memory.ladder",
+                        rung=d.get("rung", ""),
+                        site=d.get("site", ""),
+                    )
+                ),
+                "words": 0,
+            }
+        )
+    return rows
+
+
+def format_memory_report(metrics) -> str:
+    """Render :func:`memory_attribution` as an aligned text table.
+
+    Returns the empty string when the registry holds no memory-pressure
+    events, so callers can print it unconditionally.
+    """
+    rows = memory_attribution(metrics)
+    if not rows:
+        return ""
+    table = format_table(
+        ["event", "site", "count", "words"],
+        [[r["event"], r["site"], r["count"], r["words"]] for r in rows],
+    )
+    return "memory pressure (memory.*):\n" + table
 
 
 def format_trace_report(tracer, ledger) -> str:

@@ -168,6 +168,22 @@ def build_parser() -> argparse.ArgumentParser:
         help="SpGEMM kernel-dispatch mode (see docs/performance_model.md); "
         "default: $REPRO_KERNEL or auto",
     )
+    p_sim.add_argument(
+        "--memory-words",
+        type=int,
+        default=None,
+        metavar="WORDS",
+        help="per-rank memory budget; under pressure the OOM ladder shrinks "
+        "batches, spills cold blocks, and drops replica redundancy "
+        "(docs/robustness.md); default: $REPRO_MEMORY or unlimited",
+    )
+    p_sim.add_argument(
+        "--spill-dir",
+        default=None,
+        metavar="DIR",
+        help="directory for spilled block segments; default: $REPRO_SPILL_DIR "
+        "or a private temporary directory",
+    )
 
     p_tr = sub.add_parser(
         "trace",
@@ -239,6 +255,22 @@ def build_parser() -> argparse.ArgumentParser:
         help="SpGEMM kernel-dispatch mode (see docs/performance_model.md); "
         "default: $REPRO_KERNEL or auto",
     )
+    p_tr.add_argument(
+        "--memory-words",
+        type=int,
+        default=None,
+        metavar="WORDS",
+        help="per-rank memory budget; under pressure the OOM ladder shrinks "
+        "batches, spills cold blocks, and drops replica redundancy "
+        "(docs/robustness.md); default: $REPRO_MEMORY or unlimited",
+    )
+    p_tr.add_argument(
+        "--spill-dir",
+        default=None,
+        metavar="DIR",
+        help="directory for spilled block segments; default: $REPRO_SPILL_DIR "
+        "or a private temporary directory",
+    )
 
     p_srv = sub.add_parser(
         "serve",
@@ -306,6 +338,22 @@ def build_parser() -> argparse.ArgumentParser:
         "default: $REPRO_KERNEL or auto",
     )
     p_srv.add_argument(
+        "--memory-words",
+        type=int,
+        default=None,
+        metavar="WORDS",
+        help="per-rank memory budget; memory-infeasible queries are rejected "
+        "up front and the OOM ladder degrades pressured sweeps "
+        "(docs/robustness.md); default: $REPRO_MEMORY or unlimited",
+    )
+    p_srv.add_argument(
+        "--spill-dir",
+        default=None,
+        metavar="DIR",
+        help="directory for spilled block segments; default: $REPRO_SPILL_DIR "
+        "or a private temporary directory",
+    )
+    p_srv.add_argument(
         "--verbose", action="store_true", help="log HTTP requests to stderr"
     )
     p_srv.add_argument(
@@ -321,6 +369,14 @@ def build_parser() -> argparse.ArgumentParser:
         metavar="SECONDS",
         help="admission bound: total modeled seconds of queued work "
         "(cost-aware; default unbounded)",
+    )
+    p_srv.add_argument(
+        "--max-queued-memory-words",
+        type=float,
+        default=None,
+        metavar="WORDS",
+        help="admission bound: total modeled peak words of queued work "
+        "(memory-aware; default unbounded)",
     )
     p_srv.add_argument(
         "--rate-limit",
@@ -510,6 +566,8 @@ def _cmd_simulate(args) -> int:
         deadline=args.deadline,
         elastic=args.elastic,
         kernel=args.kernel,
+        memory_words=args.memory_words,
+        spill_dir=args.spill_dir,
     )
     policy = None
     if args.policy == "ca":
@@ -541,9 +599,30 @@ def _cmd_simulate(args) -> int:
             f"({machine.faults.injected} injected, "
             f"{len(machine.faults.events)} events)"
         )
+    _print_memory_summary(machine)
     _print_recovery_summary(machine)
     _print_check_summary(engine)
     return 0
+
+
+def _print_memory_summary(machine) -> None:
+    memory = getattr(machine, "memory", None)
+    if memory is None:
+        return
+    snap = memory.snapshot()
+    if not (snap.get("reliefs") or snap.get("spilled_blocks")):
+        return
+    peak = machine.memory_peak()
+    budget = machine.memory_words
+    budget_txt = f"{budget}" if budget is not None else "unlimited"
+    print(
+        f"memory            : peak {peak:.0f} words/rank "
+        f"(budget {budget_txt}); {snap.get('reliefs', 0)} reliefs, "
+        f"{snap.get('spilled_blocks', 0)} blocks spilled "
+        f"({snap.get('spilled_words', 0)} words), "
+        f"{snap.get('restored_blocks', 0)} restored, "
+        f"{snap.get('torn_writes', 0)} torn writes"
+    )
 
 
 def _print_recovery_summary(machine) -> None:
@@ -574,6 +653,7 @@ def _cmd_trace(args) -> int:
     from repro.analysis.report import (
         format_approx_report,
         format_cache_report,
+        format_memory_report,
         format_overload_report,
         format_trace_report,
     )
@@ -590,6 +670,8 @@ def _cmd_trace(args) -> int:
         deadline=args.deadline,
         elastic=args.elastic,
         kernel=args.kernel,
+        memory_words=args.memory_words,
+        spill_dir=args.spill_dir,
     )
     policy = None
     if args.policy == "ca":
@@ -645,6 +727,11 @@ def _cmd_trace(args) -> int:
     if approx_table:
         print()
         print(approx_table)
+    memory_table = format_memory_report(session.metrics)
+    if memory_table:
+        print()
+        print(memory_table)
+    _print_memory_summary(machine)
     _print_recovery_summary(machine)
     _print_check_summary(engine)
     rec = obs.reconcile(session.tracer, machine.ledger)
@@ -676,6 +763,7 @@ def _cmd_serve(args) -> int:
     overload = OverloadConfig(
         max_queued=args.max_queued,
         max_queued_seconds=args.max_queued_seconds,
+        max_queued_memory_words=args.max_queued_memory_words,
         client_rate=args.rate_limit,
         client_burst=args.rate_burst,
         brownout_algorithm=args.brownout_algorithm,
@@ -691,6 +779,8 @@ def _cmd_serve(args) -> int:
         faults=args.faults,
         elastic=args.elastic,
         kernel=args.kernel,
+        memory_words=args.memory_words,
+        spill_dir=args.spill_dir,
         max_batch=args.max_batch,
         batch_window=args.batch_window,
         cache_capacity=args.cache_capacity,

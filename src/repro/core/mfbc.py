@@ -30,6 +30,12 @@ so storms terminate); when recovery itself is impossible
 (:class:`~repro.elastic.RecoveryError`) the driver falls back to the plain
 retry ladder.  :class:`~repro.faults.DeadlineExceeded` is terminal by
 design — retrying a blown time budget would only spin.
+
+:class:`~repro.machine.MemoryLimitExceeded` gets its own ladder
+(:class:`~repro.memory.MemoryLadder`): shrink the batch width, spill cold
+blocks to the checksummed store, drop replica redundancy — every rung
+bit-identical, re-armed once pressure clears — before falling through to
+the retry ladder above.  See docs/robustness.md, "The memory ladder".
 """
 
 from __future__ import annotations
@@ -54,6 +60,8 @@ from repro.faults.checkpoint import (
 )
 from repro.faults.plan import DeadlineExceeded, FaultError, RankFailure
 from repro.graphs.graph import Graph
+from repro.machine.machine import MemoryLimitExceeded
+from repro.memory.ladder import MemoryLadder
 from repro.obs import api as obs
 
 __all__ = [
@@ -235,45 +243,75 @@ def mfbc(
         m=graph.nnz_adjacency,
         batch_size=batch_size,
     ):
+        ladder = MemoryLadder(engine)
         with obs.span("adjacency", cat="phase"):
-            adj = engine.adjacency(graph)
+            while True:
+                try:
+                    adj = engine.adjacency(graph)
+                    break
+                except MemoryLimitExceeded as exc:
+                    # only the spill / drop-redundancy rungs can help here
+                    # (there is no batch to shrink yet)
+                    if ladder.advance(exc) is None:
+                        raise
         executed = 0
-        for lo in range(cursor, len(sources), batch_size):
+        lo = cursor
+        while lo < len(sources):
             batch = sources[lo : lo + batch_size]
+            while True:
 
-            def attempt_batch(attempt, batch=batch, batch_index=batch_index):
-                batch_stats = BatchStats(sources=len(batch))
-                with obs.span(
-                    "batch",
-                    cat="batch",
-                    index=batch_index,
-                    sources=len(batch),
-                    attempt=attempt,
-                ):
-                    with obs.span("mfbf", cat="phase"):
-                        t_mat = mfbf(adj, batch, engine=engine, stats=batch_stats)
-                    with obs.span("mfbr", cat="phase"):
-                        z_mat = mfbr(adj, t_mat, engine=engine, stats=batch_stats)
-                    with obs.span("accumulate", cat="phase"):
-                        delta = _accumulate(engine, graph.n, batch, t_mat, z_mat)
-                return delta, batch_stats
+                def attempt_batch(attempt, batch=batch, batch_index=batch_index):
+                    batch_stats = BatchStats(sources=len(batch))
+                    with obs.span(
+                        "batch",
+                        cat="batch",
+                        index=batch_index,
+                        sources=len(batch),
+                        attempt=attempt,
+                    ):
+                        with obs.span("mfbf", cat="phase"):
+                            t_mat = mfbf(adj, batch, engine=engine, stats=batch_stats)
+                        with obs.span("mfbr", cat="phase"):
+                            z_mat = mfbr(adj, t_mat, engine=engine, stats=batch_stats)
+                        with obs.span("accumulate", cat="phase"):
+                            terms = _accumulate(engine, graph.n, batch, t_mat, z_mat)
+                    return terms, batch_stats
 
-            delta, batch_stats = run_batch_with_recovery(
-                attempt_batch,
-                engine=engine,
-                batch_index=batch_index,
-                retries=retries,
-                retry_backoff=retry_backoff,
-                retry_jitter_seed=retry_jitter_seed,
-            )
-            scores += delta
+                try:
+                    terms, batch_stats = run_batch_with_recovery(
+                        attempt_batch,
+                        engine=engine,
+                        batch_index=batch_index,
+                        retries=retries,
+                        retry_backoff=retry_backoff,
+                        retry_jitter_seed=retry_jitter_seed,
+                    )
+                    break
+                except MemoryLimitExceeded as exc:
+                    # the OOM degradation ladder: shrink the batch width,
+                    # spill cold blocks, drop replica redundancy — every
+                    # rung bit-identical — before the error turns terminal.
+                    # (Per-source score rows are independent and cross-batch
+                    # accumulation is strictly left-to-right, so narrower
+                    # retries reproduce the exact same scores.)
+                    rung = ladder.advance(exc, batch_width=len(batch))
+                    if rung is None:
+                        raise
+                    if rung == "shrink_batch":
+                        batch_size = ladder.batch_size
+                        batch = sources[lo : lo + batch_size]
+            ladder.after_success()
+            # ordered in-place accumulation: see _accumulate on why this
+            # keeps scores bit-identical across batch widths
+            np.add.at(scores, terms[0], terms[1])
             stats.batches.append(batch_stats)
             batch_index += 1
             executed += 1
+            lo += len(batch)
             if store is not None:
                 store.save(
                     CheckpointState(
-                        cursor=lo + len(batch),
+                        cursor=lo,
                         batch_index=batch_index,
                         batch_size=batch_size,
                         n=graph.n,
@@ -328,25 +366,61 @@ def mfbc_per_source(
     with obs.span(
         "mfbc_per_source", cat="run", n=graph.n, sources=len(sources)
     ):
+        ladder = MemoryLadder(engine, site="serve")
         if adj is None:
             with obs.span("adjacency", cat="phase"):
-                adj = engine.adjacency(graph)
-        with obs.span("mfbf", cat="phase"):
-            t_mat = mfbf(adj, sources, engine=engine)
-        with obs.span("mfbr", cat="phase"):
-            z_mat = mfbr(adj, t_mat, engine=engine)
-        with obs.span("accumulate", cat="phase"):
-            delta = z_mat.zip_map(
-                t_mat,
-                lambda zv, tv: {"w": zv["p"] * tv["m"]},
-                monoid=_PLUS,
-            )
-            local = engine.gather(delta)
-            keep = local.cols != sources[local.rows]
-            out = np.zeros((len(sources), graph.n), dtype=np.float64)
-            # canonical SpMat stores each (row, col) once, so this is a
-            # plain scatter — no accumulation-order concerns
-            out[local.rows[keep], local.cols[keep]] = local.vals["w"][keep]
+                while True:
+                    try:
+                        adj = engine.adjacency(graph)
+                        break
+                    except MemoryLimitExceeded as exc:
+                        if ladder.advance(exc) is None:
+                            raise
+        while True:
+            try:
+                out = _per_source_sweep(engine, graph, adj, sources)
+                break
+            except MemoryLimitExceeded as exc:
+                # the serve-side OOM ladder: halve the coalesced batch (rows
+                # are independent, so stacking two half-sweeps is
+                # bit-identical to one full sweep), then spill / drop
+                # redundancy at width one
+                rung = ladder.advance(exc, batch_width=len(sources))
+                if rung is None:
+                    raise
+                if rung == "shrink_batch":
+                    half = ladder.batch_size
+                    out = np.vstack([
+                        mfbc_per_source(
+                            graph, sources[:half], engine=engine, adj=adj
+                        ),
+                        mfbc_per_source(
+                            graph, sources[half:], engine=engine, adj=adj
+                        ),
+                    ])
+                    break
+        ladder.after_success()
+    return out
+
+
+def _per_source_sweep(engine, graph, adj, sources) -> np.ndarray:
+    """One MFBF + MFBr sweep split into per-source rows (see caller)."""
+    with obs.span("mfbf", cat="phase"):
+        t_mat = mfbf(adj, sources, engine=engine)
+    with obs.span("mfbr", cat="phase"):
+        z_mat = mfbr(adj, t_mat, engine=engine)
+    with obs.span("accumulate", cat="phase"):
+        delta = z_mat.zip_map(
+            t_mat,
+            lambda zv, tv: {"w": zv["p"] * tv["m"]},
+            monoid=_PLUS,
+        )
+        local = engine.gather(delta)
+        keep = local.cols != sources[local.rows]
+        out = np.zeros((len(sources), graph.n), dtype=np.float64)
+        # canonical SpMat stores each (row, col) once, so this is a
+        # plain scatter — no accumulation-order concerns
+        out[local.rows[keep], local.cols[keep]] = local.vals["w"][keep]
     return out
 
 
@@ -480,12 +554,20 @@ def _elastic_recover(
     return True
 
 
-def _accumulate(engine, n, batch, t_mat, z_mat) -> np.ndarray:
-    """``λ(v) += Σ_s ζ(s,v) · σ̄(s,v)`` excluding the source itself.
+def _accumulate(engine, n, batch, t_mat, z_mat) -> tuple[np.ndarray, np.ndarray]:
+    """``λ(v) += Σ_s ζ(s,v) · σ̄(s,v)`` terms, excluding the source itself.
 
     The diagonal exclusion (pair ``v = s``) implements the convention
     ``σ(s, t, s) = 0``: a source accumulates back-propagated factors from its
     whole DAG, but its own centrality must not count paths it terminates.
+
+    Returns the ``(target, weight)`` entry arrays in canonical
+    (source-major, target-ascending) order *without* summing them: the
+    driver folds them into the running scores with an ordered in-place
+    ``np.add.at``, so the floating-point grouping per target is one strict
+    left-to-right walk over sources — making the accumulated scores
+    bit-identical for every batch width (what lets the OOM ladder's
+    shrink-batch rung retry narrower without changing the answer).
     """
     delta = z_mat.zip_map(
         t_mat,
@@ -494,9 +576,7 @@ def _accumulate(engine, n, batch, t_mat, z_mat) -> np.ndarray:
     )
     local = engine.gather(delta)
     keep = local.cols != batch[local.rows]
-    return np.bincount(
-        local.cols[keep], weights=local.vals["w"][keep], minlength=n
-    )
+    return local.cols[keep], local.vals["w"][keep]
 
 
 def betweenness_centrality(

@@ -13,6 +13,8 @@ vertex relabeling) is what makes these oblivious even splits balanced.
 
 from __future__ import annotations
 
+import itertools
+import weakref
 from typing import Callable
 
 import numpy as np
@@ -23,6 +25,111 @@ from repro.machine.machine import Machine
 from repro.sparse.spmatrix import SpMat
 
 __all__ = ["DistMat", "even_splits"]
+
+#: process-wide ids for spill segment keys (stable across re-spills,
+#: never recycled like ``id()`` can be)
+_SPILL_IDS = itertools.count()
+
+
+class _MemCharge:
+    """One matrix's memory-accounting ownership: what it charged where.
+
+    Shared between the matrix and its GC finalizer, so blocks freed early
+    (spilled) are not freed again at collection and an adopted matrix can
+    take over its donor's charges.  Charges from before a machine
+    :meth:`~repro.machine.Machine.shrink` are epoch-stale: the rank arrays
+    were compacted, so stale holders stand down instead of mis-indexing.
+    """
+
+    __slots__ = ("machine", "epoch", "charged", "released", "finalizer")
+
+    def __init__(self, machine: Machine) -> None:
+        self.machine = machine
+        self.epoch = machine.epoch
+        self.charged: dict[int, int] = {}
+        self.released = False
+        self.finalizer = None
+
+    def _stale(self) -> bool:
+        return self.released or self.machine.epoch != self.epoch
+
+    def add(self, charges: dict[int, int], *, site: str) -> None:
+        if self._stale() or not charges:
+            return
+        self.machine.charge_allocation(charges, site=site)
+        for rank, words in charges.items():
+            self.charged[rank] = self.charged.get(rank, 0) + words
+
+    def sub(self, rank: int, words: int) -> None:
+        if self._stale():
+            return
+        self.machine.free(rank, words)
+        left = self.charged.get(rank, 0) - words
+        if left > 0:
+            self.charged[rank] = left
+        else:
+            self.charged.pop(rank, None)
+
+    def release(self) -> None:
+        if self.released:
+            return
+        self.released = True
+        if self.machine.epoch != self.epoch:
+            return
+        for rank, words in self.charged.items():
+            self.machine.free(rank, words)
+        self.charged = {}
+
+
+def _release_charge(holder: _MemCharge) -> None:
+    holder.release()
+
+
+class _LazyBlockRow:
+    """One row of a spilled matrix's block grid; faults blocks in on read."""
+
+    __slots__ = ("_mat", "_i")
+
+    def __init__(self, mat: "DistMat", i: int) -> None:
+        self._mat = mat
+        self._i = i
+
+    def __len__(self) -> int:
+        return self._mat.grid_shape[1]
+
+    def __getitem__(self, j: int) -> SpMat:
+        return self._mat._block_at(self._i, j)
+
+    def __setitem__(self, j: int, blk: SpMat) -> None:
+        self._mat._set_block(self._i, j, blk)
+
+    def __iter__(self):
+        for j in range(len(self)):
+            yield self._mat._block_at(self._i, j)
+
+
+class _LazyBlocks:
+    """Drop-in view over ``DistMat.blocks`` once any block has spilled.
+
+    Supports exactly the access patterns the codebase uses — ``[i][j]``
+    indexing, row iteration, ``len`` — and transparently faults spilled
+    blocks back in from the store (charging the unspill) on first touch.
+    """
+
+    __slots__ = ("_mat",)
+
+    def __init__(self, mat: "DistMat") -> None:
+        self._mat = mat
+
+    def __len__(self) -> int:
+        return self._mat.grid_shape[0]
+
+    def __getitem__(self, i: int) -> _LazyBlockRow:
+        return _LazyBlockRow(self._mat, i)
+
+    def __iter__(self):
+        for i in range(len(self)):
+            yield _LazyBlockRow(self._mat, i)
 
 
 def _pack_block(
@@ -96,6 +203,11 @@ class DistMat:
         "redundancy",
         "_replicas",
         "_source",
+        "_memcharge",
+        "_resident",
+        "_spilled",
+        "_spill_id",
+        "__weakref__",
     )
 
     def __init__(
@@ -143,6 +255,25 @@ class DistMat:
         self.redundancy = None
         self._replicas: dict | None = None
         self._source: SpMat | None = None
+        #: spill state: ``_resident`` is the raw nested block list (a cell is
+        #: ``None`` while its block lives in the spill store, keyed in
+        #: ``_spilled``); ``self.blocks`` becomes a lazy fault-in view the
+        #: first time anything spills
+        self._resident = blocks
+        self._spilled: dict[tuple[int, int], object] = {}
+        self._spill_id: int | None = None
+        self._memcharge = _MemCharge(machine)
+        charges: dict[int, int] = {}
+        for i in range(pr):
+            for j in range(pc):
+                w = blocks[i][j].words()
+                if w:
+                    r = int(ranks2d[i, j])
+                    charges[r] = charges.get(r, 0) + w
+        self._memcharge.add(charges, site="distmat")
+        self._memcharge.finalizer = weakref.finalize(
+            self, _release_charge, self._memcharge
+        )
 
     # -- construction -----------------------------------------------------------
 
@@ -157,6 +288,7 @@ class DistMat:
         col_splits: np.ndarray | None = None,
         charge: bool = True,
         redundancy=None,
+        replicate: bool = True,
     ) -> "DistMat":
         """Scatter a node-local matrix into blocks (root-owned input).
 
@@ -198,10 +330,14 @@ class DistMat:
                 )
         out = cls(machine, ranks2d, row_splits, col_splits, blocks, monoid=mat.monoid)
         if redundancy is not None:
-            out._install_redundancy(mat, redundancy, charge=charge)
+            out._install_redundancy(
+                mat, redundancy, charge=charge, replicate=replicate
+            )
         return out
 
-    def _install_redundancy(self, source: SpMat, policy, *, charge: bool = True) -> None:
+    def _install_redundancy(
+        self, source: SpMat, policy, *, charge: bool = True, replicate: bool = True
+    ) -> None:
         """Arm this matrix for elastic repair under ``policy``.
 
         Replica mode ships every rank's blocks to its buddy
@@ -215,7 +351,9 @@ class DistMat:
 
         self.redundancy = policy
         self._source = source
-        if policy.redundancy != "replica":
+        if policy.redundancy != "replica" or not replicate:
+            # source mode (or a ladder-forced lean install): the retained
+            # source is the only fallback; replicas can be re-armed later
             return
         p = self.machine.p
         pr, pc = self.grid_shape
@@ -229,6 +367,12 @@ class DistMat:
                 replicas[(i, j)] = (buddy, payload_checksum(blk), blk)
                 if buddy != owner:
                     shipped[owner] += blk.words()
+        rep_charges: dict[int, int] = {}
+        for (_i, _j), (buddy, _crc, blk) in replicas.items():
+            w = blk.words()
+            if w:
+                rep_charges[buddy] = rep_charges.get(buddy, 0) + w
+        self._memcharge.add(rep_charges, site="redundancy")
         self._replicas = replicas
         if charge and p > 1 and shipped.max() > 0:
             self.machine.charge_collective(
@@ -263,9 +407,17 @@ class DistMat:
                 rep = (self._replicas or {}).get((i, j))
                 if rep is not None:
                     buddy, crc, copy_ = rep
-                    if buddy not in dead and payload_checksum(copy_) == crc:
-                        blk = copy_
-                        stats["replica"] += 1
+                    if buddy not in dead:
+                        if isinstance(copy_, SpMat):
+                            if payload_checksum(copy_) == crc:
+                                blk = copy_
+                                stats["replica"] += 1
+                        else:
+                            # replica was evicted to the spill store under
+                            # memory pressure; fetch verifies its CRC
+                            blk = self._fetch_segment(copy_, site="repair")
+                            if blk is not None:
+                                stats["replica"] += 1
                 if blk is None and self._source is not None:
                     blk = self._source.block(
                         int(self.row_splits[i]),
@@ -292,9 +444,29 @@ class DistMat:
         (the MFBC driver's adjacency, the engine's invariant registry) stay
         valid across the reconfiguration.
         """
+        old_charge = self._memcharge
         for slot in self.__slots__:
+            if slot == "__weakref__":
+                continue
             setattr(self, slot, getattr(other, slot))
         self._cached_t = None
+        # the lazy view (if any) must point at *this* object, not the donor
+        if isinstance(self.blocks, _LazyBlocks):
+            self.blocks = _LazyBlocks(self)
+        # take over the donor's memory charges: release what this object
+        # held, then move ownership of the donor's holder to this object so
+        # the donor's collection does not free blocks that now live here
+        if old_charge is not self._memcharge:
+            old_fin = old_charge.finalizer
+            if old_fin is not None:
+                old_fin.detach()
+            old_charge.release()
+            donor_fin = self._memcharge.finalizer
+            if donor_fin is not None:
+                donor_fin.detach()
+            self._memcharge.finalizer = weakref.finalize(
+                self, _release_charge, self._memcharge
+            )
 
     @classmethod
     def from_triples(
@@ -358,25 +530,52 @@ class DistMat:
     def shape(self) -> tuple[int, int]:
         return (self.nrows, self.ncols)
 
+    def _cell_meta(self):
+        """Yield ``(i, j, nnz, words)`` per block WITHOUT faulting spills in.
+
+        Size queries must not defeat eviction: a spilled block's counts come
+        from its segment metadata, so ``nnz``/``words`` on a partially
+        spilled matrix stay free.
+        """
+        pr, pc = self.grid_shape
+        raw = self._resident
+        for i in range(pr):
+            for j in range(pc):
+                blk = raw[i][j]
+                if blk is not None:
+                    yield i, j, blk.nnz, blk.words()
+                else:
+                    seg = self._spilled[(i, j)]
+                    yield i, j, seg.nnz, seg.words
+
     @property
     def nnz(self) -> int:
-        return sum(b.nnz for row in self.blocks for b in row)
+        return sum(nnz for _i, _j, nnz, _w in self._cell_meta())
 
     def words(self) -> int:
-        return sum(b.words() for row in self.blocks for b in row)
+        return sum(w for _i, _j, _nnz, w in self._cell_meta())
 
     def max_block_words(self) -> int:
-        return max(b.words() for row in self.blocks for b in row)
+        return max(w for _i, _j, _nnz, w in self._cell_meta())
 
     def memory_words_per_rank(self) -> dict[int, int]:
         """Words held by each participating rank (for memory budget checks)."""
         out: dict[int, int] = {}
-        pr, pc = self.grid_shape
-        for i in range(pr):
-            for j in range(pc):
-                r = int(self.ranks2d[i, j])
-                out[r] = out.get(r, 0) + self.blocks[i][j].words()
+        for i, j, _nnz, w in self._cell_meta():
+            r = int(self.ranks2d[i, j])
+            out[r] = out.get(r, 0) + w
         return out
+
+    def resident_words(self) -> int:
+        """Words currently resident in (simulated) memory, excluding spills."""
+        pr, pc = self.grid_shape
+        raw = self._resident
+        return sum(
+            raw[i][j].words()
+            for i in range(pr)
+            for j in range(pc)
+            if raw[i][j] is not None
+        )
 
     def same_distribution(self, other: "DistMat") -> bool:
         return (
@@ -384,6 +583,173 @@ class DistMat:
             and np.array_equal(self.row_splits, other.row_splits)
             and np.array_equal(self.col_splits, other.col_splits)
         )
+
+    # -- spill / fault-in ---------------------------------------------------------
+
+    def _seg_key(self, i: int, j: int, *, replica: bool = False) -> str:
+        if self._spill_id is None:
+            self._spill_id = next(_SPILL_IDS)
+        kind = "r" if replica else "b"
+        return f"m{self._spill_id}-{kind}{i}-{j}"
+
+    def _store(self):
+        mgr = getattr(self.machine, "memory", None)
+        return None if mgr is None else mgr.store()
+
+    def _fetch_segment(self, seg, *, site: str) -> SpMat | None:
+        from repro.memory.spill import SpillError
+
+        store = self._store()
+        if store is None:
+            return None
+        try:
+            return store.fetch(seg, site=site)
+        except SpillError:
+            return None
+
+    def _block_at(self, i: int, j: int) -> SpMat:
+        """The block at ``(i, j)``, faulting it in from the store if spilled.
+
+        The unspill is charged against the owner rank's memory budget (which
+        may trigger relief-eviction of colder blocks) and ledger time before
+        the bytes are read back and CRC-verified.
+        """
+        blk = self._resident[i][j]
+        if blk is not None:
+            return blk
+        seg = self._spilled[(i, j)]
+        owner = int(self.ranks2d[i, j])
+        self._memcharge.add({owner: seg.words}, site="unspill")
+        store = self._store()
+        try:
+            blk = store.fetch(seg, rank=owner)
+        except Exception:
+            self._memcharge.sub(owner, seg.words)
+            raise
+        self._resident[i][j] = blk
+        del self._spilled[(i, j)]
+        store.drop(seg.key)
+        return blk
+
+    def _set_block(self, i: int, j: int, blk: SpMat) -> None:
+        """Assign a resident block (uncharged — callers own the accounting)."""
+        self._resident[i][j] = blk
+        seg = self._spilled.pop((i, j), None)
+        if seg is not None:
+            store = self._store()
+            if store is not None:
+                store.drop(seg.key)
+
+    def spill_blocks(self, store, rank: int | None = None) -> int:
+        """Evict resident primary blocks to ``store``; return words freed.
+
+        ``rank`` restricts eviction to blocks owned by that rank (the
+        relief path); ``None`` evicts everywhere (the ladder's spill rung).
+        A block is only released after the store's write-then-verify
+        read-back passes — a torn write leaves it resident.
+        """
+        freed = 0
+        pr, pc = self.grid_shape
+        raw = self._resident
+        for i in range(pr):
+            for j in range(pc):
+                owner = int(self.ranks2d[i, j])
+                if rank is not None and owner != rank:
+                    continue
+                blk = raw[i][j]
+                if blk is None:
+                    continue
+                w = blk.words()
+                if w == 0:
+                    continue
+                seg = store.spill(self._seg_key(i, j), blk, rank=owner)
+                if seg is None:
+                    continue  # torn write detected: keep the block resident
+                if not isinstance(self.blocks, _LazyBlocks):
+                    self.blocks = _LazyBlocks(self)
+                self._spilled[(i, j)] = seg
+                raw[i][j] = None
+                self._memcharge.sub(owner, w)
+                freed += w
+        return freed
+
+    def spill_replicas(self, store, rank: int | None = None) -> int:
+        """Evict resident replica copies to ``store``; return words freed.
+
+        Replicas are the coldest data by construction (only read at repair
+        time), so they go first under pressure.  A spilled replica still
+        repairs: its segment CRC is the integrity check the resident copy's
+        checksum used to provide.
+        """
+        if not self._replicas:
+            return 0
+        freed = 0
+        for (i, j), (buddy, crc, payload) in list(self._replicas.items()):
+            if not isinstance(payload, SpMat):
+                continue  # already spilled
+            if rank is not None and buddy != rank:
+                continue
+            w = payload.words()
+            if w == 0:
+                continue
+            seg = store.spill(
+                self._seg_key(i, j, replica=True),
+                payload,
+                rank=buddy,
+                site="replica",
+            )
+            if seg is None:
+                continue  # torn write detected: keep the replica resident
+            self._replicas[(i, j)] = (buddy, crc, seg)
+            self._memcharge.sub(buddy, w)
+            freed += w
+        return freed
+
+    def replica_words(self) -> int:
+        """Words of *resident* replica redundancy (what dropping would free)."""
+        if not self._replicas:
+            return 0
+        return sum(
+            payload.words()
+            for _buddy, _crc, payload in self._replicas.values()
+            if isinstance(payload, SpMat)
+        )
+
+    def drop_redundancy(self) -> int:
+        """Release replica redundancy entirely; return words freed.
+
+        The ladder's last resort before falling through: recovery degrades
+        to source re-materialization (still correct, just slower).  The
+        retained source and policy are kept so redundancy can be re-armed
+        via :meth:`rearm_redundancy` once pressure clears.
+        """
+        if not self._replicas:
+            return 0
+        freed = 0
+        stale_segs = []
+        for (_i, _j), (buddy, _crc, payload) in self._replicas.items():
+            if isinstance(payload, SpMat):
+                w = payload.words()
+                if w:
+                    self._memcharge.sub(buddy, w)
+                    freed += w
+            else:
+                stale_segs.append(payload)
+        self._replicas = None
+        store = self._store()
+        if store is not None:
+            for seg in stale_segs:
+                store.drop(seg.key)
+        return freed
+
+    def rearm_redundancy(self) -> bool:
+        """Re-install replica redundancy after a pressure-forced drop."""
+        if self.redundancy is None or self._source is None:
+            return False
+        if self.redundancy.redundancy != "replica" or self._replicas is not None:
+            return False
+        self._install_redundancy(self._source, self.redundancy, charge=True)
+        return True
 
     # -- gather -----------------------------------------------------------------
 
@@ -552,10 +918,7 @@ class DistMat:
         # independent work: fan the nonempty blocks through the executor,
         # then merge the pieces on the simulation thread in (i, j) order
         sources = [
-            (i, j)
-            for i in range(pr)
-            for j in range(pc)
-            if self.blocks[i][j].nnz
+            (i, j) for i, j, nnz, _w in self._cell_meta() if nnz
         ]
         piece_lists = self.machine.executor.run_tasks(
             [

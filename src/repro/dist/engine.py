@@ -14,6 +14,7 @@ cache, reproducing the amortization in the proof of Theorem 5.1.
 
 from __future__ import annotations
 
+from contextlib import nullcontext
 from typing import TYPE_CHECKING
 
 import numpy as np
@@ -108,6 +109,8 @@ class DistributedEngine:
         self._invariant_bases: list[DistMat] = []
         #: plans chosen per product, newest last (diagnostics / tests)
         self.plan_log: list = []
+        #: set by the memory ladder's drop-redundancy rung; cleared on re-arm
+        self._redundancy_dropped = False
 
     # -- Engine protocol -------------------------------------------------------
 
@@ -129,6 +132,9 @@ class DistributedEngine:
             self.machine,
             self.home_ranks2d,
             redundancy=self.machine.elastic,
+            # while the memory ladder has replicas dropped, new invariants
+            # keep the source fallback but skip the replica copies
+            replicate=not self._redundancy_dropped,
         )
         self.register_invariant(mat)
         return mat
@@ -139,6 +145,12 @@ class DistributedEngine:
         self._invariant_bases.append(mat)
         self._invariant_ids.add(id(mat))
         self._invariant_ids.add(id(mat.transpose()))
+        # invariants are the long-lived resting state: exactly what the
+        # memory manager should evict to the spill store under pressure
+        memory = getattr(self.machine, "memory", None)
+        if memory is not None:
+            memory.register(mat, label="invariant")
+            memory.register(mat.transpose(), label="invariant-t")
 
     def release_invariants(self) -> None:
         """Forget every registered loop-invariant operand and its replicas.
@@ -173,6 +185,12 @@ class DistributedEngine:
         local_mask = None
         if mask is not None:
             local_mask = mask.gather(charge=False) if isinstance(mask, DistMat) else mask
+        # in-flight operands become most-recently-used so relief-eviction
+        # under memory pressure picks colder matrices first
+        memory = getattr(self.machine, "memory", None)
+        if memory is not None:
+            memory.touch(a)
+            memory.touch(b)
         amortized = frozenset(
             (["A"] if id(a) in self._invariant_ids else [])
             + (["B"] if id(b) in self._invariant_ids else [])
@@ -208,16 +226,23 @@ class DistributedEngine:
                 and id(replicated_operand) in self._invariant_ids
                 else None
             )
-            out, ops = execute_plan(
-                plan,
-                a,
-                b,
-                spec,
-                self.home_ranks2d,
-                mask=local_mask,
-                mask_complement=mask_complement,
-                replication_cache=cache,
-            )
+            if memory is not None and memory.chunk_staging:
+                from repro.sparse.spgemm import staged_chunks
+
+                staging = staged_chunks(memory.store())
+            else:
+                staging = nullcontext()
+            with staging:
+                out, ops = execute_plan(
+                    plan,
+                    a,
+                    b,
+                    spec,
+                    self.home_ranks2d,
+                    mask=local_mask,
+                    mask_complement=mask_complement,
+                    replication_cache=cache,
+                )
             # fixed per-product setup overhead on every rank (see CostParams)
             self.machine.charge_overhead(self.machine.cost.product_overhead)
             if obs.enabled():
@@ -266,6 +291,31 @@ class DistributedEngine:
         from repro.elastic.recovery import recover_engine
 
         return recover_engine(self, failure)
+
+    # -- memory-pressure ladder hooks -----------------------------------------
+
+    def redundancy_words(self) -> int:
+        """Resident replica words across registered invariants."""
+        return sum(mat.replica_words() for mat in self._invariant_bases)
+
+    def drop_redundancy(self) -> int:
+        """Drop every invariant's replica redundancy; return words freed.
+
+        A ladder rung: recovery degrades to source re-materialization until
+        :meth:`rearm_redundancy` re-installs the replicas.  Also arms a
+        guard so invariants registered *after* the drop (a replaced serving
+        graph, say) stay replica-free while pressure persists.
+        """
+        self._redundancy_dropped = True
+        return sum(mat.drop_redundancy() for mat in self._invariant_bases)
+
+    def rearm_redundancy(self) -> bool:
+        """Re-install replica redundancy dropped under memory pressure."""
+        self._redundancy_dropped = False
+        rearmed = False
+        for mat in self._invariant_bases:
+            rearmed = mat.rearm_redundancy() or rearmed
+        return rearmed
 
 
 if TYPE_CHECKING:

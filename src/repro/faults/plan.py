@@ -34,6 +34,11 @@ Fault kinds
     Memory pressure: the machine's per-rank budget is tightened by a
     factor at construction, so allocations/plans that would have fit now
     raise ``MemoryLimitExceeded``.
+``tear``
+    A spill-segment or ingest-shard write is torn mid-file (truncated
+    after the atomic rename).  The spill store's write-then-verify
+    read-back and the ingest manifest's per-shard CRCs must detect the
+    damage and keep the data resident / re-ingest the shard.
 
 Determinism
 -----------
@@ -52,8 +57,8 @@ and the CLI ``--faults`` flag) accepts comma-separated tokens::
     checksum:1,mem:0.5,skew:1e-4,limit:10,crash@12,corrupt@7,straggle@9:2
 
 * ``seed:N`` — generator seed (default 0);
-* ``crash|corrupt|straggle|poolkill:RATE`` — per-decision probabilities
-  in ``[0, 1]``;
+* ``crash|corrupt|straggle|poolkill|tear:RATE`` — per-decision
+  probabilities in ``[0, 1]``;
 * ``checksum:0|1`` — arm the payload checksum guard on Group collectives;
 * ``mem:FACTOR`` — multiply the machine's memory budget by ``FACTOR``
   in ``(0, 1]``;
@@ -198,7 +203,7 @@ class ScriptedFault:
     __slots__ = ("kind", "step", "rank", "fired")
 
     def __init__(self, kind: str, step: int, rank: int | None = None) -> None:
-        if kind not in ("crash", "straggle", "corrupt", "poolkill"):
+        if kind not in ("crash", "straggle", "corrupt", "poolkill", "tear"):
             raise ValueError(f"unknown scripted fault kind {kind!r}")
         if step <= 0:
             raise ValueError(f"scripted fault step must be positive, got {step}")
@@ -342,6 +347,7 @@ class FaultPlan:
         corrupt: float = 0.0,
         straggle: float = 0.0,
         poolkill: float = 0.0,
+        tear: float = 0.0,
         skew: float = DEFAULT_SKEW_SECONDS,
         checksum: bool = False,
         mem: float | None = None,
@@ -353,6 +359,7 @@ class FaultPlan:
             ("corrupt", corrupt),
             ("straggle", straggle),
             ("poolkill", poolkill),
+            ("tear", tear),
         ):
             if not 0.0 <= rate <= 1.0:
                 raise ValueError(f"{name} rate must be in [0, 1], got {rate}")
@@ -367,6 +374,7 @@ class FaultPlan:
         self.corrupt = float(corrupt)
         self.straggle = float(straggle)
         self.poolkill = float(poolkill)
+        self.tear = float(tear)
         self.skew = float(skew)
         self.checksum = bool(checksum)
         self.mem = mem if mem is None else float(mem)
@@ -396,6 +404,7 @@ class FaultPlan:
             or self.corrupt
             or self.straggle
             or self.poolkill
+            or self.tear
             or self.checksum
             or self.mem is not None
             or self.script
@@ -445,7 +454,9 @@ class FaultPlan:
             try:
                 if key == "seed":
                     kwargs["seed"] = int(value)
-                elif key in ("crash", "corrupt", "straggle", "poolkill", "skew"):
+                elif key in (
+                    "crash", "corrupt", "straggle", "poolkill", "tear", "skew"
+                ):
                     kwargs[key] = float(value)
                 elif key == "checksum":
                     kwargs["checksum"] = bool(int(value))
@@ -580,6 +591,21 @@ class FaultPlan:
             return True
         return False
 
+    def take_tear(self, site: str) -> bool:
+        """Should this spill-segment write be torn mid-file?
+
+        Consumed by :class:`~repro.memory.SpillStore` immediately after the
+        atomic rename: the written segment is truncated to half its size, so
+        the store's write-then-verify read-back must catch it.
+        """
+        for sc in self.script:
+            if not sc.fired and sc.kind == "tear" and sc.step <= self.step:
+                sc.fired = True
+                return True
+        if self.tear and self._may_inject() and self.rng.random() < self.tear:
+            return True
+        return False
+
     def tighten_memory(self, budget: int) -> int:
         """Apply the memory-pressure factor to a per-rank budget."""
         if self.mem is None:
@@ -599,7 +625,7 @@ class FaultPlan:
 
     def describe(self) -> str:
         parts = [f"seed:{self.seed}"]
-        for key in ("crash", "corrupt", "straggle", "poolkill"):
+        for key in ("crash", "corrupt", "straggle", "poolkill", "tear"):
             rate = getattr(self, key)
             if rate:
                 parts.append(f"{key}:{rate:g}")

@@ -17,6 +17,7 @@ amount of data communicated along any dependent sequence of collectives".
 from __future__ import annotations
 
 import math
+import os
 from dataclasses import dataclass, field
 
 import numpy as np
@@ -25,7 +26,20 @@ from repro.faults.plan import DeadlineExceeded, FaultPlan, resolve_fault_plan
 from repro.machine.executor import LocalExecutor, resolve_executor
 from repro.obs import api as obs
 
-__all__ = ["CostParams", "Ledger", "Machine", "MemoryLimitExceeded"]
+__all__ = [
+    "CostParams",
+    "Ledger",
+    "Machine",
+    "MemoryLimitExceeded",
+    "MEMORY_ENV",
+    "SPILL_DIR_ENV",
+]
+
+#: environment variables consulted when ``Machine(memory_words=None)`` /
+#: ``Machine(spill_dir=None)`` — the ambient budget knob CI's
+#: memory-pressure leg turns (see docs/robustness.md).
+MEMORY_ENV = "REPRO_MEMORY"
+SPILL_DIR_ENV = "REPRO_SPILL_DIR"
 
 
 class MemoryLimitExceeded(RuntimeError):
@@ -46,6 +60,12 @@ class CostParams:
     alpha: float = 1.0e-6  # seconds per message
     beta: float = 1.25e-9  # seconds per 8-byte word
     compute_rate: float = 1.0e9  # elementary kernel ops per second per rank
+    #: modeled node-local spill I/O (the out-of-core path): per-segment
+    #: setup latency and per-word transfer, ~0.8 GB/s effective — an order
+    #: of magnitude slower than the interconnect, which is what makes
+    #: spilling a degradation rather than a free lunch.
+    spill_alpha: float = 1.0e-4  # seconds per spilled segment
+    spill_beta: float = 1.0e-8  # seconds per 8-byte word spilled
     #: fixed per-generalized-matmul overhead per rank (kernel setup, sparse
     #: format conversion, mapping decisions — §6.2's redistribution/setup
     #: machinery).  This is what makes high-diameter graphs (many small
@@ -149,9 +169,16 @@ class Machine:
     cost:
         α-β model constants (keyword-only).
     memory_words:
-        Optional per-rank memory budget ``M`` in 8-byte words; tracked
-        allocations beyond it raise :class:`MemoryLimitExceeded`, modeling
-        the paper's ``M = Ω(c·m/p)`` feasibility constraints (keyword-only).
+        Optional per-rank memory budget ``M`` in 8-byte words
+        (keyword-only); ``None`` consults the ``REPRO_MEMORY`` environment
+        variable.  Tracked allocations beyond it first trigger
+        spill-to-disk relief (:mod:`repro.memory`) and only then raise
+        :class:`MemoryLimitExceeded`, modeling the paper's
+        ``M = Ω(c·m/p)`` feasibility constraints.
+    spill_dir:
+        Directory for the spill store's evicted-block segments
+        (keyword-only); ``None`` consults ``REPRO_SPILL_DIR`` and falls
+        back to a private temporary directory on first eviction.
     executor:
         Local-execution backend for the independent per-rank kernels
         (keyword-only): a :class:`~repro.machine.executor.LocalExecutor`
@@ -210,6 +237,7 @@ class Machine:
         deadline: float | None = None,
         elastic=None,
         kernel: str | None = None,
+        spill_dir: str | None = None,
     ) -> None:
         if p <= 0:
             raise ValueError(f"p must be positive, got {p}")
@@ -220,9 +248,25 @@ class Machine:
         self._fault_hook = (
             self.faults if self.faults is not None and self.faults.armed else None
         )
+        if memory_words is None:
+            env = os.environ.get(MEMORY_ENV, "").strip()
+            if env and env.lower() not in ("none", "off"):
+                memory_words = int(env)
+        if memory_words is not None and memory_words <= 0:
+            raise ValueError(
+                f"memory_words must be positive, got {memory_words}"
+            )
         if self._fault_hook is not None and memory_words is not None:
             memory_words = self.faults.tighten_memory(memory_words)
         self.memory_words = memory_words
+        if spill_dir is None:
+            spill_dir = os.environ.get(SPILL_DIR_ENV) or None
+        # deferred import: repro.memory imports repro.faults → fine, but
+        # keep the constructor import-light like the other subsystems
+        from repro.memory.manager import MemoryManager
+
+        #: the spill/eviction manager (see docs/robustness.md, memory ladder)
+        self.memory = MemoryManager(self, spill_dir=spill_dir)
         self.executor = resolve_executor(executor)
         if self._fault_hook is not None:
             self.executor.fault_plan = self.faults
@@ -256,20 +300,71 @@ class Machine:
 
     # -- memory tracking -----------------------------------------------------
 
-    def allocate(self, rank: int, words: int) -> None:
-        """Track ``words`` of new allocation on ``rank``."""
-        self._mem_used[rank] += int(words)
+    def allocate(self, rank: int, words: int, *, site: str = "allocate") -> None:
+        """Track ``words`` of new allocation on ``rank``.
+
+        Over budget, the memory manager first tries to *relieve* the rank
+        by spilling cold blocks (see :mod:`repro.memory`); only when that
+        cannot free enough does :class:`MemoryLimitExceeded` raise — and
+        the failed allocation is rolled back, so the peak only ever
+        records allocations that actually fit (``tracked peak ≤ budget``
+        whenever a budgeted run completes).
+        """
+        rank = int(rank)
+        words = int(words)
+        self._mem_used[rank] += words
+        budget = self.memory_words
+        if budget is not None and self._mem_used[rank] > budget:
+            self.memory.relieve(
+                rank, int(self._mem_used[rank] - budget), site=site
+            )
+            if self._mem_used[rank] > budget:
+                needed = int(self._mem_used[rank])
+                self._mem_used[rank] -= words  # failed allocation rolls back
+                pressured = (
+                    self.faults is not None and self.faults.mem is not None
+                )
+                if self.faults is not None:
+                    self.faults.note(
+                        "mem",
+                        "detected",
+                        site=site,
+                        rank=rank,
+                        needed_words=needed,
+                        budget_words=int(budget),
+                    )
+                elif obs.enabled():
+                    obs.count("memory.oom", 1.0, site=site)
+                raise MemoryLimitExceeded(
+                    f"rank {rank} needs {needed} words but the per-rank "
+                    f"memory budget is {budget}"
+                    + (
+                        " (tightened by injected memory pressure)"
+                        if pressured
+                        else ""
+                    )
+                )
         if self._mem_used[rank] > self._mem_peak[rank]:
             self._mem_peak[rank] = self._mem_used[rank]
-        if self.memory_words is not None and self._mem_used[rank] > self.memory_words:
-            pressured = (
-                self.faults is not None and self.faults.mem is not None
-            )
-            raise MemoryLimitExceeded(
-                f"rank {rank} needs {int(self._mem_used[rank])} words "
-                f"but the budget is {self.memory_words}"
-                + (" (tightened by injected memory pressure)" if pressured else "")
-            )
+
+    def charge_allocation(
+        self, charges: dict[int, int], *, site: str = "allocate"
+    ) -> None:
+        """Atomically track a multi-rank allocation (all ranks or none).
+
+        Used by :class:`~repro.dist.DistMat` to charge its blocks: a raise
+        partway through must not leave earlier ranks charged, or the
+        driver's retry after a ladder rung would double-count them.
+        """
+        done: list[tuple[int, int]] = []
+        try:
+            for rank, words in charges.items():
+                self.allocate(rank, words, site=site)
+                done.append((rank, words))
+        except MemoryLimitExceeded:
+            for rank, words in done:
+                self.free(rank, words)
+            raise
 
     def free(self, rank: int, words: int) -> None:
         self._mem_used[rank] = max(0, self._mem_used[rank] - int(words))
@@ -401,6 +496,30 @@ class Machine:
         self.ledger.time += seconds
         if self.deadline is not None:
             self._check_deadline("overhead")
+
+    def charge_spill(
+        self, rank: int | None, words: int, *, op: str = "spill"
+    ) -> None:
+        """Charge one spill-store segment transfer (modeled local I/O).
+
+        ``rank=None`` charges the busiest rank (machine-wide staging).
+        Spill traffic is node-local, so only the rank's modeled clock and
+        the ``"spill"`` volume category move — never the critical-path
+        words/messages, which track interconnect traffic.
+        """
+        if self.p == 0 or words <= 0:
+            return
+        if rank is None:
+            rank = int(np.argmax(self.ledger.time))
+        t = self.cost.spill_alpha + float(words) * self.cost.spill_beta
+        led = self.ledger
+        led.time[rank] += t
+        led.total_words += float(words)
+        led.category_words["spill"] = (
+            led.category_words.get("spill", 0.0) + float(words)
+        )
+        if self.deadline is not None:
+            self._check_deadline(op)
 
     def _check_deadline(self, site: str) -> None:
         """Raise once the modeled critical path overruns the budget.

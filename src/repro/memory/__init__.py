@@ -1,0 +1,19 @@
+"""Memory-pressure robustness: spill-to-disk store, OOM degradation ladder.
+
+See :mod:`repro.memory.spill` (the checksummed segment store),
+:mod:`repro.memory.manager` (LRU eviction under pressure), and
+:mod:`repro.memory.ladder` (the driver-level degradation ladder), plus the
+"memory ladder" section of ``docs/robustness.md``.
+"""
+
+from repro.memory.ladder import MemoryLadder
+from repro.memory.manager import MemoryManager
+from repro.memory.spill import SpillError, SpillSegment, SpillStore
+
+__all__ = [
+    "MemoryLadder",
+    "MemoryManager",
+    "SpillError",
+    "SpillSegment",
+    "SpillStore",
+]

@@ -1,0 +1,131 @@
+"""The OOM degradation ladder: what the MFBC driver does when memory runs out.
+
+Where :class:`~repro.machine.MemoryLimitExceeded` used to be terminal, the
+driver now descends a ladder of degradations, each bit-identical to the
+unpressured run:
+
+1. **Shrink the batch width** — per-source rows of the multpath/centpath
+   matrices never interact and cross-batch score accumulation is strictly
+   left-to-right in source order, so halving ``nb`` halves the ``n × nb``
+   working set without changing a single bit of the result (§5.3's
+   time/storage knob, turned the other way).
+2. **Spill cold blocks** — force every registered invariant (and the
+   SpGEMM expansion chunks, via staging) out to the checksummed
+   :class:`~repro.memory.SpillStore`; blocks fault back in on access.
+3. **Drop replica redundancy** — the elastic replicas are pure overhead
+   words; dropping them degrades recovery to source re-materialization
+   (still correct, just slower) and is re-armed once pressure clears.
+4. **Fall through** — re-raise into the existing elastic/retry ladder;
+   when that is exhausted too, the error is terminal as before.
+
+Every rung is recorded on the fault plan (kind ``mem``/``spill``), so the
+``repro trace`` ``(kind, site)`` table shows what the ladder did.
+"""
+
+from __future__ import annotations
+
+from repro.obs import api as obs
+
+__all__ = ["MemoryLadder"]
+
+
+class MemoryLadder:
+    """Per-run ladder state for one driver (see module docstring).
+
+    ``advance`` is called with the caught ``MemoryLimitExceeded`` and the
+    width of the failing batch; it applies the next rung and returns its
+    name, or ``None`` when the ladder is exhausted (caller re-raises).
+    ``batch_size`` holds the (possibly shrunken) width to retry with.
+    """
+
+    #: floor on shrink rungs: stop halving below one source per batch
+    def __init__(self, engine, *, site: str = "mfbc") -> None:
+        self.engine = engine
+        self.machine = getattr(engine, "machine", None)
+        self.site = site
+        self.batch_size: int | None = None
+        self._spilled = False
+        self._dropped = False
+        #: words the drop rung freed — what re-arming will cost (the
+        #: resident replica count is 0 once dropped, so it can't be used)
+        self._dropped_words = 0
+        self.rungs_taken: list[str] = []
+
+    def _plan(self):
+        return getattr(self.machine, "faults", None)
+
+    def _manager(self):
+        return getattr(self.machine, "memory", None)
+
+    def _note(self, rung: str, **detail) -> None:
+        self.rungs_taken.append(rung)
+        plan = self._plan()
+        if plan is not None:
+            plan.note("mem", "degraded", site=self.site, rung=rung, **detail)
+        elif obs.enabled():
+            obs.count("memory.ladder", 1.0, rung=rung, site=self.site)
+
+    def advance(self, exc, *, batch_width: int = 1) -> str | None:
+        """Apply the next rung; return its name or ``None`` (exhausted)."""
+        if batch_width > 1:
+            self.batch_size = max(1, batch_width // 2)
+            self._note("shrink_batch", batch_size=self.batch_size,
+                       was=batch_width)
+            return "shrink_batch"
+        if not self._spilled:
+            self._spilled = True
+            manager = self._manager()
+            freed = 0
+            if manager is not None:
+                freed = manager.spill_all()
+                manager.chunk_staging = True
+            if freed > 0:
+                self._note("spill", words=int(freed))
+                return "spill"
+        if not self._dropped:
+            self._dropped = True
+            drop = getattr(self.engine, "drop_redundancy", None)
+            freed = drop() if drop is not None else 0
+            if freed > 0:
+                self._dropped_words = int(freed)
+                self._note("drop_redundancy", words=int(freed))
+                return "drop_redundancy"
+        plan = self._plan()
+        if plan is not None:
+            plan.note(
+                "mem",
+                "abandoned",
+                site=self.site,
+                rungs=",".join(self.rungs_taken) or "none",
+                error=str(exc),
+            )
+        return None
+
+    def after_success(self) -> None:
+        """Called after each completed batch: re-arm what pressure dropped.
+
+        Replica redundancy returns once the pressured rank has headroom for
+        it again; chunk staging is switched off as soon as a batch fits.
+        """
+        machine = self.machine
+        manager = self._manager()
+        if manager is not None and manager.chunk_staging:
+            manager.chunk_staging = False
+        if not self._dropped or machine is None:
+            return
+        rearm = getattr(self.engine, "rearm_redundancy", None)
+        if rearm is None:
+            return
+        budget = machine.memory_words
+        if budget is not None and self._dropped_words > 0:
+            headroom = budget - machine.memory_used()
+            if headroom < 2 * self._dropped_words:
+                return  # pressure has not cleared yet
+        if rearm():
+            self._dropped = False
+            self._dropped_words = 0
+            plan = self._plan()
+            if plan is not None:
+                plan.note("mem", "recovered", site=self.site, rung="rearm")
+            elif obs.enabled():
+                obs.count("memory.ladder", 1.0, rung="rearm", site=self.site)

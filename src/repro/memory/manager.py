@@ -1,0 +1,173 @@
+"""The memory manager: LRU eviction of spillable residents under pressure.
+
+One :class:`MemoryManager` hangs off every :class:`~repro.machine.Machine`
+(``machine.memory``).  Long-lived matrices register themselves as
+*spillable* (the engine registers its loop invariants — the adjacency and
+its transpose — whose blocks and replica copies dominate the resting
+footprint); :meth:`touch` maintains recency so the eviction order is LRU.
+
+``Machine.allocate`` calls :meth:`relieve` when a charge would overflow the
+per-rank budget: replicas on the pressured rank go first (cold by
+definition — they are only read at repair time), then the least recently
+used matrices' resident blocks, until enough words are freed or nothing
+spillable remains.  Only then does the allocation raise
+:class:`~repro.machine.MemoryLimitExceeded` — which the MFBC driver's
+degradation ladder (:mod:`repro.memory.ladder`) catches.
+
+Every spill/unspill round-trips through the checksummed
+:class:`~repro.memory.spill.SpillStore`, so relieved runs stay
+bit-identical to unpressured ones.
+"""
+
+from __future__ import annotations
+
+import weakref
+
+from repro.memory.spill import SpillStore
+from repro.obs import api as obs
+
+__all__ = ["MemoryManager"]
+
+
+class MemoryManager:
+    """Registry of spillable matrices + the eviction policy.
+
+    Parameters
+    ----------
+    machine:
+        The owning machine (budget, ledger, fault plan).
+    spill_dir:
+        Segment directory for the lazily created :class:`SpillStore`;
+        ``None`` means a private temporary directory on first eviction.
+    """
+
+    def __init__(self, machine, spill_dir=None) -> None:
+        self._machine_ref = weakref.ref(machine)
+        self.spill_dir = spill_dir
+        self._store: SpillStore | None = None
+        #: insertion-ordered LRU: key id(mat) -> (weakref, label); the
+        #: oldest entry is the coldest candidate
+        self._registry: dict[int, tuple[weakref.ref, str]] = {}
+        self._in_relief = False
+        #: arm SpGEMM expansion-chunk staging (set by the ladder's spill
+        #: rung; read by DistributedEngine.spgemm)
+        self.chunk_staging = False
+        self.relieved_words = 0
+        self.reliefs = 0
+
+    @property
+    def machine(self):
+        return self._machine_ref()
+
+    def store(self) -> SpillStore:
+        """The spill store, created on first use."""
+        if self._store is None:
+            self._store = SpillStore(self.spill_dir, machine=self.machine)
+        return self._store
+
+    # -- registry -------------------------------------------------------------
+
+    def register(self, mat, label: str = "") -> None:
+        """Mark ``mat`` (a :class:`~repro.dist.DistMat`) spillable."""
+        key = id(mat)
+        if key in self._registry:
+            self.touch(mat)
+            return
+        self._registry[key] = (weakref.ref(mat), label)
+
+    def touch(self, mat) -> None:
+        """Bump ``mat`` to most-recently-used (protects in-flight operands)."""
+        key = id(mat)
+        entry = self._registry.pop(key, None)
+        if entry is not None:
+            self._registry[key] = entry
+
+    def _live(self):
+        """Registered matrices oldest-first, dropping dead weakrefs."""
+        out = []
+        for key in list(self._registry):
+            ref, label = self._registry[key]
+            mat = ref()
+            if mat is None:
+                del self._registry[key]
+            else:
+                out.append((mat, label))
+        return out
+
+    # -- eviction -------------------------------------------------------------
+
+    def relieve(self, rank: int, need_words: int, *, site: str = "allocate") -> int:
+        """Free at least ``need_words`` on ``rank`` by spilling; best effort.
+
+        Returns the words actually freed.  Replicas on the rank go first,
+        then LRU matrices' resident blocks.  Never raises: when nothing
+        spillable remains, the caller's budget check fails as before.
+        """
+        if self._in_relief:
+            return 0
+        machine = self.machine
+        if machine is None:
+            return 0
+        self._in_relief = True
+        freed = 0
+        try:
+            store = self.store()
+            candidates = self._live()
+            # replicas first: pure redundancy, only read at repair time
+            for mat, _label in candidates:
+                if freed >= need_words:
+                    break
+                freed += mat.spill_replicas(store, rank=rank)
+            for mat, _label in candidates:
+                if freed >= need_words:
+                    break
+                freed += mat.spill_blocks(store, rank=rank)
+        finally:
+            self._in_relief = False
+        if freed:
+            self.reliefs += 1
+            self.relieved_words += freed
+            plan = machine.faults
+            if plan is not None:
+                plan.note(
+                    "spill",
+                    "evicted",
+                    site=site,
+                    rank=rank,
+                    words=int(freed),
+                    needed=int(need_words),
+                )
+            elif obs.enabled():
+                obs.count("memory.reliefs", 1.0, site=site)
+        return freed
+
+    def spill_all(self) -> int:
+        """Force-spill every registered matrix everywhere (a ladder rung)."""
+        if self._in_relief:
+            return 0
+        machine = self.machine
+        if machine is None:
+            return 0
+        self._in_relief = True
+        freed = 0
+        try:
+            store = self.store()
+            for mat, _label in self._live():
+                freed += mat.spill_replicas(store)
+                freed += mat.spill_blocks(store)
+        finally:
+            self._in_relief = False
+        if freed:
+            self.reliefs += 1
+            self.relieved_words += freed
+        return freed
+
+    def snapshot(self) -> dict:
+        out = {
+            "registered": len(self._registry),
+            "reliefs": self.reliefs,
+            "relieved_words": self.relieved_words,
+        }
+        if self._store is not None:
+            out.update(self._store.snapshot())
+        return out

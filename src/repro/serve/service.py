@@ -140,6 +140,8 @@ class BCService:
         elastic=None,
         deadline: float | None = None,
         kernel: str | None = None,
+        memory_words: int | None = None,
+        spill_dir: str | None = None,
         batch_window: float = 0.002,
         max_batch: int = 64,
         cache_capacity: int = 4096,
@@ -158,6 +160,8 @@ class BCService:
                 elastic=elastic,
                 deadline=deadline,
                 kernel=kernel,
+                memory_words=memory_words,
+                spill_dir=spill_dir,
             )
         self.machine = machine
         self.engine = DistributedEngine(machine, policy=policy, check=check)
@@ -305,6 +309,40 @@ class BCService:
                         stale_version=v,
                     )
         estimate = self.estimator.estimate(algorithm, params)
+        memory_estimate = self.estimator.estimate_memory_words(algorithm, params)
+        budget = self.machine.memory_words
+        if budget is not None:
+            floor = self.estimator.estimate_memory_words(
+                algorithm, params, width=1
+            )
+            if floor > budget:
+                # not even a width-1 sweep fits the per-rank budget: the
+                # memory ladder has nothing left to shrink, so fail fast
+                if obs.enabled():
+                    obs.count(
+                        "serve.overload.infeasible", 1.0, algorithm=requested
+                    )
+                with self._registry_lock:
+                    self._counters["infeasible"] += 1
+                query = Query(
+                    algorithm=algorithm,
+                    params=params,
+                    deadline=deadline,
+                    degraded=degraded,
+                    requested_algorithm=requested if degraded else None,
+                    client=client,
+                )
+                with self._registry_lock:
+                    self._queries[query.id] = query
+                    self._counters["submitted"] += 1
+                self._fail(
+                    query,
+                    QueryState.EXPIRED,
+                    f"memory infeasible: modeled peak {floor:.3e} words at "
+                    f"batch width 1 exceeds the {budget:.3e}-word per-rank "
+                    f"budget before queueing",
+                )
+                return query.id
         if deadline is not None and estimate > deadline:
             if obs.enabled():
                 obs.count("serve.overload.infeasible", 1.0, algorithm=requested)
@@ -340,7 +378,7 @@ class BCService:
                 f"fault circuit open; retry in {breaker_wait:.2f}s", breaker_wait
             )
         try:
-            self.admission.admit(estimate, client)
+            self.admission.admit(estimate, client, memory_words=memory_estimate)
         except AdmissionError as exc:
             self._count_shed(exc.reason)
             raise
@@ -349,6 +387,7 @@ class BCService:
             params=params,
             deadline=deadline,
             cost_estimate=estimate,
+            cost_memory_words=memory_estimate,
             degraded=degraded,
             requested_algorithm=requested if degraded else None,
             client=client,
@@ -743,7 +782,9 @@ class BCService:
         """Putback survivors at the queue front, re-charging admission."""
         for q in queries:
             q.state = QueryState.QUEUED
-            self.admission.readmit(q.cost_estimate)
+            self.admission.readmit(
+                q.cost_estimate, memory_words=q.cost_memory_words
+            )
             q.admission_released = False
         self.coalescer.putback(queries)
 
@@ -945,10 +986,14 @@ class BCService:
     def _release_admission(self, q: Query) -> None:
         """Un-charge a query's cost from the queue accounting exactly once."""
         with self._registry_lock:
-            if q.admission_released or q.cost_estimate <= 0:
+            if q.admission_released or (
+                q.cost_estimate <= 0 and q.cost_memory_words <= 0
+            ):
                 return
             q.admission_released = True
-        self.admission.release(q.cost_estimate)
+        self.admission.release(
+            q.cost_estimate, memory_words=q.cost_memory_words
+        )
 
     def _complete(self, q: Query, payload, version: int, *, batch_size: int) -> None:
         if q.state.terminal:

@@ -29,7 +29,9 @@ bit-identical (post-canonicalization) to the generic kernel here.
 
 from __future__ import annotations
 
+import itertools
 import warnings
+from contextlib import contextmanager
 from dataclasses import dataclass
 from typing import Iterator
 
@@ -39,7 +41,39 @@ from repro.algebra.fields import concat_fields, take_fields
 from repro.algebra.matmul import MatMulSpec
 from repro.sparse.spmatrix import SpMat
 
-__all__ = ["spgemm", "spgemm_with_ops", "SpGemmResult", "count_ops"]
+__all__ = [
+    "spgemm",
+    "spgemm_with_ops",
+    "SpGemmResult",
+    "count_ops",
+    "staged_chunks",
+]
+
+#: when armed (the memory ladder's spill rung), the generic kernel stages
+#: each reduced expansion chunk to this spill store instead of keeping it
+#: in memory until the final concatenation — same chunks, same order, so
+#: staged and unstaged products are bit-identical
+_CHUNK_SINK = None
+_CHUNK_IDS = itertools.count()
+
+
+@contextmanager
+def staged_chunks(store, *, site: str = "spgemm"):
+    """Stage generic-kernel expansion chunks to ``store`` inside the block.
+
+    Bounds peak memory to roughly one chunk (plus the final assembly)
+    instead of the whole reduced expansion.  Only kernels running in this
+    process observe the sink: a process-pool executor's workers keep the
+    in-memory path, which is safe — staging is a degradation, never a
+    correctness requirement.
+    """
+    global _CHUNK_SINK
+    prev = _CHUNK_SINK
+    _CHUNK_SINK = (store, site)
+    try:
+        yield
+    finally:
+        _CHUNK_SINK = prev
 
 
 @dataclass(frozen=True)
@@ -233,8 +267,10 @@ def _spgemm_generic(
         return SpGemmResult(SpMat.empty(*out_shape, monoid), 0)
 
     ops_done = 0
+    sink = _CHUNK_SINK
     partial_keys: list[np.ndarray] = []
     partial_vals = []
+    staged: list = []
     for a_idx, b_idx, keys in _expansion_chunks(
         a, b, mask_keys, mask_complement, chunk
     ):
@@ -243,9 +279,25 @@ def _spgemm_generic(
             continue
         vals = spec.apply_f(take_fields(a.vals, a_idx), take_fields(b.vals, b_idx))
         keys, vals = monoid.reduce_by_key(keys, vals)
-        partial_keys.append(keys)
-        partial_vals.append(vals)
+        if sink is not None:
+            store, site = sink
+            arrays = {"keys": keys}
+            for name in monoid.field_names:
+                arrays[f"f_{name}"] = np.asarray(vals[name])
+            staged.append(store.stage_chunk(
+                str(next(_CHUNK_IDS)), arrays, site=site
+            ))
+        else:
+            partial_keys.append(keys)
+            partial_vals.append(vals)
 
+    for handle in staged:
+        store, _site = sink
+        data = store.fetch_chunk(handle)
+        partial_keys.append(data["keys"])
+        partial_vals.append({
+            name: data[f"f_{name}"] for name in monoid.field_names
+        })
     if not partial_keys:
         return SpGemmResult(SpMat.empty(*out_shape, monoid), ops_done)
     keys = np.concatenate(partial_keys)

@@ -231,3 +231,52 @@ class TestIO:
         p.write_text("1 2 3.5\n2 3\n")
         with pytest.raises(ValueError, match="mixed"):
             read_edgelist(p)
+
+    def test_malformed_line_names_file_and_lineno(self, tmp_path):
+        p = tmp_path / "bad.txt"
+        p.write_text("# comment\n1 2\nbogus line here\n")
+        with pytest.raises(
+            ValueError,
+            match=r"bad\.txt:3: malformed edge line 'bogus line here'",
+        ):
+            read_edgelist(p)
+
+    def test_bad_weight_names_file_and_lineno(self, tmp_path):
+        p = tmp_path / "bad.txt"
+        p.write_text("1 2 1.5\n2 3 heavy\n")
+        with pytest.raises(
+            ValueError, match=r"bad\.txt:2: .*weight must be a number"
+        ):
+            read_edgelist(p)
+
+    def test_noninteger_endpoint_names_file_and_lineno(self, tmp_path):
+        p = tmp_path / "bad.txt"
+        p.write_text("1 2\na b\n")
+        with pytest.raises(
+            ValueError, match=r"bad\.txt:2: .*endpoints must be integers"
+        ):
+            read_edgelist(p)
+
+    def test_header_preserves_ids_and_isolated_vertices(self, tmp_path):
+        p = tmp_path / "g.txt"
+        p.write_text("# Nodes: 40 Edges: 2 Directed: 1\n10 20\n20 30\n")
+        g = read_edgelist(p)
+        assert g.n == 40 and g.m == 2 and g.directed
+        np.testing.assert_array_equal(sorted(g.src), [10, 20])
+
+    def test_large_roundtrip_batched_write(self, tmp_path):
+        # ~100k edges through the batched writer, read back bit-exactly
+        g = uniform_random_graph_nm(20_000, 10.0, seed=3)
+        assert g.m >= 99_000
+        gw = with_random_weights(g, 1, 100, seed=3)
+        for tag, graph in (("u", g), ("w", gw)):
+            p = tmp_path / f"big-{tag}.txt"
+            write_edgelist(graph, p, batch=1 << 12)
+            back = read_edgelist(p)
+            assert back.n == graph.n and back.m == graph.m
+            assert back.directed == graph.directed
+            np.testing.assert_array_equal(back.src, graph.src)
+            np.testing.assert_array_equal(back.dst, graph.dst)
+            if graph.weighted:
+                # repr round-trip: weights survive to the exact bit
+                np.testing.assert_array_equal(back.weight, graph.weight)

@@ -155,6 +155,41 @@ class TestMemory:
         assert m.memory_used() == 0
         assert m.memory_peak() == 0
 
+    def test_shrink_compacts_memory_accounting(self):
+        """Survivors keep their usage *and* peaks, resliced onto 0..p'-1."""
+        m = Machine(4, memory_words=1 << 30, faults="off", elastic="off")
+        for r in range(4):
+            m.allocate(r, 100 * (r + 1))
+        m.free(3, 150)  # rank 3: used 250, peak 400
+        mapping = m.shrink([1])
+        assert m.p == 3 and mapping[1] == -1
+        assert [m.memory_used(r) for r in range(3)] == [100, 300, 250]
+        assert [m.memory_peak(r) for r in range(3)] == [100, 300, 400]
+        assert m.memory_peak() == 400  # machine-wide peak survives the shrink
+
+    def test_shrink_drops_dead_rank_from_budget_checks(self):
+        """A stale rank index fails loudly after the shrink, like groups do."""
+        m = Machine(3, memory_words=100, faults="off", elastic="off")
+        m.allocate(2, 90)
+        m.shrink([2])
+        assert m.p == 2
+        with pytest.raises(IndexError):
+            m.allocate(2, 1)
+
+    def test_reset_memory_after_shrink_and_recovery(self):
+        """The elastic-recovery interplay: a post-recovery reset starts the
+        next run clean on the survivor grid without resurrecting the dead
+        rank's accounting."""
+        m = Machine(4, memory_words=1 << 30, faults="off", elastic="off")
+        for r in range(4):
+            m.allocate(r, 50)
+        m.shrink([0, 2])
+        assert m.p == 2
+        m.reset_memory()
+        assert m.memory_used() == 0 and m.memory_peak() == 0
+        m.allocate(1, 70)  # the compacted survivor index, freshly charged
+        assert m.memory_used() == 70 and m.memory_peak(1) == 70
+
 
 class TestGroups:
     def test_distinct_ranks_required(self):

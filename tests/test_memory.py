@@ -1,0 +1,521 @@
+"""repro.memory: spill-to-disk store, relief eviction, the OOM ladder.
+
+Covers the checksummed :class:`SpillStore` (round-trip bit-exactness,
+write-then-verify torn-write handling, generation rotation, chunk
+staging), DistMat block/replica eviction and lazy fault-in,
+:class:`MemoryLadder` rung progression and re-arming, and the ISSUE's
+acceptance bar: a seed-graph MFBC run under a per-rank budget well below
+the unpressured peak completes **bit-identically** via the ladder with its
+tracked peak under the budget and spill traffic visible on the ledger and
+the memory report.  Crash-safe streamed ingestion (resume from the last
+durable shard, injected torn shard writes) is covered here too.
+
+Every machine built here opts out of ambient ``REPRO_FAULTS`` /
+``REPRO_ELASTIC`` / ``REPRO_MEMORY`` (the CI memory-pressure leg sets
+them) unless the test is specifically about them.
+"""
+
+import os
+
+import numpy as np
+import pytest
+
+from repro import obs
+from repro.analysis.report import format_memory_report, memory_attribution
+from repro.core import mfbc
+from repro.dist import DistributedEngine
+from repro.faults import FaultPlan
+from repro.faults.plan import payload_checksum
+from repro.graphs import (
+    IngestManifest,
+    ingest_edgelist,
+    read_edgelist,
+    read_edgelist_streamed,
+    rmat_graph,
+    write_edgelist,
+)
+from repro.machine import Machine, MemoryLimitExceeded
+from repro.memory import MemoryLadder, SpillError, SpillStore
+
+from conftest import random_weight_spmat
+
+#: explicit "effectively unlimited" budget — opts a machine out of the CI
+#: leg's ambient REPRO_MEMORY without disabling the accounting
+UNLIMITED = 1 << 40
+
+
+def quiet(p, **kw):
+    """A machine opted out of ambient faults/elastic/memory env defaults."""
+    kw.setdefault("faults", "off")
+    kw.setdefault("elastic", "off")
+    kw.setdefault("memory_words", UNLIMITED)
+    return Machine(p, **kw)
+
+
+def seed_graph():
+    return rmat_graph(scale=7, avg_degree=8, seed=1)
+
+
+def run_mfbc(g, machine, *, batch=64):
+    engine = DistributedEngine(machine)
+    return mfbc(g, batch_size=batch, engine=engine).scores
+
+
+# ---------------------------------------------------------------------------
+# SpillStore: segments, torn writes, rotation, chunks
+# ---------------------------------------------------------------------------
+
+
+class TestSpillStore:
+    def test_round_trip_bit_exact(self, tmp_path, rng):
+        blk = random_weight_spmat(rng, 12, 9, 0.3)
+        store = SpillStore(tmp_path)
+        seg = store.spill("a-0-0", blk)
+        assert seg is not None and seg.words == blk.words()
+        back = store.fetch(seg)
+        assert payload_checksum(back) == payload_checksum(blk)
+        np.testing.assert_array_equal(back.rows, blk.rows)
+        np.testing.assert_array_equal(back.cols, blk.cols)
+        for name in blk.monoid.field_names:
+            np.testing.assert_array_equal(back.vals[name], blk.vals[name])
+        snap = store.snapshot()
+        assert snap["spilled_blocks"] == 1 and snap["restored_blocks"] == 1
+        assert snap["torn_writes"] == 0
+
+    def test_spill_charges_ledger_spill_category(self, tmp_path, rng):
+        machine = quiet(2)
+        store = SpillStore(tmp_path, machine=machine)
+        blk = random_weight_spmat(rng, 10, 10, 0.3)
+        seg = store.spill("k", blk, rank=1)
+        store.fetch(seg, rank=1)
+        cat = machine.ledger.category_words.get("spill", 0.0)
+        assert cat == pytest.approx(2.0 * blk.words())
+
+    def test_torn_write_leaves_block_resident(self, tmp_path, rng):
+        # rate 1 with limit 1: the first write tears, the retry succeeds
+        machine = Machine(
+            1, faults="seed:0,tear:1,limit:1", elastic="off",
+            memory_words=UNLIMITED,
+        )
+        store = SpillStore(tmp_path, machine=machine)
+        blk = random_weight_spmat(rng, 8, 8, 0.3)
+        assert store.spill("k", blk) is None  # torn: caller keeps it resident
+        assert store.torn_writes == 1
+        sigs = [(e.kind, e.action) for e in machine.faults.events]
+        assert ("tear", "injected") in sigs and ("tear", "detected") in sigs
+        seg = store.spill("k", blk)  # injection budget spent: durable now
+        assert seg is not None
+        assert payload_checksum(store.fetch(seg)) == payload_checksum(blk)
+
+    def test_generation_rotation_survives_torn_newest(self, tmp_path, rng):
+        blk = random_weight_spmat(rng, 10, 7, 0.3)
+        store = SpillStore(tmp_path, keep=1)
+        store.spill("k", blk)
+        seg = store.spill("k", blk)  # rotates the first write to gen 1
+        # tear the newest generation at rest; fetch falls back to gen 1
+        with open(seg.path, "r+b") as fh:
+            fh.truncate(10)
+        back = store.fetch(seg)
+        assert payload_checksum(back) == payload_checksum(blk)
+
+    def test_fetch_raises_when_no_generation_durable(self, tmp_path, rng):
+        blk = random_weight_spmat(rng, 6, 6, 0.3)
+        store = SpillStore(tmp_path)
+        seg = store.spill("k", blk)
+        with open(seg.path, "r+b") as fh:
+            fh.truncate(4)
+        with pytest.raises(SpillError, match="no durable generation"):
+            store.fetch(seg)
+
+    def test_drop_removes_every_generation(self, tmp_path, rng):
+        blk = random_weight_spmat(rng, 6, 6, 0.3)
+        store = SpillStore(tmp_path, keep=1)
+        store.spill("k", blk)
+        seg = store.spill("k", blk)
+        store.drop("k")
+        with pytest.raises(SpillError):
+            store.fetch(seg)
+
+    def test_chunk_staging_round_trip_is_binary_exact(self, tmp_path, rng):
+        store = SpillStore(tmp_path)
+        arrays = {
+            "rows": rng.integers(0, 100, 50),
+            "wts": rng.random(50),
+        }
+        handle = store.fetch_chunk(store.stage_chunk("c0", arrays))
+        np.testing.assert_array_equal(handle["rows"], arrays["rows"])
+        np.testing.assert_array_equal(handle["wts"], arrays["wts"])
+
+    def test_bad_keep_rejected(self, tmp_path):
+        with pytest.raises(ValueError, match="keep"):
+            SpillStore(tmp_path, keep=-1)
+
+
+# ---------------------------------------------------------------------------
+# DistMat eviction + MemoryManager relief
+# ---------------------------------------------------------------------------
+
+
+class TestEvictionAndRelief:
+    def test_spilled_blocks_fault_back_in_bit_identically(self, tmp_path):
+        g = seed_graph()
+        machine = quiet(4, spill_dir=str(tmp_path))
+        engine = DistributedEngine(machine)
+        mat = engine.adjacency(g)
+        before = payload_checksum(engine.gather(mat))
+        freed = mat.spill_blocks(machine.memory.store())
+        assert freed > 0
+        # gather touches every block: each one faults back in from disk
+        assert payload_checksum(engine.gather(mat)) == before
+        snap = machine.memory.snapshot()
+        assert snap["spilled_blocks"] > 0 and snap["restored_blocks"] > 0
+
+    def test_relieve_frees_lru_blocks_on_rank(self):
+        g = seed_graph()
+        machine = quiet(4)
+        engine = DistributedEngine(machine)
+        engine.adjacency(g)  # registered spillable by the engine
+        used = machine.memory_used(0)
+        assert used > 0
+        freed = machine.memory.relieve(0, 1)
+        assert freed > 0
+        assert machine.memory_used(0) < used
+        assert machine.memory.snapshot()["reliefs"] == 1
+
+    def test_replicas_evicted_before_primary_blocks(self):
+        g = seed_graph()
+        machine = quiet(4, elastic="replica")
+        engine = DistributedEngine(machine)
+        mat = engine.adjacency(g)
+        assert mat.replica_words() > 0
+        machine.memory.relieve(0, 1)
+        # a small request is satisfied from replicas alone: primaries stay
+        assert not mat._spilled
+
+    def test_drop_and_rearm_redundancy(self):
+        g = seed_graph()
+        machine = quiet(4, elastic="replica")
+        engine = DistributedEngine(machine)
+        engine.adjacency(g)
+        words = engine.redundancy_words()
+        assert words > 0
+        assert engine.drop_redundancy() == words
+        assert engine.redundancy_words() == 0
+        assert engine.rearm_redundancy()
+        assert engine.redundancy_words() == words
+
+    def test_allocation_failure_raises_after_relief_exhausted(self):
+        machine = quiet(2, memory_words=1000)
+        with pytest.raises(MemoryLimitExceeded, match="budget"):
+            machine.allocate(0, 2000)
+        # the failed allocation must not stay charged
+        assert machine.memory_used(0) == 0
+
+
+# ---------------------------------------------------------------------------
+# MemoryLadder rung progression
+# ---------------------------------------------------------------------------
+
+
+class _StubEngine:
+    """Minimal engine surface the ladder drives (drop/rearm hooks)."""
+
+    def __init__(self, machine, redundancy=512):
+        self.machine = machine
+        self._redundancy = redundancy
+        self.dropped = False
+
+    def redundancy_words(self):
+        return 0 if self.dropped else self._redundancy
+
+    def drop_redundancy(self):
+        if self.dropped:
+            return 0
+        self.dropped = True
+        return self._redundancy
+
+    def rearm_redundancy(self):
+        self.dropped = False
+        return True
+
+
+class TestMemoryLadder:
+    def test_rung_progression_shrink_spill_drop_exhaust(self, monkeypatch):
+        machine = quiet(2)
+        ladder = MemoryLadder(_StubEngine(machine))
+        exc = MemoryLimitExceeded("boom")
+        assert ladder.advance(exc, batch_width=8) == "shrink_batch"
+        assert ladder.batch_size == 4
+        assert ladder.advance(exc, batch_width=4) == "shrink_batch"
+        assert ladder.batch_size == 2
+        assert ladder.advance(exc, batch_width=2) == "shrink_batch"
+        assert ladder.batch_size == 1
+        monkeypatch.setattr(machine.memory, "spill_all", lambda: 4096)
+        assert ladder.advance(exc) == "spill"
+        assert machine.memory.chunk_staging
+        assert ladder.advance(exc) == "drop_redundancy"
+        assert ladder.advance(exc) is None  # exhausted: caller re-raises
+        assert ladder.rungs_taken == [
+            "shrink_batch", "shrink_batch", "shrink_batch",
+            "spill", "drop_redundancy",
+        ]
+
+    def test_spill_rung_skipped_when_nothing_spillable(self):
+        machine = quiet(2)
+        engine = _StubEngine(machine)
+        ladder = MemoryLadder(engine)
+        exc = MemoryLimitExceeded("boom")
+        # nothing registered: spill_all frees 0, falls through to the drop
+        assert ladder.advance(exc) == "drop_redundancy"
+        assert engine.dropped
+
+    def test_after_success_rearms_once_pressure_clears(self):
+        machine = quiet(2, memory_words=10_000)
+        engine = _StubEngine(machine, redundancy=512)
+        ladder = MemoryLadder(engine)
+        ladder.advance(MemoryLimitExceeded("boom"))
+        assert engine.dropped
+        machine.memory.chunk_staging = True
+        # headroom 10_000 >= 2 * 512: replicas come back, staging disarms
+        ladder.after_success()
+        assert not engine.dropped
+        assert not machine.memory.chunk_staging
+        # and the drop rung is available again on the next pressure spike
+        assert ladder.advance(MemoryLimitExceeded("boom")) == "drop_redundancy"
+
+    def test_after_success_keeps_drop_while_pressure_persists(self):
+        machine = quiet(2, memory_words=10_000)
+        engine = _StubEngine(machine, redundancy=512)
+        ladder = MemoryLadder(engine)
+        ladder.advance(MemoryLimitExceeded("boom"))
+        machine.allocate(0, 9_500)  # headroom 500 < 2 * 512
+        ladder.after_success()
+        assert engine.dropped
+
+    def test_rungs_recorded_on_fault_plan(self):
+        machine = Machine(
+            2, faults=FaultPlan(seed=0), elastic="off", memory_words=UNLIMITED
+        )
+        ladder = MemoryLadder(_StubEngine(machine), site="mfbc")
+        ladder.advance(MemoryLimitExceeded("boom"), batch_width=4)
+        ladder.advance(MemoryLimitExceeded("boom"))
+        sigs = [(e.kind, e.action, e.site) for e in machine.faults.events]
+        assert sigs.count(("mem", "degraded", "mfbc")) == 2
+
+
+# ---------------------------------------------------------------------------
+# end-to-end: pressured MFBC completes bit-identically under budget
+# ---------------------------------------------------------------------------
+
+
+class TestPressuredRuns:
+    def _baseline(self, tmp_path=None):
+        g = seed_graph()
+        m0 = quiet(4)
+        ref = run_mfbc(g, m0)
+        return g, ref, m0.memory_peak()
+
+    def test_spill_ladder_bit_identical_under_budget(self, tmp_path):
+        g, ref, peak0 = self._baseline()
+        budget = int(peak0 * 0.6)
+        machine = quiet(4, memory_words=budget, spill_dir=str(tmp_path))
+        scores = run_mfbc(g, machine)
+        np.testing.assert_array_equal(scores, ref)
+        assert machine.memory_peak() <= budget
+        snap = machine.memory.snapshot()
+        assert snap["reliefs"] > 0
+        assert snap.get("spilled_blocks", 0) > 0
+        assert machine.ledger.category_words.get("spill", 0.0) > 0
+
+    def test_tight_budget_descends_ladder_bit_identically(self, tmp_path):
+        g, ref, peak0 = self._baseline()
+        budget = int(peak0 * 0.45)
+        machine = Machine(
+            4, faults=FaultPlan(seed=0), elastic="off",
+            memory_words=budget, spill_dir=str(tmp_path),
+        )
+        scores = run_mfbc(g, machine)
+        np.testing.assert_array_equal(scores, ref)
+        assert machine.memory_peak() <= budget
+        acted = machine.memory.snapshot()["reliefs"] > 0 or any(
+            e.kind == "mem" and e.action == "degraded"
+            for e in machine.faults.events
+        )
+        assert acted
+
+    def test_injected_memory_pressure_tightens_and_completes(self, tmp_path):
+        g, ref, peak0 = self._baseline()
+        machine = Machine(
+            4, faults="seed:1,mem:0.6", elastic="off",
+            memory_words=int(peak0), spill_dir=str(tmp_path),
+        )
+        assert machine.memory_words == int(int(peak0) * 0.6)
+        sigs = [(e.kind, e.action, e.site) for e in machine.faults.events]
+        assert ("mem", "injected", "machine") in sigs
+        scores = run_mfbc(g, machine)
+        np.testing.assert_array_equal(scores, ref)
+        assert machine.memory_peak() <= machine.memory_words
+
+    def test_torn_spill_writes_never_corrupt_scores(self, tmp_path):
+        g, ref, peak0 = self._baseline()
+        machine = Machine(
+            4, faults="seed:3,tear:1,limit:4", elastic="off",
+            memory_words=int(peak0 * 0.6), spill_dir=str(tmp_path),
+        )
+        scores = run_mfbc(g, machine)
+        np.testing.assert_array_equal(scores, ref)
+        store = machine.memory._store
+        assert store is not None and store.torn_writes >= 1
+
+    def test_pressure_with_replica_elastic_still_bit_identical(self, tmp_path):
+        g, ref, peak0 = self._baseline()
+        machine = quiet(
+            4, elastic="replica",
+            memory_words=int(peak0 * 0.7), spill_dir=str(tmp_path),
+        )
+        scores = run_mfbc(g, machine)
+        np.testing.assert_array_equal(scores, ref)
+        assert machine.memory_peak() <= machine.memory_words
+
+    def test_forced_chunk_staging_bit_identical(self, tmp_path):
+        g, ref, _ = self._baseline()
+        machine = quiet(4, spill_dir=str(tmp_path))
+        machine.memory.chunk_staging = True
+        scores = run_mfbc(g, machine)
+        np.testing.assert_array_equal(scores, ref)
+
+    def test_infeasible_budget_is_terminal(self, tmp_path):
+        g = seed_graph()
+        machine = quiet(4, memory_words=50, spill_dir=str(tmp_path))
+        with pytest.raises(MemoryLimitExceeded):
+            run_mfbc(g, machine)
+
+
+# ---------------------------------------------------------------------------
+# observability: memory report and attribution
+# ---------------------------------------------------------------------------
+
+
+class TestMemoryReport:
+    def test_attribution_rows_and_report_render(self, tmp_path):
+        g = seed_graph()
+        probe = quiet(4)
+        run_mfbc(g, probe)
+        session = obs.enable()
+        try:
+            machine = quiet(
+                4, memory_words=int(probe.memory_peak() * 0.6),
+                spill_dir=str(tmp_path),
+            )
+            run_mfbc(g, machine)
+        finally:
+            obs.disable()
+        rows = memory_attribution(session.metrics)
+        events = {r["event"] for r in rows}
+        assert "spill.spill" in events
+        assert "relief" in events
+        spilled = [r for r in rows if r["event"] == "spill.spill"]
+        assert sum(r["words"] for r in spilled) > 0
+        text = format_memory_report(session.metrics)
+        assert "memory pressure" in text and "spill.spill" in text
+
+    def test_report_empty_without_pressure(self):
+        session = obs.enable()
+        obs.disable()
+        assert memory_attribution(session.metrics) == []
+        assert format_memory_report(session.metrics) == ""
+
+
+# ---------------------------------------------------------------------------
+# crash-safe streamed ingestion
+# ---------------------------------------------------------------------------
+
+
+class TestIngest:
+    def _write(self, tmp_path, *, weighted=False, n=600, deg=6.0, seed=7):
+        from repro.graphs import uniform_random_graph_nm, with_random_weights
+
+        g = uniform_random_graph_nm(n, deg, seed=seed)
+        if weighted:
+            g = with_random_weights(g, 1, 100, seed=seed)
+        path = tmp_path / "g.txt"
+        write_edgelist(g, path)
+        return g, path
+
+    @staticmethod
+    def _same(a, b):
+        assert a.n == b.n and a.m == b.m and a.directed == b.directed
+        np.testing.assert_array_equal(a.src, b.src)
+        np.testing.assert_array_equal(a.dst, b.dst)
+        if a.weighted or b.weighted:
+            np.testing.assert_array_equal(a.weight, b.weight)
+
+    def test_streamed_matches_one_shot_bit_identically(self, tmp_path):
+        for weighted in (False, True):
+            g, path = self._write(tmp_path, weighted=weighted)
+            one = read_edgelist(path)
+            streamed = read_edgelist_streamed(
+                path, shard_dir=tmp_path / f"s{weighted}", shard_edges=256
+            )
+            self._same(one, streamed)
+            self._same(g, streamed)
+
+    def test_manifest_records_durable_shards(self, tmp_path):
+        _, path = self._write(tmp_path)
+        shard_dir = tmp_path / "shards"
+        manifest = ingest_edgelist(path, shard_dir, shard_edges=256)
+        assert manifest.complete
+        assert manifest.durable_prefix() == len(manifest.shards)
+        assert sum(s["edges"] for s in manifest.shards) > 0
+        reloaded = IngestManifest.load(shard_dir)
+        assert reloaded is not None
+        assert reloaded.durable_prefix() == len(manifest.shards)
+
+    def test_resume_after_torn_last_shard(self, tmp_path):
+        g, path = self._write(tmp_path)
+        shard_dir = tmp_path / "shards"
+        manifest = ingest_edgelist(path, shard_dir, shard_edges=256)
+        assert len(manifest.shards) >= 3
+        # crash simulation: the last shard's write tore mid-file and the
+        # manifest never learned the ingest finished
+        last = manifest.shards[-1]
+        spath = manifest.shard_path(last)
+        size = os.path.getsize(spath)
+        with open(spath, "r+b") as fh:
+            fh.truncate(max(size // 2, 1))
+        manifest.complete = False
+        manifest.save()
+        reloaded = IngestManifest.load(shard_dir)
+        assert reloaded.durable_prefix() == len(manifest.shards) - 1
+        resumed = ingest_edgelist(path, shard_dir, shard_edges=256)
+        assert resumed.complete
+        streamed = read_edgelist_streamed(path, shard_dir=shard_dir)
+        self._same(g, streamed)
+
+    def test_resume_after_missing_manifest_restarts_cleanly(self, tmp_path):
+        g, path = self._write(tmp_path)
+        shard_dir = tmp_path / "shards"
+        ingest_edgelist(path, shard_dir, shard_edges=256)
+        (shard_dir / "manifest.json").unlink()
+        streamed = read_edgelist_streamed(path, shard_dir=shard_dir)
+        self._same(g, streamed)
+
+    def test_fault_injected_tears_self_heal(self, tmp_path):
+        g, path = self._write(tmp_path, weighted=True)
+        plan = FaultPlan(seed=1, tear=1.0, limit=2)
+        streamed = read_edgelist_streamed(
+            path, shard_dir=tmp_path / "shards", shard_edges=128, faults=plan
+        )
+        self._same(g, streamed)
+        sigs = [(e.kind, e.action) for e in plan.events]
+        assert sigs.count(("tear", "injected")) == 2
+        assert sigs.count(("tear", "recovered")) == 2
+
+    def test_streamed_bc_scores_match_one_shot(self, tmp_path):
+        g, path = self._write(tmp_path, n=200, deg=4.0)
+        streamed = read_edgelist_streamed(
+            path, shard_dir=tmp_path / "shards", shard_edges=128
+        )
+        ref = run_mfbc(g, quiet(2), batch=16)
+        got = run_mfbc(streamed, quiet(2), batch=16)
+        np.testing.assert_array_equal(got, ref)

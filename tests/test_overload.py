@@ -157,6 +157,27 @@ class TestAdmission:
         assert exc.value.reason == "queue_seconds"
         ctl.admit(0.1)  # still fits
 
+    def test_queued_memory_bound(self):
+        ctl = AdmissionController(
+            OverloadConfig(max_queued=100, max_queued_memory_words=1000.0)
+        )
+        ctl.admit(0.0, memory_words=800.0)
+        with pytest.raises(AdmissionError) as exc:
+            ctl.admit(0.0, memory_words=300.0)
+        assert exc.value.reason == "queue_memory"
+        ctl.admit(0.0, memory_words=100.0)  # still fits
+        assert ctl.snapshot()["queued_memory_words"] == pytest.approx(900.0)
+        ctl.release(0.0, memory_words=800.0)
+        ctl.admit(0.0, memory_words=850.0)  # bound frees on release
+
+    def test_queued_memory_drives_pressure(self):
+        ctl = AdmissionController(
+            OverloadConfig(max_queued=100, max_queued_memory_words=1000.0)
+        )
+        ctl.admit(0.0, memory_words=500.0)
+        # one query of a hundred, but half the memory bound: memory wins
+        assert ctl.snapshot()["pressure"] == pytest.approx(0.5)
+
     def test_rate_limit_per_client(self):
         clock = FakeClock()
         ctl = AdmissionController(
@@ -335,6 +356,22 @@ class TestEstimator:
 # ---------------------------------------------------------------------------
 
 
+    def test_memory_estimate_follows_theory_form(self, graph):
+        from repro.analysis.theory import mfbc_memory_words
+        from repro.machine.machine import Machine
+
+        est = CostEstimator(Machine(4), graph)
+        floor = est.estimate_memory_words("bc_source", {"source": 0}, width=1)
+        # the estimator's m is the adjacency nnz (2m when undirected)
+        assert floor == pytest.approx(
+            mfbc_memory_words(est._n, est._m, 4) + graph.n / 4
+        )
+        full = est.estimate_memory_words("bc", {})
+        # the n x nb working set grows with the batch width, the m/p term
+        # is width-independent
+        assert full - floor == pytest.approx(graph.n * (graph.n - 1) / 4)
+
+
 class TestServiceOverload:
     def test_queue_bound_sheds_and_recovers(self, graph):
         cfg = OverloadConfig(max_queued=2, shed_high=0.9, shed_low=0.4)
@@ -432,6 +469,35 @@ class TestServiceOverload:
         assert "infeasible" in status["error"]
         assert stats["infeasible"] == 1
         assert stats["batches"] == before  # never burned a sweep
+
+    def test_memory_infeasible_submit_expires(self, graph):
+        # modeled floor (batch width 1) above the per-rank budget: no batch
+        # shrink can make it fit, so the query expires before queueing
+        with _service(graph, memory_words=1 << 30) as svc:
+            before = svc.stats()["batches"]
+            svc.estimator.estimate_memory_words = (
+                lambda *a, **k: float(1 << 40)
+            )
+            qid = svc.submit("bc")
+            status = svc.poll(qid)
+            with pytest.raises(QueryError, match="expired"):
+                svc.result(qid, timeout=5.0)
+            stats = svc.stats()
+        assert status["state"] == "expired"
+        assert "memory infeasible" in status["error"]
+        assert stats["infeasible"] == 1
+        assert stats["batches"] == before  # never burned a sweep
+
+    def test_memory_admission_charges_and_releases(self, graph):
+        cfg = OverloadConfig(max_queued_memory_words=1e12)
+        with _service(graph, memory_words=1 << 30, overload=cfg) as svc:
+            qids = [svc.submit("bc_source", source=i) for i in range(3)]
+            rows = [svc.result(q, timeout=60.0) for q in qids]
+            snap = svc.admission.snapshot()
+        for i, row in enumerate(rows):
+            np.testing.assert_allclose(row, _reference_row(graph, i))
+        # every completed query released its modeled-memory charge
+        assert snap["queued_memory_words"] == pytest.approx(0.0)
 
     def test_rate_limited_client_sheds(self, graph):
         cfg = OverloadConfig(client_rate=0.001, client_burst=1.0)
